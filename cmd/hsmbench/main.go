@@ -1,0 +1,134 @@
+// Command hsmbench regenerates the paper's evaluation: every table and
+// figure of thesis Chapter 6 (and the analysis tables of Chapter 4), on
+// the simulated SCC.
+//
+// Usage:
+//
+//	hsmbench [-exp all|table4.1|table4.2|table6.1|fig6.1|fig6.2|fig6.3]
+//	         [-threads N] [-scale F]
+//
+// -scale shrinks problem sizes for quick runs (1.0 reproduces the full
+// experiment; 0.1 finishes in seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hsmcc/internal/bench"
+	"hsmcc/internal/core"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table4.1, table4.2, table6.1, fig6.1, fig6.2, fig6.3")
+	threads := flag.Int("threads", 32, "thread/core count")
+	scale := flag.Float64("scale", 1.0, "problem size multiplier")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Threads = *threads
+	cfg.Scale = *scale
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "hsmbench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table4.1", func() error {
+		p, err := analysisPipeline()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 4.1 — information extracted per variable (Example Code 4.1, post Stage 3)")
+		fmt.Print(p.Table41())
+		return nil
+	})
+	run("table4.2", func() error {
+		p, err := analysisPipeline()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 4.2 — variable sharing status after each stage (Example Code 4.1)")
+		fmt.Print(p.Table42())
+		return nil
+	})
+	run("table6.1", func() error {
+		fmt.Println("Table 6.1 — SCC configuration")
+		fmt.Print(bench.Table61(cfg))
+		return nil
+	})
+	run("fig6.1", func() error {
+		rows, err := bench.Fig61(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig61(rows))
+		return nil
+	})
+	run("fig6.2", func() error {
+		rows, err := bench.Fig62(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig62(rows))
+		return nil
+	})
+	run("fig6.3", func() error {
+		rows, err := bench.Fig63(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig63(rows))
+		return nil
+	})
+}
+
+// analysisPipeline analyses the thesis's running example.
+func analysisPipeline() (*core.Pipeline, error) {
+	src, err := os.ReadFile("testdata/example41.c")
+	if err != nil {
+		// Fall back to the embedded copy so the binary works from any
+		// directory.
+		return core.Analyze("example41.c", example41, core.Config{})
+	}
+	return core.Analyze("example41.c", string(src), core.Config{})
+}
+
+const example41 = `
+#include <stdio.h>
+#include <pthread.h>
+
+int global;
+int *ptr;
+int sum[3] = {0};
+
+void *tf(void *tid) {
+    int tLocal = (int)tid;
+    sum[tLocal] += tLocal;
+    sum[tLocal] += *ptr;
+    pthread_exit(NULL);
+}
+
+int main() {
+    int local = 0;
+    int tmp = 1;
+    ptr = &tmp;
+    pthread_t threads[3];
+    int rc;
+    for (local = 0; local < 3; local++) {
+        rc = pthread_create(&threads[local], NULL, tf, (void *)local);
+    }
+    for (local = 0; local < 3; local++) {
+        pthread_join(threads[local], NULL);
+        printf("Sum Array: %d\n", sum[local]);
+    }
+    return 0;
+}
+`

@@ -1,0 +1,89 @@
+// Command hsmsim runs a C program on the simulated SCC, under either the
+// single-core Pthread baseline or the multiprocess RCCE runtime.
+//
+// Usage:
+//
+//	hsmsim [-mode pthread|rcce] [-cores N] [-stats] program.c
+//
+// pthread mode executes main with every created thread time-sharing core
+// 0 (the paper's baseline). rcce mode runs RCCE_APP (or main) on N cores,
+// one process each.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hsmcc/internal/interp"
+	"hsmcc/internal/pthreadrt"
+	"hsmcc/internal/rcce"
+	"hsmcc/internal/sccsim"
+)
+
+func main() {
+	mode := flag.String("mode", "pthread", "execution mode: pthread (1-core baseline) or rcce")
+	cores := flag.Int("cores", 32, "number of UEs in rcce mode")
+	stats := flag.Bool("stats", false, "print machine statistics to stderr")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hsmsim [flags] program.c")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	pr, err := interp.Compile(flag.Arg(0), string(src))
+	if err != nil {
+		fatal(err)
+	}
+	machine, err := sccsim.New(sccsim.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+
+	var output string
+	var seconds float64
+	switch *mode {
+	case "pthread":
+		res, err := pthreadrt.Run(pr, machine, pthreadrt.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		output, seconds = res.Output, res.Seconds()
+		if *stats {
+			fmt.Fprintf(os.Stderr, "context switches: %d\n", res.Switches)
+		}
+	case "rcce":
+		res, err := rcce.Run(pr, machine, rcce.DefaultOptions(*cores))
+		if err != nil {
+			fatal(err)
+		}
+		output, seconds = res.Output, res.Seconds()
+		if *stats {
+			fmt.Fprintf(os.Stderr, "on-chip bytes: %d, shared bytes: %d\n", res.OnChipBytes, res.SharedBytes)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "hsmsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	fmt.Print(output)
+	fmt.Fprintf(os.Stderr, "simulated time: %.6f s\n", seconds)
+	if *stats {
+		t := machine.TotalStats()
+		fmt.Fprintf(os.Stderr,
+			"loads=%d stores=%d private=%d shared=%d mpb=%d (remote %d)\n"+
+				"L1 %d/%d hits, L2 %d/%d hits\n",
+			t.Loads, t.Stores, t.PrivateAccesses, t.SharedAccesses, t.MPBAccesses, t.MPBRemote,
+			t.L1Hits, t.L1Hits+t.L1Misses, t.L2Hits, t.L2Hits+t.L2Misses)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hsmsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+package hsmcc
+
+// Smoke tests for the three command-line tools: build each binary once
+// and run it against the repository's test data.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles one of the cmd/ binaries into a temp dir.
+func buildCmd(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./cmd/%s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func TestCmdHsmcc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCmd(t, "hsmcc")
+	out, err := exec.Command(bin, "-cores", "3", "-policy", "offchip", "testdata/example41.c").Output()
+	if err != nil {
+		t.Fatalf("hsmcc: %v", err)
+	}
+	golden, err := os.ReadFile("testdata/example41_rcce.golden.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(golden) {
+		t.Errorf("CLI output differs from golden translation:\n%s", out)
+	}
+	// Error paths.
+	if err := exec.Command(bin, "-policy", "bogus", "testdata/example41.c").Run(); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestCmdHsmsim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCmd(t, "hsmsim")
+	// Baseline mode on the Pthread example.
+	out, err := exec.Command(bin, "-mode", "pthread", "testdata/example41.c").Output()
+	if err != nil {
+		t.Fatalf("hsmsim pthread: %v", err)
+	}
+	for _, want := range []string{"Sum Array: 1", "Sum Array: 2", "Sum Array: 3"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("pthread run missing %q:\n%s", want, out)
+		}
+	}
+	// RCCE mode on the golden translated program.
+	out, err = exec.Command(bin, "-mode", "rcce", "-cores", "3", "testdata/example41_rcce.golden.c").Output()
+	if err != nil {
+		t.Fatalf("hsmsim rcce: %v", err)
+	}
+	if !strings.Contains(string(out), "Sum Array:") {
+		t.Errorf("rcce run produced no sums:\n%s", out)
+	}
+}
+
+func TestCmdHsmbench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCmd(t, "hsmbench")
+	out, err := exec.Command(bin, "-exp", "table6.1").Output()
+	if err != nil {
+		t.Fatalf("hsmbench table6.1: %v", err)
+	}
+	if !strings.Contains(string(out), "800 MHz") {
+		t.Errorf("table6.1 output wrong:\n%s", out)
+	}
+	out, err = exec.Command(bin, "-exp", "table4.2").Output()
+	if err != nil {
+		t.Fatalf("hsmbench table4.2: %v", err)
+	}
+	if !strings.Contains(string(out), "tmp") {
+		t.Errorf("table4.2 output wrong:\n%s", out)
+	}
+	// A fast figure run.
+	out, err = exec.Command(bin, "-exp", "fig6.1", "-threads", "4", "-scale", "0.05").Output()
+	if err != nil {
+		t.Fatalf("hsmbench fig6.1: %v", err)
+	}
+	if !strings.Contains(string(out), "Pi Approximation") {
+		t.Errorf("fig6.1 output wrong:\n%s", out)
+	}
+}

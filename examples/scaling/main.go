@@ -1,0 +1,26 @@
+// Scaling sweeps the Pi Approximation benchmark over core counts, the
+// thesis Figure 6.3 study: translate once per configuration, run on the
+// simulated SCC, and report the speedup over the single-core Pthread
+// baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hsmcc/internal/bench"
+)
+
+func main() {
+	cfg := bench.DefaultConfig()
+	cfg.Scale = 0.25 // keep the sweep quick; shapes are size-independent
+
+	rows, err := bench.Fig63(cfg, []int{1, 2, 4, 8, 16, 32, 48})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatFig63(rows))
+	fmt.Println()
+	fmt.Println("Near-linear scaling: compute-bound, perfectly balanced work")
+	fmt.Println("with one barrier — the thesis's best case for HSM conversion.")
+}

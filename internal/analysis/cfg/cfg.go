@@ -1,0 +1,328 @@
+// Package cfg builds control-flow graphs for hsmcc functions and computes
+// dominators. The points-to stage (paper Stage 3) uses it to classify
+// pointer relationships as "definite" (the assignment executes on every
+// path through the function) or "possibly" (it sits in a branch or loop),
+// matching the thesis's description of CETUS's control-flow-aware analysis.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"hsmcc/internal/cc/ast"
+)
+
+// Block is one basic block: a maximal straight-line statement sequence.
+type Block struct {
+	ID    int
+	Stmts []ast.Stmt
+	Succs []*Block
+	Preds []*Block
+	// Label describes the block's role for dumps ("entry", "exit",
+	// "if.then", "for.body", ...).
+	Label string
+}
+
+// Graph is the CFG of one function.
+type Graph struct {
+	Fn     *ast.FuncDecl
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+
+	// stmtBlock maps each statement to its containing block.
+	stmtBlock map[ast.Stmt]*Block
+	// idom maps a block to its immediate dominator (Entry maps to nil).
+	idom map[*Block]*Block
+}
+
+// Build constructs the CFG for fn (which must have a body).
+func Build(fn *ast.FuncDecl) *Graph {
+	g := &Graph{Fn: fn, stmtBlock: make(map[ast.Stmt]*Block)}
+	g.Entry = g.newBlock("entry")
+	g.Exit = g.newBlock("exit")
+	cur := g.buildStmts(fn.Body.List, g.Entry, nil, nil)
+	if cur != nil {
+		g.link(cur, g.Exit)
+	}
+	g.computeDominators()
+	return g
+}
+
+func (g *Graph) newBlock(label string) *Block {
+	b := &Block{ID: len(g.Blocks), Label: label}
+	g.Blocks = append(g.Blocks, b)
+	return b
+}
+
+func (g *Graph) link(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// buildStmts threads stmts through the graph starting at cur. brk and cont
+// are jump targets for break/continue; nil means not in a loop/switch.
+// It returns the block control falls out of, or nil if control never falls
+// through (e.g. ends in return/break).
+func (g *Graph) buildStmts(stmts []ast.Stmt, cur *Block, brk, cont *Block) *Block {
+	for _, s := range stmts {
+		if cur == nil {
+			// Unreachable code still gets a block so analyses see it.
+			cur = g.newBlock("unreachable")
+		}
+		cur = g.buildStmt(s, cur, brk, cont)
+	}
+	return cur
+}
+
+func (g *Graph) buildStmt(s ast.Stmt, cur *Block, brk, cont *Block) *Block {
+	switch n := s.(type) {
+	case *ast.BlockStmt:
+		return g.buildStmts(n.List, cur, brk, cont)
+	case *ast.DeclStmt, *ast.ExprStmt, *ast.EmptyStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		g.stmtBlock[s] = cur
+		return cur
+	case *ast.IfStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		g.stmtBlock[s] = cur
+		thenB := g.newBlock("if.then")
+		g.link(cur, thenB)
+		thenEnd := g.buildStmt(n.Then, thenB, brk, cont)
+		join := g.newBlock("if.join")
+		if thenEnd != nil {
+			g.link(thenEnd, join)
+		}
+		if n.Else != nil {
+			elseB := g.newBlock("if.else")
+			g.link(cur, elseB)
+			elseEnd := g.buildStmt(n.Else, elseB, brk, cont)
+			if elseEnd != nil {
+				g.link(elseEnd, join)
+			}
+		} else {
+			g.link(cur, join)
+		}
+		if len(join.Preds) == 0 {
+			return nil
+		}
+		return join
+	case *ast.ForStmt:
+		if n.Init != nil {
+			cur = g.buildStmt(n.Init, cur, nil, nil)
+		}
+		head := g.newBlock("for.head")
+		g.link(cur, head)
+		head.Stmts = append(head.Stmts, s)
+		g.stmtBlock[s] = head
+		body := g.newBlock("for.body")
+		after := g.newBlock("for.after")
+		g.link(head, body)
+		g.link(head, after) // loop may run zero times
+		post := g.newBlock("for.post")
+		bodyEnd := g.buildStmt(n.Body, body, after, post)
+		if bodyEnd != nil {
+			g.link(bodyEnd, post)
+		}
+		g.link(post, head)
+		return after
+	case *ast.WhileStmt:
+		head := g.newBlock("while.head")
+		g.link(cur, head)
+		head.Stmts = append(head.Stmts, s)
+		g.stmtBlock[s] = head
+		body := g.newBlock("while.body")
+		after := g.newBlock("while.after")
+		g.link(head, body)
+		g.link(head, after)
+		bodyEnd := g.buildStmt(n.Body, body, after, head)
+		if bodyEnd != nil {
+			g.link(bodyEnd, head)
+		}
+		return after
+	case *ast.DoWhileStmt:
+		body := g.newBlock("do.body")
+		g.link(cur, body)
+		g.stmtBlock[s] = body
+		after := g.newBlock("do.after")
+		cond := g.newBlock("do.cond")
+		bodyEnd := g.buildStmt(n.Body, body, after, cond)
+		if bodyEnd != nil {
+			g.link(bodyEnd, cond)
+		}
+		g.link(cond, body)
+		g.link(cond, after)
+		return after
+	case *ast.SwitchStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		g.stmtBlock[s] = cur
+		after := g.newBlock("switch.after")
+		hasDefault := false
+		var prevEnd *Block
+		for _, cl := range n.Cases {
+			cb := g.newBlock("case")
+			g.link(cur, cb)
+			if prevEnd != nil { // fallthrough from the previous case
+				g.link(prevEnd, cb)
+			}
+			if cl.Value == nil {
+				hasDefault = true
+			}
+			prevEnd = g.buildStmts(cl.Body, cb, after, cont)
+		}
+		if prevEnd != nil {
+			g.link(prevEnd, after)
+		}
+		if !hasDefault {
+			g.link(cur, after)
+		}
+		if len(after.Preds) == 0 {
+			return nil
+		}
+		return after
+	case *ast.ReturnStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		g.stmtBlock[s] = cur
+		g.link(cur, g.Exit)
+		return nil
+	case *ast.BreakStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		g.stmtBlock[s] = cur
+		if brk != nil {
+			g.link(cur, brk)
+		}
+		return nil
+	case *ast.ContinueStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		g.stmtBlock[s] = cur
+		if cont != nil {
+			g.link(cur, cont)
+		}
+		return nil
+	}
+	cur.Stmts = append(cur.Stmts, s)
+	g.stmtBlock[s] = cur
+	return cur
+}
+
+// computeDominators runs the classic iterative dominator algorithm over the
+// reverse-post-order of reachable blocks.
+func (g *Graph) computeDominators() {
+	order := g.reversePostOrder()
+	index := make(map[*Block]int, len(order))
+	for i, b := range order {
+		index[b] = i
+	}
+	g.idom = make(map[*Block]*Block)
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if b == g.Entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if _, reachable := index[p]; !reachable {
+					continue
+				}
+				if p == g.Entry || g.idom[p] != nil {
+					if newIdom == nil {
+						newIdom = p
+					} else {
+						newIdom = g.intersect(p, newIdom, index)
+					}
+				}
+			}
+			if newIdom != nil && g.idom[b] != newIdom {
+				g.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+func (g *Graph) intersect(a, b *Block, index map[*Block]int) *Block {
+	for a != b {
+		for index[a] > index[b] {
+			a = g.idom[a]
+			if a == nil {
+				return b
+			}
+		}
+		for index[b] > index[a] {
+			b = g.idom[b]
+			if b == nil {
+				return a
+			}
+		}
+	}
+	return a
+}
+
+func (g *Graph) reversePostOrder() []*Block {
+	seen := make(map[*Block]bool)
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	out := make([]*Block, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		out = append(out, post[i])
+	}
+	return out
+}
+
+// Dominates reports whether a dominates b.
+func (g *Graph) Dominates(a, b *Block) bool {
+	for x := b; x != nil; {
+		if x == a {
+			return true
+		}
+		if x == g.Entry {
+			return false
+		}
+		x = g.idom[x]
+	}
+	return false
+}
+
+// BlockOf returns the block containing stmt, or nil.
+func (g *Graph) BlockOf(s ast.Stmt) *Block { return g.stmtBlock[s] }
+
+// Unconditional reports whether stmt executes on every complete path
+// through the function: its block dominates the exit block. Statements in
+// branches, loops, or after early returns are conditional.
+func (g *Graph) Unconditional(s ast.Stmt) bool {
+	b := g.stmtBlock[s]
+	if b == nil {
+		return false
+	}
+	return g.Dominates(b, g.Exit)
+}
+
+// Dump renders the graph for debugging and golden tests.
+func (g *Graph) Dump() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		var succ []string
+		for _, s := range b.Succs {
+			succ = append(succ, fmt.Sprintf("B%d", s.ID))
+		}
+		fmt.Fprintf(&sb, "B%d(%s) [%d stmts] -> %s\n", b.ID, b.Label, len(b.Stmts), strings.Join(succ, ","))
+	}
+	return sb.String()
+}

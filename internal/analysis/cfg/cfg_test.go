@@ -1,0 +1,156 @@
+package cfg
+
+import (
+	"testing"
+
+	"hsmcc/internal/cc/ast"
+	"hsmcc/internal/cc/parser"
+)
+
+func buildFor(t *testing.T, src string) (*Graph, *ast.FuncDecl) {
+	t.Helper()
+	f, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := f.FindFunc("main")
+	if fn == nil {
+		t.Fatal("no main")
+	}
+	return Build(fn), fn
+}
+
+func TestStraightLine(t *testing.T) {
+	g, fn := buildFor(t, `
+int main() {
+    int a = 1;
+    int b = 2;
+    return a + b;
+}`)
+	for _, s := range fn.Body.List {
+		if !g.Unconditional(s) {
+			t.Errorf("straight-line statement %T should be unconditional", s)
+		}
+	}
+}
+
+func TestIfBranchesConditional(t *testing.T) {
+	g, fn := buildFor(t, `
+int main() {
+    int a = 1;
+    if (a) {
+        a = 2;
+    } else {
+        a = 3;
+    }
+    a = 4;
+    return a;
+}`)
+	ifStmt := fn.Body.List[1].(*ast.IfStmt)
+	thenBody := ifStmt.Then.(*ast.BlockStmt).List[0]
+	elseBody := ifStmt.Else.(*ast.BlockStmt).List[0]
+	if g.Unconditional(thenBody) {
+		t.Error("then-branch statement must be conditional")
+	}
+	if g.Unconditional(elseBody) {
+		t.Error("else-branch statement must be conditional")
+	}
+	after := fn.Body.List[2]
+	if !g.Unconditional(after) {
+		t.Error("statement after the if must be unconditional again")
+	}
+}
+
+func TestLoopBodyConditional(t *testing.T) {
+	g, fn := buildFor(t, `
+int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 3; i++) {
+        s += i;
+    }
+    while (s > 10) {
+        s--;
+    }
+    return s;
+}`)
+	forBody := fn.Body.List[2].(*ast.ForStmt).Body.(*ast.BlockStmt).List[0]
+	if g.Unconditional(forBody) {
+		t.Error("for body must be conditional (loop may run zero times)")
+	}
+	whileBody := fn.Body.List[3].(*ast.WhileStmt).Body.(*ast.BlockStmt).List[0]
+	if g.Unconditional(whileBody) {
+		t.Error("while body must be conditional")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	g, fn := buildFor(t, `
+int main() {
+    int a = 1;
+    if (a) {
+        a = 2;
+    }
+    return a;
+}`)
+	entry := g.BlockOf(fn.Body.List[0])
+	thenB := g.BlockOf(fn.Body.List[1].(*ast.IfStmt).Then.(*ast.BlockStmt).List[0])
+	exit := g.BlockOf(fn.Body.List[2])
+	if entry == nil || thenB == nil || exit == nil {
+		t.Fatal("BlockOf returned nil for a known statement")
+	}
+	if !g.Dominates(entry, thenB) || !g.Dominates(entry, exit) {
+		t.Error("entry must dominate everything")
+	}
+	if g.Dominates(thenB, exit) {
+		t.Error("a branch body must not dominate the join")
+	}
+	if !g.Dominates(exit, exit) {
+		t.Error("dominance must be reflexive")
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	// Must build without panicking and classify the post-loop statement
+	// as unconditional.
+	g, fn := buildFor(t, `
+int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 10; i++) {
+        if (i == 2) continue;
+        if (i == 5) break;
+        s += i;
+    }
+    s = 1;
+    return s;
+}`)
+	after := fn.Body.List[3]
+	if !g.Unconditional(after) {
+		t.Error("post-loop statement must be unconditional")
+	}
+}
+
+func TestDoWhileBodyRuns(t *testing.T) {
+	// A do-while body executes at least once: its first block is
+	// dominated by the entry and (unlike for/while) runs unconditionally.
+	g, fn := buildFor(t, `
+int main() {
+    int s = 0;
+    do {
+        s = 1;
+    } while (s < 0);
+    return s;
+}`)
+	body := fn.Body.List[1].(*ast.DoWhileStmt).Body.(*ast.BlockStmt).List[0]
+	if !g.Unconditional(body) {
+		t.Error("do-while body runs at least once: should be unconditional")
+	}
+}
+
+func TestDumpNonEmpty(t *testing.T) {
+	g, _ := buildFor(t, "int main() { return 0; }")
+	if g.Dump() == "" {
+		t.Error("Dump should describe the graph")
+	}
+}

@@ -1,0 +1,140 @@
+package interthread
+
+import (
+	"testing"
+
+	"hsmcc/internal/analysis/scope"
+	"hsmcc/internal/cc/parser"
+	"hsmcc/internal/cc/sema"
+)
+
+func analyze(t *testing.T, src string) *Result {
+	t.Helper()
+	f, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return Analyze(scope.Analyze(info))
+}
+
+const loopLaunch = `
+int data[4];
+void *tf(void *tid) {
+    int me = (int)tid;
+    data[me] = me;
+    pthread_exit(NULL);
+}
+int main() {
+    pthread_t th[4];
+    int t;
+    for (t = 0; t < 4; t++) pthread_create(&th[t], NULL, tf, (void*)t);
+    for (t = 0; t < 4; t++) pthread_join(th[t], NULL);
+    return data[0];
+}`
+
+func TestLaunchDetection(t *testing.T) {
+	r := analyze(t, loopLaunch)
+	if len(r.Launches) != 1 {
+		t.Fatalf("launches = %d, want 1", len(r.Launches))
+	}
+	l := r.Launches[0]
+	if l.Func != "tf" || l.Caller != "main" || !l.InLoop {
+		t.Errorf("launch = %+v, want tf from main in a loop", l)
+	}
+	if r.ThreadFuncs["tf"] == 0 {
+		t.Error("tf not recorded as a thread function")
+	}
+}
+
+func TestVariableInThreadClassification(t *testing.T) {
+	r := analyze(t, loopLaunch)
+	// data is used inside tf, launched in a loop -> multiple threads.
+	if got := r.VariableInThread(r.Scope.Lookup("data")); got != scope.InMultipleThreads {
+		t.Errorf("data presence = %v, want InMultipleThreads", got)
+	}
+	// me is a local of tf: in a thread, but thread-private.
+	if got := r.VariableInThread(r.Scope.Lookup("me")); got == scope.NotInThread {
+		t.Errorf("me presence = %v, want in-thread", got)
+	}
+	// t lives only in main.
+	if got := r.VariableInThread(r.Scope.Lookup("t")); got != scope.NotInThread {
+		t.Errorf("t presence = %v, want NotInThread", got)
+	}
+}
+
+func TestSharingRefinement(t *testing.T) {
+	r := analyze(t, loopLaunch)
+	// Globals touched by threads stay shared.
+	if got := r.Scope.Lookup("data").Current(); got != scope.Shared {
+		t.Errorf("data = %v, want Shared", got)
+	}
+	// Locals become private.
+	for _, name := range []string{"me", "t", "th", "tid"} {
+		if got := r.Scope.Lookup(name).Current(); got != scope.Private {
+			t.Errorf("%s = %v, want Private", name, got)
+		}
+	}
+}
+
+func TestSingleLaunchOutsideLoop(t *testing.T) {
+	r := analyze(t, `
+int flag;
+void *task(void *a) { flag = 1; pthread_exit(NULL); }
+int main() {
+    pthread_t x;
+    pthread_create(&x, NULL, task, NULL);
+    pthread_join(x, NULL);
+    return flag;
+}`)
+	if len(r.Launches) != 1 || r.Launches[0].InLoop {
+		t.Fatalf("want one non-loop launch, got %+v", r.Launches)
+	}
+	if got := r.VariableInThread(r.Scope.Lookup("flag")); got != scope.InSingleThread {
+		t.Errorf("flag presence = %v, want InSingleThread", got)
+	}
+	// Still shared: written in the thread, read by main.
+	if got := r.Scope.Lookup("flag").Current(); got != scope.Shared {
+		t.Errorf("flag = %v, want Shared", got)
+	}
+}
+
+func TestSameFuncLaunchedTwice(t *testing.T) {
+	r := analyze(t, `
+int v;
+void *task(void *a) { v = v + 1; pthread_exit(NULL); }
+int main() {
+    pthread_t a;
+    pthread_t b;
+    pthread_create(&a, NULL, task, NULL);
+    pthread_create(&b, NULL, task, NULL);
+    pthread_join(a, NULL);
+    pthread_join(b, NULL);
+    return v;
+}`)
+	if r.ThreadFuncs["task"] != 2 {
+		t.Errorf("task launch count = %d, want 2", r.ThreadFuncs["task"])
+	}
+	// Two static launch sites of the same function = multiple threads
+	// (Algorithm 1's `seen > 1` branch).
+	if got := r.VariableInThread(r.Scope.Lookup("v")); got != scope.InMultipleThreads {
+		t.Errorf("v presence = %v, want InMultipleThreads", got)
+	}
+}
+
+func TestNoThreadsProgram(t *testing.T) {
+	r := analyze(t, `
+int g;
+int main() { g = 2; return g; }`)
+	if len(r.Launches) != 0 {
+		t.Errorf("launches = %d, want 0", len(r.Launches))
+	}
+	// A global in a threadless program is still (conservatively) shared
+	// after Stage 1, and Stage 2 has no thread evidence to change it.
+	if got := r.Scope.Lookup("g").Stage2; got == scope.Unknown {
+		t.Error("stage 2 should have assigned a status")
+	}
+}

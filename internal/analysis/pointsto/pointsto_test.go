@@ -1,0 +1,195 @@
+package pointsto
+
+import (
+	"strings"
+	"testing"
+
+	"hsmcc/internal/analysis/interthread"
+	"hsmcc/internal/analysis/scope"
+	"hsmcc/internal/cc/parser"
+	"hsmcc/internal/cc/sema"
+)
+
+func analyze(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	f, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return Analyze(interthread.Analyze(scope.Analyze(info)), opts)
+}
+
+// The thesis's central example: a shared pointer aimed at a private local
+// makes the pointee shared (tmp in Table 4.2).
+func TestSharedPointerSharesPointee(t *testing.T) {
+	r := analyze(t, `
+int *ptr;
+void *tf(void *a) { int v = *ptr; pthread_exit(NULL); }
+int main() {
+    int tmp = 1;
+    ptr = &tmp;
+    pthread_t x;
+    pthread_create(&x, NULL, tf, NULL);
+    pthread_join(x, NULL);
+    return tmp;
+}`, Options{})
+	if got := r.Inter.Scope.Lookup("tmp").Current(); got != scope.Shared {
+		t.Errorf("tmp = %v, want Shared (Algorithm 2)", got)
+	}
+	targets := r.PointsTo(r.Inter.Scope.Lookup("ptr"))
+	if len(targets) != 1 || targets[0].Name() != "tmp" {
+		t.Errorf("ptr points to %v, want [tmp]", targets)
+	}
+}
+
+// A private pointer must not share its target.
+func TestPrivatePointerDoesNotShare(t *testing.T) {
+	r := analyze(t, `
+int g;
+void *tf(void *a) { g = 1; pthread_exit(NULL); }
+int main() {
+    int local = 5;
+    int *p = &local;   /* p is private: only main touches it */
+    pthread_t x;
+    pthread_create(&x, NULL, tf, NULL);
+    pthread_join(x, NULL);
+    return *p;
+}`, Options{})
+	if got := r.Inter.Scope.Lookup("local").Current(); got != scope.Private {
+		t.Errorf("local = %v, want Private", got)
+	}
+}
+
+// Conditional assignment yields a "possibly" relation: Algorithm 2 only
+// propagates sharing across definite ones.
+func TestPossiblyRelationsNotPropagated(t *testing.T) {
+	src := `
+int *ptr;
+void *tf(void *a) { int v = *ptr; pthread_exit(NULL); }
+int main() {
+    int always = 1;
+    int sometimes = 2;
+    ptr = &always;
+    if (always > 0) {
+        ptr = &sometimes;
+    }
+    pthread_t x;
+    pthread_create(&x, NULL, tf, NULL);
+    pthread_join(x, NULL);
+    return 0;
+}`
+	strict := analyze(t, src, Options{})
+	// "Definite" is must-point-to: the conditional reassignment means
+	// neither relationship definitely holds (the thesis notes possibly
+	// relations "often occur after analyzing pointers within an if-else
+	// statement"), so Algorithm 2 shares neither target.
+	for _, name := range []string{"always", "sometimes"} {
+		if got := strict.Inter.Scope.Lookup(name).Current(); got != scope.Private {
+			t.Errorf("%s = %v under definite-only, want Private", name, got)
+		}
+	}
+	for _, rel := range strict.Relations {
+		if rel.Definite {
+			t.Errorf("relation %v should be possibly, not definite", rel)
+		}
+	}
+	// The conservative-superset option shares both — the sound choice,
+	// since tf may dereference either.
+	loose := analyze(t, src, Options{PropagatePossible: true})
+	for _, name := range []string{"always", "sometimes"} {
+		if got := loose.Inter.Scope.Lookup(name).Current(); got != scope.Shared {
+			t.Errorf("%s = %v with PropagatePossible, want Shared", name, got)
+		}
+	}
+}
+
+// Dead globals (never read or written) are demoted to private, like
+// `global` in Table 4.2.
+func TestDeadGlobalDemoted(t *testing.T) {
+	r := analyze(t, `
+int unused;
+int live;
+void *tf(void *a) { live = 1; pthread_exit(NULL); }
+int main() {
+    pthread_t x;
+    pthread_create(&x, NULL, tf, NULL);
+    pthread_join(x, NULL);
+    return live;
+}`, Options{})
+	if got := r.Inter.Scope.Lookup("unused").Current(); got != scope.Private {
+		t.Errorf("unused = %v, want Private (demoted)", got)
+	}
+	if got := r.Inter.Scope.Lookup("live").Current(); got != scope.Shared {
+		t.Errorf("live = %v, want Shared", got)
+	}
+}
+
+// Pointer copied through another pointer: p = q propagates targets.
+func TestPointerCopyPropagation(t *testing.T) {
+	r := analyze(t, `
+int *p;
+int *q;
+void *tf(void *a) { int v = *p; pthread_exit(NULL); }
+int main() {
+    int cell = 9;
+    q = &cell;
+    p = q;
+    pthread_t x;
+    pthread_create(&x, NULL, tf, NULL);
+    pthread_join(x, NULL);
+    return 0;
+}`, Options{})
+	targets := r.PointsTo(r.Inter.Scope.Lookup("p"))
+	found := false
+	for _, tg := range targets {
+		if tg.Name() == "cell" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("p targets = %v, want to include cell", targets)
+	}
+	if got := r.Inter.Scope.Lookup("cell").Current(); got != scope.Shared {
+		t.Errorf("cell = %v, want Shared (through p = q)", got)
+	}
+}
+
+func TestRelationsAndDump(t *testing.T) {
+	r := analyze(t, `
+int *ptr;
+int main() {
+    int tmp = 1;
+    ptr = &tmp;
+    return *ptr;
+}`, Options{})
+	if len(r.Relations) == 0 {
+		t.Fatal("no relations recorded")
+	}
+	dump := r.Dump()
+	if !strings.Contains(dump, "ptr") || !strings.Contains(dump, "tmp") {
+		t.Errorf("Dump = %q", dump)
+	}
+}
+
+// Array base addresses through pointers: p = arr shares the array's
+// status with the pointer's context.
+func TestArrayDecayAssignment(t *testing.T) {
+	r := analyze(t, `
+double data[8];
+double *view;
+void *tf(void *a) { double v = view[0]; pthread_exit(NULL); }
+int main() {
+    view = data;
+    pthread_t x;
+    pthread_create(&x, NULL, tf, NULL);
+    pthread_join(x, NULL);
+    return 0;
+}`, Options{})
+	if got := r.Inter.Scope.Lookup("data").Current(); got != scope.Shared {
+		t.Errorf("data = %v, want Shared (aliased by shared view)", got)
+	}
+}

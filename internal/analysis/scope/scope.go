@@ -1,0 +1,499 @@
+// Package scope implements Stage 1 of the paper's framework: variable
+// scope analysis. For every variable (global, local, parameter) it extracts
+// the basic properties of Table 4.1 — name, type, size, static read and
+// write counts, and the procedures each variable is used and defined in —
+// and assigns the initial sharing status (globals start Shared, everything
+// else Unknown; thesis §4.1).
+package scope
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hsmcc/internal/cc/ast"
+	"hsmcc/internal/cc/sema"
+	"hsmcc/internal/cc/token"
+	"hsmcc/internal/cc/types"
+)
+
+// Status is the tri-state sharing status of Table 4.2: Unknown corresponds
+// to the thesis's "null", Shared to "true" and Private to "false".
+type Status int
+
+// Sharing statuses.
+const (
+	Unknown Status = iota
+	Private
+	Shared
+)
+
+// String renders the status like the thesis tables.
+func (s Status) String() string {
+	switch s {
+	case Shared:
+		return "true"
+	case Private:
+		return "false"
+	default:
+		return "null"
+	}
+}
+
+// ThreadPresence is the result of the paper's Algorithm 1 for a variable.
+type ThreadPresence int
+
+// Thread presence values (Algorithm 1 return values).
+const (
+	NotInThread ThreadPresence = iota
+	InSingleThread
+	InMultipleThreads
+)
+
+// String renders the presence like the thesis text.
+func (t ThreadPresence) String() string {
+	switch t {
+	case InSingleThread:
+		return "In Single Thread"
+	case InMultipleThreads:
+		return "In Multiple Threads"
+	default:
+		return "Not in Thread"
+	}
+}
+
+// VarInfo is the per-variable record built up across Stages 1-3
+// (Table 4.1 plus the sharing-status trajectory of Table 4.2).
+type VarInfo struct {
+	Sym  *ast.Symbol
+	Name string
+	Type *types.Type
+	// Count is the element count: array length for arrays, 1 otherwise
+	// (the "Size" column of Table 4.1).
+	Count int
+	// MemSize is the total storage in bytes (Algorithm 3's mem_size).
+	MemSize int
+	Reads   int
+	Writes  int
+	// UseIn/DefIn are the function names the variable is read/written in,
+	// in first-occurrence order.
+	UseIn []string
+	DefIn []string
+	// AddressTaken reports whether &v occurs anywhere.
+	AddressTaken bool
+
+	// Status trajectory: after Stage 1, 2 and 3. Current() returns the
+	// latest stage that has run.
+	Stage1, Stage2, Stage3 Status
+	stagesRun              int
+
+	// Presence is Algorithm 1's classification (filled by Stage 2).
+	Presence ThreadPresence
+}
+
+// Current returns the sharing status after the most recent stage.
+func (v *VarInfo) Current() Status {
+	switch v.stagesRun {
+	case 0, 1:
+		return v.Stage1
+	case 2:
+		return v.Stage2
+	default:
+		return v.Stage3
+	}
+}
+
+// SetStage records status s as the result of stage n (2 or 3), following
+// the thesis rule that a status may be refined but changes from null are
+// always accepted.
+func (v *VarInfo) SetStage(n int, s Status) {
+	switch n {
+	case 2:
+		v.Stage2 = s
+		if v.stagesRun < 2 {
+			v.stagesRun = 2
+		}
+	case 3:
+		v.Stage3 = s
+		if v.stagesRun < 3 {
+			v.stagesRun = 3
+		}
+	}
+}
+
+// IsGlobal reports whether the variable has file scope.
+func (v *VarInfo) IsGlobal() bool { return v.Sym.Global }
+
+// Result is the outcome of Stage 1 (and the carrier for Stages 2-3).
+type Result struct {
+	Info *sema.Info
+	// Vars lists all analysed variables: globals first in declaration
+	// order, then locals/params per function in source order.
+	Vars []*VarInfo
+	// BySym maps symbols to their records.
+	BySym map[*ast.Symbol]*VarInfo
+}
+
+// Lookup finds the record for a variable by name, preferring globals, then
+// any local with that name (test convenience; names in the benchmark
+// sources are unique).
+func (r *Result) Lookup(name string) *VarInfo {
+	var local *VarInfo
+	for _, v := range r.Vars {
+		if v.Name != name {
+			continue
+		}
+		if v.IsGlobal() {
+			return v
+		}
+		if local == nil {
+			local = v
+		}
+	}
+	return local
+}
+
+// SharedVars returns the variables whose current status is Shared.
+func (r *Result) SharedVars() []*VarInfo {
+	var out []*VarInfo
+	for _, v := range r.Vars {
+		if v.Current() == Shared {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Analyze runs Stage 1 over the translation unit.
+//
+// Counting rules (DESIGN.md §5): assignment LHS counts one write; compound
+// assignment and ++/-- count one read and one write; a declaration
+// initializer counts one write; every other identifier occurrence
+// evaluated for its value — including array subscripts, call arguments and
+// the operand of & — counts one read. Calls that pass &v to an API that
+// stores through it (pthread_create's thread-ID argument) mark v defined
+// in that function.
+func Analyze(info *sema.Info) *Result {
+	r := &Result{
+		Info:  info,
+		BySym: make(map[*ast.Symbol]*VarInfo),
+	}
+	record := func(sym *ast.Symbol) *VarInfo {
+		if sym == nil || sym.Kind == ast.SymFunc {
+			return nil
+		}
+		if v, ok := r.BySym[sym]; ok {
+			return v
+		}
+		count := 1
+		if sym.Type.Kind == types.Array {
+			count = sym.Type.Len
+		}
+		v := &VarInfo{
+			Sym:     sym,
+			Name:    sym.Name,
+			Type:    sym.Type,
+			Count:   count,
+			MemSize: sym.Type.Size(),
+		}
+		if sym.Global {
+			v.Stage1 = Shared
+		}
+		r.BySym[sym] = v
+		r.Vars = append(r.Vars, v)
+		return v
+	}
+	for _, sym := range info.AllSymbols {
+		record(sym)
+	}
+
+	// Global initializers are static data set up by the loader, not
+	// runtime stores: they contribute neither reads nor writes (this is
+	// what makes sum.Wr = 2 in Table 4.1 — the `= {0}` initialiser is
+	// not an access). Local initialisers, by contrast, execute at run
+	// time and are counted in countWalker.stmt.
+
+	for _, fn := range info.File.Funcs() {
+		cw := &countWalker{r: r, fn: fn.Name}
+		cw.stmts(fn.Body.List)
+	}
+	return r
+}
+
+// countWalker performs the read/write counting walk inside one function.
+type countWalker struct {
+	r  *Result
+	fn string
+}
+
+func (c *countWalker) varOf(e ast.Expr) *VarInfo {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return c.r.BySym[id.Sym]
+	}
+	return nil
+}
+
+func appendUnique(list []string, s string) []string {
+	for _, x := range list {
+		if x == s {
+			return list
+		}
+	}
+	return append(list, s)
+}
+
+func (c *countWalker) markRead(v *VarInfo) {
+	if v == nil {
+		return
+	}
+	v.Reads++
+	if c.fn != "" {
+		v.UseIn = appendUnique(v.UseIn, c.fn)
+	}
+}
+
+func (c *countWalker) markWrite(v *VarInfo) {
+	if v == nil {
+		return
+	}
+	v.Writes++
+	if c.fn != "" {
+		v.DefIn = appendUnique(v.DefIn, c.fn)
+	}
+}
+
+func (c *countWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+func (c *countWalker) stmt(s ast.Stmt) {
+	switch n := s.(type) {
+	case *ast.BlockStmt:
+		c.stmts(n.List)
+	case *ast.DeclStmt:
+		d := n.Decl
+		if d.Init != nil || d.InitLst != nil {
+			c.markWrite(c.r.BySym[d.Sym])
+			if d.Init != nil {
+				c.read(d.Init)
+			}
+			for _, e := range d.InitLst {
+				c.read(e)
+			}
+		}
+	case *ast.ExprStmt:
+		c.read(n.X)
+	case *ast.IfStmt:
+		c.read(n.Cond)
+		c.stmt(n.Then)
+		if n.Else != nil {
+			c.stmt(n.Else)
+		}
+	case *ast.ForStmt:
+		if n.Init != nil {
+			c.stmt(n.Init)
+		}
+		if n.Cond != nil {
+			c.read(n.Cond)
+		}
+		if n.Post != nil {
+			c.read(n.Post)
+		}
+		c.stmt(n.Body)
+	case *ast.WhileStmt:
+		c.read(n.Cond)
+		c.stmt(n.Body)
+	case *ast.DoWhileStmt:
+		c.stmt(n.Body)
+		c.read(n.Cond)
+	case *ast.SwitchStmt:
+		c.read(n.Tag)
+		for _, cl := range n.Cases {
+			if cl.Value != nil {
+				c.read(cl.Value)
+			}
+			c.stmts(cl.Body)
+		}
+	case *ast.ReturnStmt:
+		if n.Result != nil {
+			c.read(n.Result)
+		}
+	}
+}
+
+// read walks e in a value context.
+func (c *countWalker) read(e ast.Expr) {
+	switch n := ast.Unparen(e).(type) {
+	case nil:
+	case *ast.Ident:
+		c.markRead(c.r.BySym[n.Sym])
+	case *ast.IntLit, *ast.FloatLit, *ast.StringLit, *ast.CharLit, *ast.SizeofExpr:
+		if se, ok := n.(*ast.SizeofExpr); ok && se.X != nil {
+			// sizeof does not evaluate its operand: no counts.
+			return
+		}
+	case *ast.AssignExpr:
+		c.assign(n)
+	case *ast.BinaryExpr:
+		c.read(n.X)
+		c.read(n.Y)
+	case *ast.UnaryExpr:
+		switch n.Op {
+		case token.PlusPlus, token.MinusMinus:
+			c.rmw(n.X)
+		case token.Amp:
+			// &x evaluates x's address: one read of the base variable
+			// (the thesis counts &threads[local] as a read of threads).
+			c.readAddr(n.X)
+		default:
+			c.read(n.X)
+		}
+	case *ast.PostfixExpr:
+		c.rmw(n.X)
+	case *ast.IndexExpr:
+		c.read(n.X)
+		c.read(n.Index)
+	case *ast.CallExpr:
+		c.call(n)
+	case *ast.CastExpr:
+		c.read(n.X)
+	case *ast.CondExpr:
+		c.read(n.Cond)
+		c.read(n.Then)
+		c.read(n.Else)
+	case *ast.CommaExpr:
+		c.read(n.X)
+		c.read(n.Y)
+	case *ast.MemberExpr:
+		c.read(n.X)
+	}
+}
+
+// readAddr handles the operand of &: the base variable is read (address
+// materialised), subscripts are value reads, and the variable is flagged
+// address-taken.
+func (c *countWalker) readAddr(e ast.Expr) {
+	switch n := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v := c.r.BySym[n.Sym]
+		c.markRead(v)
+		if v != nil {
+			v.AddressTaken = true
+		}
+	case *ast.IndexExpr:
+		c.readAddr(n.X)
+		c.read(n.Index)
+	case *ast.UnaryExpr:
+		c.read(n.X)
+	case *ast.MemberExpr:
+		c.readAddr(n.X)
+	default:
+		c.read(e)
+	}
+}
+
+// assign counts an assignment: writes the LHS target, reads for compound
+// ops, and reads the RHS.
+func (c *countWalker) assign(n *ast.AssignExpr) {
+	compound := n.Op != token.Assign
+	c.lvalue(n.LHS, compound)
+	c.read(n.RHS)
+}
+
+// rmw counts x++ / --x / x += style read-modify-write of an lvalue.
+func (c *countWalker) rmw(e ast.Expr) {
+	c.lvalue(e, true)
+}
+
+// lvalue counts a store target. alsoRead adds the read half of a
+// read-modify-write.
+func (c *countWalker) lvalue(e ast.Expr, alsoRead bool) {
+	switch n := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v := c.r.BySym[n.Sym]
+		if alsoRead {
+			c.markRead(v)
+		}
+		c.markWrite(v)
+	case *ast.IndexExpr:
+		// Writing a[i] counts a write (and, for compound ops, a read) of
+		// the array variable; the subscript is a value read.
+		c.lvalue(n.X, alsoRead)
+		c.read(n.Index)
+	case *ast.UnaryExpr:
+		if n.Op == token.Star {
+			// *p = x reads p (to form the address); the pointee write is
+			// attributed via points-to in Stage 3, not counted here.
+			c.read(n.X)
+			return
+		}
+		c.read(n.X)
+	case *ast.MemberExpr:
+		c.lvalue(n.X, alsoRead)
+	default:
+		c.read(e)
+	}
+}
+
+// call counts a function call's arguments and applies API write-through
+// effects: pthread_create's first argument stores the new thread's ID, so
+// the pointed-to variable is defined here (Table 4.1 lists threads as
+// defined in main).
+func (c *countWalker) call(n *ast.CallExpr) {
+	name := n.FuncName()
+	for i, a := range n.Args {
+		c.read(a)
+		if name == "pthread_create" && i == 0 {
+			if u, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && u.Op == token.Amp {
+				if v := c.baseVar(u.X); v != nil && c.fn != "" {
+					v.DefIn = appendUnique(v.DefIn, c.fn)
+				}
+			}
+		}
+	}
+}
+
+// baseVar finds the root variable of an lvalue expression.
+func (c *countWalker) baseVar(e ast.Expr) *VarInfo {
+	switch n := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return c.r.BySym[n.Sym]
+	case *ast.IndexExpr:
+		return c.baseVar(n.X)
+	case *ast.MemberExpr:
+		return c.baseVar(n.X)
+	}
+	return nil
+}
+
+// TableRow renders a variable like a Table 4.1 row (for dumps and tests).
+func (v *VarInfo) TableRow() string {
+	ty := v.Type.String()
+	if v.Type.Kind == types.Array {
+		ty = v.Type.Elem.String() + "*"
+	}
+	use := strings.Join(v.UseIn, ", ")
+	if use == "" {
+		use = "null"
+	}
+	def := strings.Join(v.DefIn, ", ")
+	if def == "" {
+		def = "null"
+	}
+	return fmt.Sprintf("%s %s %d %d %d %s %s", v.Name, ty, v.Count, v.Reads, v.Writes, use, def)
+}
+
+// SortedByMemSize returns vars ascending by MemSize then name — the order
+// Algorithm 3 partitions in.
+func SortedByMemSize(vars []*VarInfo) []*VarInfo {
+	out := append([]*VarInfo(nil), vars...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].MemSize != out[j].MemSize {
+			return out[i].MemSize < out[j].MemSize
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

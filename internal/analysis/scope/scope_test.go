@@ -1,0 +1,196 @@
+package scope
+
+import (
+	"strings"
+	"testing"
+
+	"hsmcc/internal/cc/parser"
+	"hsmcc/internal/cc/sema"
+)
+
+func analyze(t *testing.T, src string) *Result {
+	t.Helper()
+	f, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return Analyze(info)
+}
+
+func TestGlobalsStartShared(t *testing.T) {
+	r := analyze(t, `
+int g;
+int main() { return 0; }`)
+	v := r.Lookup("g")
+	if v == nil || v.Stage1 != Shared {
+		t.Fatalf("global starts %v, want Shared", v.Stage1)
+	}
+	if !v.IsGlobal() {
+		t.Error("IsGlobal false for a global")
+	}
+}
+
+func TestLocalsStartUnknown(t *testing.T) {
+	r := analyze(t, "int main() { int l = 0; return l; }")
+	v := r.Lookup("l")
+	if v == nil || v.Stage1 != Unknown {
+		t.Fatalf("local starts %v, want Unknown", v.Stage1)
+	}
+}
+
+func TestReadWriteCounting(t *testing.T) {
+	r := analyze(t, `
+int main() {
+    int a = 1;      /* 1 write */
+    int b;
+    b = a;          /* a: 1 read, b: 1 write */
+    b += a;         /* a: 1 read, b: 1 read + 1 write */
+    b++;            /* b: 1 read + 1 write */
+    --b;            /* b: 1 read + 1 write */
+    int c = a + b;  /* a,b read; c write */
+    return c;       /* c read */
+}`)
+	a, b, c := r.Lookup("a"), r.Lookup("b"), r.Lookup("c")
+	if a.Reads != 3 || a.Writes != 1 {
+		t.Errorf("a rd/wr = %d/%d, want 3/1", a.Reads, a.Writes)
+	}
+	if b.Reads != 4 || b.Writes != 4 {
+		t.Errorf("b rd/wr = %d/%d, want 4/4", b.Reads, b.Writes)
+	}
+	if c.Reads != 1 || c.Writes != 1 {
+		t.Errorf("c rd/wr = %d/%d, want 1/1", c.Reads, c.Writes)
+	}
+}
+
+func TestGlobalInitializerNotCounted(t *testing.T) {
+	r := analyze(t, `
+int g = 7;
+int arr[3] = {1, 2, 3};
+int main() { return g + arr[0]; }`)
+	if v := r.Lookup("g"); v.Writes != 0 {
+		t.Errorf("g writes = %d, want 0 (loader-applied)", v.Writes)
+	}
+	if v := r.Lookup("arr"); v.Writes != 0 {
+		t.Errorf("arr writes = %d, want 0", v.Writes)
+	}
+}
+
+func TestAddressTaken(t *testing.T) {
+	r := analyze(t, `
+int main() {
+    int x = 1;
+    int y = 2;
+    int *p = &x;
+    return *p + y;
+}`)
+	if !r.Lookup("x").AddressTaken {
+		t.Error("x address-taken not detected")
+	}
+	if r.Lookup("y").AddressTaken {
+		t.Error("y wrongly marked address-taken")
+	}
+	// &x counts as one read of x (thesis threads.Rd convention).
+	if got := r.Lookup("x").Reads; got != 1 {
+		t.Errorf("x reads = %d, want 1 (the &x)", got)
+	}
+}
+
+func TestUseDefFunctions(t *testing.T) {
+	r := analyze(t, `
+int g;
+void f1() { g = 1; }
+int f2() { return g; }
+int main() { f1(); return f2(); }`)
+	v := r.Lookup("g")
+	if strings.Join(v.DefIn, ",") != "f1" {
+		t.Errorf("DefIn = %v, want [f1]", v.DefIn)
+	}
+	if strings.Join(v.UseIn, ",") != "f2" {
+		t.Errorf("UseIn = %v, want [f2]", v.UseIn)
+	}
+}
+
+func TestArrayCountAndMemSize(t *testing.T) {
+	r := analyze(t, `
+double big[100];
+int main() { return (int)big[0]; }`)
+	v := r.Lookup("big")
+	if v.Count != 100 {
+		t.Errorf("Count = %d, want 100", v.Count)
+	}
+	if v.MemSize != 800 {
+		t.Errorf("MemSize = %d, want 800", v.MemSize)
+	}
+}
+
+func TestSharedVars(t *testing.T) {
+	r := analyze(t, `
+int a;
+int b;
+int main() { return a + b; }`)
+	if got := len(r.SharedVars()); got != 2 {
+		t.Errorf("SharedVars = %d, want 2 (globals after Stage 1)", got)
+	}
+}
+
+func TestStatusTransitions(t *testing.T) {
+	v := &VarInfo{Stage1: Shared}
+	if v.Current() != Shared {
+		t.Error("Current after stage 1")
+	}
+	v.SetStage(2, Private)
+	if v.Current() != Private || v.Stage2 != Private {
+		t.Error("SetStage(2) not reflected")
+	}
+	v.SetStage(3, Shared)
+	if v.Current() != Shared || v.Stage3 != Shared {
+		t.Error("SetStage(3) not reflected")
+	}
+}
+
+func TestSortedByMemSize(t *testing.T) {
+	r := analyze(t, `
+double big[10];
+int small;
+char mid[6];
+int main() { return small + (int)big[0] + mid[0]; }`)
+	sorted := SortedByMemSize(r.SharedVars())
+	if sorted[0].Name != "small" || sorted[1].Name != "mid" || sorted[2].Name != "big" {
+		var names []string
+		for _, v := range sorted {
+			names = append(names, v.Name)
+		}
+		t.Errorf("order = %v, want [small mid big]", names)
+	}
+}
+
+func TestTableRow(t *testing.T) {
+	r := analyze(t, "int g;\nint main() { return g; }")
+	row := r.Lookup("g").TableRow()
+	if !strings.Contains(row, "g") || !strings.Contains(row, "int") {
+		t.Errorf("TableRow = %q", row)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if Unknown.String() != "null" || Shared.String() != "true" || Private.String() != "false" {
+		t.Errorf("status strings: %s/%s/%s", Unknown, Shared, Private)
+	}
+}
+
+func TestCallArgumentsCountAsReads(t *testing.T) {
+	r := analyze(t, `
+int main() {
+    int v = 3;
+    printf("%d %d\n", v, v + 1);
+    return 0;
+}`)
+	// v read twice in the call (plus none elsewhere).
+	if got := r.Lookup("v").Reads; got != 2 {
+		t.Errorf("v reads = %d, want 2", got)
+	}
+}

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hsmcc/internal/core"
+	"hsmcc/internal/interp"
+	"hsmcc/internal/partition"
+	"hsmcc/internal/pthreadrt"
+	"hsmcc/internal/rcce"
+	"hsmcc/internal/sccsim"
+)
+
+// RunResult is one measured execution.
+type RunResult struct {
+	Workload string
+	Mode     string // "pthread-1core", "rcce-offchip", "rcce-onchip"
+	Threads  int
+	Makespan sccsim.Time
+	Output   string
+	Stats    sccsim.CoreStats
+	// TranslatedSource is the RCCE C program (RCCE modes only).
+	TranslatedSource string
+}
+
+// Seconds converts the makespan.
+func (r *RunResult) Seconds() float64 { return float64(r.Makespan) / sccsim.PsPerSecond }
+
+// Config parameterises harness runs.
+type Config struct {
+	// Threads is the thread count for the baseline and the UE count for
+	// RCCE runs (the paper uses 32 for both).
+	Threads int
+	// Scale shrinks/grows problem sizes (1.0 = full experiment size).
+	Scale float64
+	// Baseline holds the single-core Pthread runtime options.
+	Baseline pthreadrt.Options
+	// Machine returns a fresh machine per run (timing state such as
+	// controller queues must not leak between runs).
+	Machine func() *sccsim.Machine
+	// MPBCapacity overrides the Stage 4 on-chip budget (0 = the
+	// machine's full MPB). The partition-policy ablation uses a small
+	// budget to create placement pressure.
+	MPBCapacity int
+	// RCCE overrides the runtime options per UE count (nil = defaults).
+	// The MPB-placement ablation disables striping through this hook.
+	RCCE func(numUEs int) rcce.Options
+}
+
+// DefaultConfig is the paper's configuration: 32 threads/cores, full
+// problem sizes, Table 6.1 machine.
+func DefaultConfig() Config {
+	return Config{
+		Threads:  32,
+		Scale:    1.0,
+		Baseline: pthreadrt.DefaultOptions(),
+		Machine:  func() *sccsim.Machine { return sccsim.MustNew(sccsim.DefaultConfig()) },
+	}
+}
+
+// RunBaseline measures the unconverted Pthread program: all threads
+// time-share one SCC core (thesis Chapter 6's baseline).
+func RunBaseline(w Workload, cfg Config) (*RunResult, error) {
+	src := w.Source(cfg.Threads, cfg.Scale)
+	pr, err := interp.Compile(w.Key+".c", src)
+	if err != nil {
+		return nil, fmt.Errorf("%s baseline: %w", w.Key, err)
+	}
+	res, err := pthreadrt.Run(pr, cfg.Machine(), cfg.Baseline)
+	if err != nil {
+		return nil, fmt.Errorf("%s baseline: %w", w.Key, err)
+	}
+	return &RunResult{
+		Workload: w.Key,
+		Mode:     "pthread-1core",
+		Threads:  cfg.Threads,
+		Makespan: res.Makespan,
+		Output:   res.Output,
+		Stats:    res.Stats,
+	}, nil
+}
+
+// RunRCCE translates the Pthread program through the five-stage pipeline
+// with the given Stage 4 policy, re-parses the emitted C source (so the
+// experiment exercises exactly what the translator prints), and executes
+// it with one process per core.
+func RunRCCE(w Workload, cfg Config, policy partition.Policy) (*RunResult, error) {
+	src := w.Source(cfg.Threads, cfg.Scale)
+	machine := cfg.Machine()
+	capacity := cfg.MPBCapacity
+	if capacity <= 0 {
+		capacity = machine.Config().MPBTotal()
+	}
+	pipe, err := core.Run(w.Key+".c", src, core.Config{
+		Cores:       cfg.Threads,
+		Policy:      policy,
+		MPBCapacity: capacity,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s translate: %w", w.Key, err)
+	}
+	pr, err := interp.Compile(w.Key+"_rcce.c", pipe.Output)
+	if err != nil {
+		return nil, fmt.Errorf("%s reparse translated source: %w\n---\n%s", w.Key, err, pipe.Output)
+	}
+	mode := "rcce-offchip"
+	if policy != partition.PolicyOffChipOnly {
+		mode = "rcce-onchip"
+	}
+	ropts := rcce.DefaultOptions(cfg.Threads)
+	if cfg.RCCE != nil {
+		ropts = cfg.RCCE(cfg.Threads)
+	}
+	res, err := rcce.Run(pr, machine, ropts)
+	if err != nil {
+		return nil, fmt.Errorf("%s %s: %w", w.Key, mode, err)
+	}
+	return &RunResult{
+		Workload:         w.Key,
+		Mode:             mode,
+		Threads:          cfg.Threads,
+		Makespan:         res.Makespan,
+		Output:           res.Output,
+		Stats:            res.Stats,
+		TranslatedSource: pipe.Output,
+	}, nil
+}
+
+// DistinctLines returns the sorted set of distinct non-empty lines.
+func DistinctLines(s string) []string {
+	seen := make(map[string]bool)
+	for _, l := range strings.Split(s, "\n") {
+		if l != "" {
+			seen[l] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SameResults reports whether two runs computed the same answer: the
+// baseline prints each result line once, the RCCE program prints it once
+// per core, so we compare distinct line sets.
+func SameResults(base, rcceOut string) bool {
+	a, b := DistinctLines(base), DistinctLines(rcceOut)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Speedup is baseline time over converted time.
+func Speedup(base, conv *RunResult) float64 {
+	if conv.Makespan == 0 {
+		return 0
+	}
+	return float64(base.Makespan) / float64(conv.Makespan)
+}

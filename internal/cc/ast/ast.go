@@ -1,0 +1,502 @@
+// Package ast defines the intermediate representation of the hsmcc
+// frontend: a typed C syntax tree in the spirit of the CETUS IR the paper
+// builds on. Analysis passes walk it (Walk/Inspect), transformation passes
+// rewrite it in place, and the printer serialises it back to C source.
+package ast
+
+import (
+	"hsmcc/internal/cc/token"
+	"hsmcc/internal/cc/types"
+)
+
+// Node is implemented by every IR node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+// File is a translation unit: includes, globals, and function definitions in
+// source order.
+type File struct {
+	Name  string
+	Decls []Node // *Include, *VarDecl, *TypedefDecl, *FuncDecl
+}
+
+// Pos returns the position of the first declaration.
+func (f *File) Pos() token.Pos {
+	if len(f.Decls) > 0 {
+		return f.Decls[0].Pos()
+	}
+	return token.Pos{}
+}
+
+// Include is a preserved preprocessor include line, e.g. `#include <stdio.h>`.
+type Include struct {
+	Text    string // the full line
+	PosInfo token.Pos
+}
+
+// Pos implements Node.
+func (n *Include) Pos() token.Pos { return n.PosInfo }
+
+// Path extracts the include operand, e.g. "stdio.h" or "RCCE.h".
+func (n *Include) Path() string {
+	s := n.Text
+	for i := 0; i < len(s); i++ {
+		if s[i] == '<' || s[i] == '"' {
+			for j := i + 1; j < len(s); j++ {
+				if s[j] == '>' || s[j] == '"' {
+					return s[i+1 : j]
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// StorageClass captures the storage-class specifier on a declaration.
+type StorageClass int
+
+// Storage classes.
+const (
+	StorageNone StorageClass = iota
+	StorageStatic
+	StorageExtern
+	StorageTypedef
+)
+
+// VarDecl declares one variable (globals appear in File.Decls; locals in
+// DeclStmt). A multi-declarator line like `int a, b;` is split into
+// separate VarDecls by the parser.
+type VarDecl struct {
+	Name    string
+	Type    *types.Type
+	Init    Expr // nil if none
+	InitLst []Expr
+	Storage StorageClass
+	PosInfo token.Pos
+
+	// Sym is filled by sema: the canonical symbol for this declaration.
+	Sym *Symbol
+}
+
+// Pos implements Node.
+func (n *VarDecl) Pos() token.Pos { return n.PosInfo }
+
+// TypedefDecl records a typedef alias.
+type TypedefDecl struct {
+	Name    string
+	Type    *types.Type
+	PosInfo token.Pos
+}
+
+// Pos implements Node.
+func (n *TypedefDecl) Pos() token.Pos { return n.PosInfo }
+
+// StructDecl records a top-level `struct Name { ... };` definition so the
+// printer can re-emit it (Type carries the laid-out fields).
+type StructDecl struct {
+	Type    *types.Type
+	PosInfo token.Pos
+}
+
+// Pos implements Node.
+func (n *StructDecl) Pos() token.Pos { return n.PosInfo }
+
+// Param is one function parameter.
+type Param struct {
+	Name    string
+	Type    *types.Type
+	PosInfo token.Pos
+	Sym     *Symbol
+}
+
+// Pos implements Node.
+func (n *Param) Pos() token.Pos { return n.PosInfo }
+
+// FuncDecl is a function definition (Body != nil) or prototype (Body == nil).
+type FuncDecl struct {
+	Name    string
+	Result  *types.Type
+	Params  []*Param
+	Body    *BlockStmt
+	PosInfo token.Pos
+}
+
+// Pos implements Node.
+func (n *FuncDecl) Pos() token.Pos { return n.PosInfo }
+
+// Type returns the function's type.
+func (n *FuncDecl) Type() *types.Type {
+	var ps []*types.Type
+	for _, p := range n.Params {
+		ps = append(ps, p.Type)
+	}
+	return types.FuncOf(n.Result, ps, false)
+}
+
+// ---------------------------------------------------------------------------
+// Symbols
+// ---------------------------------------------------------------------------
+
+// SymbolKind classifies a resolved symbol.
+type SymbolKind int
+
+// Symbol kinds.
+const (
+	SymVar SymbolKind = iota
+	SymParam
+	SymFunc
+)
+
+// Symbol is the canonical identity of a declared name; sema links every
+// Ident to one. Analysis results (sharing status, counts) key off *Symbol.
+type Symbol struct {
+	Name   string
+	Kind   SymbolKind
+	Type   *types.Type
+	Global bool
+	// Func is the enclosing function name for locals/params; "" for globals.
+	Func string
+	Decl Node // *VarDecl, *Param or *FuncDecl
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is a brace-enclosed statement list.
+type BlockStmt struct {
+	List    []Stmt
+	PosInfo token.Pos
+}
+
+// DeclStmt is a local declaration statement.
+type DeclStmt struct {
+	Decl    *VarDecl
+	PosInfo token.Pos
+}
+
+// ExprStmt is an expression used as a statement.
+type ExprStmt struct {
+	X       Expr
+	PosInfo token.Pos
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond    Expr
+	Then    Stmt
+	Else    Stmt // nil if none
+	PosInfo token.Pos
+}
+
+// ForStmt is a C for loop; Init/Cond/Post may be nil. Init may be a
+// DeclStmt (C99 style) or ExprStmt.
+type ForStmt struct {
+	Init    Stmt
+	Cond    Expr
+	Post    Expr
+	Body    Stmt
+	PosInfo token.Pos
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond    Expr
+	Body    Stmt
+	PosInfo token.Pos
+}
+
+// DoWhileStmt is a do { } while (cond); loop.
+type DoWhileStmt struct {
+	Body    Stmt
+	Cond    Expr
+	PosInfo token.Pos
+}
+
+// SwitchStmt is a switch with its cases flattened in source order.
+type SwitchStmt struct {
+	Tag     Expr
+	Cases   []*CaseClause
+	PosInfo token.Pos
+}
+
+// CaseClause is one case (or default when Value is nil) of a switch.
+type CaseClause struct {
+	Value   Expr // nil => default
+	Body    []Stmt
+	PosInfo token.Pos
+}
+
+// ReturnStmt returns from a function; Result may be nil.
+type ReturnStmt struct {
+	Result  Expr
+	PosInfo token.Pos
+}
+
+// BreakStmt breaks a loop or switch.
+type BreakStmt struct{ PosInfo token.Pos }
+
+// ContinueStmt continues a loop.
+type ContinueStmt struct{ PosInfo token.Pos }
+
+// EmptyStmt is a lone semicolon.
+type EmptyStmt struct{ PosInfo token.Pos }
+
+// Pos implementations.
+func (n *BlockStmt) Pos() token.Pos    { return n.PosInfo }
+func (n *DeclStmt) Pos() token.Pos     { return n.PosInfo }
+func (n *ExprStmt) Pos() token.Pos     { return n.PosInfo }
+func (n *IfStmt) Pos() token.Pos       { return n.PosInfo }
+func (n *ForStmt) Pos() token.Pos      { return n.PosInfo }
+func (n *WhileStmt) Pos() token.Pos    { return n.PosInfo }
+func (n *DoWhileStmt) Pos() token.Pos  { return n.PosInfo }
+func (n *SwitchStmt) Pos() token.Pos   { return n.PosInfo }
+func (n *CaseClause) Pos() token.Pos   { return n.PosInfo }
+func (n *ReturnStmt) Pos() token.Pos   { return n.PosInfo }
+func (n *BreakStmt) Pos() token.Pos    { return n.PosInfo }
+func (n *ContinueStmt) Pos() token.Pos { return n.PosInfo }
+func (n *EmptyStmt) Pos() token.Pos    { return n.PosInfo }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*SwitchStmt) stmtNode()   {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*EmptyStmt) stmtNode()    {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// Expr is implemented by all expression nodes. ResultType is filled by sema
+// and may be nil before type checking.
+type Expr interface {
+	Node
+	exprNode()
+	ResultType() *types.Type
+}
+
+// Ident is an identifier occurrence. Sym is linked by sema.
+type Ident struct {
+	Name    string
+	PosInfo token.Pos
+	Sym     *Symbol
+	Typ     *types.Type
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value   int64
+	Text    string
+	PosInfo token.Pos
+	Typ     *types.Type
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	Value   float64
+	Text    string
+	PosInfo token.Pos
+	Typ     *types.Type
+}
+
+// StringLit is a string literal (unescaped content).
+type StringLit struct {
+	Value   string
+	PosInfo token.Pos
+	Typ     *types.Type
+}
+
+// CharLit is a character constant.
+type CharLit struct {
+	Value   byte
+	PosInfo token.Pos
+	Typ     *types.Type
+}
+
+// BinaryExpr is a binary operation, excluding assignment.
+type BinaryExpr struct {
+	Op      token.Kind
+	X, Y    Expr
+	PosInfo token.Pos
+	Typ     *types.Type
+}
+
+// AssignExpr is an assignment (= or compound op=).
+type AssignExpr struct {
+	Op      token.Kind // token.Assign, token.AddAssign, ...
+	LHS     Expr
+	RHS     Expr
+	PosInfo token.Pos
+	Typ     *types.Type
+}
+
+// UnaryExpr is a prefix unary operation: - + ! ~ * & ++ --.
+type UnaryExpr struct {
+	Op      token.Kind
+	X       Expr
+	PosInfo token.Pos
+	Typ     *types.Type
+}
+
+// PostfixExpr is x++ or x--.
+type PostfixExpr struct {
+	Op      token.Kind // PlusPlus or MinusMinus
+	X       Expr
+	PosInfo token.Pos
+	Typ     *types.Type
+}
+
+// IndexExpr is x[i].
+type IndexExpr struct {
+	X       Expr
+	Index   Expr
+	PosInfo token.Pos
+	Typ     *types.Type
+}
+
+// CallExpr is a function call. Fun is usually an *Ident.
+type CallExpr struct {
+	Fun     Expr
+	Args    []Expr
+	PosInfo token.Pos
+	Typ     *types.Type
+}
+
+// FuncName returns the callee name when Fun is a plain identifier, else "".
+func (n *CallExpr) FuncName() string {
+	if id, ok := n.Fun.(*Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// CastExpr is (T)x.
+type CastExpr struct {
+	To      *types.Type
+	X       Expr
+	PosInfo token.Pos
+}
+
+// SizeofExpr is sizeof(T) or sizeof expr.
+type SizeofExpr struct {
+	OfType  *types.Type // non-nil for sizeof(T)
+	X       Expr        // non-nil for sizeof expr
+	PosInfo token.Pos
+	Typ     *types.Type
+}
+
+// CondExpr is c ? a : b.
+type CondExpr struct {
+	Cond    Expr
+	Then    Expr
+	Else    Expr
+	PosInfo token.Pos
+	Typ     *types.Type
+}
+
+// CommaExpr is "a, b" (evaluates X then Y, yields Y).
+type CommaExpr struct {
+	X, Y    Expr
+	PosInfo token.Pos
+	Typ     *types.Type
+}
+
+// MemberExpr is x.f or x->f (Arrow true).
+type MemberExpr struct {
+	X       Expr
+	Name    string
+	Arrow   bool
+	PosInfo token.Pos
+	Typ     *types.Type
+}
+
+// ParenExpr preserves explicit parentheses for faithful re-printing.
+type ParenExpr struct {
+	X       Expr
+	PosInfo token.Pos
+}
+
+// Pos implementations.
+func (n *Ident) Pos() token.Pos       { return n.PosInfo }
+func (n *IntLit) Pos() token.Pos      { return n.PosInfo }
+func (n *FloatLit) Pos() token.Pos    { return n.PosInfo }
+func (n *StringLit) Pos() token.Pos   { return n.PosInfo }
+func (n *CharLit) Pos() token.Pos     { return n.PosInfo }
+func (n *BinaryExpr) Pos() token.Pos  { return n.PosInfo }
+func (n *AssignExpr) Pos() token.Pos  { return n.PosInfo }
+func (n *UnaryExpr) Pos() token.Pos   { return n.PosInfo }
+func (n *PostfixExpr) Pos() token.Pos { return n.PosInfo }
+func (n *IndexExpr) Pos() token.Pos   { return n.PosInfo }
+func (n *CallExpr) Pos() token.Pos    { return n.PosInfo }
+func (n *CastExpr) Pos() token.Pos    { return n.PosInfo }
+func (n *SizeofExpr) Pos() token.Pos  { return n.PosInfo }
+func (n *CondExpr) Pos() token.Pos    { return n.PosInfo }
+func (n *CommaExpr) Pos() token.Pos   { return n.PosInfo }
+func (n *MemberExpr) Pos() token.Pos  { return n.PosInfo }
+func (n *ParenExpr) Pos() token.Pos   { return n.PosInfo }
+
+func (*Ident) exprNode()       {}
+func (*IntLit) exprNode()      {}
+func (*FloatLit) exprNode()    {}
+func (*StringLit) exprNode()   {}
+func (*CharLit) exprNode()     {}
+func (*BinaryExpr) exprNode()  {}
+func (*AssignExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()   {}
+func (*PostfixExpr) exprNode() {}
+func (*IndexExpr) exprNode()   {}
+func (*CallExpr) exprNode()    {}
+func (*CastExpr) exprNode()    {}
+func (*SizeofExpr) exprNode()  {}
+func (*CondExpr) exprNode()    {}
+func (*CommaExpr) exprNode()   {}
+func (*MemberExpr) exprNode()  {}
+func (*ParenExpr) exprNode()   {}
+
+// ResultType implementations.
+func (n *Ident) ResultType() *types.Type       { return n.Typ }
+func (n *IntLit) ResultType() *types.Type      { return n.Typ }
+func (n *FloatLit) ResultType() *types.Type    { return n.Typ }
+func (n *StringLit) ResultType() *types.Type   { return n.Typ }
+func (n *CharLit) ResultType() *types.Type     { return n.Typ }
+func (n *BinaryExpr) ResultType() *types.Type  { return n.Typ }
+func (n *AssignExpr) ResultType() *types.Type  { return n.Typ }
+func (n *UnaryExpr) ResultType() *types.Type   { return n.Typ }
+func (n *PostfixExpr) ResultType() *types.Type { return n.Typ }
+func (n *IndexExpr) ResultType() *types.Type   { return n.Typ }
+func (n *CallExpr) ResultType() *types.Type    { return n.Typ }
+func (n *CastExpr) ResultType() *types.Type    { return n.To }
+func (n *SizeofExpr) ResultType() *types.Type  { return n.Typ }
+func (n *CondExpr) ResultType() *types.Type    { return n.Typ }
+func (n *CommaExpr) ResultType() *types.Type   { return n.Typ }
+func (n *MemberExpr) ResultType() *types.Type  { return n.Typ }
+func (n *ParenExpr) ResultType() *types.Type   { return n.X.ResultType() }
+
+// Unparen strips any ParenExpr wrappers.
+func Unparen(e Expr) Expr {
+	for {
+		p, ok := e.(*ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,166 @@
+package ast
+
+// Visitor receives each node during Walk. If Visit returns false the node's
+// children are skipped.
+type Visitor interface {
+	Visit(n Node) bool
+}
+
+type funcVisitor func(Node) bool
+
+func (f funcVisitor) Visit(n Node) bool { return f(n) }
+
+// Inspect walks the tree rooted at n, calling f for every node. If f
+// returns false, children of that node are not visited.
+func Inspect(n Node, f func(Node) bool) { Walk(funcVisitor(f), n) }
+
+// Walk performs a depth-first pre-order traversal of the tree rooted at n.
+func Walk(v Visitor, n Node) {
+	if n == nil {
+		return
+	}
+	if !v.Visit(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *File:
+		for _, d := range x.Decls {
+			Walk(v, d)
+		}
+	case *Include, *TypedefDecl, *StructDecl, *BreakStmt, *ContinueStmt, *EmptyStmt,
+		*IntLit, *FloatLit, *StringLit, *CharLit:
+		// leaves
+	case *VarDecl:
+		if x.Init != nil {
+			Walk(v, x.Init)
+		}
+		for _, e := range x.InitLst {
+			Walk(v, e)
+		}
+	case *Param:
+		// leaf
+	case *FuncDecl:
+		for _, p := range x.Params {
+			Walk(v, p)
+		}
+		if x.Body != nil {
+			Walk(v, x.Body)
+		}
+	case *BlockStmt:
+		for _, s := range x.List {
+			Walk(v, s)
+		}
+	case *DeclStmt:
+		Walk(v, x.Decl)
+	case *ExprStmt:
+		Walk(v, x.X)
+	case *IfStmt:
+		Walk(v, x.Cond)
+		Walk(v, x.Then)
+		if x.Else != nil {
+			Walk(v, x.Else)
+		}
+	case *ForStmt:
+		if x.Init != nil {
+			Walk(v, x.Init)
+		}
+		if x.Cond != nil {
+			Walk(v, x.Cond)
+		}
+		if x.Post != nil {
+			Walk(v, x.Post)
+		}
+		Walk(v, x.Body)
+	case *WhileStmt:
+		Walk(v, x.Cond)
+		Walk(v, x.Body)
+	case *DoWhileStmt:
+		Walk(v, x.Body)
+		Walk(v, x.Cond)
+	case *SwitchStmt:
+		Walk(v, x.Tag)
+		for _, c := range x.Cases {
+			Walk(v, c)
+		}
+	case *CaseClause:
+		if x.Value != nil {
+			Walk(v, x.Value)
+		}
+		for _, s := range x.Body {
+			Walk(v, s)
+		}
+	case *ReturnStmt:
+		if x.Result != nil {
+			Walk(v, x.Result)
+		}
+	case *Ident:
+		// leaf
+	case *BinaryExpr:
+		Walk(v, x.X)
+		Walk(v, x.Y)
+	case *AssignExpr:
+		Walk(v, x.LHS)
+		Walk(v, x.RHS)
+	case *UnaryExpr:
+		Walk(v, x.X)
+	case *PostfixExpr:
+		Walk(v, x.X)
+	case *IndexExpr:
+		Walk(v, x.X)
+		Walk(v, x.Index)
+	case *CallExpr:
+		Walk(v, x.Fun)
+		for _, a := range x.Args {
+			Walk(v, a)
+		}
+	case *CastExpr:
+		Walk(v, x.X)
+	case *SizeofExpr:
+		if x.X != nil {
+			Walk(v, x.X)
+		}
+	case *CondExpr:
+		Walk(v, x.Cond)
+		Walk(v, x.Then)
+		Walk(v, x.Else)
+	case *CommaExpr:
+		Walk(v, x.X)
+		Walk(v, x.Y)
+	case *MemberExpr:
+		Walk(v, x.X)
+	case *ParenExpr:
+		Walk(v, x.X)
+	}
+}
+
+// Funcs returns the function definitions in f (prototypes excluded).
+func (f *File) Funcs() []*FuncDecl {
+	var out []*FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*FuncDecl); ok && fd.Body != nil {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// FindFunc returns the function definition named name, or nil.
+func (f *File) FindFunc(name string) *FuncDecl {
+	for _, fd := range f.Funcs() {
+		if fd.Name == name {
+			return fd
+		}
+	}
+	return nil
+}
+
+// Globals returns the global variable declarations in f.
+func (f *File) Globals() []*VarDecl {
+	var out []*VarDecl
+	for _, d := range f.Decls {
+		if vd, ok := d.(*VarDecl); ok {
+			out = append(out, vd)
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package ast
+
+import (
+	"testing"
+
+	"hsmcc/internal/cc/token"
+	"hsmcc/internal/cc/types"
+)
+
+// buildFile constructs a small AST by hand:
+//
+//	int g;
+//	int main() { if (g) { g = 1; } return g; }
+func buildFile() *File {
+	g := &VarDecl{Name: "g", Type: types.IntType}
+	body := &BlockStmt{List: []Stmt{
+		&IfStmt{
+			Cond: &Ident{Name: "g"},
+			Then: &BlockStmt{List: []Stmt{
+				&ExprStmt{X: &AssignExpr{Op: token.Assign, LHS: &Ident{Name: "g"}, RHS: &IntLit{Value: 1}}},
+			}},
+		},
+		&ReturnStmt{Result: &Ident{Name: "g"}},
+	}}
+	main := &FuncDecl{Name: "main", Result: types.IntType, Body: body}
+	return &File{Decls: []Node{g, main}}
+}
+
+func TestInspectVisitsEverything(t *testing.T) {
+	f := buildFile()
+	idents := 0
+	Inspect(f, func(n Node) bool {
+		if _, ok := n.(*Ident); ok {
+			idents++
+		}
+		return true
+	})
+	if idents != 3 {
+		t.Errorf("visited %d idents, want 3", idents)
+	}
+}
+
+func TestInspectPrune(t *testing.T) {
+	f := buildFile()
+	idents := 0
+	Inspect(f, func(n Node) bool {
+		if _, ok := n.(*IfStmt); ok {
+			return false // prune the if subtree
+		}
+		if _, ok := n.(*Ident); ok {
+			idents++
+		}
+		return true
+	})
+	if idents != 1 {
+		t.Errorf("visited %d idents with pruning, want 1 (only the return)", idents)
+	}
+}
+
+func TestFileHelpers(t *testing.T) {
+	f := buildFile()
+	if len(f.Funcs()) != 1 || f.Funcs()[0].Name != "main" {
+		t.Error("Funcs should return main")
+	}
+	if f.FindFunc("main") == nil || f.FindFunc("nope") != nil {
+		t.Error("FindFunc broken")
+	}
+	if len(f.Globals()) != 1 || f.Globals()[0].Name != "g" {
+		t.Error("Globals should return g")
+	}
+}
+
+func TestUnparen(t *testing.T) {
+	inner := &IntLit{Value: 7}
+	wrapped := Expr(&ParenExpr{X: &ParenExpr{X: inner}})
+	if Unparen(wrapped) != Expr(inner) {
+		t.Error("Unparen must strip nested parens")
+	}
+	if Unparen(inner) != Expr(inner) {
+		t.Error("Unparen on a non-paren must be identity")
+	}
+}
+
+func TestCallFuncName(t *testing.T) {
+	c := &CallExpr{Fun: &Ident{Name: "printf"}}
+	if c.FuncName() != "printf" {
+		t.Errorf("FuncName = %q", c.FuncName())
+	}
+	indirect := &CallExpr{Fun: &ParenExpr{X: &Ident{Name: "fp"}}}
+	if indirect.FuncName() != "" {
+		t.Error("FuncName through parens should be empty (not a plain ident)")
+	}
+}
+
+func TestWalkAllStatementKinds(t *testing.T) {
+	// A block exercising every statement node; Walk must not panic and
+	// must reach the innermost literal.
+	lit := &IntLit{Value: 99}
+	blk := &BlockStmt{List: []Stmt{
+		&DeclStmt{Decl: &VarDecl{Name: "v", Type: types.IntType, Init: &IntLit{Value: 1}}},
+		&ForStmt{Body: &EmptyStmt{}},
+		&WhileStmt{Cond: &IntLit{Value: 0}, Body: &BreakStmt{}},
+		&DoWhileStmt{Cond: &IntLit{Value: 0}, Body: &ContinueStmt{}},
+		&SwitchStmt{Tag: &IntLit{Value: 1}, Cases: []*CaseClause{
+			{Value: &IntLit{Value: 1}, Body: []Stmt{&ExprStmt{X: lit}}},
+		}},
+		&ReturnStmt{},
+	}}
+	found := false
+	Inspect(blk, func(n Node) bool {
+		if n == Node(lit) {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("Walk did not reach the switch-case body")
+	}
+}
+
+func TestWalkAllExprKinds(t *testing.T) {
+	e := &CondExpr{
+		Cond: &BinaryExpr{Op: token.Lt, X: &Ident{Name: "a"}, Y: &IntLit{Value: 1}},
+		Then: &UnaryExpr{Op: token.Minus, X: &CastExpr{To: types.IntType, X: &FloatLit{Value: 1.5}}},
+		Else: &CommaExpr{
+			X: &IndexExpr{X: &Ident{Name: "arr"}, Index: &IntLit{Value: 0}},
+			Y: &MemberExpr{X: &Ident{Name: "s"}, Name: "f"},
+		},
+	}
+	names := map[string]bool{}
+	Inspect(e, func(n Node) bool {
+		if id, ok := n.(*Ident); ok {
+			names[id.Name] = true
+		}
+		return true
+	})
+	for _, want := range []string{"a", "arr", "s"} {
+		if !names[want] {
+			t.Errorf("Walk missed ident %s", want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"hsmcc/internal/cc/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	var out []token.Kind
+	for _, tk := range toks {
+		if tk.Kind == token.EOF {
+			break
+		}
+		out = append(out, tk.Kind)
+	}
+	return out
+}
+
+func equalKinds(a, b []token.Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPunctuationAndOperators(t *testing.T) {
+	got := kinds(t, "a += b << 2 >= c && d->e ... ;")
+	want := []token.Kind{
+		token.Ident, token.AddAssign, token.Ident, token.Shl, token.IntLit,
+		token.Ge, token.Ident, token.AndAnd, token.Ident, token.Arrow,
+		token.Ident, token.Ellipsis, token.Semi,
+	}
+	if !equalKinds(got, want) {
+		t.Errorf("kinds = %v, want %v", got, want)
+	}
+}
+
+func TestMaximalMunch(t *testing.T) {
+	// ++, --, <<=, >>= must win over their prefixes.
+	got := kinds(t, "a++ - --b; x <<= 1; y >>= 2;")
+	want := []token.Kind{
+		token.Ident, token.PlusPlus, token.Minus, token.MinusMinus, token.Ident, token.Semi,
+		token.Ident, token.ShlAssign, token.IntLit, token.Semi,
+		token.Ident, token.ShrAssign, token.IntLit, token.Semi,
+	}
+	if !equalKinds(got, want) {
+		t.Errorf("kinds = %v, want %v", got, want)
+	}
+}
+
+func TestKeywordsVsIdents(t *testing.T) {
+	toks, err := Tokenize("int intx for fork while whiled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []token.Kind{token.KwInt, token.Ident, token.KwFor, token.Ident, token.KwWhile, token.Ident}
+	for i, w := range want {
+		if toks[i].Kind != w {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, w)
+		}
+	}
+}
+
+func TestNumericLiterals(t *testing.T) {
+	toks, err := Tokenize("0 42 0x1F 3.5 1e3 2.5e-2 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []token.Kind{token.IntLit, token.IntLit, token.IntLit,
+		token.FloatLit, token.FloatLit, token.FloatLit, token.FloatLit}
+	for i, w := range wantKinds {
+		if toks[i].Kind != w {
+			t.Errorf("token %d (%s) = %v, want %v", i, toks[i].Text, toks[i].Kind, w)
+		}
+	}
+}
+
+func TestCharAndStringEscapes(t *testing.T) {
+	toks, err := Tokenize(`'a' '\n' '\\' "hi\tthere\n" "q\"q"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != token.CharLit || toks[1].Kind != token.CharLit {
+		t.Error("char literals not recognised")
+	}
+	if toks[3].Kind != token.StringLit || !strings.Contains(toks[3].Text, "\t") {
+		t.Errorf("string escape not decoded: %q", toks[3].Text)
+	}
+	if toks[4].Text != `q"q` {
+		t.Errorf("escaped quote = %q", toks[4].Text)
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, `
+a // line comment ; b
+/* block
+   comment */ c`)
+	want := []token.Kind{token.Ident, token.Ident}
+	if !equalKinds(got, want) {
+		t.Errorf("kinds = %v, want %v", got, want)
+	}
+}
+
+func TestIncludeToken(t *testing.T) {
+	toks, err := Tokenize("#include <stdio.h>\nint x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != token.Include {
+		t.Fatalf("first token = %v, want Include", toks[0].Kind)
+	}
+	if !strings.Contains(toks[0].Text, "stdio.h") {
+		t.Errorf("include text = %q", toks[0].Text)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("positions: a at %v, b at %v", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"\"unterminated",
+		"'x",
+		"/* unterminated",
+		"@",
+	}
+	for _, src := range cases {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q): expected error", src)
+		}
+	}
+}
+
+func TestTokenStringer(t *testing.T) {
+	if token.Plus.String() == "" || token.KwDouble.String() == "" {
+		t.Error("Kind.String must be populated for all kinds")
+	}
+	if !token.AddAssign.IsAssignOp() || token.Plus.IsAssignOp() {
+		t.Error("IsAssignOp misclassifies")
+	}
+	if !token.KwInt.IsTypeKeyword() || token.KwIf.IsTypeKeyword() {
+		t.Error("IsTypeKeyword misclassifies")
+	}
+}

@@ -1,0 +1,133 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"hsmcc/internal/cc/token"
+)
+
+func expandKindsText(t *testing.T, src string) []string {
+	t.Helper()
+	toks, err := TokenizeWithMacros(src)
+	if err != nil {
+		t.Fatalf("TokenizeWithMacros: %v", err)
+	}
+	var out []string
+	for _, tk := range toks {
+		out = append(out, tk.String())
+	}
+	return out
+}
+
+func TestDefineConstant(t *testing.T) {
+	toks, err := TokenizeWithMacros("#define N 32\nint a = N;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// int a = 32 ;
+	if toks[3].Kind != token.IntLit || toks[3].Text != "32" {
+		t.Errorf("N did not expand to 32: %v", toks)
+	}
+}
+
+func TestDefineExpression(t *testing.T) {
+	toks, err := TokenizeWithMacros("#define SIZE (4 * 1024)\nint a = SIZE;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		texts = append(texts, tk.Kind.String()+":"+tk.Text)
+	}
+	joined := strings.Join(texts, " ")
+	if !strings.Contains(joined, "4") || !strings.Contains(joined, "1024") {
+		t.Errorf("expression macro not expanded: %v", joined)
+	}
+}
+
+func TestDefineChained(t *testing.T) {
+	toks, err := TokenizeWithMacros("#define A B\n#define B 7\nint x = A;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tk := range toks {
+		if tk.Kind == token.IntLit && tk.Text == "7" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("chained macro did not reach 7: %v", toks)
+	}
+}
+
+func TestDefineSelfReferenceGuard(t *testing.T) {
+	// #define X X must not loop forever.
+	toks, err := TokenizeWithMacros("#define X X\nint X;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[1].Text != "X" {
+		t.Errorf("self-referential macro mishandled: %v", toks)
+	}
+}
+
+func TestDefineMutualRecursionGuard(t *testing.T) {
+	if _, err := TokenizeWithMacros("#define A B\n#define B A\nint x = A;"); err != nil {
+		t.Fatalf("mutual recursion should terminate via the guard: %v", err)
+	}
+}
+
+func TestFunctionLikeRejected(t *testing.T) {
+	_, err := TokenizeWithMacros("#define MAX(a,b) ((a)>(b)?(a):(b))\nint x;")
+	if err == nil || !strings.Contains(err.Error(), "function-like") {
+		t.Errorf("err = %v, want function-like rejection", err)
+	}
+}
+
+func TestOtherDirectivesStillRejected(t *testing.T) {
+	if _, err := TokenizeWithMacros("#ifdef FOO\nint x;\n#endif"); err == nil {
+		t.Error("#ifdef should be rejected")
+	}
+}
+
+func TestMacroNotExpandedInStrings(t *testing.T) {
+	toks, err := TokenizeWithMacros("#define N 32\nchar *s = \"N\";")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range toks {
+		if tk.Kind == token.StringLit && tk.Text != "N" {
+			t.Errorf("macro expanded inside a string: %q", tk.Text)
+		}
+	}
+}
+
+func TestEmptyAndBadDefines(t *testing.T) {
+	if _, err := TokenizeWithMacros("#define\nint x;"); err == nil {
+		t.Error("empty #define accepted")
+	}
+	if _, err := TokenizeWithMacros("#define 9lives 1\nint x;"); err == nil {
+		t.Error("bad macro name accepted")
+	}
+}
+
+// TestThesis71Scenario: the exact motivating case — a Pthread program
+// parameterised through macros now parses and analyses.
+func TestThesis71Scenario(t *testing.T) {
+	src := `
+#define NTHREADS 4
+#define WORKSIZE (NTHREADS * 100)
+int data[WORKSIZE];
+int main() {
+    int i;
+    for (i = 0; i < NTHREADS; i++) data[i] = i;
+    return data[0];
+}`
+	texts := expandKindsText(t, src)
+	joined := strings.Join(texts, " ")
+	if strings.Contains(joined, "NTHREADS") || strings.Contains(joined, "WORKSIZE") {
+		t.Errorf("macros survived expansion:\n%s", joined)
+	}
+}

@@ -1,0 +1,334 @@
+package parser
+
+import (
+	"strconv"
+	"strings"
+
+	"hsmcc/internal/cc/ast"
+	"hsmcc/internal/cc/token"
+	"hsmcc/internal/cc/types"
+)
+
+// Expression grammar, standard C precedence:
+//
+//	expr        := assign (',' assign)*
+//	assign      := cond | unary assignOp assign
+//	cond        := logOr ('?' expr ':' assign)?
+//	logOr       := logAnd ('||' logAnd)*
+//	logAnd      := bitOr ('&&' bitOr)*
+//	bitOr       := bitXor ('|' bitXor)*
+//	bitXor      := bitAnd ('^' bitAnd)*
+//	bitAnd      := equality ('&' equality)*
+//	equality    := relational (('=='|'!=') relational)*
+//	relational  := shift (('<'|'>'|'<='|'>=') shift)*
+//	shift       := additive (('<<'|'>>') additive)*
+//	additive    := multiplicative (('+'|'-') multiplicative)*
+//	multiplicative := cast (('*'|'/'|'%') cast)*
+//	cast        := '(' type ')' cast | unary
+//	unary       := ('-'|'+'|'!'|'~'|'*'|'&'|'++'|'--') cast | 'sizeof' ... | postfix
+//	postfix     := primary ( '[' expr ']' | '(' args ')' | '.' id | '->' id | '++' | '--' )*
+//	primary     := ident | literal | '(' expr ')'
+
+// parseExpr parses a full expression including the comma operator.
+func (p *parser) parseExpr() (ast.Expr, error) {
+	e, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.Comma) {
+		pos := p.next().Pos
+		rhs, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		e = &ast.CommaExpr{X: e, Y: rhs, PosInfo: pos}
+	}
+	return e, nil
+}
+
+// parseAssignExpr parses an assignment-or-conditional expression.
+func (p *parser) parseAssignExpr() (ast.Expr, error) {
+	lhs, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind.IsAssignOp() {
+		op := p.next()
+		rhs, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AssignExpr{Op: op.Kind, LHS: lhs, RHS: rhs, PosInfo: op.Pos}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseCondExpr() (ast.Expr, error) {
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.at(token.Quest) {
+		pos := p.next().Pos
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Colon); err != nil {
+			return nil, err
+		}
+		els, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.CondExpr{Cond: cond, Then: then, Else: els, PosInfo: pos}, nil
+	}
+	return cond, nil
+}
+
+// binary operator precedence levels, lowest first.
+var binLevels = [][]token.Kind{
+	{token.OrOr},
+	{token.AndAnd},
+	{token.Pipe},
+	{token.Caret},
+	{token.Amp},
+	{token.EqEq, token.NotEq},
+	{token.Lt, token.Gt, token.Le, token.Ge},
+	{token.Shl, token.Shr},
+	{token.Plus, token.Minus},
+	{token.Star, token.Slash, token.Percent},
+}
+
+func (p *parser) parseBinary(level int) (ast.Expr, error) {
+	if level >= len(binLevels) {
+		return p.parseCast()
+	}
+	lhs, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().Kind
+		matched := false
+		for _, cand := range binLevels[level] {
+			if k == cand {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+		op := p.next()
+		rhs, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &ast.BinaryExpr{Op: op.Kind, X: lhs, Y: rhs, PosInfo: op.Pos}
+	}
+}
+
+// parseCast handles "(type) expr" casts, disambiguating from parenthesised
+// expressions by checking whether the token after '(' starts a type.
+func (p *parser) parseCast() (ast.Expr, error) {
+	if p.at(token.LParen) && p.startsTypeAt(1) {
+		pos := p.next().Pos // (
+		ty, err := p.parseAbstractType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		x, err := p.parseCast()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.CastExpr{To: ty, X: x, PosInfo: pos}, nil
+	}
+	return p.parseUnary()
+}
+
+// startsTypeAt reports whether the token at lookahead offset n begins a type.
+func (p *parser) startsTypeAt(n int) bool {
+	t := p.peek(n)
+	if t.Kind.IsTypeKeyword() {
+		return true
+	}
+	if t.Kind == token.Ident {
+		if _, ok := p.typedefs[t.Text]; ok {
+			// "(pthread_t)x" is a cast; "(foo)" where foo is a typedef name
+			// used as a value cannot occur in our subset.
+			return true
+		}
+	}
+	return false
+}
+
+// parseAbstractType parses a type name inside a cast or sizeof: base
+// specifier plus pointer stars (abstract arrays are not needed by the
+// subset).
+func (p *parser) parseAbstractType() (*types.Type, error) {
+	base, err := p.parseTypeSpecifier()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(token.Star) {
+		base = types.PointerTo(base)
+	}
+	return base, nil
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case token.Minus, token.Plus, token.Bang, token.Tilde, token.Star, token.Amp:
+		p.next()
+		x, err := p.parseCast()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: t.Kind, X: x, PosInfo: t.Pos}, nil
+	case token.PlusPlus, token.MinusMinus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: t.Kind, X: x, PosInfo: t.Pos}, nil
+	case token.KwSizeof:
+		p.next()
+		if p.at(token.LParen) && p.startsTypeAt(1) {
+			p.next() // (
+			ty, err := p.parseAbstractType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RParen); err != nil {
+				return nil, err
+			}
+			return &ast.SizeofExpr{OfType: ty, PosInfo: t.Pos, Typ: types.UIntType}, nil
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.SizeofExpr{X: x, PosInfo: t.Pos, Typ: types.UIntType}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (ast.Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case token.LBracket:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RBracket); err != nil {
+				return nil, err
+			}
+			e = &ast.IndexExpr{X: e, Index: idx, PosInfo: t.Pos}
+		case token.LParen:
+			p.next()
+			call := &ast.CallExpr{Fun: e, PosInfo: t.Pos}
+			for !p.at(token.RParen) {
+				a, err := p.parseAssignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.accept(token.Comma) {
+					break
+				}
+			}
+			if _, err := p.expect(token.RParen); err != nil {
+				return nil, err
+			}
+			e = call
+		case token.Dot, token.Arrow:
+			p.next()
+			nameTok, err := p.expect(token.Ident)
+			if err != nil {
+				return nil, err
+			}
+			e = &ast.MemberExpr{X: e, Name: nameTok.Text, Arrow: t.Kind == token.Arrow, PosInfo: t.Pos}
+		case token.PlusPlus, token.MinusMinus:
+			p.next()
+			e = &ast.PostfixExpr{Op: t.Kind, X: e, PosInfo: t.Pos}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case token.Ident:
+		p.next()
+		return &ast.Ident{Name: t.Text, PosInfo: t.Pos}, nil
+	case token.IntLit:
+		p.next()
+		text := strings.TrimRight(t.Text, "uUlL")
+		var v int64
+		var err error
+		if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+			v, err = strconv.ParseInt(text[2:], 16, 64)
+		} else {
+			v, err = strconv.ParseInt(text, 10, 64)
+		}
+		if err != nil {
+			// Fall back to unsigned parse for e.g. 0xFFFFFFFF.
+			u, uerr := strconv.ParseUint(strings.TrimPrefix(strings.TrimPrefix(text, "0x"), "0X"), 16, 64)
+			if uerr != nil {
+				return nil, p.errorf("bad integer literal %q", t.Text)
+			}
+			v = int64(u)
+		}
+		return &ast.IntLit{Value: v, Text: t.Text, PosInfo: t.Pos, Typ: types.IntType}, nil
+	case token.FloatLit:
+		p.next()
+		text := strings.TrimRight(t.Text, "fF")
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, p.errorf("bad float literal %q", t.Text)
+		}
+		ty := types.DoubleType
+		if strings.HasSuffix(t.Text, "f") || strings.HasSuffix(t.Text, "F") {
+			ty = types.FloatType
+		}
+		return &ast.FloatLit{Value: v, Text: t.Text, PosInfo: t.Pos, Typ: ty}, nil
+	case token.StringLit:
+		p.next()
+		// Adjacent string literal concatenation.
+		val := t.Text
+		for p.at(token.StringLit) {
+			val += p.next().Text
+		}
+		return &ast.StringLit{Value: val, PosInfo: t.Pos,
+			Typ: types.PointerTo(types.CharType)}, nil
+	case token.CharLit:
+		p.next()
+		return &ast.CharLit{Value: t.Text[0], PosInfo: t.Pos, Typ: types.CharType}, nil
+	case token.LParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		return &ast.ParenExpr{X: e, PosInfo: t.Pos}, nil
+	}
+	return nil, p.errorf("expected expression, found %s", t)
+}

@@ -1,0 +1,265 @@
+package parser_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"hsmcc/internal/cc/ast"
+	"hsmcc/internal/cc/parser"
+	"hsmcc/internal/cc/printer"
+	"hsmcc/internal/cc/sema"
+	"hsmcc/internal/cc/types"
+)
+
+func mustParse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestParseExample41(t *testing.T) {
+	src, err := os.ReadFile("../../../testdata/example41.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mustParse(t, string(src))
+	if got := len(f.Globals()); got != 3 {
+		t.Errorf("globals = %d, want 3", got)
+	}
+	fns := f.Funcs()
+	if len(fns) != 2 || fns[0].Name != "tf" || fns[1].Name != "main" {
+		t.Errorf("funcs = %v, want [tf main]", fns)
+	}
+	if _, err := sema.Analyze(f); err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+}
+
+func TestGlobalDecls(t *testing.T) {
+	f := mustParse(t, `
+int a;
+int b = 5;
+double d = 2.5;
+int arr[4] = {1, 2, 3, 4};
+int *p;
+int **pp;
+double m[2][3];
+`)
+	gs := f.Globals()
+	if len(gs) != 7 {
+		t.Fatalf("got %d globals, want 7", len(gs))
+	}
+	cases := []struct {
+		name string
+		typ  string
+		size int
+	}{
+		{"a", "int", 4}, {"b", "int", 4}, {"d", "double", 8},
+		{"arr", "int[4]", 16}, {"p", "int*", 4}, {"pp", "int**", 4},
+		{"m", "double[2][3]", 48},
+	}
+	for i, c := range cases {
+		if gs[i].Name != c.name {
+			t.Errorf("decl %d name = %q, want %q", i, gs[i].Name, c.name)
+		}
+		if got := gs[i].Type.String(); got != c.typ {
+			t.Errorf("%s type = %q, want %q", c.name, got, c.typ)
+		}
+		if got := gs[i].Type.Size(); got != c.size {
+			t.Errorf("%s size = %d, want %d", c.name, got, c.size)
+		}
+	}
+}
+
+func TestMultiDeclaratorSplit(t *testing.T) {
+	f := mustParse(t, "int a, *b, c[2];\n")
+	gs := f.Globals()
+	if len(gs) != 3 {
+		t.Fatalf("got %d globals, want 3", len(gs))
+	}
+	if gs[1].Type.Kind != types.Pointer {
+		t.Errorf("b should be pointer, got %s", gs[1].Type)
+	}
+	if gs[2].Type.Kind != types.Array || gs[2].Type.Len != 2 {
+		t.Errorf("c should be int[2], got %s", gs[2].Type)
+	}
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	cases := []struct{ in, out string }{
+		{"a + b * c", "a + b * c"},
+		{"(a + b) * c", "(a + b) * c"},
+		{"a = b = c", "a = b = c"},
+		{"a < b && c > d || e", "a < b && c > d || e"},
+		{"-a * b", "-a * b"},
+		{"*p++", "*p++"},
+		{"a[i] += 2", "a[i] += 2"},
+		{"x ? y : z", "x ? y : z"},
+		{"a % b == 0", "a % b == 0"},
+		{"f(a, b + 1, c)", "f(a, b + 1, c)"},
+		{"a << 2 | b >> 1", "a << 2 | b >> 1"},
+		{"~a ^ b & c", "~a ^ b & c"},
+		{"sizeof(int)", "sizeof(int)"},
+		{"(double)n / d", "(double)n / d"},
+	}
+	for _, c := range cases {
+		src := "void f(int a, int b, int c, int d, int e, int i, int n, int x, int y, int z) { int *p; double dd; " + c.in + "; }"
+		f := mustParse(t, src)
+		fn := f.Funcs()[0]
+		last := fn.Body.List[len(fn.Body.List)-1]
+		es, ok := last.(*ast.ExprStmt)
+		if !ok {
+			t.Fatalf("%q: last stmt is %T", c.in, last)
+		}
+		if got := printer.ExprString(es.X); got != c.out {
+			t.Errorf("%q printed as %q, want %q", c.in, got, c.out)
+		}
+	}
+}
+
+func TestControlFlowStatements(t *testing.T) {
+	src := `
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        if (i % 2 == 0) s += i;
+        else s -= i;
+    }
+    while (s > 100) { s /= 2; }
+    do { s++; } while (s < 0);
+    switch (s) {
+    case 0:
+        s = 1;
+        break;
+    case 1:
+    case 2:
+        s = 2;
+        break;
+    default:
+        s = 3;
+    }
+    return s;
+}
+`
+	f := mustParse(t, src)
+	if _, err := sema.Analyze(f); err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	out := printer.Print(f)
+	for _, want := range []string{"for (int i = 0; i < n; i++)", "while (s > 100)", "do", "switch (s) {", "case 2:", "default:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRoundTripStability(t *testing.T) {
+	// print(parse(print(parse(src)))) must equal print(parse(src)).
+	src, err := os.ReadFile("../../../testdata/example41.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := mustParse(t, string(src))
+	p1 := printer.Print(f1)
+	f2 := mustParse(t, p1)
+	p2 := printer.Print(f2)
+	if p1 != p2 {
+		t.Errorf("round trip unstable:\n--- first ---\n%s\n--- second ---\n%s", p1, p2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int a = ;",
+		"int f( {}",
+		"#ifdef X\nint a;\n#endif", // conditional compilation is out of scope
+		"int a; }",
+		"void f() { if (x) }",
+		"void f() { a b; }",
+	}
+	for _, src := range cases {
+		if _, err := parser.Parse("bad.c", src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestSemaErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"void f() { x = 1; }", "undeclared"},
+		{"void f() { g(); }", "undefined function"},
+		{"int a; int a;", "redeclaration"},
+		{"void f() { int x; int x; }", "redeclaration"},
+	}
+	for _, c := range cases {
+		f := mustParse(t, c.src)
+		_, err := sema.Analyze(f)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestTypedefAndOpaque(t *testing.T) {
+	f := mustParse(t, `
+typedef int myint;
+myint x = 3;
+pthread_t tid;
+pthread_mutex_t lock;
+`)
+	gs := f.Globals()
+	if gs[0].Type.Kind != types.Int {
+		t.Errorf("myint should resolve to int, got %s", gs[0].Type)
+	}
+	if gs[1].Type.Kind != types.Opaque || gs[1].Type.Name != "pthread_t" {
+		t.Errorf("tid type = %s, want pthread_t", gs[1].Type)
+	}
+}
+
+func TestStructParsing(t *testing.T) {
+	f := mustParse(t, `
+struct point { int x; int y; double w; };
+struct point origin;
+void f() {
+    struct point p;
+    p.x = 1;
+    p.y = 2;
+    p.w = 3.5;
+}
+`)
+	if _, err := sema.Analyze(f); err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	g := f.Globals()[0]
+	if g.Type.Kind != types.Struct {
+		t.Fatalf("origin type = %s", g.Type)
+	}
+	if g.Type.Size() != 16 { // x@0, y@4, w@8 (8-aligned), total 16
+		t.Errorf("struct size = %d, want 16", g.Type.Size())
+	}
+}
+
+func TestCommentsAndLiterals(t *testing.T) {
+	f := mustParse(t, `
+// line comment
+/* block
+   comment */
+int a = 0x1F;
+double b = 1.5e3;
+double c = 2.5f;
+char d = '\n';
+char *s = "hi\tthere";
+long big = 100000L;
+`)
+	gs := f.Globals()
+	if lit, ok := gs[0].Init.(*ast.IntLit); !ok || lit.Value != 31 {
+		t.Errorf("hex literal = %v", gs[0].Init)
+	}
+	if lit, ok := gs[1].Init.(*ast.FloatLit); !ok || lit.Value != 1500 {
+		t.Errorf("exp literal = %v", gs[1].Init)
+	}
+}

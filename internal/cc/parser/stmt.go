@@ -1,0 +1,287 @@
+package parser
+
+import (
+	"hsmcc/internal/cc/ast"
+	"hsmcc/internal/cc/token"
+)
+
+// parseBlock parses "{ stmt* }".
+func (p *parser) parseBlock() (*ast.BlockStmt, error) {
+	lb, err := p.expect(token.LBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &ast.BlockStmt{PosInfo: lb.Pos}
+	for !p.at(token.RBrace) {
+		if p.at(token.EOF) {
+			return nil, p.errorf("unexpected EOF inside block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			blk.List = append(blk.List, s)
+		}
+	}
+	p.next() // }
+	return blk, nil
+}
+
+// parseStmt parses one statement.
+func (p *parser) parseStmt() (ast.Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case token.LBrace:
+		return p.parseBlock()
+	case token.Semi:
+		p.next()
+		return &ast.EmptyStmt{PosInfo: t.Pos}, nil
+	case token.KwIf:
+		return p.parseIf()
+	case token.KwFor:
+		return p.parseFor()
+	case token.KwWhile:
+		return p.parseWhile()
+	case token.KwDo:
+		return p.parseDoWhile()
+	case token.KwSwitch:
+		return p.parseSwitch()
+	case token.KwReturn:
+		p.next()
+		rs := &ast.ReturnStmt{PosInfo: t.Pos}
+		if !p.at(token.Semi) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rs.Result = e
+		}
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	case token.KwBreak:
+		p.next()
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		return &ast.BreakStmt{PosInfo: t.Pos}, nil
+	case token.KwContinue:
+		p.next()
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		return &ast.ContinueStmt{PosInfo: t.Pos}, nil
+	}
+	if p.isTypeStart() {
+		return p.parseLocalDecl()
+	}
+	// Expression statement.
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Semi); err != nil {
+		return nil, err
+	}
+	return &ast.ExprStmt{X: e, PosInfo: t.Pos}, nil
+}
+
+// parseLocalDecl parses one local declaration line. Multiple declarators
+// become a block of DeclStmts flattened by the caller via blockOrSingle.
+func (p *parser) parseLocalDecl() (ast.Stmt, error) {
+	pos := p.cur().Pos
+	nodes, err := p.parseDeclOrFunc()
+	if err != nil {
+		return nil, err
+	}
+	var stmts []ast.Stmt
+	for _, n := range nodes {
+		vd, ok := n.(*ast.VarDecl)
+		if !ok {
+			return nil, p.errorf("function declarations are not allowed inside blocks")
+		}
+		stmts = append(stmts, &ast.DeclStmt{Decl: vd, PosInfo: vd.PosInfo})
+	}
+	switch len(stmts) {
+	case 0:
+		return &ast.EmptyStmt{PosInfo: pos}, nil
+	case 1:
+		return stmts[0], nil
+	default:
+		// Keep a flat structure: return a block the printer flattens.
+		return &ast.BlockStmt{List: stmts, PosInfo: pos}, nil
+	}
+}
+
+func (p *parser) parseIf() (ast.Stmt, error) {
+	pos := p.next().Pos // if
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	is := &ast.IfStmt{Cond: cond, Then: then, PosInfo: pos}
+	if p.accept(token.KwElse) {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		is.Else = els
+	}
+	return is, nil
+}
+
+func (p *parser) parseFor() (ast.Stmt, error) {
+	pos := p.next().Pos // for
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	fs := &ast.ForStmt{PosInfo: pos}
+	if !p.at(token.Semi) {
+		if p.isTypeStart() {
+			d, err := p.parseLocalDecl()
+			if err != nil {
+				return nil, err
+			}
+			fs.Init = d
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fs.Init = &ast.ExprStmt{X: e, PosInfo: e.Pos()}
+			if _, err := p.expect(token.Semi); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	if !p.at(token.Semi) {
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fs.Cond = c
+	}
+	if _, err := p.expect(token.Semi); err != nil {
+		return nil, err
+	}
+	if !p.at(token.RParen) {
+		post, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fs.Post = post
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	fs.Body = body
+	return fs, nil
+}
+
+func (p *parser) parseWhile() (ast.Stmt, error) {
+	pos := p.next().Pos // while
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.WhileStmt{Cond: cond, Body: body, PosInfo: pos}, nil
+}
+
+func (p *parser) parseDoWhile() (ast.Stmt, error) {
+	pos := p.next().Pos // do
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.KwWhile); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Semi); err != nil {
+		return nil, err
+	}
+	return &ast.DoWhileStmt{Body: body, Cond: cond, PosInfo: pos}, nil
+}
+
+func (p *parser) parseSwitch() (ast.Stmt, error) {
+	pos := p.next().Pos // switch
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	tag, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	sw := &ast.SwitchStmt{Tag: tag, PosInfo: pos}
+	for !p.at(token.RBrace) {
+		var cc *ast.CaseClause
+		cpos := p.cur().Pos
+		if p.accept(token.KwCase) {
+			v, err := p.parseCondExpr()
+			if err != nil {
+				return nil, err
+			}
+			cc = &ast.CaseClause{Value: v, PosInfo: cpos}
+		} else if p.accept(token.KwDefault) {
+			cc = &ast.CaseClause{PosInfo: cpos}
+		} else {
+			return nil, p.errorf("expected case or default in switch, found %s", p.cur())
+		}
+		if _, err := p.expect(token.Colon); err != nil {
+			return nil, err
+		}
+		for !p.at(token.KwCase) && !p.at(token.KwDefault) && !p.at(token.RBrace) {
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			cc.Body = append(cc.Body, s)
+		}
+		sw.Cases = append(sw.Cases, cc)
+	}
+	p.next() // }
+	return sw, nil
+}

@@ -1,0 +1,145 @@
+package printer
+
+import (
+	"strings"
+	"testing"
+
+	"hsmcc/internal/cc/parser"
+)
+
+// reprint parses src and prints it back.
+func reprint(t *testing.T, src string) string {
+	t.Helper()
+	f, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Print(f)
+}
+
+// TestRoundTripFixedPoint: print(parse(print(parse(src)))) must equal
+// print(parse(src)) — printing is a fixed point, so emitted programs can
+// be consumed again (the harness re-parses translator output).
+func TestRoundTripFixedPoint(t *testing.T) {
+	srcs := []string{
+		`
+#include <stdio.h>
+int g = 3;
+double weights[4] = {1.0, 2.0, 3.5, 0.25};
+int add(int a, int b) { return a + b; }
+int main() {
+    int i;
+    for (i = 0; i < 10; i++) {
+        if (i % 2 == 0 && i != 4) continue;
+        else g += add(i, g);
+    }
+    while (g > 100) g /= 2;
+    do { g--; } while (g > 50);
+    switch (g) {
+    case 1: g = 0; break;
+    default: g = -1;
+    }
+    printf("%d %.2f\n", g, weights[2]);
+    return 0;
+}`,
+		`
+struct pair { int a; int b; };
+struct pair p;
+int main() {
+    p.a = 1;
+    struct pair *q = &p;
+    q->b = q->a + 2;
+    int xs[3];
+    int *r = xs;
+    *(r + 1) = sizeof(struct pair);
+    r[2] = (int)(*r ? 1 : 2);
+    return p.b;
+}`,
+		`
+void *tf(void *tid) { return tid; }
+int main() {
+    char *s = "a\tb\"c\n";
+    char c = 'x';
+    unsigned int u = 0;
+    u = ~u >> 3;
+    long big = 1 << 20;
+    return (int)(u + big + c + (s != 0));
+}`,
+	}
+	for i, src := range srcs {
+		first := reprint(t, src)
+		second := reprint(t, first)
+		if first != second {
+			t.Errorf("case %d: reprint is not a fixed point\n--- first\n%s\n--- second\n%s", i, first, second)
+		}
+	}
+}
+
+// TestPrecedencePreserved: printing must keep the parse tree's meaning —
+// reparsing the printed form yields the same printed form even when
+// parentheses carry semantics.
+func TestPrecedencePreserved(t *testing.T) {
+	src := `
+int main() {
+    int a = 1;
+    int b = 2;
+    int c = 3;
+    int r1 = (a + b) * c;
+    int r2 = a + b * c;
+    int r3 = -(a - b);
+    int r4 = a - (b - c);
+    int r5 = (a & b) | c;
+    int r6 = !(a < b);
+    return r1 + r2 + r3 + r4 + r5 + r6;
+}`
+	out := reprint(t, src)
+	for _, want := range []string{"(a + b) * c", "a + b * c", "a - (b - c)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed output lost grouping %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestIncludesPreserved: #include lines survive printing.
+func TestIncludesPreserved(t *testing.T) {
+	out := reprint(t, "#include <stdio.h>\n#include \"RCCE.h\"\nint main() { return 0; }")
+	if !strings.Contains(out, "#include <stdio.h>") || !strings.Contains(out, `#include "RCCE.h"`) {
+		t.Errorf("includes lost:\n%s", out)
+	}
+}
+
+// TestTypeString covers declaration rendering forms.
+func TestTypeRendering(t *testing.T) {
+	out := reprint(t, `
+int *p;
+double arr[8];
+char **argvish;
+unsigned int flags;
+int main() { return 0; }`)
+	for _, want := range []string{"int *p;", "double arr[8];", "char **argvish;", "unsigned int flags;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestStringEscaping: special characters are re-escaped on output.
+func TestStringEscaping(t *testing.T) {
+	out := reprint(t, `int main() { printf("tab\there\nquote\"q\\"); return 0; }`)
+	if !strings.Contains(out, `\t`) || !strings.Contains(out, `\n`) ||
+		!strings.Contains(out, `\"`) || !strings.Contains(out, `\\`) {
+		t.Errorf("escapes lost: %s", out)
+	}
+}
+
+// TestExprAndStmtString cover the standalone helpers.
+func TestHelperStringers(t *testing.T) {
+	f, err := parser.Parse("t.c", "int main() { int x = 1 + 2 * 3; return x; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := f.FindFunc("main")
+	if got := StmtString(main.Body.List[0]); !strings.Contains(got, "1 + 2 * 3") {
+		t.Errorf("StmtString = %q", got)
+	}
+}

@@ -1,0 +1,526 @@
+// Package sema resolves identifiers to symbols and assigns result types to
+// expressions. It implements the symbol-table layer that CETUS provides the
+// paper's analysis passes: after Analyze, every ast.Ident carries a
+// *ast.Symbol, every ast.VarDecl/Param its canonical symbol, and every
+// expression node a static type.
+//
+// Sema is deliberately permissive (C compilers of the SCC era accepted the
+// benchmark idioms it must accept, e.g. int/pointer casts), but it rejects
+// the errors that would make later stages meaningless: use of undeclared
+// identifiers, calls to undefined non-builtin functions, and redeclaration
+// in the same scope.
+package sema
+
+import (
+	"fmt"
+
+	"hsmcc/internal/cc/ast"
+	"hsmcc/internal/cc/token"
+	"hsmcc/internal/cc/types"
+)
+
+// Error is a semantic error with source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Builtins are functions the runtime provides; calls to them resolve
+// without a definition in the translation unit. The set covers libc
+// essentials, Pthread, and RCCE — the three APIs the paper's programs use.
+var Builtins = map[string]*types.Type{
+	// libc
+	"printf":    types.FuncOf(types.IntType, []*types.Type{types.PointerTo(types.CharType)}, true),
+	"fprintf":   types.FuncOf(types.IntType, []*types.Type{types.PointerTo(types.VoidType), types.PointerTo(types.CharType)}, true),
+	"malloc":    types.FuncOf(types.PointerTo(types.VoidType), []*types.Type{types.UIntType}, false),
+	"calloc":    types.FuncOf(types.PointerTo(types.VoidType), []*types.Type{types.UIntType, types.UIntType}, false),
+	"free":      types.FuncOf(types.VoidType, []*types.Type{types.PointerTo(types.VoidType)}, false),
+	"memcpy":    types.FuncOf(types.PointerTo(types.VoidType), []*types.Type{types.PointerTo(types.VoidType), types.PointerTo(types.VoidType), types.UIntType}, false),
+	"memset":    types.FuncOf(types.PointerTo(types.VoidType), []*types.Type{types.PointerTo(types.VoidType), types.IntType, types.UIntType}, false),
+	"exit":      types.FuncOf(types.VoidType, []*types.Type{types.IntType}, false),
+	"abort":     types.FuncOf(types.VoidType, nil, false),
+	"atoi":      types.FuncOf(types.IntType, []*types.Type{types.PointerTo(types.CharType)}, false),
+	"sqrt":      types.FuncOf(types.DoubleType, []*types.Type{types.DoubleType}, false),
+	"fabs":      types.FuncOf(types.DoubleType, []*types.Type{types.DoubleType}, false),
+	"wallclock": types.FuncOf(types.DoubleType, nil, false),
+
+	// Pthread API (subset the paper's Algorithms 4-8 handle)
+	"pthread_create":        types.FuncOf(types.IntType, []*types.Type{types.PointerTo(types.OpaqueOf("pthread_t")), types.PointerTo(types.VoidType), types.PointerTo(types.VoidType), types.PointerTo(types.VoidType)}, false),
+	"pthread_join":          types.FuncOf(types.IntType, []*types.Type{types.OpaqueOf("pthread_t"), types.PointerTo(types.PointerTo(types.VoidType))}, false),
+	"pthread_exit":          types.FuncOf(types.VoidType, []*types.Type{types.PointerTo(types.VoidType)}, false),
+	"pthread_self":          types.FuncOf(types.OpaqueOf("pthread_t"), nil, false),
+	"pthread_mutex_init":    types.FuncOf(types.IntType, []*types.Type{types.PointerTo(types.OpaqueOf("pthread_mutex_t")), types.PointerTo(types.VoidType)}, false),
+	"pthread_mutex_lock":    types.FuncOf(types.IntType, []*types.Type{types.PointerTo(types.OpaqueOf("pthread_mutex_t"))}, false),
+	"pthread_mutex_unlock":  types.FuncOf(types.IntType, []*types.Type{types.PointerTo(types.OpaqueOf("pthread_mutex_t"))}, false),
+	"pthread_mutex_destroy": types.FuncOf(types.IntType, []*types.Type{types.PointerTo(types.OpaqueOf("pthread_mutex_t"))}, false),
+
+	// RCCE API (subset used by translated programs; thesis Example 4.2)
+	"RCCE_init":          types.FuncOf(types.IntType, []*types.Type{types.PointerTo(types.PointerTo(types.IntType)), types.PointerTo(types.PointerTo(types.PointerTo(types.CharType)))}, false),
+	"RCCE_finalize":      types.FuncOf(types.IntType, nil, false),
+	"RCCE_ue":            types.FuncOf(types.IntType, nil, false),
+	"RCCE_num_ues":       types.FuncOf(types.IntType, nil, false),
+	"RCCE_shmalloc":      types.FuncOf(types.PointerTo(types.VoidType), []*types.Type{types.UIntType}, false),
+	"RCCE_shfree":        types.FuncOf(types.VoidType, []*types.Type{types.PointerTo(types.VoidType)}, false),
+	"RCCE_mpbmalloc":     types.FuncOf(types.PointerTo(types.VoidType), []*types.Type{types.UIntType}, false),
+	"RCCE_barrier":       types.FuncOf(types.IntType, []*types.Type{types.PointerTo(types.OpaqueOf("RCCE_COMM"))}, false),
+	"RCCE_acquire_lock":  types.FuncOf(types.IntType, []*types.Type{types.IntType}, false),
+	"RCCE_release_lock":  types.FuncOf(types.IntType, []*types.Type{types.IntType}, false),
+	"RCCE_put":           types.FuncOf(types.IntType, []*types.Type{types.PointerTo(types.CharType), types.PointerTo(types.CharType), types.IntType, types.IntType}, false),
+	"RCCE_get":           types.FuncOf(types.IntType, []*types.Type{types.PointerTo(types.CharType), types.PointerTo(types.CharType), types.IntType, types.IntType}, false),
+	"RCCE_wtime":         types.FuncOf(types.DoubleType, nil, false),
+	"RCCE_power_domain":  types.FuncOf(types.IntType, nil, false),
+	"RCCE_get_frequency": types.FuncOf(types.IntType, nil, false),
+	"RCCE_set_frequency": types.FuncOf(types.IntType, []*types.Type{types.IntType}, false),
+	"RCCE_chip_power":    types.FuncOf(types.DoubleType, nil, false),
+	"RCCE_send":          types.FuncOf(types.IntType, []*types.Type{types.PointerTo(types.CharType), types.IntType, types.IntType}, false),
+	"RCCE_recv":          types.FuncOf(types.IntType, []*types.Type{types.PointerTo(types.CharType), types.IntType, types.IntType}, false),
+}
+
+// Info is the result of Analyze: symbol tables for the translation unit.
+type Info struct {
+	File *ast.File
+	// Globals maps name to symbol for file-scope variables.
+	Globals map[string]*ast.Symbol
+	// Funcs maps name to symbol for defined functions.
+	Funcs map[string]*ast.Symbol
+	// AllSymbols lists every variable/param symbol in declaration order
+	// (globals first, then per function in source order).
+	AllSymbols []*ast.Symbol
+}
+
+// scope is a lexical scope chain node.
+type scope struct {
+	parent *scope
+	names  map[string]*ast.Symbol
+}
+
+func (s *scope) lookup(name string) *ast.Symbol {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.names[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+func (s *scope) declare(sym *ast.Symbol) error {
+	if _, exists := s.names[sym.Name]; exists {
+		return fmt.Errorf("redeclaration of %q", sym.Name)
+	}
+	s.names[sym.Name] = sym
+	return nil
+}
+
+type checker struct {
+	info    *Info
+	curFunc *ast.FuncDecl
+	err     error
+}
+
+// Analyze resolves names and types in f, returning symbol tables.
+func Analyze(f *ast.File) (*Info, error) {
+	info := &Info{
+		File:    f,
+		Globals: make(map[string]*ast.Symbol),
+		Funcs:   make(map[string]*ast.Symbol),
+	}
+	c := &checker{info: info}
+	global := &scope{names: make(map[string]*ast.Symbol)}
+
+	// Pass 1: declare all globals and functions (C requires declaration
+	// before use; we allow forward references to functions, which the
+	// benchmarks rely on for thread functions defined before main).
+	for _, d := range f.Decls {
+		switch n := d.(type) {
+		case *ast.VarDecl:
+			sym := &ast.Symbol{Name: n.Name, Kind: ast.SymVar, Type: n.Type, Global: true, Decl: n}
+			n.Sym = sym
+			if err := global.declare(sym); err != nil {
+				return nil, &Error{Pos: n.Pos(), Msg: err.Error()}
+			}
+			info.Globals[n.Name] = sym
+			info.AllSymbols = append(info.AllSymbols, sym)
+		case *ast.FuncDecl:
+			if existing, ok := info.Funcs[n.Name]; ok {
+				// Allow a prototype followed by the definition.
+				if fd, isFn := existing.Decl.(*ast.FuncDecl); isFn && fd.Body == nil && n.Body != nil {
+					existing.Decl = n
+					continue
+				}
+				if n.Body == nil {
+					continue
+				}
+				return nil, &Error{Pos: n.Pos(), Msg: fmt.Sprintf("redefinition of function %q", n.Name)}
+			}
+			sym := &ast.Symbol{Name: n.Name, Kind: ast.SymFunc, Type: n.Type(), Global: true, Decl: n}
+			info.Funcs[n.Name] = sym
+			if err := global.declare(sym); err != nil {
+				return nil, &Error{Pos: n.Pos(), Msg: err.Error()}
+			}
+		}
+	}
+
+	// Pass 2: check bodies.
+	for _, d := range f.Decls {
+		n, ok := d.(*ast.FuncDecl)
+		if !ok || n.Body == nil {
+			continue
+		}
+		c.curFunc = n
+		fnScope := &scope{parent: global, names: make(map[string]*ast.Symbol)}
+		for _, prm := range n.Params {
+			if prm.Name == "" {
+				continue
+			}
+			sym := &ast.Symbol{Name: prm.Name, Kind: ast.SymParam, Type: prm.Type, Func: n.Name, Decl: prm}
+			prm.Sym = sym
+			if err := fnScope.declare(sym); err != nil {
+				return nil, &Error{Pos: prm.Pos(), Msg: err.Error()}
+			}
+			info.AllSymbols = append(info.AllSymbols, sym)
+		}
+		if err := c.checkBlock(n.Body, fnScope); err != nil {
+			return nil, err
+		}
+	}
+	return info, nil
+}
+
+func (c *checker) checkBlock(b *ast.BlockStmt, parent *scope) error {
+	sc := &scope{parent: parent, names: make(map[string]*ast.Symbol)}
+	for _, s := range b.List {
+		if err := c.checkStmt(s, sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) declareLocal(d *ast.VarDecl, sc *scope) error {
+	sym := &ast.Symbol{Name: d.Name, Kind: ast.SymVar, Type: d.Type, Func: c.curFunc.Name, Decl: d}
+	d.Sym = sym
+	if err := sc.declare(sym); err != nil {
+		return &Error{Pos: d.Pos(), Msg: err.Error()}
+	}
+	c.info.AllSymbols = append(c.info.AllSymbols, sym)
+	if d.Init != nil {
+		if _, err := c.checkExpr(d.Init, sc); err != nil {
+			return err
+		}
+	}
+	for _, e := range d.InitLst {
+		if _, err := c.checkExpr(e, sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s ast.Stmt, sc *scope) error {
+	switch n := s.(type) {
+	case *ast.BlockStmt:
+		return c.checkBlock(n, sc)
+	case *ast.DeclStmt:
+		return c.declareLocal(n.Decl, sc)
+	case *ast.ExprStmt:
+		_, err := c.checkExpr(n.X, sc)
+		return err
+	case *ast.IfStmt:
+		if _, err := c.checkExpr(n.Cond, sc); err != nil {
+			return err
+		}
+		if err := c.checkStmt(n.Then, sc); err != nil {
+			return err
+		}
+		if n.Else != nil {
+			return c.checkStmt(n.Else, sc)
+		}
+		return nil
+	case *ast.ForStmt:
+		inner := &scope{parent: sc, names: make(map[string]*ast.Symbol)}
+		if n.Init != nil {
+			if err := c.checkStmt(n.Init, inner); err != nil {
+				return err
+			}
+		}
+		if n.Cond != nil {
+			if _, err := c.checkExpr(n.Cond, inner); err != nil {
+				return err
+			}
+		}
+		if n.Post != nil {
+			if _, err := c.checkExpr(n.Post, inner); err != nil {
+				return err
+			}
+		}
+		return c.checkStmt(n.Body, inner)
+	case *ast.WhileStmt:
+		if _, err := c.checkExpr(n.Cond, sc); err != nil {
+			return err
+		}
+		return c.checkStmt(n.Body, sc)
+	case *ast.DoWhileStmt:
+		if err := c.checkStmt(n.Body, sc); err != nil {
+			return err
+		}
+		_, err := c.checkExpr(n.Cond, sc)
+		return err
+	case *ast.SwitchStmt:
+		if _, err := c.checkExpr(n.Tag, sc); err != nil {
+			return err
+		}
+		for _, cl := range n.Cases {
+			if cl.Value != nil {
+				if _, err := c.checkExpr(cl.Value, sc); err != nil {
+					return err
+				}
+			}
+			inner := &scope{parent: sc, names: make(map[string]*ast.Symbol)}
+			for _, bs := range cl.Body {
+				if err := c.checkStmt(bs, inner); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case *ast.ReturnStmt:
+		if n.Result != nil {
+			_, err := c.checkExpr(n.Result, sc)
+			return err
+		}
+		return nil
+	case *ast.BreakStmt, *ast.ContinueStmt, *ast.EmptyStmt:
+		return nil
+	}
+	return &Error{Pos: s.Pos(), Msg: fmt.Sprintf("unhandled statement %T", s)}
+}
+
+func (c *checker) checkExpr(e ast.Expr, sc *scope) (*types.Type, error) {
+	switch n := e.(type) {
+	case *ast.Ident:
+		if sym := sc.lookup(n.Name); sym != nil {
+			n.Sym = sym
+			n.Typ = sym.Type
+			return sym.Type, nil
+		}
+		if bt, ok := Builtins[n.Name]; ok {
+			n.Typ = bt
+			return bt, nil
+		}
+		if n.Name == "NULL" {
+			n.Typ = types.PointerTo(types.VoidType)
+			return n.Typ, nil
+		}
+		if n.Name == "RCCE_COMM_WORLD" {
+			n.Typ = types.OpaqueOf("RCCE_COMM")
+			return n.Typ, nil
+		}
+		return nil, &Error{Pos: n.Pos(), Msg: fmt.Sprintf("undeclared identifier %q", n.Name)}
+	case *ast.IntLit:
+		return n.Typ, nil
+	case *ast.FloatLit:
+		return n.Typ, nil
+	case *ast.StringLit:
+		return n.Typ, nil
+	case *ast.CharLit:
+		return n.Typ, nil
+	case *ast.ParenExpr:
+		return c.checkExpr(n.X, sc)
+	case *ast.BinaryExpr:
+		xt, err := c.checkExpr(n.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		yt, err := c.checkExpr(n.Y, sc)
+		if err != nil {
+			return nil, err
+		}
+		n.Typ = binaryResult(n.Op, xt, yt)
+		return n.Typ, nil
+	case *ast.AssignExpr:
+		lt, err := c.checkExpr(n.LHS, sc)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.checkExpr(n.RHS, sc); err != nil {
+			return nil, err
+		}
+		n.Typ = lt
+		return lt, nil
+	case *ast.UnaryExpr:
+		xt, err := c.checkExpr(n.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case token.Star:
+			if xt != nil && xt.IsPointerLike() {
+				n.Typ = xt.Decay().Elem
+			} else {
+				n.Typ = types.IntType
+			}
+		case token.Amp:
+			n.Typ = types.PointerTo(xt)
+		case token.Bang:
+			n.Typ = types.IntType
+		default:
+			n.Typ = xt
+		}
+		return n.Typ, nil
+	case *ast.PostfixExpr:
+		xt, err := c.checkExpr(n.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		n.Typ = xt
+		return xt, nil
+	case *ast.IndexExpr:
+		xt, err := c.checkExpr(n.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.checkExpr(n.Index, sc); err != nil {
+			return nil, err
+		}
+		if xt != nil && xt.IsPointerLike() {
+			n.Typ = xt.Decay().Elem
+		} else {
+			return nil, &Error{Pos: n.Pos(), Msg: fmt.Sprintf("indexing non-pointer type %s", xt)}
+		}
+		return n.Typ, nil
+	case *ast.CallExpr:
+		name := n.FuncName()
+		var ft *types.Type
+		if name != "" {
+			if sym, ok := c.info.Funcs[name]; ok {
+				if id, isID := n.Fun.(*ast.Ident); isID {
+					id.Sym = sym
+					id.Typ = sym.Type
+				}
+				ft = sym.Type
+			} else if bt, ok := Builtins[name]; ok {
+				ft = bt
+			} else if sym := sc.lookup(name); sym != nil && sym.Type.Kind == types.Pointer {
+				// Call through a function pointer variable: permitted,
+				// typed as returning void* (thread functions).
+				ft = types.FuncOf(types.PointerTo(types.VoidType), nil, true)
+				if id, isID := n.Fun.(*ast.Ident); isID {
+					id.Sym = sym
+					id.Typ = sym.Type
+				}
+			} else {
+				return nil, &Error{Pos: n.Pos(), Msg: fmt.Sprintf("call to undefined function %q", name)}
+			}
+		} else {
+			t, err := c.checkExpr(n.Fun, sc)
+			if err != nil {
+				return nil, err
+			}
+			ft = t
+		}
+		for _, a := range n.Args {
+			if _, err := c.checkExpr(a, sc); err != nil {
+				return nil, err
+			}
+		}
+		if ft != nil && ft.Kind == types.Func {
+			n.Typ = ft.Elem
+		} else {
+			n.Typ = types.IntType
+		}
+		return n.Typ, nil
+	case *ast.CastExpr:
+		if _, err := c.checkExpr(n.X, sc); err != nil {
+			return nil, err
+		}
+		return n.To, nil
+	case *ast.SizeofExpr:
+		if n.X != nil {
+			if _, err := c.checkExpr(n.X, sc); err != nil {
+				return nil, err
+			}
+		}
+		return n.Typ, nil
+	case *ast.CondExpr:
+		if _, err := c.checkExpr(n.Cond, sc); err != nil {
+			return nil, err
+		}
+		tt, err := c.checkExpr(n.Then, sc)
+		if err != nil {
+			return nil, err
+		}
+		et, err := c.checkExpr(n.Else, sc)
+		if err != nil {
+			return nil, err
+		}
+		if tt != nil && et != nil && tt.IsArithmetic() && et.IsArithmetic() {
+			n.Typ = types.Common(tt, et)
+		} else {
+			n.Typ = tt
+		}
+		return n.Typ, nil
+	case *ast.CommaExpr:
+		if _, err := c.checkExpr(n.X, sc); err != nil {
+			return nil, err
+		}
+		yt, err := c.checkExpr(n.Y, sc)
+		if err != nil {
+			return nil, err
+		}
+		n.Typ = yt
+		return yt, nil
+	case *ast.MemberExpr:
+		xt, err := c.checkExpr(n.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		st := xt
+		if n.Arrow {
+			if xt == nil || xt.Kind != types.Pointer {
+				return nil, &Error{Pos: n.Pos(), Msg: "-> applied to non-pointer"}
+			}
+			st = xt.Elem
+		}
+		if st == nil || st.Kind != types.Struct {
+			return nil, &Error{Pos: n.Pos(), Msg: "member access on non-struct"}
+		}
+		f, ok := st.Field(n.Name)
+		if !ok {
+			return nil, &Error{Pos: n.Pos(), Msg: fmt.Sprintf("no field %q in %s", n.Name, st)}
+		}
+		n.Typ = f.Type
+		return f.Type, nil
+	}
+	return nil, &Error{Pos: e.Pos(), Msg: fmt.Sprintf("unhandled expression %T", e)}
+}
+
+// binaryResult computes the result type of a binary operation with C's
+// usual conversions plus pointer arithmetic.
+func binaryResult(op token.Kind, x, y *types.Type) *types.Type {
+	switch op {
+	case token.EqEq, token.NotEq, token.Lt, token.Gt, token.Le, token.Ge,
+		token.AndAnd, token.OrOr:
+		return types.IntType
+	}
+	if x == nil {
+		return y
+	}
+	if y == nil {
+		return x
+	}
+	if x.IsPointerLike() && y.IsInteger() {
+		return x.Decay()
+	}
+	if y.IsPointerLike() && x.IsInteger() {
+		return y.Decay()
+	}
+	if x.IsPointerLike() && y.IsPointerLike() && op == token.Minus {
+		return types.IntType
+	}
+	if x.IsArithmetic() && y.IsArithmetic() {
+		return types.Common(x, y)
+	}
+	return x
+}

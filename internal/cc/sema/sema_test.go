@@ -1,0 +1,174 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"hsmcc/internal/cc/ast"
+	"hsmcc/internal/cc/parser"
+	"hsmcc/internal/cc/types"
+)
+
+func analyze(t *testing.T, src string) *Info {
+	t.Helper()
+	f, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := Analyze(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return info
+}
+
+func analyzeErr(t *testing.T, src string) error {
+	t.Helper()
+	f, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Analyze(f)
+	return err
+}
+
+func TestSymbolResolution(t *testing.T) {
+	info := analyze(t, `
+int g;
+int f(int p) {
+    int l = p + g;
+    return l;
+}
+int main() { return f(1); }`)
+	if info.Globals["g"] == nil {
+		t.Fatal("global g not recorded")
+	}
+	if info.Funcs["f"] == nil || info.Funcs["main"] == nil {
+		t.Fatal("functions not recorded")
+	}
+	// Every Ident in f must be linked to a symbol.
+	fn := info.File.FindFunc("f")
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Sym == nil {
+			t.Errorf("unresolved ident %s", id.Name)
+		}
+		return true
+	})
+}
+
+func TestShadowing(t *testing.T) {
+	info := analyze(t, `
+int x;
+int main() {
+    int x = 1;
+    {
+        int x = 2;
+        x = 3;
+    }
+    return x;
+}`)
+	// Three distinct x symbols: global, outer local, inner local.
+	count := 0
+	for _, s := range info.AllSymbols {
+		if s.Name == "x" {
+			count++
+		}
+	}
+	if count != 3 {
+		t.Errorf("found %d x symbols, want 3", count)
+	}
+	// The return statement's x is the outer local, not the inner one.
+	main := info.File.FindFunc("main")
+	ret := main.Body.List[len(main.Body.List)-1].(*ast.ReturnStmt)
+	id := ret.Result.(*ast.Ident)
+	if id.Sym == nil || id.Sym.Global {
+		t.Error("return x must resolve to the local")
+	}
+}
+
+func TestUndeclaredRejected(t *testing.T) {
+	if err := analyzeErr(t, "int main() { return nope; }"); err == nil {
+		t.Error("undeclared identifier accepted")
+	}
+	if err := analyzeErr(t, "int main() { nope(); return 0; }"); err == nil {
+		t.Error("call to unknown non-builtin accepted")
+	}
+}
+
+func TestRedeclarationRejected(t *testing.T) {
+	if err := analyzeErr(t, "int main() { int a; int a; return 0; }"); err == nil {
+		t.Error("same-scope redeclaration accepted")
+	}
+}
+
+func TestBuiltinsResolvable(t *testing.T) {
+	analyze(t, `
+int main() {
+    printf("%d\n", 1);
+    void *p = malloc(16);
+    free(p);
+    double d = sqrt(fabs(0.0 - 4.0));
+    pthread_t t;
+    pthread_create(&t, NULL, NULL, NULL);
+    RCCE_init(NULL, NULL);
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    return (int)d;
+}`)
+}
+
+func TestExprTypes(t *testing.T) {
+	info := analyze(t, `
+double d;
+int i;
+int *p;
+int arr[4];
+int main() {
+    d = d + i;
+    p = &i;
+    i = arr[2];
+    return 0;
+}`)
+	main := info.File.FindFunc("main")
+	// d + i must be double (usual conversions).
+	s0 := main.Body.List[0].(*ast.ExprStmt).X.(*ast.AssignExpr)
+	if rt := s0.RHS.ResultType(); rt == nil || rt.Kind != types.Double {
+		t.Errorf("d + i type = %v, want double", rt)
+	}
+	// &i must be int*.
+	s1 := main.Body.List[1].(*ast.ExprStmt).X.(*ast.AssignExpr)
+	if rt := s1.RHS.ResultType(); rt == nil || rt.Kind != types.Pointer || rt.Elem.Kind != types.Int {
+		t.Errorf("&i type = %v, want int*", rt)
+	}
+	// arr[2] must be int.
+	s2 := main.Body.List[2].(*ast.ExprStmt).X.(*ast.AssignExpr)
+	if rt := s2.RHS.ResultType(); rt == nil || rt.Kind != types.Int {
+		t.Errorf("arr[2] type = %v, want int", rt)
+	}
+}
+
+func TestParamsAreSymbols(t *testing.T) {
+	info := analyze(t, "int f(int a, double b) { return a + (int)b; }\nint main() { return f(1, 2.0); }")
+	fn := info.File.FindFunc("f")
+	for _, p := range fn.Params {
+		if p.Sym == nil || p.Sym.Kind != ast.SymParam {
+			t.Errorf("param %s not a SymParam", p.Name)
+		}
+		if p.Sym.Func != "f" {
+			t.Errorf("param %s owner = %q, want f", p.Name, p.Sym.Func)
+		}
+	}
+}
+
+func TestErrorHasPosition(t *testing.T) {
+	err := analyzeErr(t, "int main() {\n    return bad;\n}")
+	if err == nil || !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line info: %v", err)
+	}
+}
+
+func TestStructFieldAccessChecked(t *testing.T) {
+	analyze(t, `
+struct point { int x; int y; };
+struct point g;
+int main() { g.x = 1; return g.y; }`)
+}

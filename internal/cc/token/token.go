@@ -1,0 +1,209 @@
+// Package token defines the lexical tokens of the C subset accepted by the
+// hsmcc frontend, together with source positions.
+//
+// The subset covers everything the paper's benchmarks and translation
+// framework need: the full C expression grammar, declarations with pointer
+// and array derivations, control flow (if/else, for, while, do-while,
+// switch), typedef-style names (pthread_t and friends), preprocessor
+// include lines (recorded, not expanded), and string/char/number literals.
+package token
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds. Keyword kinds follow the punctuation block.
+const (
+	EOF Kind = iota
+	Ident
+	IntLit
+	FloatLit
+	CharLit
+	StringLit
+	Include // a whole "#include <...>" or "#include \"...\"" line
+
+	// Punctuation and operators.
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Semi     // ;
+	Comma    // ,
+	Dot      // .
+	Arrow    // ->
+	Ellipsis // ...
+
+	Assign     // =
+	AddAssign  // +=
+	SubAssign  // -=
+	MulAssign  // *=
+	DivAssign  // /=
+	ModAssign  // %=
+	AndAssign  // &=
+	OrAssign   // |=
+	XorAssign  // ^=
+	ShlAssign  // <<=
+	ShrAssign  // >>=
+	PlusPlus   // ++
+	MinusMinus // --
+
+	Plus    // +
+	Minus   // -
+	Star    // *
+	Slash   // /
+	Percent // %
+	Amp     // &
+	Pipe    // |
+	Caret   // ^
+	Tilde   // ~
+	Bang    // !
+	Shl     // <<
+	Shr     // >>
+	Lt      // <
+	Gt      // >
+	Le      // <=
+	Ge      // >=
+	EqEq    // ==
+	NotEq   // !=
+	AndAnd  // &&
+	OrOr    // ||
+	Quest   // ?
+	Colon   // :
+
+	// Keywords.
+	KwInt
+	KwLong
+	KwShort
+	KwChar
+	KwFloat
+	KwDouble
+	KwVoid
+	KwUnsigned
+	KwSigned
+	KwStruct
+	KwUnion
+	KwEnum
+	KwTypedef
+	KwConst
+	KwVolatile
+	KwStatic
+	KwExtern
+	KwRegister
+	KwIf
+	KwElse
+	KwFor
+	KwWhile
+	KwDo
+	KwSwitch
+	KwCase
+	KwDefault
+	KwBreak
+	KwContinue
+	KwReturn
+	KwGoto
+	KwSizeof
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", IntLit: "integer literal",
+	FloatLit: "float literal", CharLit: "char literal",
+	StringLit: "string literal", Include: "#include",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Semi: ";", Comma: ",", Dot: ".",
+	Arrow: "->", Ellipsis: "...",
+	Assign: "=", AddAssign: "+=", SubAssign: "-=", MulAssign: "*=",
+	DivAssign: "/=", ModAssign: "%=", AndAssign: "&=", OrAssign: "|=",
+	XorAssign: "^=", ShlAssign: "<<=", ShrAssign: ">>=",
+	PlusPlus: "++", MinusMinus: "--",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", Bang: "!",
+	Shl: "<<", Shr: ">>", Lt: "<", Gt: ">", Le: "<=", Ge: ">=",
+	EqEq: "==", NotEq: "!=", AndAnd: "&&", OrOr: "||",
+	Quest: "?", Colon: ":",
+	KwInt: "int", KwLong: "long", KwShort: "short", KwChar: "char",
+	KwFloat: "float", KwDouble: "double", KwVoid: "void",
+	KwUnsigned: "unsigned", KwSigned: "signed", KwStruct: "struct",
+	KwUnion: "union", KwEnum: "enum", KwTypedef: "typedef",
+	KwConst: "const", KwVolatile: "volatile", KwStatic: "static",
+	KwExtern: "extern", KwRegister: "register",
+	KwIf: "if", KwElse: "else", KwFor: "for", KwWhile: "while",
+	KwDo: "do", KwSwitch: "switch", KwCase: "case", KwDefault: "default",
+	KwBreak: "break", KwContinue: "continue", KwReturn: "return",
+	KwGoto: "goto", KwSizeof: "sizeof",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their kinds.
+var Keywords = map[string]Kind{
+	"int": KwInt, "long": KwLong, "short": KwShort, "char": KwChar,
+	"float": KwFloat, "double": KwDouble, "void": KwVoid,
+	"unsigned": KwUnsigned, "signed": KwSigned, "struct": KwStruct,
+	"union": KwUnion, "enum": KwEnum, "typedef": KwTypedef,
+	"const": KwConst, "volatile": KwVolatile, "static": KwStatic,
+	"extern": KwExtern, "register": KwRegister,
+	"if": KwIf, "else": KwElse, "for": KwFor, "while": KwWhile,
+	"do": KwDo, "switch": KwSwitch, "case": KwCase, "default": KwDefault,
+	"break": KwBreak, "continue": KwContinue, "return": KwReturn,
+	"goto": KwGoto, "sizeof": KwSizeof,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is one lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, IntLit, FloatLit, CharLit, StringLit, Include:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// IsAssignOp reports whether the kind is an assignment operator
+// (= += -= *= /= %= &= |= ^= <<= >>=).
+func (k Kind) IsAssignOp() bool {
+	switch k {
+	case Assign, AddAssign, SubAssign, MulAssign, DivAssign, ModAssign,
+		AndAssign, OrAssign, XorAssign, ShlAssign, ShrAssign:
+		return true
+	}
+	return false
+}
+
+// IsTypeKeyword reports whether the kind can begin a type specifier.
+func (k Kind) IsTypeKeyword() bool {
+	switch k {
+	case KwInt, KwLong, KwShort, KwChar, KwFloat, KwDouble, KwVoid,
+		KwUnsigned, KwSigned, KwStruct, KwUnion, KwEnum, KwConst,
+		KwVolatile:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,307 @@
+// Package types models the C type system of the hsmcc frontend with the
+// ILP32 layout of the SCC's P54C Pentium cores: int/long/pointer are 4
+// bytes, double is 8, natural alignment throughout. Sizes feed the paper's
+// Stage 4 partitioner ("mem size is a combination of the Size and Type
+// properties", Algorithm 3) and the interpreter's address computation.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates the type representations.
+type Kind int
+
+// Type kinds.
+const (
+	Void Kind = iota
+	Char
+	Short
+	Int
+	Long
+	UInt // unsigned int / unsigned long (same width on ILP32)
+	Float
+	Double
+	Pointer
+	Array
+	Func
+	Struct
+	// Opaque covers runtime handle types the translator knows by name
+	// (pthread_t, pthread_mutex_t, pthread_attr_t, RCCE_COMM). They occupy
+	// a word of storage and are removed or rewritten during translation.
+	Opaque
+)
+
+// Type is an immutable C type. Compare with Equal, not ==, except for
+// cached basic types which are canonical.
+type Type struct {
+	Kind Kind
+	// Elem is the pointee for Pointer, the element for Array, the result
+	// for Func.
+	Elem *Type
+	// Len is the element count for Array; -1 for an incomplete array.
+	Len int
+	// Params are parameter types for Func.
+	Params []*Type
+	// Variadic marks a Func with a trailing "...".
+	Variadic bool
+	// Name records the source spelling for Opaque and Struct types.
+	Name string
+	// Fields are the members of a Struct in declaration order.
+	Fields []Field
+
+	// structSize and structAlign cache the layout computed by StructOf.
+	structSize  int
+	structAlign int
+}
+
+// Field is one struct member.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int
+}
+
+// Canonical basic types. These are shared; never mutate them.
+var (
+	VoidType   = &Type{Kind: Void}
+	CharType   = &Type{Kind: Char}
+	ShortType  = &Type{Kind: Short}
+	IntType    = &Type{Kind: Int}
+	LongType   = &Type{Kind: Long}
+	UIntType   = &Type{Kind: UInt}
+	FloatType  = &Type{Kind: Float}
+	DoubleType = &Type{Kind: Double}
+)
+
+// PointerTo returns a pointer type to elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: Pointer, Elem: elem} }
+
+// ArrayOf returns an array type of n elems (n == -1 for incomplete).
+func ArrayOf(elem *Type, n int) *Type { return &Type{Kind: Array, Elem: elem, Len: n} }
+
+// FuncOf returns a function type.
+func FuncOf(result *Type, params []*Type, variadic bool) *Type {
+	return &Type{Kind: Func, Elem: result, Params: params, Variadic: variadic}
+}
+
+// OpaqueOf returns an opaque named handle type (one word of storage).
+func OpaqueOf(name string) *Type { return &Type{Kind: Opaque, Name: name} }
+
+// StructOf builds a struct type, laying out fields with natural alignment.
+func StructOf(name string, fields []Field) *Type {
+	t := &Type{Kind: Struct, Name: name}
+	off := 0
+	maxAlign := 1
+	for _, f := range fields {
+		a := f.Type.Align()
+		if a > maxAlign {
+			maxAlign = a
+		}
+		off = roundUp(off, a)
+		f.Offset = off
+		off += f.Type.Size()
+		t.Fields = append(t.Fields, f)
+	}
+	t.structSize = roundUp(off, maxAlign)
+	t.structAlign = maxAlign
+	return t
+}
+
+func roundUp(n, a int) int {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// Size returns the storage size in bytes under the ILP32 model.
+// Incomplete arrays report the size of one element slot times zero.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case Void:
+		return 0
+	case Char:
+		return 1
+	case Short:
+		return 2
+	case Int, UInt, Long, Float, Pointer, Opaque:
+		return 4
+	case Double:
+		return 8
+	case Array:
+		if t.Len < 0 {
+			return 0
+		}
+		return t.Len * t.Elem.Size()
+	case Struct:
+		return t.structSize
+	case Func:
+		return 0
+	}
+	return 0
+}
+
+// Align returns the natural alignment in bytes.
+func (t *Type) Align() int {
+	switch t.Kind {
+	case Char:
+		return 1
+	case Short:
+		return 2
+	case Double:
+		return 8
+	case Array:
+		return t.Elem.Align()
+	case Struct:
+		if t.structAlign == 0 {
+			return 1
+		}
+		return t.structAlign
+	case Void, Func:
+		return 1
+	default:
+		return 4
+	}
+}
+
+// IsInteger reports whether t is an integral type (including char/opaque
+// handles which are word-sized integers at runtime).
+func (t *Type) IsInteger() bool {
+	switch t.Kind {
+	case Char, Short, Int, Long, UInt, Opaque:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t is float or double.
+func (t *Type) IsFloat() bool { return t.Kind == Float || t.Kind == Double }
+
+// IsArithmetic reports whether t is integer or floating.
+func (t *Type) IsArithmetic() bool { return t.IsInteger() || t.IsFloat() }
+
+// IsPointerLike reports whether t is a pointer or array (decays to pointer).
+func (t *Type) IsPointerLike() bool { return t.Kind == Pointer || t.Kind == Array }
+
+// Decay returns the pointer type an array decays to, or t unchanged.
+func (t *Type) Decay() *Type {
+	if t.Kind == Array {
+		return PointerTo(t.Elem)
+	}
+	return t
+}
+
+// Field returns the struct field named name and true, or false.
+func (t *Type) Field(name string) (Field, bool) {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// Equal reports structural type equality.
+func Equal(a, b *Type) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case Pointer:
+		return Equal(a.Elem, b.Elem)
+	case Array:
+		return a.Len == b.Len && Equal(a.Elem, b.Elem)
+	case Func:
+		if !Equal(a.Elem, b.Elem) || len(a.Params) != len(b.Params) || a.Variadic != b.Variadic {
+			return false
+		}
+		for i := range a.Params {
+			if !Equal(a.Params[i], b.Params[i]) {
+				return false
+			}
+		}
+		return true
+	case Opaque, Struct:
+		return a.Name == b.Name
+	default:
+		return true
+	}
+}
+
+// String renders the type in C-ish syntax, e.g. "int*", "double[64]".
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case Void:
+		return "void"
+	case Char:
+		return "char"
+	case Short:
+		return "short"
+	case Int:
+		return "int"
+	case Long:
+		return "long"
+	case UInt:
+		return "unsigned int"
+	case Float:
+		return "float"
+	case Double:
+		return "double"
+	case Pointer:
+		return t.Elem.String() + "*"
+	case Array:
+		// C syntax writes the outermost dimension first: int[2][3] is an
+		// array of 2 arrays of 3 ints.
+		dims := ""
+		base := t
+		for base.Kind == Array {
+			if base.Len < 0 {
+				dims += "[]"
+			} else {
+				dims += fmt.Sprintf("[%d]", base.Len)
+			}
+			base = base.Elem
+		}
+		return base.String() + dims
+	case Func:
+		var ps []string
+		for _, p := range t.Params {
+			ps = append(ps, p.String())
+		}
+		if t.Variadic {
+			ps = append(ps, "...")
+		}
+		return fmt.Sprintf("%s(%s)", t.Elem, strings.Join(ps, ", "))
+	case Struct:
+		return "struct " + t.Name
+	case Opaque:
+		return t.Name
+	}
+	return "<?>"
+}
+
+// Common arithmetic conversion: the usual C promotion between two
+// arithmetic operands.
+func Common(a, b *Type) *Type {
+	if a.Kind == Double || b.Kind == Double {
+		return DoubleType
+	}
+	if a.Kind == Float || b.Kind == Float {
+		return FloatType
+	}
+	if a.Kind == UInt || b.Kind == UInt {
+		return UIntType
+	}
+	if a.Kind == Long || b.Kind == Long {
+		return LongType
+	}
+	return IntType
+}

@@ -1,0 +1,186 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestILP32Sizes pins the target ABI: the SCC's P54C cores are 32-bit.
+func TestILP32Sizes(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		size int
+	}{
+		{CharType, 1},
+		{ShortType, 2},
+		{IntType, 4},
+		{LongType, 4},
+		{UIntType, 4},
+		{FloatType, 4},
+		{DoubleType, 8},
+		{PointerTo(DoubleType), 4},
+		{ArrayOf(IntType, 10), 40},
+		{ArrayOf(DoubleType, 3), 24},
+		{OpaqueOf("pthread_t"), 4},
+	}
+	for _, c := range cases {
+		if got := c.t.Size(); got != c.size {
+			t.Errorf("Size(%s) = %d, want %d", c.t, got, c.size)
+		}
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	if DoubleType.Align() != 8 || IntType.Align() != 4 || CharType.Align() != 1 {
+		t.Errorf("alignments: double %d int %d char %d",
+			DoubleType.Align(), IntType.Align(), CharType.Align())
+	}
+	if ArrayOf(DoubleType, 4).Align() != 8 {
+		t.Error("array alignment must follow the element")
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	s := StructOf("point", []Field{
+		{Name: "c", Type: CharType},
+		{Name: "d", Type: DoubleType},
+		{Name: "i", Type: IntType},
+	})
+	// char at 0, 7 bytes padding, double at 8, int at 16, pad to 24.
+	fd, ok := s.Field("d")
+	if !ok || fd.Offset != 8 {
+		t.Errorf("d offset = %d, want 8", fd.Offset)
+	}
+	fi, _ := s.Field("i")
+	if fi.Offset != 16 {
+		t.Errorf("i offset = %d, want 16", fi.Offset)
+	}
+	if s.Size() != 24 {
+		t.Errorf("struct size = %d, want 24", s.Size())
+	}
+	if _, ok := s.Field("nope"); ok {
+		t.Error("missing field reported present")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !IntType.IsInteger() || DoubleType.IsInteger() {
+		t.Error("IsInteger misclassifies")
+	}
+	if !FloatType.IsFloat() || IntType.IsFloat() {
+		t.Error("IsFloat misclassifies")
+	}
+	if !IntType.IsArithmetic() || !DoubleType.IsArithmetic() || PointerTo(IntType).IsArithmetic() {
+		t.Error("IsArithmetic misclassifies")
+	}
+	if !PointerTo(IntType).IsPointerLike() || !ArrayOf(IntType, 2).IsPointerLike() || IntType.IsPointerLike() {
+		t.Error("IsPointerLike misclassifies")
+	}
+}
+
+func TestDecay(t *testing.T) {
+	arr := ArrayOf(IntType, 5)
+	d := arr.Decay()
+	if d.Kind != Pointer || d.Elem != IntType {
+		t.Errorf("array decays to %s", d)
+	}
+	p := PointerTo(IntType)
+	if p.Decay() != p {
+		t.Error("pointer decay must be identity")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(PointerTo(IntType), PointerTo(IntType)) {
+		t.Error("equal pointers differ")
+	}
+	if Equal(PointerTo(IntType), PointerTo(DoubleType)) {
+		t.Error("different pointees equal")
+	}
+	if !Equal(ArrayOf(IntType, 3), ArrayOf(IntType, 3)) || Equal(ArrayOf(IntType, 3), ArrayOf(IntType, 4)) {
+		t.Error("array equality wrong")
+	}
+	if !Equal(nil, nil) || Equal(nil, IntType) {
+		t.Error("nil handling wrong")
+	}
+}
+
+func TestCommonType(t *testing.T) {
+	cases := []struct{ a, b, want *Type }{
+		{IntType, IntType, IntType},
+		{IntType, DoubleType, DoubleType},
+		{FloatType, IntType, FloatType},
+		{CharType, IntType, IntType},
+		{FloatType, DoubleType, DoubleType},
+	}
+	for _, c := range cases {
+		if got := Common(c.a, c.b); got.Kind != c.want.Kind {
+			t.Errorf("Common(%s,%s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want string
+	}{
+		{IntType, "int"},
+		{PointerTo(IntType), "int*"},
+		{PointerTo(PointerTo(CharType)), "char**"},
+		{OpaqueOf("pthread_t"), "pthread_t"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestSizeAlignInvariants: for every constructible type, size is a
+// positive multiple of alignment (property test).
+func TestSizeAlignInvariants(t *testing.T) {
+	basics := []*Type{CharType, ShortType, IntType, LongType, UIntType, FloatType, DoubleType}
+	f := func(base uint8, arrayLen uint8, wrapPtr bool) bool {
+		ty := basics[int(base)%len(basics)]
+		if n := int(arrayLen%16) + 1; !wrapPtr {
+			ty = ArrayOf(ty, n)
+		} else {
+			ty = PointerTo(ty)
+		}
+		size, align := ty.Size(), ty.Align()
+		return size > 0 && align > 0 && size%align == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEqualReflexiveSymmetric: property test over random type shapes.
+func TestEqualReflexiveSymmetric(t *testing.T) {
+	basics := []*Type{CharType, IntType, DoubleType}
+	build := func(seed uint16) *Type {
+		ty := basics[int(seed)%len(basics)]
+		for s := seed / 4; s > 0; s /= 4 {
+			switch s % 3 {
+			case 0:
+				ty = PointerTo(ty)
+			case 1:
+				ty = ArrayOf(ty, int(s%5)+1)
+			case 2:
+				ty = FuncOf(ty, []*Type{IntType}, false)
+			}
+		}
+		return ty
+	}
+	f := func(a, b uint16) bool {
+		ta, tb := build(a), build(b)
+		if !Equal(ta, ta) || !Equal(tb, tb) {
+			return false
+		}
+		return Equal(ta, tb) == Equal(tb, ta)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,8 @@
+package interp
+
+import "math"
+
+func floatBits32(f float64) uint32 { return math.Float32bits(float32(f)) }
+func floatBits64(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat32(b uint32) float32 { return math.Float32frombits(b) }
+func bitsFloat64(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,253 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"hsmcc/internal/cc/ast"
+	"hsmcc/internal/cc/types"
+)
+
+// evalCall dispatches a call: defined functions first (directly by name
+// or through a function pointer), then the runtime's builtins, then the
+// interpreter's common libc subset.
+func (p *Proc) evalCall(n *ast.CallExpr) (Value, error) {
+	name := n.FuncName()
+
+	// Indirect call through an expression or function-valued variable.
+	if name == "" || (n.Fun.ResultType() != nil && p.Sim.Program.Funcs[name] == nil && !isKnownBuiltin(name)) {
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Sym != nil && id.Sym.Kind != ast.SymFunc {
+			fv, err := p.evalExpr(n.Fun)
+			if err != nil {
+				return Value{}, err
+			}
+			if fn := p.Sim.Program.FuncByValue(fv); fn != nil {
+				args, err := p.evalArgs(n.Args)
+				if err != nil {
+					return Value{}, err
+				}
+				return p.call(fn, args)
+			}
+		}
+	}
+
+	if fn, ok := p.Sim.Program.Funcs[name]; ok && fn.Body != nil {
+		args, err := p.evalArgs(n.Args)
+		if err != nil {
+			return Value{}, err
+		}
+		return p.call(fn, args)
+	}
+
+	args, err := p.evalArgs(n.Args)
+	if err != nil {
+		return Value{}, err
+	}
+	if rt := p.Sim.Runtime; rt != nil {
+		v, handled, err := rt.CallBuiltin(p, name, args)
+		if err != nil {
+			return Value{}, err
+		}
+		if handled {
+			return v, nil
+		}
+	}
+	v, handled, err := p.commonBuiltin(name, args)
+	if err != nil {
+		return Value{}, err
+	}
+	if handled {
+		return v, nil
+	}
+	return Value{}, fmt.Errorf("%s: call of unknown function %s", n.Pos(), name)
+}
+
+func (p *Proc) evalArgs(exprs []ast.Expr) ([]Value, error) {
+	args := make([]Value, len(exprs))
+	for i, e := range exprs {
+		v, err := p.evalExpr(e)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+		p.chargeCycles(costALU) // argument push
+	}
+	return args, nil
+}
+
+func isKnownBuiltin(name string) bool {
+	switch name {
+	case "printf", "malloc", "calloc", "free", "memset", "memcpy",
+		"exit", "abort", "atoi", "sqrt", "fabs", "wallclock":
+		return true
+	}
+	return strings.HasPrefix(name, "pthread_") || strings.HasPrefix(name, "RCCE_")
+}
+
+// commonBuiltin implements the runtime-independent libc subset.
+func (p *Proc) commonBuiltin(name string, args []Value) (Value, bool, error) {
+	switch name {
+	case "printf":
+		if len(args) == 0 {
+			return Value{}, true, fmt.Errorf("printf without format")
+		}
+		format := p.ReadCString(args[0].Addr())
+		out, err := p.formatC(format, args[1:])
+		if err != nil {
+			return Value{}, true, err
+		}
+		p.chargeCycles(costCall + len(out)) // I/O cost proportional to text
+		p.Sim.Out.WriteString(out)
+		return IntValue(types.IntType, int64(len(out))), true, nil
+
+	case "malloc", "RCCE_malloc_request": // private heap
+		n := int(args[0].Int())
+		addr := p.heapAlloc(n)
+		p.chargeCycles(costCall * 4)
+		return PtrValue(types.PointerTo(types.VoidType), addr), true, nil
+
+	case "calloc":
+		n := int(args[0].Int() * args[1].Int())
+		addr := p.heapAlloc(n)
+		// PageMem zero-fills fresh pages; the bump allocator never
+		// reuses, so the region is already zero.
+		p.chargeCycles(costCall*4 + n/8)
+		return PtrValue(types.PointerTo(types.VoidType), addr), true, nil
+
+	case "free":
+		p.chargeCycles(costCall)
+		return Value{T: types.VoidType}, true, nil
+
+	case "memset":
+		addr, val, n := args[0].Addr(), byte(args[1].Int()), int(args[2].Int())
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = val
+		}
+		p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
+		p.chargeCycles(n / 4)
+		return args[0], true, nil
+
+	case "memcpy":
+		dst, src, n := args[0].Addr(), args[1].Addr(), int(args[2].Int())
+		buf := make([]byte, n)
+		p.Clock += p.Sim.Machine.Load(p.Core, src, buf, p.Clock)
+		p.Clock += p.Sim.Machine.Store(p.Core, dst, buf, p.Clock)
+		p.chargeCycles(n / 4)
+		return args[0], true, nil
+
+	case "exit", "abort":
+		return Value{}, true, errThreadExit
+
+	case "atoi":
+		s := p.ReadCString(args[0].Addr())
+		v, _ := strconv.Atoi(strings.TrimSpace(s))
+		p.chargeCycles(costCall + 4*len(s))
+		return IntValue(types.IntType, int64(v)), true, nil
+
+	case "sqrt":
+		p.chargeCycles(70) // P54C FSQRT
+		return FloatValue(types.DoubleType, math.Sqrt(args[0].Float())), true, nil
+
+	case "fabs":
+		p.chargeCycles(costFAdd)
+		return FloatValue(types.DoubleType, math.Abs(args[0].Float())), true, nil
+
+	case "wallclock":
+		p.chargeCycles(costCall)
+		return FloatValue(types.DoubleType, p.Seconds()), true, nil
+	}
+	return Value{}, false, nil
+}
+
+// formatC renders a C printf format with the given arguments.
+func (p *Proc) formatC(format string, args []Value) (string, error) {
+	var sb strings.Builder
+	ai := 0
+	next := func() (Value, error) {
+		if ai >= len(args) {
+			return Value{}, fmt.Errorf("printf: missing argument %d for %q", ai, format)
+		}
+		v := args[ai]
+		ai++
+		return v, nil
+	}
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c != '%' {
+			sb.WriteByte(c)
+			continue
+		}
+		// Collect the spec: flags, width, precision, length modifiers.
+		j := i + 1
+		for j < len(format) && strings.ContainsRune("-+ #0123456789.", rune(format[j])) {
+			j++
+		}
+		for j < len(format) && (format[j] == 'l' || format[j] == 'h') {
+			j++
+		}
+		if j >= len(format) {
+			sb.WriteByte('%')
+			break
+		}
+		spec := strings.Map(func(r rune) rune {
+			if r == 'l' || r == 'h' {
+				return -1
+			}
+			return r
+		}, format[i+1:j])
+		verb := format[j]
+		i = j
+		switch verb {
+		case '%':
+			sb.WriteByte('%')
+		case 'd', 'i':
+			v, err := next()
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, "%"+spec+"d", v.Int())
+		case 'u':
+			v, err := next()
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, "%"+spec+"d", uint32(v.Int()))
+		case 'x', 'X', 'o':
+			v, err := next()
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, "%"+spec+string(verb), uint32(v.Int()))
+		case 'c':
+			v, err := next()
+			if err != nil {
+				return "", err
+			}
+			sb.WriteByte(byte(v.Int()))
+		case 'f', 'F', 'e', 'E', 'g', 'G':
+			v, err := next()
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, "%"+spec+string(verb), v.Float())
+		case 's':
+			v, err := next()
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, "%"+spec+"s", p.ReadCString(v.Addr()))
+		case 'p':
+			v, err := next()
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, "0x%x", uint32(v.Int()))
+		default:
+			return "", fmt.Errorf("printf: unsupported verb %%%c", verb)
+		}
+	}
+	return sb.String(), nil
+}

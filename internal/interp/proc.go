@@ -1,0 +1,235 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"hsmcc/internal/cc/ast"
+	"hsmcc/internal/cc/types"
+	"hsmcc/internal/sccsim"
+)
+
+// errThreadExit unwinds a context when the program calls pthread_exit or
+// exit; it is not reported as a failure.
+var errThreadExit = errors.New("thread exit")
+
+// ThreadExitError returns the sentinel used to unwind a context; runtimes
+// return it from CallBuiltin to terminate the calling thread cleanly.
+func ThreadExitError() error { return errThreadExit }
+
+// maxCallDepth bounds recursion in interpreted programs.
+const maxCallDepth = 256
+
+// Proc is one execution context: a Pthread thread or an RCCE process.
+type Proc struct {
+	Sim   *Sim
+	ID    int
+	Core  int
+	Clock sccsim.Time
+	State ProcState
+	// Ret is the entry function's return value once State is Done.
+	Ret Value
+	// Slice is runtime-private scheduling state (the pthread runtime
+	// stores the quantum start here).
+	Slice sccsim.Time
+
+	fn     *ast.FuncDecl
+	args   []Value
+	resume chan struct{}
+	yieldq chan struct{}
+
+	frames    []*frame
+	stackIdx  int
+	stackTop  uint32
+	stackPtr  uint32
+	memOps    int
+	lastYield sccsim.Time
+	buf       [8]byte
+
+	// Stats.
+	Ops   uint64 // executed statements
+	Calls uint64
+}
+
+// frame is one activation record.
+type frame struct {
+	fn    *ast.FuncDecl
+	slots map[*ast.Symbol]uint32
+	saved uint32 // stack pointer to restore
+}
+
+// ---------------------------------------------------------------------------
+// Time accounting and memory access
+// ---------------------------------------------------------------------------
+
+// yieldHorizonPs bounds how far a context's virtual clock may run ahead
+// between scheduler handoffs (2.5 us = 2000 cycles at 800 MHz). Memory-
+// controller queueing is order-of-issue, so issue order must approximate
+// virtual-time order: without this bound, one context executing a large
+// compute block (e.g. RCCE_init) and then touching DRAM would push the
+// controller's free time into the virtual future and charge every
+// lower-clock context a spurious wait.
+const yieldHorizonPs = sccsim.Time(2_500_000)
+
+// chargeCycles adds n core cycles of compute time, yielding when the
+// clock has run past the skew horizon.
+func (p *Proc) chargeCycles(n int) {
+	p.Clock += p.Sim.Machine.ComputeTime(p.Core, n)
+	if p.Clock-p.lastYield >= yieldHorizonPs {
+		p.Yield()
+	}
+}
+
+// noteMemOp implements the cooperative yield cadence. Accesses to shared
+// regions (shared DRAM, MPB) yield immediately: those are the points
+// where cross-core contention is modelled, and letting one context run a
+// burst ahead would serialize whole bursts at the memory controllers
+// instead of interleaving requests in virtual-time order. Private
+// accesses cannot contend, so they only yield every YieldEvery ops to
+// keep scheduling overhead low.
+func (p *Proc) noteMemOp(addr uint32) {
+	p.memOps++
+	if addr >= sccsim.SharedBase || p.memOps >= YieldEvery ||
+		p.Clock-p.lastYield >= yieldHorizonPs {
+		p.memOps = 0
+		p.Yield()
+	}
+}
+
+// loadValue reads a typed value from simulated memory, charging latency.
+func (p *Proc) loadValue(addr uint32, t *types.Type) (Value, error) {
+	size := t.Size()
+	if size <= 0 || size > 8 {
+		return Value{}, fmt.Errorf("load of %d-byte type %s", size, t)
+	}
+	buf := p.buf[:size]
+	p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
+	p.noteMemOp(addr)
+	return decodeValue(t, buf)
+}
+
+// storeValue writes a typed value to simulated memory, charging latency.
+func (p *Proc) storeValue(addr uint32, t *types.Type, v Value) error {
+	size := t.Size()
+	if size <= 0 || size > 8 {
+		return fmt.Errorf("store of %d-byte type %s", size, t)
+	}
+	buf := p.buf[:size]
+	if err := encodeValue(t, Convert(v, t), buf); err != nil {
+		return err
+	}
+	p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
+	p.noteMemOp(addr)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Address resolution
+// ---------------------------------------------------------------------------
+
+// addrOfSymbol finds a variable's address: innermost frame slot first,
+// then the globals image.
+func (p *Proc) addrOfSymbol(sym *ast.Symbol) (uint32, bool) {
+	if len(p.frames) > 0 {
+		if a, ok := p.frames[len(p.frames)-1].slots[sym]; ok {
+			return a, true
+		}
+	}
+	if a, ok := p.Sim.Program.GlobalAddr(sym); ok {
+		return a, true
+	}
+	return 0, false
+}
+
+// heapAlloc bump-allocates n bytes from the core's private heap.
+func (p *Proc) heapAlloc(n int) uint32 {
+	s := p.Sim
+	cur := s.heaps[p.Core]
+	cur = (cur + 7) &^ 7
+	addr := cur
+	s.heaps[p.Core] = cur + uint32(n)
+	return addr
+}
+
+// pushFrame allocates the activation record for fn: one aligned stack
+// slot per parameter and per local declaration anywhere in the body
+// (slots are assigned once, like a compiled frame).
+func (p *Proc) pushFrame(fn *ast.FuncDecl) (*frame, error) {
+	if len(p.frames) >= maxCallDepth {
+		return nil, fmt.Errorf("call depth exceeds %d in %s", maxCallDepth, fn.Name)
+	}
+	fr := &frame{fn: fn, slots: make(map[*ast.Symbol]uint32), saved: p.stackPtr}
+	sp := p.stackPtr
+	alloc := func(sym *ast.Symbol, t *types.Type) {
+		size := uint32(t.Size())
+		if size == 0 {
+			size = 4
+		}
+		a := uint32(t.Align())
+		if a == 0 {
+			a = 4
+		}
+		sp -= size
+		sp &^= a - 1
+		fr.slots[sym] = sp
+	}
+	for _, prm := range fn.Params {
+		if prm.Sym != nil {
+			alloc(prm.Sym, prm.Type)
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeclStmt); ok && d.Decl.Sym != nil {
+			alloc(d.Decl.Sym, d.Decl.Type)
+		}
+		return true
+	})
+	if p.stackTop-sp > StackBytes {
+		return nil, fmt.Errorf("stack overflow in %s", fn.Name)
+	}
+	p.stackPtr = sp
+	p.frames = append(p.frames, fr)
+	return fr, nil
+}
+
+func (p *Proc) popFrame() {
+	fr := p.frames[len(p.frames)-1]
+	p.frames = p.frames[:len(p.frames)-1]
+	p.stackPtr = fr.saved
+}
+
+// LoadTyped reads a typed value with timing; for runtime packages.
+func (p *Proc) LoadTyped(addr uint32, t *types.Type) (Value, error) {
+	return p.loadValue(addr, t)
+}
+
+// StoreTyped writes a typed value with timing; for runtime packages.
+func (p *Proc) StoreTyped(addr uint32, t *types.Type, v Value) error {
+	return p.storeValue(addr, t, v)
+}
+
+// ChargeCycles adds compute cycles; for runtime packages.
+func (p *Proc) ChargeCycles(n int) { p.chargeCycles(n) }
+
+// Printf appends to the session output.
+func (p *Proc) Printf(format string, args ...any) {
+	fmt.Fprintf(&p.Sim.Out, format, args...)
+}
+
+// ReadCString copies a NUL-terminated string out of simulated memory.
+func (p *Proc) ReadCString(addr uint32) string {
+	var out []byte
+	var b [1]byte
+	for len(out) < 1<<16 {
+		p.Sim.Machine.ReadBytes(p.Core, addr, b[:])
+		if b[0] == 0 {
+			break
+		}
+		out = append(out, b[0])
+		addr++
+	}
+	return string(out)
+}
+
+// Seconds converts the context clock to seconds.
+func (p *Proc) Seconds() float64 { return float64(p.Clock) / sccsim.PsPerSecond }

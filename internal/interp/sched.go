@@ -1,0 +1,319 @@
+package interp
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sort"
+
+	"hsmcc/internal/cc/ast"
+	"hsmcc/internal/sccsim"
+)
+
+// ProcState is an execution context's scheduling state.
+type ProcState int
+
+// Proc states.
+const (
+	Runnable ProcState = iota
+	Running
+	Blocked
+	Done
+)
+
+// Policy picks the next context to run. Next must return nil only when no
+// proc is Runnable.
+type Policy interface {
+	Next(procs []*Proc) *Proc
+}
+
+// MinClock schedules the runnable context with the smallest virtual time
+// (ties broken by lowest ID): the policy for multi-core RCCE execution,
+// which keeps cross-core memory events approximately time-ordered.
+type MinClock struct{}
+
+// Next implements Policy.
+func (MinClock) Next(procs []*Proc) *Proc {
+	var best *Proc
+	for _, p := range procs {
+		if p.State != Runnable {
+			continue
+		}
+		if best == nil || p.Clock < best.Clock || (p.Clock == best.Clock && p.ID < best.ID) {
+			best = p
+		}
+	}
+	return best
+}
+
+// Runtime supplies the environment-specific builtins (pthread or RCCE)
+// and scheduling hooks.
+type Runtime interface {
+	// CallBuiltin dispatches a runtime function; handled=false passes the
+	// call to the interpreter's common builtins.
+	CallBuiltin(p *Proc, name string, args []Value) (v Value, handled bool, err error)
+	// Tick runs at statement boundaries (preemption hook).
+	Tick(p *Proc)
+	// OnExit runs when a context finishes (wakes joiners, etc.).
+	OnExit(p *Proc)
+}
+
+// YieldEvery is how many timed memory accesses a context performs before
+// cooperatively yielding, bounding how far one context's virtual clock can
+// run ahead between scheduling decisions.
+const YieldEvery = 32
+
+// StackBytes is the stack reserved per execution context.
+const StackBytes = 256 * 1024
+
+// Sim is one simulation session: a machine, a loaded program, a runtime
+// and the set of execution contexts.
+type Sim struct {
+	Machine *sccsim.Machine
+	Program *Program
+	Runtime Runtime
+	Policy  Policy
+	Out     bytes.Buffer
+
+	procs  []*Proc
+	nextID int
+	// per-core bump allocators (threads share their core's heap).
+	heaps  map[int]uint32
+	stacks map[int]int // stack slots ever handed out on this core
+	// freeStacks recycles the slots of finished contexts so long-running
+	// programs that repeatedly create and join threads (LU does one
+	// round per elimination step) do not exhaust the address space.
+	freeStacks map[int][]int
+	// doneMax preserves the completion times of compacted contexts.
+	doneMax sccsim.Time
+	err     error
+	halted  bool
+}
+
+// NewSim builds a session. The runtime must be attached by the caller
+// before Run (pthreadrt and rcce packages do this).
+func NewSim(m *sccsim.Machine, pr *Program) *Sim {
+	return &Sim{
+		Machine:    m,
+		Program:    pr,
+		Policy:     MinClock{},
+		heaps:      make(map[int]uint32),
+		stacks:     make(map[int]int),
+		freeStacks: make(map[int][]int),
+	}
+}
+
+// Procs returns the spawned contexts.
+func (s *Sim) Procs() []*Proc { return s.procs }
+
+// Spawn creates an execution context on core that will run fn(args) when
+// first scheduled, starting at virtual time start. The program image is
+// instantiated into the core's private memory the first time a context
+// lands on that core.
+func (s *Sim) Spawn(core int, fn *ast.FuncDecl, args []Value, start sccsim.Time) (*Proc, error) {
+	if core < 0 || core >= s.Machine.Cores() {
+		return nil, fmt.Errorf("interp: spawn on core %d of %d", core, s.Machine.Cores())
+	}
+	if _, loaded := s.heaps[core]; !loaded {
+		if err := s.Program.instantiate(s.Machine, core); err != nil {
+			return nil, err
+		}
+		s.heaps[core] = s.Program.ImageEnd
+	}
+	var idx int
+	if free := s.freeStacks[core]; len(free) > 0 {
+		idx = free[len(free)-1]
+		s.freeStacks[core] = free[:len(free)-1]
+	} else {
+		idx = s.stacks[core]
+		s.stacks[core]++
+	}
+	const maxSlots = int((sccsim.PrivateLimit - sccsim.PrivateBase) / 2 / StackBytes)
+	if idx >= maxSlots {
+		return nil, fmt.Errorf("interp: core %d out of stack space (%d live contexts)", core, idx)
+	}
+	p := &Proc{
+		Sim:      s,
+		ID:       s.nextID,
+		Core:     core,
+		Clock:    start,
+		State:    Runnable,
+		stackIdx: idx,
+		fn:       fn,
+		args:     args,
+		resume:   make(chan struct{}),
+		yieldq:   make(chan struct{}),
+	}
+	p.stackTop = sccsim.PrivateLimit - uint32(idx*StackBytes)
+	p.stackPtr = p.stackTop
+	s.nextID++
+	s.procs = append(s.procs, p)
+	go p.top()
+	return p, nil
+}
+
+// Run drives the scheduler until every context is done or execution
+// cannot make progress. It returns the first runtime error, if any.
+func (s *Sim) Run() error {
+	defer s.stopAll()
+	for {
+		if s.err != nil {
+			return s.err
+		}
+		s.compact()
+		p := s.Policy.Next(s.procs)
+		if p == nil {
+			if s.allDone() {
+				return nil
+			}
+			return fmt.Errorf("interp: deadlock: %s", s.stateSummary())
+		}
+		p.State = Running
+		p.resume <- struct{}{}
+		<-p.yieldq
+	}
+}
+
+// compact drops finished contexts from the scheduling scan once they
+// outnumber the live ones, keeping Next() cheap for programs that spawn
+// thousands of short-lived threads.
+func (s *Sim) compact() {
+	done := 0
+	for _, p := range s.procs {
+		if p.State == Done {
+			done++
+		}
+	}
+	if done < 64 || done*2 < len(s.procs) {
+		return
+	}
+	live := s.procs[:0]
+	for _, p := range s.procs {
+		if p.State == Done {
+			if p.Clock > s.doneMax {
+				s.doneMax = p.Clock
+			}
+			continue
+		}
+		live = append(live, p)
+	}
+	s.procs = live
+}
+
+// Makespan returns the latest completion time across contexts.
+func (s *Sim) Makespan() sccsim.Time {
+	end := s.doneMax
+	for _, p := range s.procs {
+		if p.Clock > end {
+			end = p.Clock
+		}
+	}
+	return end
+}
+
+// Output returns everything the program printed.
+func (s *Sim) Output() string { return s.Out.String() }
+
+func (s *Sim) allDone() bool {
+	for _, p := range s.procs {
+		if p.State != Done {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Sim) stateSummary() string {
+	counts := map[ProcState]int{}
+	for _, p := range s.procs {
+		counts[p.State]++
+	}
+	var keys []int
+	for k := range counts {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	buf := ""
+	names := map[ProcState]string{Runnable: "runnable", Running: "running", Blocked: "blocked", Done: "done"}
+	for _, k := range keys {
+		buf += fmt.Sprintf(" %d %s", counts[ProcState(k)], names[ProcState(k)])
+	}
+	return buf
+}
+
+// stopAll terminates any still-live context goroutines (error paths).
+func (s *Sim) stopAll() {
+	s.halted = true
+	for _, p := range s.procs {
+		if p.State != Done {
+			close(p.resume)
+		}
+	}
+}
+
+// fail records the first runtime error.
+func (s *Sim) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// top is the context goroutine body.
+func (p *Proc) top() {
+	if !p.acquire() {
+		return
+	}
+	v, err := p.call(p.fn, p.args)
+	switch err {
+	case nil, errThreadExit:
+		p.Ret = v
+	default:
+		p.Sim.fail(fmt.Errorf("proc %d (core %d): %w", p.ID, p.Core, err))
+	}
+	p.State = Done
+	s := p.Sim
+	s.freeStacks[p.Core] = append(s.freeStacks[p.Core], p.stackIdx)
+	if s.Runtime != nil {
+		s.Runtime.OnExit(p)
+	}
+	p.yieldq <- struct{}{}
+}
+
+// acquire waits to be scheduled; false means the session was torn down.
+func (p *Proc) acquire() bool {
+	_, ok := <-p.resume
+	if !ok {
+		runtime.Goexit()
+	}
+	return ok
+}
+
+// yieldToScheduler hands control back and waits to be rescheduled.
+func (p *Proc) yieldToScheduler() {
+	p.lastYield = p.Clock
+	p.yieldq <- struct{}{}
+	p.acquire()
+}
+
+// Yield cooperatively gives up the processor while staying runnable.
+func (p *Proc) Yield() {
+	p.State = Runnable
+	p.yieldToScheduler()
+}
+
+// Block parks the context until another context calls Unblock.
+func (p *Proc) Block() {
+	p.State = Blocked
+	p.yieldToScheduler()
+}
+
+// Unblock makes a parked context runnable again, advancing its clock to
+// at least `at` (the virtual time of the event that released it).
+func (p *Proc) Unblock(at sccsim.Time) {
+	if at > p.Clock {
+		p.Clock = at
+	}
+	if p.State == Blocked {
+		p.State = Runnable
+	}
+}

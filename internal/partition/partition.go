@@ -1,0 +1,172 @@
+// Package partition implements Stage 4 of the paper's framework: data
+// partitioning between on-chip and off-chip shared memory (thesis §4.4,
+// Algorithm 3).
+//
+// Given the shared-variable set from Stages 1-3 and the capacity of the
+// on-chip shared SRAM (the SCC's Message Passing Buffer), the partitioner
+// decides per variable whether its explicit shared allocation goes to the
+// MPB or to off-chip shared DRAM:
+//
+//   - If the total shared footprint fits on-chip, everything goes on-chip.
+//   - Otherwise variables are sorted by mem_size ascending and placed
+//     on-chip greedily while they fit; the rest go off-chip.
+//
+// An alternative frequency-density policy (reads+writes per byte) is
+// provided for the ablation study called out in DESIGN.md.
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hsmcc/internal/analysis/scope"
+)
+
+// Placement says where a shared variable's backing store lives.
+type Placement int
+
+// Placements.
+const (
+	OffChip Placement = iota // shared off-chip DRAM (uncacheable)
+	OnChip                   // on-chip MPB SRAM
+)
+
+// String renders the placement.
+func (p Placement) String() string {
+	if p == OnChip {
+		return "on-chip"
+	}
+	return "off-chip"
+}
+
+// Policy selects the partitioning heuristic.
+type Policy int
+
+// Policies.
+const (
+	// PolicySizeAscending is the paper's Algorithm 3: sort by mem_size
+	// ascending, place greedily on-chip.
+	PolicySizeAscending Policy = iota
+	// PolicyFrequencyDensity places by (reads+writes)/byte descending —
+	// the ablation alternative.
+	PolicyFrequencyDensity
+	// PolicyOffChipOnly forces everything off-chip (the Fig 6.1
+	// configuration, before MPB optimisation).
+	PolicyOffChipOnly
+)
+
+// Assignment is the placement decision for one shared variable.
+type Assignment struct {
+	Var       *scope.VarInfo
+	Placement Placement
+	// Offset is the byte offset within the chosen region, assigned
+	// contiguously per region in decision order.
+	Offset int
+}
+
+// Result is the partitioning outcome.
+type Result struct {
+	Assignments []Assignment
+	// OnChipBytes and OffChipBytes are the totals placed in each region.
+	OnChipBytes  int
+	OffChipBytes int
+	// Capacity echoes the MPB capacity used.
+	Capacity int
+	// ByVar indexes assignments.
+	ByVar map[*scope.VarInfo]*Assignment
+}
+
+// Placement returns the placement for v (OffChip if v was not shared).
+func (r *Result) Placement(v *scope.VarInfo) Placement {
+	if a, ok := r.ByVar[v]; ok {
+		return a.Placement
+	}
+	return OffChip
+}
+
+// Partition runs Algorithm 3 (or the selected policy) over the shared
+// variables with the given on-chip capacity in bytes.
+func Partition(shared []*scope.VarInfo, capacity int, policy Policy) *Result {
+	r := &Result{Capacity: capacity, ByVar: make(map[*scope.VarInfo]*Assignment)}
+
+	place := func(v *scope.VarInfo, p Placement) {
+		a := Assignment{Var: v, Placement: p}
+		if p == OnChip {
+			a.Offset = r.OnChipBytes
+			r.OnChipBytes += v.MemSize
+		} else {
+			a.Offset = r.OffChipBytes
+			r.OffChipBytes += v.MemSize
+		}
+		r.Assignments = append(r.Assignments, a)
+		r.ByVar[v] = &r.Assignments[len(r.Assignments)-1]
+	}
+
+	if policy == PolicyOffChipOnly {
+		for _, v := range shared {
+			place(v, OffChip)
+		}
+		return r
+	}
+
+	total := 0
+	for _, v := range shared {
+		total += v.MemSize
+	}
+	if total <= capacity {
+		// Best case: everything fits on-chip (Algorithm 3 lines 4-12).
+		for _, v := range shared {
+			place(v, OnChip)
+		}
+		return r
+	}
+
+	ordered := append([]*scope.VarInfo(nil), shared...)
+	switch policy {
+	case PolicySizeAscending:
+		// Algorithm 3 line 14: sort by size ascending.
+		ordered = scope.SortedByMemSize(ordered)
+	case PolicyFrequencyDensity:
+		sort.SliceStable(ordered, func(i, j int) bool {
+			di := density(ordered[i])
+			dj := density(ordered[j])
+			if di != dj {
+				return di > dj
+			}
+			return ordered[i].Name < orderedName(ordered[j])
+		})
+	}
+
+	remaining := capacity
+	for _, v := range ordered {
+		if v.MemSize <= remaining {
+			place(v, OnChip)
+			remaining -= v.MemSize
+		} else {
+			place(v, OffChip)
+		}
+	}
+	return r
+}
+
+func density(v *scope.VarInfo) float64 {
+	if v.MemSize == 0 {
+		return 0
+	}
+	return float64(v.Reads+v.Writes) / float64(v.MemSize)
+}
+
+func orderedName(v *scope.VarInfo) string { return v.Name }
+
+// Dump renders the partitioning decision for diagnostics and tests.
+func (r *Result) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "on-chip capacity: %d bytes, used %d; off-chip used %d\n",
+		r.Capacity, r.OnChipBytes, r.OffChipBytes)
+	for _, a := range r.Assignments {
+		fmt.Fprintf(&sb, "%-12s %6d B -> %s (offset %d)\n",
+			a.Var.Name, a.Var.MemSize, a.Placement, a.Offset)
+	}
+	return sb.String()
+}

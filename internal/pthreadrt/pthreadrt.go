@@ -1,0 +1,286 @@
+// Package pthreadrt is the baseline execution environment of the paper's
+// evaluation: a Pthread runtime in which every thread of a multithreaded
+// program shares ONE core of the SCC ("multithreaded applications do run
+// on the SCC, however they can only take advantage of a single core",
+// thesis Chapter 6). Threads time-share the core under a round-robin
+// scheduler with a fixed quantum; each context switch costs scheduler
+// cycles and flushes the L1 (TLB/cache pollution), which is what makes
+// the paper's 32-thread single-core baseline substantially slower than a
+// single thread doing the same work.
+package pthreadrt
+
+import (
+	"fmt"
+
+	"hsmcc/internal/cc/types"
+	"hsmcc/internal/interp"
+	"hsmcc/internal/sccsim"
+)
+
+// Options configures the baseline runtime.
+type Options struct {
+	// Core is the SCC core the whole program runs on.
+	Core int
+	// QuantumCycles is the scheduling timeslice in core cycles.
+	QuantumCycles int
+	// SwitchCycles is the scheduler cost charged per context switch.
+	SwitchCycles int
+	// FlushOnSwitch models context-switch cache pollution by flushing
+	// the L1 when the running thread changes.
+	FlushOnSwitch bool
+	// CreateCycles is the cost of pthread_create (kernel thread setup).
+	CreateCycles int
+}
+
+// DefaultOptions returns the calibrated baseline used by the experiment
+// harness (EXPERIMENTS.md discusses the calibration).
+func DefaultOptions() Options {
+	return Options{
+		Core:          0,
+		QuantumCycles: 10_000,
+		SwitchCycles:  1_500,
+		FlushOnSwitch: true,
+		CreateCycles:  8_000,
+	}
+}
+
+// Runtime implements interp.Runtime for the single-core Pthread baseline.
+type Runtime struct {
+	sim  *interp.Sim
+	opts Options
+
+	quantum   sccsim.Time
+	coreClock sccsim.Time
+	nextTID   int64
+	byTID     map[int64]*interp.Proc
+	tidOf     map[*interp.Proc]int64
+	joiners   map[int64][]*interp.Proc
+	mutexes   map[uint32]*mutexState
+	switches  uint64
+}
+
+type mutexState struct {
+	owner   *interp.Proc
+	waiters []*interp.Proc
+}
+
+// New attaches a baseline runtime (and its round-robin policy) to sim.
+func New(sim *interp.Sim, opts Options) *Runtime {
+	rt := &Runtime{
+		sim:     sim,
+		opts:    opts,
+		quantum: sccsim.Time(opts.QuantumCycles) * sim.Machine.CorePeriodOf(opts.Core),
+		byTID:   make(map[int64]*interp.Proc),
+		tidOf:   make(map[*interp.Proc]int64),
+		joiners: make(map[int64][]*interp.Proc),
+		mutexes: make(map[uint32]*mutexState),
+	}
+	sim.Runtime = rt
+	sim.Policy = &rrPolicy{rt: rt}
+	return rt
+}
+
+// Switches reports how many context switches occurred.
+func (rt *Runtime) Switches() uint64 { return rt.switches }
+
+// rrPolicy keeps the current thread on the core until its quantum expires
+// or it blocks, then rotates round-robin. Switching in a thread advances
+// its clock to the core's time and charges the switch overhead. Current
+// is tracked by pointer: the scheduler compacts finished contexts out of
+// the scan list, so indices are not stable.
+type rrPolicy struct {
+	rt  *Runtime
+	cur *interp.Proc
+}
+
+// Next implements interp.Policy.
+func (pol *rrPolicy) Next(procs []*interp.Proc) *interp.Proc {
+	if len(procs) == 0 {
+		return nil
+	}
+	rt := pol.rt
+	// Core time is the furthest any thread has run.
+	coreClock := rt.coreClock
+	for _, p := range procs {
+		if p.Clock > coreClock {
+			coreClock = p.Clock
+		}
+	}
+	rt.coreClock = coreClock
+	cur := len(procs) - 1
+	for i, p := range procs {
+		if p == pol.cur {
+			cur = i
+			break
+		}
+	}
+	if pol.cur != nil && pol.cur.State == interp.Runnable && pol.cur.Clock-pol.cur.Slice < rt.quantum {
+		return pol.cur
+	}
+	// Rotate to the next runnable thread.
+	for off := 1; off <= len(procs); off++ {
+		p := procs[(cur+off)%len(procs)]
+		if p.State != interp.Runnable {
+			continue
+		}
+		if p != pol.cur {
+			rt.switches++
+			if p.Clock < coreClock {
+				p.Clock = coreClock
+			}
+			p.Clock += rt.sim.Machine.ComputeTime(p.Core, rt.opts.SwitchCycles)
+			if rt.opts.FlushOnSwitch {
+				p.Clock += rt.sim.Machine.FlushL1(p.Core)
+			}
+		}
+		p.Slice = p.Clock
+		pol.cur = p
+		return p
+	}
+	return nil
+}
+
+// Tick implements interp.Runtime: preemption is handled in the policy (the
+// context yields on its own memory-op cadence), so nothing to do here.
+func (rt *Runtime) Tick(p *interp.Proc) {}
+
+// OnExit wakes joiners of a finished thread.
+func (rt *Runtime) OnExit(p *interp.Proc) {
+	tid, ok := rt.tidOf[p]
+	if !ok {
+		return
+	}
+	for _, j := range rt.joiners[tid] {
+		j.Unblock(p.Clock)
+	}
+	delete(rt.joiners, tid)
+}
+
+// CallBuiltin implements the Pthread API subset of thesis Algorithms 4-8.
+func (rt *Runtime) CallBuiltin(p *interp.Proc, name string, args []interp.Value) (interp.Value, bool, error) {
+	zero := interp.IntValue(types.IntType, 0)
+	switch name {
+	case "pthread_create":
+		if len(args) < 4 {
+			return zero, true, fmt.Errorf("pthread_create: want 4 arguments, got %d", len(args))
+		}
+		fn := rt.sim.Program.FuncByValue(args[2])
+		if fn == nil {
+			return zero, true, fmt.Errorf("pthread_create: third argument is not a function")
+		}
+		p.ChargeCycles(rt.opts.CreateCycles)
+		child, err := rt.sim.Spawn(rt.opts.Core, fn, []interp.Value{args[3]}, p.Clock)
+		if err != nil {
+			return zero, true, err
+		}
+		rt.nextTID++
+		tid := rt.nextTID
+		rt.byTID[tid] = child
+		rt.tidOf[child] = tid
+		if addr := args[0].Addr(); addr != 0 {
+			if err := p.StoreTyped(addr, types.OpaqueOf("pthread_t"), interp.IntValue(types.IntType, tid)); err != nil {
+				return zero, true, err
+			}
+		}
+		return zero, true, nil
+
+	case "pthread_join":
+		if len(args) < 1 {
+			return zero, true, fmt.Errorf("pthread_join: missing thread ID")
+		}
+		tid := args[0].Int()
+		child, ok := rt.byTID[tid]
+		if !ok {
+			return zero, true, fmt.Errorf("pthread_join: unknown thread %d", tid)
+		}
+		p.ChargeCycles(200)
+		if child.State != interp.Done {
+			rt.joiners[tid] = append(rt.joiners[tid], p)
+			p.Block()
+		}
+		return zero, true, nil
+
+	case "pthread_exit":
+		return zero, true, interp.ThreadExitError()
+
+	case "pthread_self":
+		p.ChargeCycles(10)
+		return interp.IntValue(types.IntType, rt.tidOf[p]), true, nil
+
+	case "pthread_mutex_init", "pthread_mutex_destroy",
+		"pthread_attr_init", "pthread_attr_destroy", "pthread_attr_setdetachstate":
+		p.ChargeCycles(50)
+		return zero, true, nil
+
+	case "pthread_mutex_lock":
+		mu := rt.mutex(args[0].Addr())
+		p.ChargeCycles(25) // futex fast path
+		for mu.owner != nil && mu.owner != p {
+			mu.waiters = append(mu.waiters, p)
+			p.Block()
+		}
+		mu.owner = p
+		return zero, true, nil
+
+	case "pthread_mutex_unlock":
+		mu := rt.mutex(args[0].Addr())
+		if mu.owner != p {
+			return zero, true, fmt.Errorf("pthread_mutex_unlock: not the owner")
+		}
+		p.ChargeCycles(25)
+		mu.owner = nil
+		if len(mu.waiters) > 0 {
+			w := mu.waiters[0]
+			mu.waiters = mu.waiters[1:]
+			w.Unblock(p.Clock)
+		}
+		return zero, true, nil
+	}
+	return interp.Value{}, false, nil
+}
+
+func (rt *Runtime) mutex(addr uint32) *mutexState {
+	mu, ok := rt.mutexes[addr]
+	if !ok {
+		mu = &mutexState{}
+		rt.mutexes[addr] = mu
+	}
+	return mu
+}
+
+// Result summarises one baseline run.
+type Result struct {
+	Makespan sccsim.Time
+	Output   string
+	Switches uint64
+	Stats    sccsim.CoreStats
+}
+
+// Seconds returns the makespan in seconds.
+func (r *Result) Seconds() float64 { return float64(r.Makespan) / sccsim.PsPerSecond }
+
+// Run executes pr's main under the baseline runtime on a fresh scheduler
+// bound to machine m.
+func Run(pr *interp.Program, m *sccsim.Machine, opts Options) (*Result, error) {
+	sim := interp.NewSim(m, pr)
+	rt := New(sim, opts)
+	main := pr.Funcs["main"]
+	if main == nil {
+		return nil, fmt.Errorf("pthreadrt: program has no main")
+	}
+	root, err := sim.Spawn(opts.Core, main, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	rt.tidOf[root] = 0
+	rt.byTID[0] = root
+	if err := sim.Run(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Makespan: sim.Makespan(),
+		Output:   sim.Output(),
+		Switches: rt.switches,
+		Stats:    m.TotalStats(),
+	}, nil
+}

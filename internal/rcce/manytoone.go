@@ -1,0 +1,93 @@
+package rcce
+
+import (
+	"hsmcc/internal/interp"
+	"hsmcc/internal/sccsim"
+)
+
+// Many-to-one execution (thesis §7.2): programs with more threads than
+// the chip has cores cannot be converted 1:1; the thesis points to
+// Cichowski et al. [6], who run multiple RCCE units of execution on one
+// core. With Options.AllowOversubscribe, ranks may share cores and are
+// time-multiplexed by the policy below: each core runs its current UE
+// for a quantum before rotating, a context switch costs scheduler cycles
+// and an L1 flush, and a core's virtual time only moves forward.
+
+// Many-to-one scheduling parameters (core cycles).
+const (
+	// OversubscribeSwitchCycles is charged per UE change on a core.
+	OversubscribeSwitchCycles = 1500
+	// OversubscribeQuantumCycles is how long a UE keeps its core.
+	OversubscribeQuantumCycles = 10000
+)
+
+// manyToOne schedules one UE per core at a time: the candidate for each
+// core is its current occupant while the quantum lasts, else the
+// lowest-clock runnable UE of that core; among candidates the one with
+// the earliest effective start runs.
+type manyToOne struct {
+	machine  *sccsim.Machine
+	quantum  sccsim.Time
+	coreFree map[int]sccsim.Time
+	lastOn   map[int]*interp.Proc
+	last     *interp.Proc
+}
+
+func newManyToOne(m *sccsim.Machine) *manyToOne {
+	return &manyToOne{
+		machine:  m,
+		quantum:  sccsim.Time(OversubscribeQuantumCycles) * m.CorePeriodOf(0),
+		coreFree: make(map[int]sccsim.Time),
+		lastOn:   make(map[int]*interp.Proc),
+	}
+}
+
+// Next implements interp.Policy.
+func (m *manyToOne) Next(procs []*interp.Proc) *interp.Proc {
+	// Account the core time consumed by whoever ran last.
+	if m.last != nil && m.last.Clock > m.coreFree[m.last.Core] {
+		m.coreFree[m.last.Core] = m.last.Clock
+	}
+	// One candidate per core.
+	candidates := make(map[int]*interp.Proc)
+	for _, p := range procs {
+		if p.State != interp.Runnable {
+			continue
+		}
+		cur := m.lastOn[p.Core]
+		if cur != nil && cur.State == interp.Runnable && cur.Clock-cur.Slice < m.quantum {
+			candidates[p.Core] = cur
+			continue
+		}
+		if best := candidates[p.Core]; best == nil || best == cur ||
+			p.Clock < best.Clock || (p.Clock == best.Clock && p.ID < best.ID) {
+			candidates[p.Core] = p
+		}
+	}
+	var best *interp.Proc
+	var bestEff sccsim.Time
+	for _, p := range candidates {
+		eff := p.Clock
+		if f := m.coreFree[p.Core]; f > eff {
+			eff = f
+		}
+		if best == nil || eff < bestEff || (eff == bestEff && p.ID < best.ID) {
+			best, bestEff = p, eff
+		}
+	}
+	if best == nil {
+		m.last = nil
+		return nil
+	}
+	if best.Clock < m.coreFree[best.Core] {
+		best.Clock = m.coreFree[best.Core]
+	}
+	if prev := m.lastOn[best.Core]; prev != best {
+		best.Clock += m.machine.ComputeTime(best.Core, OversubscribeSwitchCycles)
+		best.Clock += m.machine.FlushL1(best.Core)
+		best.Slice = best.Clock
+	}
+	m.lastOn[best.Core] = best
+	m.last = best
+	return best
+}

@@ -1,0 +1,170 @@
+package rcce
+
+import (
+	"fmt"
+
+	"hsmcc/internal/cc/types"
+	"hsmcc/internal/interp"
+	"hsmcc/internal/sccsim"
+)
+
+// Two-sided message passing. RCCE's send/recv pair is synchronous
+// (rendezvous) messaging built over the MPB: the sender stages data and
+// raises a flag in the receiver's MPB section; the receiver waits for the
+// flag, copies the payload out and acknowledges (van der Wijngaart et
+// al. [29]). The thesis notes RCCE "accommodates both the shared memory
+// and message passing paradigms" — translated programs use the former,
+// but hand-written RCCE programs (and our API-completeness tests) use
+// this half.
+//
+// The model: a transfer of n bytes between ranks r1, r2 completes at
+//
+//	max(sender ready, receiver ready) + staging + wire + drain
+//
+// where staging/drain charge per-line MPB costs on each side and wire is
+// the mesh distance between the two cores.
+
+// message is one in-flight rendezvous.
+type message struct {
+	src, dst int // ranks
+	addr     uint32
+	size     int
+	sender   *interp.Proc
+	ready    sccsim.Time // when the payload is staged
+}
+
+// sendState tracks rendezvous per (src,dst) pair.
+type sendState struct {
+	// pending maps src*maxRanks+dst to a staged message.
+	pending map[int]*message
+	// recvWaiting maps src*maxRanks+dst to a blocked receiver.
+	recvWaiting map[int]*interp.Proc
+}
+
+const maxRanks = 1 << 10
+
+func (rt *Runtime) sends() *sendState {
+	if rt.sendrecv == nil {
+		rt.sendrecv = &sendState{
+			pending:     make(map[int]*message),
+			recvWaiting: make(map[int]*interp.Proc),
+		}
+	}
+	return rt.sendrecv
+}
+
+func pairKey(src, dst int) int { return src*maxRanks + dst }
+
+// send implements RCCE_send(buf, size, dest): stage the payload, wake a
+// waiting receiver, block until the receiver drains it.
+func (rt *Runtime) send(p *interp.Proc, buf uint32, size, dst int) error {
+	me := rt.RankOf(p)
+	if dst < 0 || dst >= len(rt.ues) {
+		return fmt.Errorf("RCCE_send: no rank %d", dst)
+	}
+	if dst == me {
+		return fmt.Errorf("RCCE_send: rank %d sending to itself", me)
+	}
+	st := rt.sends()
+	key := pairKey(me, dst)
+	if st.pending[key] != nil {
+		return fmt.Errorf("RCCE_send: rank %d already has a message in flight to %d", me, dst)
+	}
+	// Stage: read the payload (timed) and pay the wire to dst's MPB.
+	rt.stageCopy(p, buf, size)
+	p.Clock += rt.sim.Machine.ComputeTime(p.Core, 60) // flag write + sync
+	msg := &message{src: me, dst: dst, addr: buf, size: size, sender: p, ready: p.Clock}
+	st.pending[key] = msg
+	if r := st.recvWaiting[key]; r != nil {
+		delete(st.recvWaiting, key)
+		r.Unblock(msg.ready)
+	}
+	// Rendezvous: the sender blocks until the receiver drains.
+	p.Block()
+	return nil
+}
+
+// recv implements RCCE_recv(buf, size, source): wait for the matching
+// send, drain the payload into buf, release the sender.
+func (rt *Runtime) recv(p *interp.Proc, buf uint32, size, src int) error {
+	me := rt.RankOf(p)
+	if src < 0 || src >= len(rt.ues) {
+		return fmt.Errorf("RCCE_recv: no rank %d", src)
+	}
+	st := rt.sends()
+	key := pairKey(src, me)
+	for st.pending[key] == nil {
+		if st.recvWaiting[key] != nil {
+			return fmt.Errorf("RCCE_recv: two receivers for the same channel %d->%d", src, me)
+		}
+		st.recvWaiting[key] = p
+		p.Block()
+	}
+	msg := st.pending[key]
+	delete(st.pending, key)
+	if msg.size < size {
+		size = msg.size
+	}
+	// The transfer cannot complete before the payload was staged.
+	if msg.ready > p.Clock {
+		p.Clock = msg.ready
+	}
+	// Wire between the two cores plus the drain copy.
+	hops := rt.sim.Machine.Hops(p.Core, msg.sender.Core)
+	p.Clock += sccsim.Time(2*hops) * 2 * rt.sim.Machine.CorePeriodOf(p.Core)
+	rt.drainCopy(p, msg.sender.Core, msg.addr, buf, size)
+	// Release the sender at the completion time.
+	msg.sender.Unblock(p.Clock)
+	return nil
+}
+
+// stageCopy charges the sender's read of its payload (line granularity).
+func (rt *Runtime) stageCopy(p *interp.Proc, src uint32, size int) {
+	const line = 32
+	buf := make([]byte, line)
+	m := rt.sim.Machine
+	for off := 0; off < size; off += line {
+		n := line
+		if size-off < n {
+			n = size - off
+		}
+		p.Clock += m.Load(p.Core, src+uint32(off), buf[:n], p.Clock)
+	}
+}
+
+// drainCopy moves the payload from the sender's buffer into the receive
+// buffer with full timing charged on the receiver's side. Reading through
+// the sender's core makes private payload buffers work: shared and MPB
+// addresses resolve identically from any core, private ones belong to
+// the sender.
+func (rt *Runtime) drainCopy(p *interp.Proc, senderCore int, src, dst uint32, size int) {
+	const line = 32
+	buf := make([]byte, line)
+	m := rt.sim.Machine
+	for off := 0; off < size; off += line {
+		n := line
+		if size-off < n {
+			n = size - off
+		}
+		m.ReadBytes(senderCore, src+uint32(off), buf[:n])
+		p.Clock += m.Store(p.Core, dst+uint32(off), buf[:n], p.Clock)
+	}
+}
+
+// sendrecvBuiltin dispatches the two-sided API.
+func (rt *Runtime) sendrecvBuiltin(p *interp.Proc, name string, args []interp.Value) (interp.Value, bool, error) {
+	zero := interp.IntValue(types.IntType, 0)
+	switch name {
+	case "RCCE_send":
+		if len(args) < 3 {
+			return zero, true, fmt.Errorf("RCCE_send: want (buf, size, dest)")
+		}
+		return zero, true, rt.send(p, args[0].Addr(), int(args[1].Int()), int(args[2].Int()))
+	case "RCCE_recv":
+		if len(args) < 3 {
+			return zero, true, fmt.Errorf("RCCE_recv: want (buf, size, source)")
+		}
+		return zero, true, rt.recv(p, args[0].Addr(), int(args[1].Int()), int(args[2].Int()))
+	}
+	return interp.Value{}, false, nil
+}

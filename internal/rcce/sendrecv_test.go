@@ -1,0 +1,137 @@
+package rcce
+
+import (
+	"strings"
+	"testing"
+
+	"hsmcc/internal/interp"
+	"hsmcc/internal/sccsim"
+)
+
+// TestSendRecvPingPong: the classic RCCE latency microbenchmark — rank 0
+// and rank 1 bounce a message; payload integrity and rendezvous ordering
+// are both checked.
+func TestSendRecvPingPong(t *testing.T) {
+	res := run(t, `
+char buf[64];
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(argc, argv);
+    int me = RCCE_ue();
+    int i;
+    if (me == 0) {
+        for (i = 0; i < 64; i++) buf[i] = (char)(i + 1);
+        RCCE_send(buf, 64, 1);
+        RCCE_recv(buf, 64, 1);
+        printf("rank0 got %d %d\n", buf[0], buf[63]);
+    } else {
+        RCCE_recv(buf, 64, 0);
+        for (i = 0; i < 64; i++) buf[i] = (char)(buf[i] + 100);
+        RCCE_send(buf, 64, 0);
+    }
+    RCCE_finalize();
+    return 0;
+}`, DefaultOptions(2))
+	// buf[63] = (char)(64 + 100) wraps to -92 in signed char.
+	if res.Output != "rank0 got 101 -92\n" {
+		t.Errorf("output = %q, want rank0 got 101 -92", res.Output)
+	}
+}
+
+// TestSendRecvRing: every rank passes a token around a ring; the sum of
+// increments proves ordering across all pairs.
+func TestSendRecvRing(t *testing.T) {
+	res := run(t, `
+int token[1];
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(argc, argv);
+    int me = RCCE_ue();
+    int n = RCCE_num_ues();
+    int next = (me + 1) % n;
+    int prev = (me + n - 1) % n;
+    if (me == 0) {
+        token[0] = 1000;
+        RCCE_send((char*)token, sizeof(int), next);
+        RCCE_recv((char*)token, sizeof(int), prev);
+        printf("token %d\n", token[0]);
+    } else {
+        RCCE_recv((char*)token, sizeof(int), prev);
+        token[0] = token[0] + 1;
+        RCCE_send((char*)token, sizeof(int), next);
+    }
+    RCCE_finalize();
+    return 0;
+}`, DefaultOptions(6))
+	if res.Output != "token 1005\n" {
+		t.Errorf("output = %q, want token 1005 (5 increments around the ring)", res.Output)
+	}
+}
+
+// TestSendRecvRendezvousTiming: the receiver cannot complete before the
+// sender stages, and the sender blocks until the drain.
+func TestSendRecvRendezvousTiming(t *testing.T) {
+	res := run(t, `
+char b[32];
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(argc, argv);
+    if (RCCE_ue() == 0) {
+        int i; int x = 0;
+        for (i = 0; i < 30000; i++) x += i; /* sender is late */
+        b[0] = (char)42;
+        RCCE_send(b, 32, 1);
+    } else {
+        double t0 = RCCE_wtime();
+        RCCE_recv(b, 32, 0);
+        double t1 = RCCE_wtime();
+        printf("waited %d got %d\n", t1 - t0 > 0.00001, b[0]);
+    }
+    RCCE_finalize();
+    return 0;
+}`, DefaultOptions(2))
+	if res.Output != "waited 1 got 42\n" {
+		t.Errorf("output = %q (receiver must wait for the late sender)", res.Output)
+	}
+}
+
+// TestSendErrors covers the failure modes.
+func TestSendErrors(t *testing.T) {
+	_, err := tryRun(`
+char b[8];
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(argc, argv);
+    if (RCCE_ue() == 0) RCCE_send(b, 8, 0); /* to self */
+    RCCE_finalize();
+    return 0;
+}`, DefaultOptions(2))
+	if err == nil || !strings.Contains(err.Error(), "itself") {
+		t.Errorf("err = %v, want self-send rejection", err)
+	}
+	_, err = tryRun(`
+char b[8];
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(argc, argv);
+    if (RCCE_ue() == 0) RCCE_send(b, 8, 99);
+    RCCE_finalize();
+    return 0;
+}`, DefaultOptions(2))
+	if err == nil || !strings.Contains(err.Error(), "no rank") {
+		t.Errorf("err = %v, want bad-rank rejection", err)
+	}
+}
+
+// TestSendRecvDeadlockDetected: a recv with no matching send is reported
+// as a deadlock by the scheduler, not a hang.
+func TestSendRecvDeadlockDetected(t *testing.T) {
+	_, err := tryRun(`
+char b[8];
+int RCCE_APP(int *argc, char **argv) {
+    RCCE_init(argc, argv);
+    if (RCCE_ue() == 1) RCCE_recv(b, 8, 0); /* rank 0 never sends */
+    RCCE_finalize();
+    return 0;
+}`, DefaultOptions(2))
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("err = %v, want deadlock", err)
+	}
+	_ = sccsim.Time(0)
+	_ = interp.Value{}
+}

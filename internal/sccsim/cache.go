@@ -1,0 +1,125 @@
+package sccsim
+
+// Cache is a set-associative, write-back, write-allocate cache model with
+// LRU replacement. It tracks tags only — data lives in the machine's
+// backing stores — which is sufficient because the SCC's caches are
+// non-coherent and private: a cached line can never be stale with respect
+// to another core's writes (shared pages are uncacheable), so hit/miss
+// behaviour is independent of contents.
+type Cache struct {
+	sets      [][]cacheLine
+	lineBits  uint
+	setMask   uint32
+	tick      uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	DirtyEv   uint64
+}
+
+type cacheLine struct {
+	tag   uint32
+	valid bool
+	dirty bool
+	used  uint64
+}
+
+// NewCache builds a cache of the given geometry. size and lineBytes must
+// be powers-of-two multiples.
+func NewCache(size, ways, lineBytes int) *Cache {
+	nsets := size / lineBytes / ways
+	if nsets < 1 {
+		nsets = 1
+	}
+	c := &Cache{
+		sets:     make([][]cacheLine, nsets),
+		lineBits: log2(lineBytes),
+		setMask:  uint32(nsets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, ways)
+	}
+	return c
+}
+
+func log2(v int) uint {
+	var b uint
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// Access looks up the line containing addr, allocating it on a miss.
+// It returns whether the access hit and whether the allocation evicted a
+// dirty line (which costs a write-back).
+func (c *Cache) Access(addr uint32, write bool) (hit, dirtyEvict bool) {
+	c.tick++
+	lineAddr := addr >> c.lineBits
+	set := c.sets[lineAddr&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].used = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			c.Hits++
+			return true, false
+		}
+	}
+	c.Misses++
+	// Miss: allocate over the LRU way.
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		c.Evictions++
+		if set[victim].dirty {
+			c.DirtyEv++
+			dirtyEvict = true
+		}
+	}
+	set[victim] = cacheLine{tag: lineAddr, valid: true, dirty: write, used: c.tick}
+	return false, dirtyEvict
+}
+
+// Contains reports whether addr's line is resident (no state change).
+func (c *Cache) Contains(addr uint32) bool {
+	lineAddr := addr >> c.lineBits
+	set := c.sets[lineAddr&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line, returning how many dirty lines were
+// written back. The pthread baseline uses this to model the cache
+// pollution of a context switch.
+func (c *Cache) Flush() (dirty int) {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid && c.sets[s][i].dirty {
+				dirty++
+			}
+			c.sets[s][i] = cacheLine{}
+		}
+	}
+	return dirty
+}
+
+// Lines returns the total line capacity.
+func (c *Cache) Lines() int { return len(c.sets) * len(c.sets[0]) }
+
+// LineBytes returns the line size in bytes.
+func (c *Cache) LineBytes() int { return 1 << c.lineBits }

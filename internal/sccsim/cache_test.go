@@ -1,0 +1,134 @@
+package sccsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheBasicHitMiss(t *testing.T) {
+	c := NewCache(1024, 2, 32)
+	if hit, _ := c.Access(0, false); hit {
+		t.Fatal("cold access should miss")
+	}
+	if hit, _ := c.Access(0, false); !hit {
+		t.Fatal("second access should hit")
+	}
+	if hit, _ := c.Access(16, false); !hit {
+		t.Fatal("same-line access should hit")
+	}
+	if hit, _ := c.Access(32, false); hit {
+		t.Fatal("next line should miss")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 2/2", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2 ways, 1 set of 2 lines: 64 B cache with 32 B lines.
+	c := NewCache(64, 2, 32)
+	c.Access(0, false)    // A
+	c.Access(1024, false) // B
+	c.Access(0, false)    // touch A: B becomes LRU
+	c.Access(2048, false) // C evicts B
+	if !c.Contains(0) {
+		t.Error("A should survive (recently used)")
+	}
+	if c.Contains(1024) {
+		t.Error("B should have been evicted (LRU)")
+	}
+	if !c.Contains(2048) {
+		t.Error("C should be resident")
+	}
+}
+
+func TestCacheDirtyEviction(t *testing.T) {
+	c := NewCache(64, 2, 32)
+	c.Access(0, true) // dirty A
+	c.Access(1024, false)
+	_, dirty := c.Access(2048, false) // evicts dirty A
+	if !dirty {
+		t.Error("evicting a written line should report dirty")
+	}
+	if c.DirtyEv != 1 {
+		t.Errorf("DirtyEv = %d, want 1", c.DirtyEv)
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := NewCache(1024, 2, 32)
+	c.Access(0, true)
+	c.Access(64, true)
+	c.Access(128, false)
+	if dirty := c.Flush(); dirty != 2 {
+		t.Errorf("Flush wrote back %d lines, want 2", dirty)
+	}
+	if c.Contains(0) || c.Contains(128) {
+		t.Error("flush must invalidate everything")
+	}
+	if dirty := c.Flush(); dirty != 0 {
+		t.Errorf("second flush wrote back %d lines, want 0", dirty)
+	}
+}
+
+// TestCacheWorkingSetFits: a working set no larger than the cache incurs
+// only cold misses under repeated sequential sweeps.
+func TestCacheWorkingSetFits(t *testing.T) {
+	c := NewCache(8192, 2, 32)
+	for pass := 0; pass < 4; pass++ {
+		for addr := uint32(0); addr < 8192; addr += 32 {
+			c.Access(addr, false)
+		}
+	}
+	if c.Misses != 8192/32 {
+		t.Errorf("misses = %d, want %d cold misses only", c.Misses, 8192/32)
+	}
+}
+
+// TestCacheStreamingThrashes: a working set much larger than the cache
+// misses on (almost) every line under LRU.
+func TestCacheStreamingThrashes(t *testing.T) {
+	c := NewCache(8192, 2, 32)
+	span := uint32(4 * 8192)
+	for pass := 0; pass < 2; pass++ {
+		for addr := uint32(0); addr < span; addr += 32 {
+			c.Access(addr, false)
+		}
+	}
+	if c.Hits != 0 {
+		t.Errorf("streaming 4x the cache size hit %d times, want 0", c.Hits)
+	}
+}
+
+// TestCacheInvariants: property test — hits+misses equals accesses, and
+// Contains agrees with a just-completed Access.
+func TestCacheInvariants(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCache(1024, 2, 32)
+		accesses := uint64(0)
+		for i := 0; i < int(n%2000); i++ {
+			addr := uint32(rng.Intn(1 << 16))
+			c.Access(addr, rng.Intn(2) == 0)
+			accesses++
+			if !c.Contains(addr) {
+				return false // just-accessed line must be resident
+			}
+		}
+		return c.Hits+c.Misses == accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheGeometry(t *testing.T) {
+	c := NewCache(8192, 2, 32)
+	if c.Lines() != 256 {
+		t.Errorf("Lines = %d, want 256", c.Lines())
+	}
+	if c.LineBytes() != 32 {
+		t.Errorf("LineBytes = %d, want 32", c.LineBytes())
+	}
+}

@@ -1,0 +1,163 @@
+// Package sccsim models the Intel Single-chip Cloud Computer: 48 P54C
+// Pentium-class cores on 24 tiles in a 6x4 mesh, private non-coherent
+// L1/L2 caches, a 384 KB on-chip Message Passing Buffer (8 KB per core),
+// four DDR3 memory controllers at the mesh corners, one test-and-set
+// register per core, and voltage/frequency domains (thesis §5.1,
+// Howard et al. [13], Mattson et al. [19]).
+//
+// The model is a deterministic virtual-time simulator. All timing is kept
+// in picoseconds so that per-domain frequency scaling composes cleanly;
+// the interpreter charges compute cycles and routes every memory access
+// through Machine, which decides the latency from the address class:
+//
+//	private DRAM   cacheable in L1 and L2 (write-back, write-allocate)
+//	shared DRAM    uncacheable (SCC shared pages bypass the caches)
+//	MPB            cacheable in L1 only (the SCC's MPBT line type)
+//
+// Contention is modelled at the memory controllers: each is a virtual-
+// time-ordered server; a request arriving while the controller is busy
+// queues behind it. Mesh distance adds per-hop wire latency both ways.
+package sccsim
+
+import "fmt"
+
+// Time is a point or duration in simulated time, in picoseconds.
+type Time = uint64
+
+// PsPerSecond converts seconds to Time.
+const PsPerSecond = 1e12
+
+// Address classes of the simulated 32-bit physical address space. The
+// layout mirrors the SCC lookup-table configuration used by RCCE: a
+// private range per core, a shared uncacheable DRAM window, and the
+// memory-mapped MPB.
+const (
+	// PrivateBase..PrivateLimit is the per-core private cacheable range.
+	// Each core has its own backing store for this window (the LUT maps
+	// the same core addresses to disjoint DRAM).
+	PrivateBase  uint32 = 0x0000_1000
+	PrivateLimit uint32 = 0x4000_0000
+
+	// SharedBase..SharedLimit is off-chip shared DRAM, uncacheable,
+	// visible to all cores at the same addresses.
+	SharedBase  uint32 = 0x8000_0000
+	SharedLimit uint32 = 0xC000_0000
+
+	// MPBBase is the first byte of the on-chip Message Passing Buffer;
+	// core c's 8 KB section starts at MPBBase + c*MPBPerCore.
+	MPBBase uint32 = 0xC000_0000
+)
+
+// MPBPerCore is each core's slice of the on-chip SRAM (8 KB, thesis §5.1).
+const MPBPerCore = 8 * 1024
+
+// Config holds every architectural and timing parameter of the model.
+// DefaultConfig returns the paper's experimental platform (Table 6.1).
+type Config struct {
+	// Geometry.
+	Cores  int // total cores (48 on the SCC)
+	TilesX int // mesh columns (6)
+	TilesY int // mesh rows (4)
+
+	// Clocks, in MHz (Table 6.1: 800/1600/1066).
+	CoreMHz int
+	MeshMHz int
+	DDRMHz  int
+
+	// Private cache hierarchy (per core; P54C-class L1 + SCC tile L2).
+	L1Bytes   int
+	L1Ways    int
+	L2Bytes   int
+	L2Ways    int
+	LineBytes int
+
+	// Latencies, in core cycles at CoreMHz. Conversions to Time happen
+	// once at machine construction so DVFS does not retroactively change
+	// uncore latencies.
+	L1HitCycles       int // load-to-use on an L1 hit
+	L2HitCycles       int // L1 miss, L2 hit
+	MPBAccessCycles   int // MPB SRAM access once at the owning tile
+	HopCycles         int // mesh latency per hop, one way
+	MCLatencyCycles   int // DRAM access latency at the controller (bank+DDR)
+	MCOccupancyCycles int // controller occupancy per request (pipelined DDR)
+	DirtyEvictCycles  int // write-back of an evicted dirty line
+
+	// Memory controllers.
+	MemControllers int // 4 on the SCC, at the mesh corners
+
+	// MPBCacheable selects the SCC's MPBT behaviour: MPB lines are
+	// cacheable in L1 (not L2). Disabling it is the ablation case.
+	MPBCacheable bool
+	// SharedCacheable lets shared DRAM be cached like private memory —
+	// a hypothetical coherent machine, used only for the ablation bench
+	// (the real SCC cannot do this safely).
+	SharedCacheable bool
+}
+
+// DefaultConfig returns the experimental platform of thesis Table 6.1 with
+// SCC-documented latencies.
+func DefaultConfig() Config {
+	return Config{
+		Cores:  48,
+		TilesX: 6,
+		TilesY: 4,
+
+		CoreMHz: 800,
+		MeshMHz: 1600,
+		DDRMHz:  1066,
+
+		L1Bytes:   8 * 1024,
+		L1Ways:    2,
+		L2Bytes:   256 * 1024,
+		L2Ways:    4,
+		LineBytes: 32,
+
+		L1HitCycles:       1,
+		L2HitCycles:       18,
+		MPBAccessCycles:   15,
+		HopCycles:         2,
+		MCLatencyCycles:   46,
+		MCOccupancyCycles: 8,
+		DirtyEvictCycles:  6,
+
+		MemControllers: 4,
+		MPBCacheable:   true,
+	}
+}
+
+// Validate reports configuration inconsistencies.
+func (c Config) Validate() error {
+	if c.Cores <= 0 || c.Cores > c.TilesX*c.TilesY*2 {
+		return fmt.Errorf("sccsim: %d cores do not fit on a %dx%d mesh of dual-core tiles",
+			c.Cores, c.TilesX, c.TilesY)
+	}
+	if c.CoreMHz <= 0 || c.MeshMHz <= 0 || c.DDRMHz <= 0 {
+		return fmt.Errorf("sccsim: clocks must be positive")
+	}
+	if c.LineBytes <= 0 || c.L1Bytes%c.LineBytes != 0 || c.L2Bytes%c.LineBytes != 0 {
+		return fmt.Errorf("sccsim: cache sizes must be multiples of the line size")
+	}
+	if c.L1Ways <= 0 || c.L2Ways <= 0 {
+		return fmt.Errorf("sccsim: cache associativity must be positive")
+	}
+	if c.MemControllers <= 0 {
+		return fmt.Errorf("sccsim: need at least one memory controller")
+	}
+	return nil
+}
+
+// CorePeriod returns the duration of one core cycle at the base frequency.
+func (c Config) CorePeriod() Time { return Time(1e6 / uint64(c.CoreMHz)) }
+
+// MPBTotal returns the size of the whole Message Passing Buffer.
+func (c Config) MPBTotal() int { return c.Cores * MPBPerCore }
+
+// Table61 renders the SCC configuration table (thesis Table 6.1).
+func (c Config) Table61(units int) string {
+	return fmt.Sprintf(""+
+		"Core Frequency         %d MHz\n"+
+		"Communication Network  %d MHz\n"+
+		"Off-chip Memory        %d MHz\n"+
+		"Execution Units        %d cores\n",
+		c.CoreMHz, c.MeshMHz, c.DDRMHz, units)
+}

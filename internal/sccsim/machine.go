@@ -1,0 +1,400 @@
+package sccsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// debugMC enables memory-controller wait tracing (calibration only).
+var debugMC = false
+
+// Machine is one simulated SCC chip: storage plus a timing model. It is
+// not safe for concurrent use; the interpreter's scheduler guarantees a
+// single execution context touches it at a time (DESIGN.md §8).
+type Machine struct {
+	cfg Config
+
+	// Derived timing constants (picoseconds).
+	basePeriod Time
+	hopTime    Time
+	l1Hit      Time
+	l2Hit      Time
+	mpbAccess  Time
+	mcLatency  Time
+	mcOccupy   Time
+	dirtyEvict Time
+
+	cores  []*coreState
+	mcs    []*memController
+	shared *PageMem
+	mpb    []byte
+	// mpbRanges records striped allocations so remote-vs-local MPB
+	// latency reflects data placement; addresses outside any range
+	// default to the section owner (addr / MPBPerCore).
+	mpbRanges []mpbRange
+	tas       []bool
+}
+
+type coreState struct {
+	l1     *Cache
+	l2     *Cache
+	priv   *PageMem
+	period Time // current core period under DVFS
+	stats  CoreStats
+}
+
+// CoreStats counts one core's memory traffic and time.
+type CoreStats struct {
+	Loads, Stores     uint64
+	PrivateAccesses   uint64
+	SharedAccesses    uint64
+	MPBAccesses       uint64
+	MPBRemote         uint64
+	L1Hits, L1Misses  uint64
+	L2Hits, L2Misses  uint64
+	MemTime, CompTime Time
+}
+
+type memController struct {
+	freeAt   Time
+	busy     Time
+	requests uint64
+}
+
+type mpbRange struct {
+	start, end uint32
+	owners     []int // chunked round-robin ownership
+	chunk      uint32
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	period := cfg.CorePeriod()
+	m := &Machine{
+		cfg:        cfg,
+		basePeriod: period,
+		hopTime:    Time(cfg.HopCycles) * period,
+		l1Hit:      Time(cfg.L1HitCycles) * period,
+		l2Hit:      Time(cfg.L2HitCycles) * period,
+		mpbAccess:  Time(cfg.MPBAccessCycles) * period,
+		mcLatency:  Time(cfg.MCLatencyCycles) * period,
+		mcOccupy:   Time(cfg.MCOccupancyCycles) * period,
+		dirtyEvict: Time(cfg.DirtyEvictCycles) * period,
+		shared:     NewPageMem(),
+		mpb:        make([]byte, cfg.MPBTotal()),
+		tas:        make([]bool, cfg.Cores),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		m.cores = append(m.cores, &coreState{
+			l1:     NewCache(cfg.L1Bytes, cfg.L1Ways, cfg.LineBytes),
+			l2:     NewCache(cfg.L2Bytes, cfg.L2Ways, cfg.LineBytes),
+			priv:   NewPageMem(),
+			period: period,
+		})
+	}
+	for i := 0; i < cfg.MemControllers; i++ {
+		m.mcs = append(m.mcs, &memController{})
+	}
+	return m, nil
+}
+
+// MustNew builds a machine or panics; for tests and examples.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Cores returns the core count.
+func (m *Machine) Cores() int { return len(m.cores) }
+
+// CorePeriodOf returns core's current cycle duration (DVFS-aware).
+func (m *Machine) CorePeriodOf(core int) Time { return m.cores[core].period }
+
+// ComputeTime converts an instruction cycle count on core into time and
+// records it.
+func (m *Machine) ComputeTime(core int, cycles int) Time {
+	d := Time(cycles) * m.cores[core].period
+	m.cores[core].stats.CompTime += d
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Data movement
+// ---------------------------------------------------------------------------
+
+// Load reads len(buf) bytes at addr on behalf of core and returns the
+// access latency starting from now.
+func (m *Machine) Load(core int, addr uint32, buf []byte, now Time) Time {
+	m.backing(core, addr).Read(addr-m.regionBase(addr), buf)
+	cs := m.cores[core]
+	cs.stats.Loads++
+	lat := m.accessTime(core, addr, false, now)
+	cs.stats.MemTime += lat
+	return lat
+}
+
+// Store writes data at addr on behalf of core and returns the latency.
+func (m *Machine) Store(core int, addr uint32, data []byte, now Time) Time {
+	m.backing(core, addr).Write(addr-m.regionBase(addr), data)
+	cs := m.cores[core]
+	cs.stats.Stores++
+	lat := m.accessTime(core, addr, true, now)
+	cs.stats.MemTime += lat
+	return lat
+}
+
+// ReadBytes copies memory without charging time (used by the runtime for
+// printf formatting and by tests).
+func (m *Machine) ReadBytes(core int, addr uint32, buf []byte) {
+	m.backing(core, addr).Read(addr-m.regionBase(addr), buf)
+}
+
+// WriteBytes stores memory without charging time (program loading).
+func (m *Machine) WriteBytes(core int, addr uint32, data []byte) {
+	m.backing(core, addr).Write(addr-m.regionBase(addr), data)
+}
+
+// regionMem adapts the flat MPB array to the PageMem interface.
+type regionMem struct{ b []byte }
+
+func (r regionMem) Read(off uint32, buf []byte)   { copy(buf, r.b[off:]) }
+func (r regionMem) Write(off uint32, data []byte) { copy(r.b[off:], data) }
+
+type byteStore interface {
+	Read(addr uint32, buf []byte)
+	Write(addr uint32, data []byte)
+}
+
+func (m *Machine) backing(core int, addr uint32) byteStore {
+	switch {
+	case addr >= MPBBase:
+		return regionMem{m.mpb}
+	case addr >= SharedBase:
+		return m.shared
+	default:
+		return m.cores[core].priv
+	}
+}
+
+func (m *Machine) regionBase(addr uint32) uint32 {
+	switch {
+	case addr >= MPBBase:
+		return MPBBase
+	case addr >= SharedBase:
+		return SharedBase
+	default:
+		return 0
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Timing
+// ---------------------------------------------------------------------------
+
+// accessTime computes the latency of one access according to the address
+// class (see the package comment for the model).
+func (m *Machine) accessTime(core int, addr uint32, write bool, now Time) Time {
+	cs := m.cores[core]
+	switch {
+	case addr >= MPBBase:
+		cs.stats.MPBAccesses++
+		return m.mpbTime(core, addr, write)
+	case addr >= SharedBase:
+		cs.stats.SharedAccesses++
+		if m.cfg.SharedCacheable {
+			return m.cachedTime(core, addr, write, now)
+		}
+		// Uncacheable: every access crosses the mesh to the quadrant's
+		// controller and pays the full DRAM latency plus queueing.
+		return m.dramTime(core, now)
+	default:
+		cs.stats.PrivateAccesses++
+		return m.cachedTime(core, addr, write, now)
+	}
+}
+
+// cachedTime walks the private hierarchy: L1, then L2, then DRAM via the
+// quadrant controller. Write misses allocate (write-allocate policy).
+// Cache latencies are in the core's clock domain, so they scale with
+// DVFS; the mesh and controllers run off their own clocks.
+func (m *Machine) cachedTime(core int, addr uint32, write bool, now Time) Time {
+	cs := m.cores[core]
+	l1Hit := Time(m.cfg.L1HitCycles) * cs.period
+	hit, dirty := cs.l1.Access(addr, write)
+	if hit {
+		cs.stats.L1Hits++
+		return l1Hit
+	}
+	cs.stats.L1Misses++
+	evict := Time(m.cfg.DirtyEvictCycles) * cs.period
+	lat := l1Hit
+	if dirty {
+		lat += evict
+	}
+	hit, dirty = cs.l2.Access(addr, write)
+	if hit {
+		cs.stats.L2Hits++
+		return lat + Time(m.cfg.L2HitCycles)*cs.period
+	}
+	cs.stats.L2Misses++
+	lat += Time(m.cfg.L2HitCycles) * cs.period
+	if dirty {
+		lat += evict
+	}
+	return lat + m.dramTime(core, now+lat)
+}
+
+// dramTime is one trip to the core's quadrant memory controller: mesh
+// wire latency both ways, queueing behind earlier requests, and the DDR
+// access itself.
+func (m *Machine) dramTime(core int, now Time) Time {
+	wire := m.meshRoundTrip(m.HopsToController(core))
+	mc := m.mcs[m.ControllerOf(core)]
+	arrival := now + wire/2
+	start := arrival
+	if mc.freeAt > start {
+		start = mc.freeAt
+	}
+	mc.freeAt = start + m.mcOccupy
+	mc.busy += m.mcOccupy
+	mc.requests++
+	if start-arrival > 1000000 && debugMC {
+		fmt.Printf("DBG core=%d now=%dns arrival=%dns start=%dns wait=%dns\n", core, now/1000, arrival/1000, start/1000, (start-arrival)/1000)
+	}
+	return wire + (start - arrival) + m.mcLatency
+}
+
+// mpbTime is an access to the on-chip SRAM. With MPBCacheable (the SCC's
+// MPBT type) the line may hit in L1; a miss or uncached access pays the
+// SRAM access at the owning tile plus mesh distance.
+func (m *Machine) mpbTime(core int, addr uint32, write bool) Time {
+	cs := m.cores[core]
+	owner := m.MPBOwner(addr)
+	if owner != core {
+		cs.stats.MPBRemote++
+	}
+	if m.cfg.MPBCacheable {
+		hit, _ := cs.l1.Access(addr, write)
+		if hit {
+			cs.stats.L1Hits++
+			return Time(m.cfg.L1HitCycles) * cs.period
+		}
+		cs.stats.L1Misses++
+	}
+	return m.mpbAccess + m.meshRoundTrip(m.Hops(core, owner))
+}
+
+// ---------------------------------------------------------------------------
+// MPB ownership
+// ---------------------------------------------------------------------------
+
+// MapMPB registers a striped allocation: [start, start+size) is owned in
+// chunk-sized pieces round-robin across owners. The RCCE runtime calls
+// this when it block-distributes an on-chip array so that each rank's
+// slice is local to it.
+func (m *Machine) MapMPB(start uint32, size int, owners []int, chunk int) {
+	if len(owners) == 0 || chunk <= 0 {
+		return
+	}
+	m.mpbRanges = append(m.mpbRanges, mpbRange{
+		start:  start,
+		end:    start + uint32(size),
+		owners: append([]int(nil), owners...),
+		chunk:  uint32(chunk),
+	})
+	sort.Slice(m.mpbRanges, func(i, j int) bool { return m.mpbRanges[i].start < m.mpbRanges[j].start })
+}
+
+// MPBOwner returns the core whose MPB section holds addr.
+func (m *Machine) MPBOwner(addr uint32) int {
+	for i := range m.mpbRanges {
+		r := &m.mpbRanges[i]
+		if addr >= r.start && addr < r.end {
+			idx := int((addr - r.start) / r.chunk)
+			return r.owners[idx%len(r.owners)]
+		}
+	}
+	off := int(addr - MPBBase)
+	owner := off / MPBPerCore
+	if owner >= len(m.cores) {
+		owner = len(m.cores) - 1
+	}
+	return owner
+}
+
+// ---------------------------------------------------------------------------
+// Test-and-set registers
+// ---------------------------------------------------------------------------
+
+// TestAndSet atomically reads-and-sets target's lock register on behalf
+// of core, returning whether the lock was acquired (register was clear)
+// and the access latency (a mesh round trip to the register's tile).
+func (m *Machine) TestAndSet(core, target int, now Time) (acquired bool, lat Time) {
+	lat = m.meshRoundTrip(m.Hops(core, target)) + m.basePeriod
+	acquired = !m.tas[target]
+	m.tas[target] = true
+	return acquired, lat
+}
+
+// TASClear releases target's lock register; the latency is charged to
+// the releasing core.
+func (m *Machine) TASClear(core, target int, now Time) Time {
+	m.tas[target] = false
+	return m.meshRoundTrip(m.Hops(core, target)) + m.basePeriod
+}
+
+// TASValue reads the register without side effects (tests).
+func (m *Machine) TASValue(target int) bool { return m.tas[target] }
+
+// ---------------------------------------------------------------------------
+// Cache maintenance & stats
+// ---------------------------------------------------------------------------
+
+// FlushL1 invalidates core's L1, returning the flush cost (the pthread
+// baseline charges it on every context switch: dirty lines drain to L2).
+func (m *Machine) FlushL1(core int) Time {
+	dirty := m.cores[core].l1.Flush()
+	return Time(dirty) * m.dirtyEvict
+}
+
+// StatsOf returns a copy of core's counters.
+func (m *Machine) StatsOf(core int) CoreStats { return m.cores[core].stats }
+
+// TotalStats sums the per-core counters.
+func (m *Machine) TotalStats() CoreStats {
+	var t CoreStats
+	for _, c := range m.cores {
+		t.Loads += c.stats.Loads
+		t.Stores += c.stats.Stores
+		t.PrivateAccesses += c.stats.PrivateAccesses
+		t.SharedAccesses += c.stats.SharedAccesses
+		t.MPBAccesses += c.stats.MPBAccesses
+		t.MPBRemote += c.stats.MPBRemote
+		t.L1Hits += c.stats.L1Hits
+		t.L1Misses += c.stats.L1Misses
+		t.L2Hits += c.stats.L2Hits
+		t.L2Misses += c.stats.L2Misses
+		t.MemTime += c.stats.MemTime
+		t.CompTime += c.stats.CompTime
+	}
+	return t
+}
+
+// MCBusy returns controller i's cumulative occupancy and request count.
+func (m *Machine) MCBusy(i int) (Time, uint64) { return m.mcs[i].busy, m.mcs[i].requests }
+
+// String summarises the machine for diagnostics.
+func (m *Machine) String() string {
+	return fmt.Sprintf("SCC<%d cores %dx%d mesh %d MCs core=%dMHz mesh=%dMHz ddr=%dMHz>",
+		m.cfg.Cores, m.cfg.TilesX, m.cfg.TilesY, m.cfg.MemControllers,
+		m.cfg.CoreMHz, m.cfg.MeshMHz, m.cfg.DDRMHz)
+}

@@ -1,0 +1,424 @@
+package sccsim
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func testMachine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.Cores = 100 }, // > 2 per tile * 24 tiles
+		func(c *Config) { c.CoreMHz = 0 },
+		func(c *Config) { c.LineBytes = 0 },
+		func(c *Config) { c.L1Ways = 0 },
+		func(c *Config) { c.MemControllers = 0 },
+		func(c *Config) { c.L1Bytes = 100 }, // not a line multiple
+	}
+	for i, mutate := range cases {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestTable61(t *testing.T) {
+	s := DefaultConfig().Table61(32)
+	for _, want := range []string{"800 MHz", "1600 MHz", "1066 MHz", "32 cores"} {
+		if !contains(s, want) {
+			t.Errorf("Table61 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestPrivateIsolation: private memory is per core; the same address on
+// two cores must not alias.
+func TestPrivateIsolation(t *testing.T) {
+	m := testMachine(t)
+	addr := PrivateBase + 128
+	m.WriteBytes(0, addr, []byte{1, 2, 3, 4})
+	m.WriteBytes(1, addr, []byte{9, 9, 9, 9})
+	var buf [4]byte
+	m.ReadBytes(0, addr, buf[:])
+	if buf != [4]byte{1, 2, 3, 4} {
+		t.Errorf("core 0 private = %v, want 1 2 3 4", buf)
+	}
+	m.ReadBytes(1, addr, buf[:])
+	if buf != [4]byte{9, 9, 9, 9} {
+		t.Errorf("core 1 private = %v, want 9 9 9 9", buf)
+	}
+}
+
+// TestSharedVisibility: shared DRAM writes from one core are visible to
+// every other core — the property the translated programs rely on.
+func TestSharedVisibility(t *testing.T) {
+	m := testMachine(t)
+	addr := SharedBase + 4096
+	var word [4]byte
+	binary.LittleEndian.PutUint32(word[:], 0xDEADBEEF)
+	m.Store(7, addr, word[:], 0)
+	var got [4]byte
+	m.Load(23, addr, got[:], 0)
+	if binary.LittleEndian.Uint32(got[:]) != 0xDEADBEEF {
+		t.Errorf("shared read = %x, want deadbeef", got)
+	}
+}
+
+// TestMPBVisibility: the MPB is globally visible on-chip SRAM.
+func TestMPBVisibility(t *testing.T) {
+	m := testMachine(t)
+	addr := MPBBase + 3*MPBPerCore + 16
+	m.Store(0, addr, []byte{42}, 0)
+	var b [1]byte
+	m.Load(47, addr, b[:], 0)
+	if b[0] != 42 {
+		t.Errorf("MPB read = %d, want 42", b[0])
+	}
+}
+
+// TestCachedFasterThanUncached: repeated private accesses (L1-hot) must
+// be much cheaper than uncacheable shared accesses — the central premise
+// of the HSM architecture.
+func TestCachedFasterThanUncached(t *testing.T) {
+	m := testMachine(t)
+	buf := make([]byte, 4)
+	// Warm the line, then measure a hit.
+	m.Load(0, PrivateBase, buf, 0)
+	hit := m.Load(0, PrivateBase, buf, 0)
+	shared := m.Load(0, SharedBase, buf, 0)
+	if hit*10 > shared {
+		t.Errorf("L1 hit %d ps vs shared %d ps: want >=10x gap", hit, shared)
+	}
+}
+
+// TestMPBFasterThanSharedDRAM: the reason Stage 4 exists.
+func TestMPBFasterThanSharedDRAM(t *testing.T) {
+	m := testMachine(t)
+	buf := make([]byte, 4)
+	mpb := m.Load(0, MPBBase, buf, 0) // core 0's own section, cold
+	shared := m.Load(0, SharedBase, buf, 0)
+	if mpb >= shared {
+		t.Errorf("MPB %d ps !< shared %d ps", mpb, shared)
+	}
+	// And a warm (L1-cached) MPB access is cheaper still.
+	warm := m.Load(0, MPBBase, buf, 0)
+	if warm >= mpb {
+		t.Errorf("warm MPB %d ps !< cold MPB %d ps", warm, mpb)
+	}
+}
+
+// TestRemoteMPBSlower: distance matters on the mesh.
+func TestRemoteMPBSlower(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MPBCacheable = false // isolate the wire latency from caching
+	m := MustNew(cfg)
+	buf := make([]byte, 4)
+	local := m.Load(0, MPBBase, buf, 0) // owner = core 0
+	far := MPBBase + uint32(47*MPBPerCore)
+	remote := m.Load(0, far, buf, 0) // owner = core 47, opposite corner
+	if remote <= local {
+		t.Errorf("remote MPB %d ps !> local %d ps", remote, local)
+	}
+	wantGap := m.meshRoundTrip(m.Hops(0, 47))
+	if remote-local != wantGap {
+		t.Errorf("remote-local gap = %d ps, want mesh round trip %d ps", remote-local, wantGap)
+	}
+}
+
+// TestMCQueueing: back-to-back uncached shared accesses at one controller
+// queue behind each other.
+func TestMCQueueing(t *testing.T) {
+	m := testMachine(t)
+	buf := make([]byte, 4)
+	first := m.Load(0, SharedBase, buf, 0)
+	second := m.Load(0, SharedBase+64, buf, 0) // same instant, same MC
+	if second <= first {
+		t.Errorf("queued access %d ps !> unqueued %d ps", second, first)
+	}
+	if second-first != m.mcOccupy {
+		t.Errorf("queue delay = %d ps, want one occupancy slot %d ps", second-first, m.mcOccupy)
+	}
+}
+
+// TestQuadrantControllers: nearest-corner assignment splits the full chip
+// into four equal quadrants of 12 cores. (The paper's 32-core runs see
+// "at least 8 cores in contention per memory controller": ranks 0-31 fill
+// quadrants unevenly, up to 12 on the row-0/1 controllers.)
+func TestQuadrantControllers(t *testing.T) {
+	m := testMachine(t)
+	counts := make(map[int]int)
+	for c := 0; c < 48; c++ {
+		counts[m.ControllerOf(c)]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("48 cores use %d controllers, want 4", len(counts))
+	}
+	for mc, n := range counts {
+		if n != 12 {
+			t.Errorf("controller %d serves %d cores, want 12", mc, n)
+		}
+	}
+	max32 := 0
+	for c := 0; c < 32; c++ {
+		if m.ControllerOf(c) == 0 {
+			max32++
+		}
+	}
+	if max32 < 8 {
+		t.Errorf("busiest controller serves %d of ranks 0-31, want >= 8", max32)
+	}
+}
+
+// TestHopsSymmetricAndTriangle: property-check the mesh metric.
+func TestHopsSymmetricAndTriangle(t *testing.T) {
+	m := testMachine(t)
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)%48, int(b)%48, int(c)%48
+		if m.Hops(x, y) != m.Hops(y, x) {
+			return false
+		}
+		if m.Hops(x, x) != 0 {
+			return false
+		}
+		return m.Hops(x, z) <= m.Hops(x, y)+m.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTileLayout: two cores per tile, coordinates within the mesh.
+func TestTileLayout(t *testing.T) {
+	m := testMachine(t)
+	if m.TileOf(0) != m.TileOf(1) || m.TileOf(1) == m.TileOf(2) {
+		t.Error("cores 0,1 must share a tile; core 2 must not")
+	}
+	for c := 0; c < 48; c++ {
+		x, y := m.CoreXY(c)
+		if x < 0 || x >= 6 || y < 0 || y >= 4 {
+			t.Errorf("core %d at (%d,%d) outside 6x4 mesh", c, x, y)
+		}
+	}
+}
+
+// TestTAS: the per-core test-and-set registers implement try-lock.
+func TestTAS(t *testing.T) {
+	m := testMachine(t)
+	got, _ := m.TestAndSet(1, 5, 0)
+	if !got {
+		t.Fatal("first TAS should acquire")
+	}
+	got, _ = m.TestAndSet(2, 5, 0)
+	if got {
+		t.Fatal("second TAS should fail while held")
+	}
+	m.TASClear(1, 5, 0)
+	got, _ = m.TestAndSet(2, 5, 0)
+	if !got {
+		t.Fatal("TAS after clear should acquire")
+	}
+	if !m.TASValue(5) {
+		t.Fatal("register should read set")
+	}
+}
+
+// TestTASLatencyDistance: locking a far register costs more than a near
+// one.
+func TestTASLatencyDistance(t *testing.T) {
+	m := testMachine(t)
+	_, near := m.TestAndSet(0, 0, 0)
+	_, far := m.TestAndSet(0, 47, 0)
+	if far <= near {
+		t.Errorf("far TAS %d ps !> near %d ps", far, near)
+	}
+}
+
+// TestMPBStripedOwnership: MapMPB distributes chunk ownership round-robin.
+func TestMPBStripedOwnership(t *testing.T) {
+	m := testMachine(t)
+	owners := []int{0, 1, 2, 3}
+	m.MapMPB(MPBBase, 4*64, owners, 64)
+	for i, want := range owners {
+		addr := MPBBase + uint32(i*64)
+		if got := m.MPBOwner(addr); got != want {
+			t.Errorf("chunk %d owner = %d, want %d", i, got, want)
+		}
+	}
+	// Outside the range: section-default ownership.
+	if got := m.MPBOwner(MPBBase + uint32(10*MPBPerCore) + 4*64 + 1); got != 10 {
+		t.Errorf("default owner = %d, want 10", got)
+	}
+}
+
+// TestFlushL1CostsDirtyWritebacks: flushing after stores costs more than
+// flushing a clean cache.
+func TestFlushL1CostsDirtyWritebacks(t *testing.T) {
+	m := testMachine(t)
+	if m.FlushL1(0) != 0 {
+		t.Fatal("flushing an empty L1 should be free")
+	}
+	buf := []byte{1, 2, 3, 4}
+	for i := 0; i < 16; i++ {
+		m.Store(0, PrivateBase+uint32(i*32), buf, 0)
+	}
+	if m.FlushL1(0) == 0 {
+		t.Fatal("flushing 16 dirty lines should cost write-backs")
+	}
+}
+
+// TestComputeTimeDVFS: halving the clock doubles compute time.
+func TestComputeTimeDVFS(t *testing.T) {
+	m := testMachine(t)
+	base := m.ComputeTime(0, 100)
+	if err := m.SetDomainMHz(0, 400); err != nil {
+		t.Fatalf("SetDomainMHz: %v", err)
+	}
+	slow := m.ComputeTime(0, 100)
+	if slow != 2*base {
+		t.Errorf("at 400 MHz compute = %d ps, want %d", slow, 2*base)
+	}
+	// Cores outside the domain are unaffected.
+	other := m.ComputeTime(VoltageDomainCores, 100)
+	if other != base {
+		t.Errorf("other-domain compute = %d ps, want %d", other, base)
+	}
+}
+
+func TestSetDomainMHzBounds(t *testing.T) {
+	m := testMachine(t)
+	if err := m.SetDomainMHz(0, 50); err == nil {
+		t.Error("50 MHz should be rejected")
+	}
+	if err := m.SetDomainMHz(0, 2000); err == nil {
+		t.Error("2000 MHz should be rejected")
+	}
+	if err := m.SetDomainMHz(99, 800); err == nil {
+		t.Error("bogus domain should be rejected")
+	}
+}
+
+// TestPowerFit: the power model reproduces the chip's published envelope
+// (25 W at 125 MHz, 125 W at 1 GHz) within 2%.
+func TestPowerFit(t *testing.T) {
+	if p := PowerAt(125); p < 24.5 || p > 25.5 {
+		t.Errorf("P(125 MHz) = %.1f W, want ~25", p)
+	}
+	if p := PowerAt(1000); p < 122 || p > 128 {
+		t.Errorf("P(1 GHz) = %.1f W, want ~125", p)
+	}
+	if PowerAt(800) <= PowerAt(400) {
+		t.Error("power must grow with frequency")
+	}
+}
+
+// TestPowerEstimateTracksDomains: lowering one domain lowers chip power.
+func TestPowerEstimateTracksDomains(t *testing.T) {
+	m := testMachine(t)
+	before := m.PowerEstimate()
+	if err := m.SetDomainMHz(0, MinMHz); err != nil {
+		t.Fatal(err)
+	}
+	after := m.PowerEstimate()
+	if after >= before {
+		t.Errorf("power after downclock %.1f W !< before %.1f W", after, before)
+	}
+}
+
+// TestSharedCacheableAblation: with the hypothetical coherent
+// configuration, repeated shared accesses become cache hits.
+func TestSharedCacheableAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SharedCacheable = true
+	m := MustNew(cfg)
+	buf := make([]byte, 4)
+	m.Load(0, SharedBase, buf, 0)
+	warm := m.Load(0, SharedBase, buf, 0)
+	if warm != m.l1Hit {
+		t.Errorf("warm cacheable-shared access = %d ps, want L1 hit %d ps", warm, m.l1Hit)
+	}
+}
+
+// TestStatsAccumulate: counters track the traffic mix.
+func TestStatsAccumulate(t *testing.T) {
+	m := testMachine(t)
+	buf := make([]byte, 4)
+	m.Load(3, PrivateBase, buf, 0)
+	m.Store(3, SharedBase, buf, 0)
+	m.Load(3, MPBBase, buf, 0)
+	s := m.StatsOf(3)
+	if s.Loads != 2 || s.Stores != 1 {
+		t.Errorf("loads/stores = %d/%d, want 2/1", s.Loads, s.Stores)
+	}
+	if s.PrivateAccesses != 1 || s.SharedAccesses != 1 || s.MPBAccesses != 1 {
+		t.Errorf("mix = %d/%d/%d, want 1/1/1", s.PrivateAccesses, s.SharedAccesses, s.MPBAccesses)
+	}
+	total := m.TotalStats()
+	if total.Loads != 2 {
+		t.Errorf("total loads = %d, want 2", total.Loads)
+	}
+}
+
+// TestPageMemRoundTrip: property test — writes then reads return the same
+// bytes at arbitrary addresses and lengths, including page boundaries.
+func TestPageMemRoundTrip(t *testing.T) {
+	pm := NewPageMem()
+	f := func(addr uint32, data []byte) bool {
+		if len(data) > 64*1024 {
+			data = data[:64*1024]
+		}
+		pm.Write(addr, data)
+		got := make([]byte, len(data))
+		pm.Read(addr, got)
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageMemZero(t *testing.T) {
+	pm := NewPageMem()
+	pm.Write(4090, []byte{1, 2, 3, 4, 5, 6, 7, 8}) // spans a page boundary
+	pm.Zero(4090, 8)
+	buf := make([]byte, 8)
+	pm.Read(4090, buf)
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatalf("Zero left %v", buf)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package sccsim
+
+// The SCC places two cores per tile on a 6x4 mesh (thesis Figure 5.1).
+// Routing is dimension-ordered (X then Y), so the distance between two
+// tiles is the Manhattan distance. The four memory controllers sit on the
+// mesh corners; each core reaches DRAM through the controller of its
+// quadrant, which is what puts "at least 8 cores in contention per memory
+// controller" in the paper's 32-core runs.
+
+// TileOf returns the tile index of a core (two cores per tile).
+func (m *Machine) TileOf(core int) int { return core / 2 }
+
+// TileXY returns a tile's mesh coordinates.
+func (m *Machine) TileXY(tile int) (x, y int) {
+	return tile % m.cfg.TilesX, tile / m.cfg.TilesX
+}
+
+// CoreXY returns a core's tile coordinates.
+func (m *Machine) CoreXY(core int) (x, y int) { return m.TileXY(m.TileOf(core)) }
+
+// Hops returns the XY-routed hop count between the tiles of two cores.
+func (m *Machine) Hops(coreA, coreB int) int {
+	ax, ay := m.CoreXY(coreA)
+	bx, by := m.CoreXY(coreB)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+// mcPosition returns the mesh coordinates of memory controller i. The
+// controllers sit on the corners (for the default four); additional
+// controllers wrap along the left/right edges.
+func (m *Machine) mcPosition(i int) (x, y int) {
+	maxX, maxY := m.cfg.TilesX-1, m.cfg.TilesY-1
+	switch i % 4 {
+	case 0:
+		return 0, 0
+	case 1:
+		return maxX, 0
+	case 2:
+		return 0, maxY
+	default:
+		return maxX, maxY
+	}
+}
+
+// ControllerOf returns the memory controller serving a core: the one at
+// the nearest corner (ties broken toward the lower index), which
+// partitions the chip into quadrants.
+func (m *Machine) ControllerOf(core int) int {
+	cx, cy := m.CoreXY(core)
+	best, bestDist := 0, 1<<30
+	for i := range m.mcs {
+		x, y := m.mcPosition(i)
+		d := abs(cx-x) + abs(cy-y)
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// HopsToController returns the hop count from a core's tile to its
+// memory controller.
+func (m *Machine) HopsToController(core int) int {
+	cx, cy := m.CoreXY(core)
+	x, y := m.mcPosition(m.ControllerOf(core))
+	return abs(cx-x) + abs(cy-y)
+}
+
+// meshRoundTrip is the wire latency of a request/response pair across
+// the given hop count.
+func (m *Machine) meshRoundTrip(hops int) Time {
+	return Time(2*hops) * m.hopTime
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,66 @@
+package sccsim
+
+// pageSize is the granularity of the sparse backing store. 4 KB matches
+// the SCC page tables, though the value only affects allocation locality.
+const pageSize = 4096
+
+// PageMem is a sparse byte-addressable memory: pages materialise zeroed on
+// first touch, so stacks high in the address space and heaps low coexist
+// without reserving the range between them.
+type PageMem struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+// NewPageMem returns an empty memory.
+func NewPageMem() *PageMem {
+	return &PageMem{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+func (p *PageMem) page(addr uint32) *[pageSize]byte {
+	key := addr / pageSize
+	pg, ok := p.pages[key]
+	if !ok {
+		pg = new([pageSize]byte)
+		p.pages[key] = pg
+	}
+	return pg
+}
+
+// Read copies len(buf) bytes starting at addr into buf.
+func (p *PageMem) Read(addr uint32, buf []byte) {
+	for len(buf) > 0 {
+		pg := p.page(addr)
+		off := addr % pageSize
+		n := copy(buf, pg[off:])
+		buf = buf[n:]
+		addr += uint32(n)
+	}
+}
+
+// Write copies data into memory starting at addr.
+func (p *PageMem) Write(addr uint32, data []byte) {
+	for len(data) > 0 {
+		pg := p.page(addr)
+		off := addr % pageSize
+		n := copy(pg[off:], data)
+		data = data[n:]
+		addr += uint32(n)
+	}
+}
+
+// Zero clears size bytes starting at addr.
+func (p *PageMem) Zero(addr uint32, size int) {
+	var zeros [pageSize]byte
+	for size > 0 {
+		n := pageSize
+		if size < n {
+			n = size
+		}
+		p.Write(addr, zeros[:n])
+		addr += uint32(n)
+		size -= n
+	}
+}
+
+// Touched returns the number of materialised pages (test/diagnostic aid).
+func (p *PageMem) Touched() int { return len(p.pages) }

@@ -1,0 +1,96 @@
+package sccsim
+
+import "fmt"
+
+// The SCC exposes voltage and frequency control at domain granularity:
+// six voltage domains of eight cores (2x2 tiles) and per-tile frequency
+// dividers (thesis §5.1). The paper quotes the operating envelope as
+// 0.7 V / 125 MHz (25 W) up to 1.14 V / 1 GHz (125 W); the power model
+// below is fitted to those two points with P = leak*V + k*V^2*f.
+
+// VoltageDomainCores is the number of cores per voltage domain.
+const VoltageDomainCores = 8
+
+// Power-model coefficients fitted to the SCC datapoints (see above).
+const (
+	powerK    = 7.025e-8 // W per V^2*Hz, switching power
+	powerLeak = 29.57    // W per V, leakage at 50C
+)
+
+// MinMHz and MaxMHz bound the SCC's core frequency range.
+const (
+	MinMHz = 125
+	MaxMHz = 1000
+)
+
+// VoltageFor returns the supply voltage required to run at mhz, by linear
+// interpolation between the chip's two published operating points.
+func VoltageFor(mhz int) float64 {
+	if mhz < MinMHz {
+		mhz = MinMHz
+	}
+	if mhz > MaxMHz {
+		mhz = MaxMHz
+	}
+	frac := float64(mhz-MinMHz) / float64(MaxMHz-MinMHz)
+	return 0.7 + frac*(1.14-0.7)
+}
+
+// PowerAt estimates whole-chip power (watts) with every domain at mhz.
+func PowerAt(mhz int) float64 {
+	v := VoltageFor(mhz)
+	f := float64(mhz) * 1e6
+	return powerLeak*v + powerK*v*v*f
+}
+
+// VoltageDomains returns the number of voltage domains on the machine.
+func (m *Machine) VoltageDomains() int {
+	return (len(m.cores) + VoltageDomainCores - 1) / VoltageDomainCores
+}
+
+// DomainOf returns the voltage domain of a core.
+func (m *Machine) DomainOf(core int) int { return core / VoltageDomainCores }
+
+// SetDomainMHz changes the clock of every core in a voltage domain. It
+// returns an error when the frequency is outside the chip's envelope.
+// Uncore latencies (mesh, MPB, DRAM) are unaffected: they run off the
+// mesh and DDR clocks.
+func (m *Machine) SetDomainMHz(domain, mhz int) error {
+	if mhz < MinMHz || mhz > MaxMHz {
+		return fmt.Errorf("sccsim: %d MHz outside the %d-%d MHz envelope", mhz, MinMHz, MaxMHz)
+	}
+	if domain < 0 || domain >= m.VoltageDomains() {
+		return fmt.Errorf("sccsim: no voltage domain %d", domain)
+	}
+	period := Time(1e6 / uint64(mhz))
+	lo := domain * VoltageDomainCores
+	hi := lo + VoltageDomainCores
+	if hi > len(m.cores) {
+		hi = len(m.cores)
+	}
+	for c := lo; c < hi; c++ {
+		m.cores[c].period = period
+	}
+	return nil
+}
+
+// DomainMHz returns the current frequency of a domain's cores.
+func (m *Machine) DomainMHz(domain int) int {
+	core := domain * VoltageDomainCores
+	return int(1e6 / uint64(m.cores[core].period))
+}
+
+// PowerEstimate sums a per-domain fit of the chip's power at the current
+// frequencies: each domain contributes its share of leakage plus
+// switching power at its own voltage and frequency.
+func (m *Machine) PowerEstimate() float64 {
+	domains := m.VoltageDomains()
+	var total float64
+	for d := 0; d < domains; d++ {
+		mhz := m.DomainMHz(d)
+		v := VoltageFor(mhz)
+		f := float64(mhz) * 1e6
+		total += (powerLeak*v + powerK*v*v*f) / float64(domains)
+	}
+	return total
+}

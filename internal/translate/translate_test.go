@@ -1,0 +1,316 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"hsmcc/internal/analysis/interthread"
+	"hsmcc/internal/analysis/pointsto"
+	"hsmcc/internal/analysis/scope"
+	"hsmcc/internal/cc/parser"
+	"hsmcc/internal/cc/printer"
+	"hsmcc/internal/cc/sema"
+	"hsmcc/internal/partition"
+)
+
+// run translates src with the given policy and returns (unit, emitted C).
+func run(t *testing.T, src string, policy partition.Policy, capacity int) (*Unit, string) {
+	t.Helper()
+	f, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	pts := pointsto.Analyze(interthread.Analyze(scope.Analyze(info)), pointsto.Options{})
+	part := partition.Partition(pts.Inter.Scope.SharedVars(), capacity, policy)
+	u, err := Translate(f, pts, part, Options{Cores: 4})
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	return u, printer.Print(f)
+}
+
+const launchProgram = `
+int data[4];
+void *tf(void *tid) {
+    int me = (int)tid;
+    data[me] = me;
+    pthread_exit(NULL);
+}
+int main() {
+    pthread_t th[4];
+    int t;
+    for (t = 0; t < 4; t++) {
+        pthread_create(&th[t], NULL, tf, (void *)t);
+    }
+    for (t = 0; t < 4; t++) {
+        pthread_join(th[t], NULL);
+    }
+    printf("%d\n", data[0]);
+    return 0;
+}`
+
+func TestLaunchLoopBecomesDirectCall(t *testing.T) {
+	_, out := run(t, launchProgram, partition.PolicyOffChipOnly, 0)
+	if !strings.Contains(out, "tf((void *)(myID))") {
+		t.Errorf("no direct call with core ID:\n%s", out)
+	}
+	if strings.Contains(out, "pthread_create") {
+		t.Errorf("pthread_create survived:\n%s", out)
+	}
+	// The launch loop itself must be gone: no `t < 4` loop around tf.
+	if strings.Count(out, "for (") != 0 {
+		t.Errorf("launch/join loops should be gone:\n%s", out)
+	}
+}
+
+func TestJoinLoopBecomesBarrier(t *testing.T) {
+	_, out := run(t, launchProgram, partition.PolicyOffChipOnly, 0)
+	if strings.Count(out, "RCCE_barrier(&RCCE_COMM_WORLD)") != 1 {
+		t.Errorf("want exactly one barrier:\n%s", out)
+	}
+	if strings.Contains(out, "pthread_join") {
+		t.Errorf("pthread_join survived:\n%s", out)
+	}
+}
+
+func TestSharedArrayBecomesAllocation(t *testing.T) {
+	_, out := run(t, launchProgram, partition.PolicyOffChipOnly, 0)
+	if !strings.Contains(out, "int *data;") {
+		t.Errorf("array decl not rewritten to pointer:\n%s", out)
+	}
+	if !strings.Contains(out, "data = (int *)(RCCE_shmalloc(sizeof(int) * 4))") {
+		t.Errorf("missing shmalloc:\n%s", out)
+	}
+}
+
+func TestOnChipPlacementUsesMPBAlloc(t *testing.T) {
+	_, out := run(t, launchProgram, partition.PolicySizeAscending, 1<<20)
+	if !strings.Contains(out, "RCCE_mpbmalloc") {
+		t.Errorf("on-chip placement should emit RCCE_mpbmalloc:\n%s", out)
+	}
+}
+
+func TestMainBecomesRCCEApp(t *testing.T) {
+	_, out := run(t, launchProgram, partition.PolicyOffChipOnly, 0)
+	for _, want := range []string{
+		"int RCCE_APP(int *argc, char **argv)",
+		"RCCE_init(&argc, &argv);",
+		"myID = RCCE_ue();",
+		"RCCE_finalize();",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// init must come before the allocations and the ue read before use.
+	initIdx := strings.Index(out, "RCCE_init")
+	allocIdx := strings.Index(out, "RCCE_shmalloc")
+	ueIdx := strings.Index(out, "RCCE_ue()")
+	callIdx := strings.Index(out, "tf((void *)")
+	if !(initIdx < allocIdx && allocIdx < ueIdx && ueIdx < callIdx) {
+		t.Errorf("ordering wrong: init=%d alloc=%d ue=%d call=%d", initIdx, allocIdx, ueIdx, callIdx)
+	}
+}
+
+func TestStandaloneLaunchGuarded(t *testing.T) {
+	_, out := run(t, `
+int flag;
+void *task(void *a) { flag = 1; pthread_exit(NULL); }
+int main() {
+    pthread_t x;
+    pthread_create(&x, NULL, task, NULL);
+    pthread_join(x, NULL);
+    return flag;
+}`, partition.PolicyOffChipOnly, 0)
+	if !strings.Contains(out, "if (myID == 0)") {
+		t.Errorf("standalone launch not core-guarded:\n%s", out)
+	}
+	if !strings.Contains(out, "task(NULL)") {
+		t.Errorf("original argument not preserved:\n%s", out)
+	}
+}
+
+func TestMutexLowering(t *testing.T) {
+	_, out := run(t, `
+pthread_mutex_t lock;
+int counter;
+void *w(void *a) {
+    pthread_mutex_lock(&lock);
+    counter = counter + 1;
+    pthread_mutex_unlock(&lock);
+    pthread_exit(NULL);
+}
+int main() {
+    pthread_mutex_init(&lock, NULL);
+    pthread_t th[4];
+    int t;
+    for (t = 0; t < 4; t++) {
+        pthread_create(&th[t], NULL, w, (void *)t);
+    }
+    for (t = 0; t < 4; t++) {
+        pthread_join(th[t], NULL);
+    }
+    pthread_mutex_destroy(&lock);
+    return counter;
+}`, partition.PolicyOffChipOnly, 0)
+	if !strings.Contains(out, "RCCE_acquire_lock(0)") || !strings.Contains(out, "RCCE_release_lock(0)") {
+		t.Errorf("mutex not lowered to TAS locks:\n%s", out)
+	}
+	if strings.Contains(out, "pthread_mutex") || strings.Contains(out, "lock") && strings.Contains(out, "pthread_mutex_t") {
+		t.Errorf("mutex artifacts survived:\n%s", out)
+	}
+}
+
+func TestSelfToUE(t *testing.T) {
+	_, out := run(t, `
+void *tf(void *a) {
+    int me = (int)pthread_self();
+    pthread_exit(NULL);
+}
+int main() {
+    pthread_t x;
+    pthread_create(&x, NULL, tf, NULL);
+    pthread_join(x, NULL);
+    return 0;
+}`, partition.PolicyOffChipOnly, 0)
+	if !strings.Contains(out, "RCCE_ue()") || strings.Contains(out, "pthread_self") {
+		t.Errorf("pthread_self not rewritten:\n%s", out)
+	}
+}
+
+func TestScalarPromotion(t *testing.T) {
+	_, out := run(t, `
+int total;
+void *tf(void *a) { total = total + 1; pthread_exit(NULL); }
+int main() {
+    pthread_t th[4];
+    int t;
+    for (t = 0; t < 4; t++) {
+        pthread_create(&th[t], NULL, tf, (void *)t);
+    }
+    for (t = 0; t < 4; t++) {
+        pthread_join(th[t], NULL);
+    }
+    return total;
+}`, partition.PolicyOffChipOnly, 0)
+	if !strings.Contains(out, "int *total;") {
+		t.Errorf("shared scalar not promoted to pointer:\n%s", out)
+	}
+	if !strings.Contains(out, "(*total) = (*total) + 1") {
+		t.Errorf("scalar uses not rewritten to dereferences:\n%s", out)
+	}
+}
+
+func TestPointerGlobalGetsBackingStore(t *testing.T) {
+	_, out := run(t, `
+int *ptr;
+void *tf(void *a) { int v = *ptr; pthread_exit(NULL); }
+int main() {
+    int tmp = 1;
+    ptr = &tmp;
+    pthread_t x;
+    pthread_create(&x, NULL, tf, NULL);
+    pthread_join(x, NULL);
+    return 0;
+}`, partition.PolicyOffChipOnly, 0)
+	if !strings.Contains(out, "ptr = (int *)(RCCE_shmalloc(sizeof(int)))") {
+		t.Errorf("pointer pointee not backed:\n%s", out)
+	}
+}
+
+func TestHoistedJoinBodyUsesCoreID(t *testing.T) {
+	_, out := run(t, `
+int sum[4];
+void *tf(void *tid) {
+    sum[(int)tid] = 1;
+    pthread_exit(NULL);
+}
+int main() {
+    pthread_t th[4];
+    int t;
+    for (t = 0; t < 4; t++) {
+        pthread_create(&th[t], NULL, tf, (void *)t);
+    }
+    for (t = 0; t < 4; t++) {
+        pthread_join(th[t], NULL);
+        printf("%d\n", sum[t]);
+    }
+    return 0;
+}`, partition.PolicyOffChipOnly, 0)
+	if !strings.Contains(out, "printf(\"%d\\n\", sum[myID]);") {
+		t.Errorf("hoisted statement must use myID:\n%s", out)
+	}
+}
+
+func TestPassLogPopulated(t *testing.T) {
+	u, _ := run(t, launchProgram, partition.PolicyOffChipOnly, 0)
+	if len(u.Log) == 0 {
+		t.Fatal("pass log empty")
+	}
+	joined := strings.Join(u.Log, "\n")
+	for _, want := range []string{"ThreadsToProcesses", "JoinsToBarriers", "SharedToExplicit"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("log missing %s:\n%s", want, joined)
+		}
+	}
+}
+
+func TestNoMainRejected(t *testing.T) {
+	f, err := parser.Parse("t.c", "int f() { return 1; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := pointsto.Analyze(interthread.Analyze(scope.Analyze(info)), pointsto.Options{})
+	if _, err := Translate(f, pts, nil, Options{}); err == nil {
+		t.Error("expected error for missing main")
+	}
+}
+
+// TestTranslationIdempotentOutput: the emitted program re-parses cleanly
+// (the property the whole evaluation pipeline rests on).
+func TestEmittedSourceReparses(t *testing.T) {
+	_, out := run(t, launchProgram, partition.PolicySizeAscending, 1<<20)
+	f, err := parser.Parse("emitted.c", out)
+	if err != nil {
+		t.Fatalf("emitted source does not parse: %v\n%s", err, out)
+	}
+	if _, err := sema.Analyze(f); err != nil {
+		t.Fatalf("emitted source does not typecheck: %v\n%s", err, out)
+	}
+}
+
+// TestUntranslatableLaunchRejected: a pthread_create through a computed
+// function pointer cannot be converted; the translator must say so
+// instead of silently dropping the launch (which the cleanup passes
+// would otherwise do).
+func TestUntranslatableLaunchRejected(t *testing.T) {
+	f, err := parser.Parse("t.c", `
+void *a(void *x) { return x; }
+int main() {
+    void *fp = a;
+    pthread_t th;
+    pthread_create(&th, NULL, fp + 1, NULL);
+    pthread_join(th, NULL);
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := pointsto.Analyze(interthread.Analyze(scope.Analyze(info)), pointsto.Options{})
+	_, err = Translate(f, pts, nil, Options{Cores: 4})
+	if err == nil || !strings.Contains(err.Error(), "cannot translate pthread_create") {
+		t.Errorf("err = %v, want untranslatable-launch report", err)
+	}
+}
