@@ -115,6 +115,13 @@ func BenchmarkFig61_LU(b *testing.B)     { benchFig61(b, "lu") }
 func BenchmarkFig61_Dot(b *testing.B)    { benchFig61(b, "dot") }
 func BenchmarkFig61_Stream(b *testing.B) { benchFig61(b, "stream") }
 
+// The expanded corpus, measured under the same baseline-vs-off-chip
+// protocol as the thesis benchmarks.
+func BenchmarkCorpus_Histogram(b *testing.B) { benchFig61(b, "hist") }
+func BenchmarkCorpus_KMeans(b *testing.B)    { benchFig61(b, "kmeans") }
+func BenchmarkCorpus_MatMul(b *testing.B)    { benchFig61(b, "matmul") }
+func BenchmarkCorpus_ProdCons(b *testing.B)  { benchFig61(b, "prodcons") }
+
 // ---------------------------------------------------------------------------
 // Figure 6.2 — off-chip vs MPB placement, one bench per benchmark pair
 // ---------------------------------------------------------------------------
@@ -168,6 +175,38 @@ func BenchmarkFig63_Scaling(b *testing.B) {
 	}
 	b.ReportMetric(last, "speedup-16core")
 }
+
+// ---------------------------------------------------------------------------
+// Grid harness
+// ---------------------------------------------------------------------------
+
+// BenchmarkGrid_Parallel measures the parallel sweep itself: a fixed
+// sub-grid run through the worker pool, reporting wall-clock per full
+// sweep. Compare against -parallel 1 (BenchmarkGrid_Sequential) to see
+// the harness-level speedup on the host machine.
+func benchGrid(b *testing.B, workers int) {
+	g := bench.Grid{
+		Name:      "bench",
+		Workloads: []string{"pi", "stream", "hist", "matmul"},
+		Cores:     []int{4, 8},
+		Policies:  []string{"offchip", "size"},
+		Scale:     0.05,
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.RunGrid(g, bench.RunOptions{Parallel: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rep.Results {
+			if r.Error != "" {
+				b.Fatal(r.Error)
+			}
+		}
+	}
+}
+
+func BenchmarkGrid_Sequential(b *testing.B) { benchGrid(b, 1) }
+func BenchmarkGrid_Parallel(b *testing.B)   { benchGrid(b, 0) }
 
 // ---------------------------------------------------------------------------
 // Ablations (DESIGN.md §6)

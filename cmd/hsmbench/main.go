@@ -1,30 +1,77 @@
 // Command hsmbench regenerates the paper's evaluation: every table and
 // figure of thesis Chapter 6 (and the analysis tables of Chapter 4), on
-// the simulated SCC.
+// the simulated SCC — plus the parallel experiment grid that sweeps the
+// full (workload x cores x policy x MPB-budget) space concurrently and
+// emits machine-readable BENCH_<grid>.json reports.
 //
-// Usage:
+// Figure/table mode:
 //
 //	hsmbench [-exp all|table4.1|table4.2|table6.1|fig6.1|fig6.2|fig6.3]
 //	         [-threads N] [-scale F]
 //
+// Grid mode (entered by -exp grid, or implied by -json / -workloads /
+// -parallel / -shard):
+//
+//	hsmbench -workloads pi,stream -cores 4,16 -policies offchip,size
+//	         [-mpb 0,24576] [-scale F] [-parallel N] [-shard i/n]
+//	         [-json] [-out PATH] [-grid NAME]
+//
 // -scale shrinks problem sizes for quick runs (1.0 reproduces the full
-// experiment; 0.1 finishes in seconds).
+// experiment; 0.1 finishes in seconds). -parallel runs grid cells
+// concurrently across goroutines; results are deterministic regardless
+// of worker count. -shard i/n runs every n-th cell starting at i so n
+// machines cover the grid exactly once. See docs/BENCHMARKS.md for the
+// grid schema, the JSON format, and the figure-to-grid mapping.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"hsmcc/internal/bench"
 	"hsmcc/internal/core"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table4.1, table4.2, table6.1, fig6.1, fig6.2, fig6.3")
-	threads := flag.Int("threads", 32, "thread/core count")
+	exp := flag.String("exp", "all", "experiment: all, table4.1, table4.2, table6.1, fig6.1, fig6.2, fig6.3, grid")
+	threads := flag.Int("threads", 32, "thread/core count (figure/table mode)")
 	scale := flag.Float64("scale", 1.0, "problem size multiplier")
+	gridName := flag.String("grid", "paper", "grid name; the JSON artifact is BENCH_<name>.json")
+	workloads := flag.String("workloads", "", "grid mode: comma-separated workload keys (empty = full corpus)")
+	coresList := flag.String("cores", "", "grid mode: comma-separated core counts (empty = 1,2,4,8,16,32)")
+	policies := flag.String("policies", "offchip,size", "grid mode: comma-separated Stage 4 policies (offchip, size, freq)")
+	budgets := flag.String("mpb", "", "grid mode: comma-separated MPB byte budgets (0 = full MPB)")
+	parallel := flag.Int("parallel", 0, "grid mode: worker goroutines (0 = GOMAXPROCS)")
+	shard := flag.String("shard", "", "grid mode: run shard i/n of the grid, e.g. 0/4")
+	jsonOut := flag.Bool("json", false, "grid mode: write BENCH_<grid>.json")
+	outPath := flag.String("out", "", "grid mode: JSON output path override (- = stdout)")
 	flag.Parse()
+
+	// Any explicitly set grid flag selects grid mode; combining one with
+	// a figure/table experiment is a conflict, not something to ignore.
+	gridFlagNames := []string{"grid", "workloads", "cores", "policies", "mpb", "parallel", "shard", "json", "out"}
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	gridFlags := false
+	for _, name := range gridFlagNames {
+		if explicit[name] {
+			gridFlags = true
+		}
+	}
+	if gridFlags && *exp != "all" && *exp != "grid" {
+		fmt.Fprintf(os.Stderr, "hsmbench: grid flags (-%s) cannot be combined with -exp %s\n", strings.Join(gridFlagNames, "/-"), *exp)
+		os.Exit(2)
+	}
+	if *exp == "grid" || gridFlags {
+		if err := runGrid(*gridName, *workloads, *coresList, *policies, *budgets, *scale, *parallel, *shard, *jsonOut, *outPath); err != nil {
+			fmt.Fprintf(os.Stderr, "hsmbench grid: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := bench.DefaultConfig()
 	cfg.Threads = *threads
@@ -88,6 +135,115 @@ func main() {
 		fmt.Print(bench.FormatFig63(rows))
 		return nil
 	})
+}
+
+// runGrid executes the parallel experiment sweep and emits the report.
+func runGrid(name, workloads, cores, policies, budgets string, scale float64, parallel int, shard string, jsonOut bool, outPath string) error {
+	g := bench.DefaultGrid()
+	g.Name = name
+	g.Scale = scale
+	if workloads != "" {
+		g.Workloads = splitCSV(workloads)
+	}
+	if cores != "" {
+		var err error
+		if g.Cores, err = splitInts(cores); err != nil {
+			return fmt.Errorf("-cores: %w", err)
+		}
+	}
+	if policies != "" {
+		g.Policies = splitCSV(policies)
+	}
+	if budgets != "" {
+		var err error
+		if g.MPBBudgets, err = splitInts(budgets); err != nil {
+			return fmt.Errorf("-mpb: %w", err)
+		}
+	}
+	opt := bench.RunOptions{Parallel: parallel}
+	if shard != "" {
+		var err error
+		if opt.ShardIndex, opt.ShardCount, err = parseShard(shard); err != nil {
+			return err
+		}
+	}
+	rep, err := bench.RunGrid(g, opt)
+	if err != nil {
+		return err
+	}
+	// With -out -, stdout must carry only the JSON document; the human
+	// table moves to stderr.
+	if outPath == "-" {
+		fmt.Fprint(os.Stderr, bench.FormatReport(rep))
+	} else {
+		fmt.Print(bench.FormatReport(rep))
+	}
+	if jsonOut || outPath != "" {
+		buf, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		path := outPath
+		if path == "" {
+			path = rep.Filename()
+		}
+		if path == "-" {
+			os.Stdout.Write(buf)
+		} else {
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d cells)\n", path, len(rep.Results))
+		}
+	}
+	for _, r := range rep.Results {
+		if r.Error != "" {
+			return fmt.Errorf("cell %d (%s/%d/%s) failed: %s", r.Index, r.Workload, r.Cores, r.Policy, r.Error)
+		}
+		if !r.Match {
+			return fmt.Errorf("cell %d (%s/%d/%s): RCCE output diverged from the Pthread baseline", r.Index, r.Workload, r.Cores, r.Policy)
+		}
+	}
+	return nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitCSV(s) {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseShard(s string) (idx, count int, err error) {
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("-shard wants i/n, got %q", s)
+	}
+	if idx, err = strconv.Atoi(s[:i]); err != nil {
+		return 0, 0, fmt.Errorf("-shard wants i/n, got %q", s)
+	}
+	if count, err = strconv.Atoi(s[i+1:]); err != nil {
+		return 0, 0, fmt.Errorf("-shard wants i/n, got %q", s)
+	}
+	if count < 1 || idx < 0 || idx >= count {
+		return 0, 0, fmt.Errorf("-shard %q out of range (want 0 <= i < n)", s)
+	}
+	return idx, count, nil
 }
 
 // analysisPipeline analyses the thesis's running example.

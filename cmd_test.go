@@ -4,6 +4,7 @@ package hsmcc
 // and run it against the repository's test data.
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -99,5 +100,37 @@ func TestCmdHsmbench(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "Pi Approximation") {
 		t.Errorf("fig6.1 output wrong:\n%s", out)
+	}
+	// Grid mode: a parallel sharded sweep that must emit valid JSON.
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_smoke.json")
+	out, err = exec.Command(bin, "-workloads", "pi,hist", "-cores", "2,4", "-scale", "0.05",
+		"-parallel", "4", "-grid", "smoke", "-json", "-out", jsonPath).Output()
+	if err != nil {
+		t.Fatalf("hsmbench grid: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Grid \"smoke\"") {
+		t.Errorf("grid summary missing:\n%s", out)
+	}
+	buf, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("grid JSON not written: %v", err)
+	}
+	var rep struct {
+		Results []struct {
+			Workload string `json:"workload"`
+			Match    bool   `json:"match"`
+			RCCEPs   uint64 `json:"rcce_ps"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("grid JSON invalid: %v", err)
+	}
+	if len(rep.Results) != 8 {
+		t.Errorf("grid JSON has %d results, want 8", len(rep.Results))
+	}
+	for i, r := range rep.Results {
+		if !r.Match || r.RCCEPs == 0 {
+			t.Errorf("grid JSON cell %d (%s): match=%v rcce_ps=%d", i, r.Workload, r.Match, r.RCCEPs)
+		}
 	}
 }

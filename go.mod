@@ -1,0 +1,3 @@
+module hsmcc
+
+go 1.24

@@ -35,7 +35,7 @@ var paperFig61 = map[string]string{
 // Fig61 reproduces Figure 6.1: every benchmark, baseline vs off-chip RCCE.
 func Fig61(cfg Config) ([]Fig61Row, error) {
 	var rows []Fig61Row
-	for _, w := range All() {
+	for _, w := range Thesis() {
 		base, err := RunBaseline(w, cfg)
 		if err != nil {
 			return nil, err
@@ -70,7 +70,7 @@ type Fig62Row struct {
 // Fig62 reproduces Figure 6.2: off-chip vs MPB placement per benchmark.
 func Fig62(cfg Config) ([]Fig62Row, error) {
 	var rows []Fig62Row
-	for _, w := range All() {
+	for _, w := range Thesis() {
 		off, err := RunRCCE(w, cfg, partition.PolicyOffChipOnly)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,447 @@
+package bench
+
+// The parallel experiment grid: the (workload x cores x policy x
+// MPB-budget) sweep behind the paper's evaluation, run concurrently
+// across goroutines. Each simulated SCC machine is independent, so
+// cells parallelise perfectly; results are placed by cell index, which
+// makes the output deterministic regardless of worker count — the
+// property TestGridDeterminism pins down to byte-identical JSON.
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"hsmcc/internal/partition"
+	"hsmcc/internal/sccsim"
+)
+
+// Grid is the declarative spec of one experiment sweep.
+type Grid struct {
+	// Name labels the emitted report (BENCH_<Name>.json).
+	Name string `json:"name"`
+	// Workloads are workload keys (see All); empty = the full corpus.
+	Workloads []string `json:"workloads"`
+	// Cores are the thread/core counts to sweep.
+	Cores []int `json:"cores"`
+	// Policies are Stage 4 policy names: "offchip", "size", "freq".
+	Policies []string `json:"policies"`
+	// MPBBudgets are Stage 4 on-chip byte budgets; 0 = the machine's
+	// full MPB. Empty = [0].
+	MPBBudgets []int `json:"mpb_budgets"`
+	// Scale is the problem-size multiplier (0 = 1.0).
+	Scale float64 `json:"scale"`
+}
+
+// DefaultGrid is the full paper sweep: every workload, the Fig 6.3 core
+// counts, both Stage 4 placements, full MPB budget.
+func DefaultGrid() Grid {
+	var keys []string
+	for _, w := range All() {
+		keys = append(keys, w.Key)
+	}
+	return Grid{
+		Name:      "paper",
+		Workloads: keys,
+		Cores:     []int{1, 2, 4, 8, 16, 32},
+		Policies:  []string{"offchip", "size"},
+		Scale:     1.0,
+	}
+}
+
+// ParsePolicy maps the CLI/JSON policy names (shared with cmd/hsmcc) to
+// Stage 4 policies.
+func ParsePolicy(name string) (partition.Policy, error) {
+	switch name {
+	case "size":
+		return partition.PolicySizeAscending, nil
+	case "freq":
+		return partition.PolicyFrequencyDensity, nil
+	case "offchip":
+		return partition.PolicyOffChipOnly, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want size, freq or offchip)", name)
+}
+
+// Cell is one point of the grid.
+type Cell struct {
+	// Index is the cell's position in the deterministic enumeration of
+	// the full (unsharded) grid.
+	Index     int    `json:"index"`
+	Workload  string `json:"workload"`
+	Cores     int    `json:"cores"`
+	Policy    string `json:"policy"`
+	MPBBudget int    `json:"mpb_budget"`
+}
+
+// Cells enumerates the grid in deterministic workload-major order:
+// workload, then cores, then policy, then budget.
+func (g Grid) Cells() []Cell {
+	budgets := g.MPBBudgets
+	if len(budgets) == 0 {
+		budgets = []int{0}
+	}
+	workloads := g.Workloads
+	if len(workloads) == 0 {
+		for _, w := range All() {
+			workloads = append(workloads, w.Key)
+		}
+	}
+	var cells []Cell
+	for _, wk := range workloads {
+		for _, n := range g.Cores {
+			for _, pol := range g.Policies {
+				for _, b := range budgets {
+					cells = append(cells, Cell{
+						Index:     len(cells),
+						Workload:  wk,
+						Cores:     n,
+						Policy:    pol,
+						MPBBudget: b,
+					})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Validate rejects specs that reference unknown workloads or policies
+// before any simulation time is spent.
+func (g Grid) Validate() error {
+	if len(g.Cores) == 0 {
+		return fmt.Errorf("grid %q: no core counts", g.Name)
+	}
+	if len(g.Policies) == 0 {
+		return fmt.Errorf("grid %q: no policies", g.Name)
+	}
+	for _, wk := range g.Workloads {
+		if _, ok := ByKey(wk); !ok {
+			return fmt.Errorf("grid %q: unknown workload %q", g.Name, wk)
+		}
+	}
+	for _, p := range g.Policies {
+		if _, err := ParsePolicy(p); err != nil {
+			return fmt.Errorf("grid %q: %w", g.Name, err)
+		}
+	}
+	for _, b := range g.MPBBudgets {
+		if b < 0 {
+			return fmt.Errorf("grid %q: negative MPB budget %d (use 0 for the full MPB)", g.Name, b)
+		}
+	}
+	return nil
+}
+
+// CellResult is the machine-readable outcome of one cell: the baseline
+// and translated timings, the correctness check, and the simulator
+// counters that explain the placement effect.
+type CellResult struct {
+	Cell
+	// BaselinePs/RCCEPs are simulated makespans in picoseconds — exact
+	// integers, so reports diff cleanly across runs.
+	BaselinePs uint64 `json:"baseline_ps"`
+	RCCEPs     uint64 `json:"rcce_ps"`
+	// Speedup is BaselinePs/RCCEPs.
+	Speedup float64 `json:"speedup"`
+	// Match is the end-to-end validation: the translated RCCE program
+	// printed the same distinct result lines as the Pthread baseline.
+	Match bool `json:"match"`
+	// OnChipBytes is what Stage 4 placed in the MPB.
+	OnChipBytes int `json:"onchip_bytes"`
+	// MPBAccesses/SharedAccesses are the RCCE run's memory counters.
+	MPBAccesses    uint64 `json:"mpb_accesses"`
+	SharedAccesses uint64 `json:"shared_accesses"`
+	// Error is set (and the metrics zero) if the cell failed.
+	Error string `json:"error,omitempty"`
+	// Cached reports whether the semantic result is shared with an
+	// earlier-indexed identical cell (e.g. budget 0 vs the explicit
+	// full MPB). Determined by enumeration order, not execution order,
+	// so reports stay byte-identical across worker counts.
+	Cached bool `json:"cached"`
+}
+
+// RunOptions controls grid execution.
+type RunOptions struct {
+	// Parallel is the worker count (<=0 = GOMAXPROCS).
+	Parallel int
+	// ShardIndex/ShardCount select every ShardCount-th cell starting at
+	// ShardIndex (round-robin over the deterministic enumeration), so n
+	// machines each running shard i/n cover the grid exactly once.
+	// ShardCount <= 1 disables sharding.
+	ShardIndex, ShardCount int
+}
+
+// Report is the JSON document hsmbench emits as BENCH_<grid>.json.
+type Report struct {
+	Grid Grid `json:"grid"`
+	// Shard is "i/n" when the report covers one shard, "" otherwise.
+	Shard   string       `json:"shard,omitempty"`
+	Results []CellResult `json:"results"`
+}
+
+// JSON renders the report with a stable layout (indent + trailing
+// newline) so that reruns and shards diff and concatenate cleanly.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Filename is the canonical artifact name for this report's grid.
+func (r *Report) Filename() string {
+	return fmt.Sprintf("BENCH_%s.json", r.Grid.Name)
+}
+
+// baselineKey caches RunBaseline across cells: the baseline depends
+// only on (workload, cores) — every policy and budget variant reuses it.
+type baselineKey struct {
+	workload string
+	cores    int
+}
+
+// cellKey identifies the semantic inputs of an RCCE run. Cells with
+// different spec budgets can resolve to the same effective work (budget
+// 0 is "the full MPB"), which the cache collapses.
+type cellKey struct {
+	workload string
+	cores    int
+	policy   string
+	budget   int
+}
+
+// onceCache memoizes a computation per key, running it exactly once
+// even under concurrent lookups (per-key sync.Once under a map lock).
+type onceCache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*onceEntry[V]
+}
+
+type onceEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+func (c *onceCache[K, V]) get(k K, f func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*onceEntry[V])
+	}
+	e, ok := c.m[k]
+	if !ok {
+		e = &onceEntry[V]{}
+		c.m[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = f() })
+	return e.val, e.err
+}
+
+// semanticKey normalises a cell to its cache identity: budget 0 and an
+// explicit full-MPB budget are the same work.
+func semanticKey(c Cell, fullMPB int) cellKey {
+	b := c.MPBBudget
+	if b <= 0 {
+		b = fullMPB
+	}
+	return cellKey{c.Workload, c.Cores, c.Policy, b}
+}
+
+// gridRunner carries the per-run caches.
+type gridRunner struct {
+	grid      Grid
+	cfg       Config
+	fullMPB   int
+	baselines onceCache[baselineKey, *RunResult]
+	cells     onceCache[cellKey, *RunResult]
+}
+
+// RunGrid executes the grid's cells across a worker pool and returns
+// the report in deterministic cell order. Per-cell failures are
+// recorded in CellResult.Error rather than aborting the sweep; only
+// invalid specs and shards error out.
+func RunGrid(g Grid, opt RunOptions) (*Report, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	cells := g.Cells()
+	rep := &Report{Grid: g}
+	if opt.ShardCount > 1 {
+		if opt.ShardIndex < 0 || opt.ShardIndex >= opt.ShardCount {
+			return nil, fmt.Errorf("shard %d/%d out of range", opt.ShardIndex, opt.ShardCount)
+		}
+		var mine []Cell
+		for _, c := range cells {
+			if c.Index%opt.ShardCount == opt.ShardIndex {
+				mine = append(mine, c)
+			}
+		}
+		cells = mine
+		rep.Shard = fmt.Sprintf("%d/%d", opt.ShardIndex, opt.ShardCount)
+	}
+	workers := opt.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	r := &gridRunner{grid: g, cfg: DefaultConfig()}
+	r.cfg.Scale = g.Scale
+	if r.cfg.Scale == 0 {
+		r.cfg.Scale = 1.0
+	}
+
+	// Mark duplicate cells (same semantic key as an earlier-indexed
+	// cell) up front, so the Cached flag does not depend on which
+	// worker won the race to compute the shared entry.
+	r.fullMPB = r.cfg.Machine().Config().MPBTotal()
+	firstByKey := make(map[cellKey]int)
+	dup := make([]bool, len(cells))
+	for i, c := range cells {
+		k := semanticKey(c, r.fullMPB)
+		if _, ok := firstByKey[k]; ok {
+			dup[i] = true
+		} else {
+			firstByKey[k] = i
+		}
+	}
+
+	results := make([]CellResult, len(cells))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = r.runCell(cells[i])
+				results[i].Cached = dup[i]
+			}
+		}()
+	}
+	for i := range cells {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep.Results = results
+	return rep, nil
+}
+
+// runCell executes one grid cell (baseline + translated run), pulling
+// both halves through the memoizing caches.
+func (r *gridRunner) runCell(cell Cell) CellResult {
+	res := CellResult{Cell: cell}
+	w, ok := ByKey(cell.Workload)
+	if !ok {
+		res.Error = fmt.Sprintf("unknown workload %q", cell.Workload)
+		return res
+	}
+	policy, err := ParsePolicy(cell.Policy)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	cfg := r.cfg
+	cfg.Threads = cell.Cores
+	cfg.MPBCapacity = cell.MPBBudget
+
+	base, err := r.baselines.get(baselineKey{cell.Workload, cell.Cores}, func() (*RunResult, error) {
+		return RunBaseline(w, cfg)
+	})
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	conv, err := r.cells.get(semanticKey(cell, r.fullMPB), func() (*RunResult, error) {
+		return RunRCCE(w, cfg, policy)
+	})
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.BaselinePs = base.Makespan
+	res.RCCEPs = conv.Makespan
+	res.Speedup = Speedup(base, conv)
+	res.Match = SameResults(base.Output, conv.Output)
+	res.MPBAccesses = conv.Stats.MPBAccesses
+	res.SharedAccesses = conv.Stats.SharedAccesses
+	res.OnChipBytes = conv.OnChipBytes
+	return res
+}
+
+// FormatReport renders the grid results as a text table (the
+// machine-readable form is Report.JSON).
+func FormatReport(rep *Report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Grid %q — %d cells", rep.Grid.Name, len(rep.Results))
+	if rep.Shard != "" {
+		fmt.Fprintf(&sb, " (shard %s)", rep.Shard)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%-10s %6s %-8s %10s %12s %12s %9s %10s %6s\n",
+		"Workload", "Cores", "Policy", "MPB-budget", "Pthread (s)", "RCCE (s)", "Speedup", "On-chip B", "Match")
+	for _, r := range rep.Results {
+		if r.Error != "" {
+			fmt.Fprintf(&sb, "%-10s %6d %-8s %10d  ERROR: %s\n", r.Workload, r.Cores, r.Policy, r.MPBBudget, r.Error)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-10s %6d %-8s %10d %12.4f %12.4f %8.1fx %10d %6v\n",
+			r.Workload, r.Cores, r.Policy, r.MPBBudget,
+			float64(r.BaselinePs)/sccsim.PsPerSecond, float64(r.RCCEPs)/sccsim.PsPerSecond,
+			r.Speedup, r.OnChipBytes, r.Match)
+	}
+	return sb.String()
+}
+
+// MergeReports combines shard reports of the same grid into one full
+// report ordered by cell index — the reduce step after a sharded sweep.
+func MergeReports(parts ...*Report) (*Report, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("no reports to merge")
+	}
+	out := &Report{Grid: parts[0].Grid}
+	wantSpec, err := json.Marshal(out.Grid)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[int]bool)
+	for _, p := range parts {
+		spec, err := json.Marshal(p.Grid)
+		if err != nil {
+			return nil, err
+		}
+		// Name alone is not identity: shards taken at different scales
+		// or over different axes must not be mixed into one report.
+		if string(spec) != string(wantSpec) {
+			return nil, fmt.Errorf("cannot merge reports with different grid specs (%s vs %s)", wantSpec, spec)
+		}
+		for _, r := range p.Results {
+			if seen[r.Index] {
+				return nil, fmt.Errorf("duplicate cell %d across shards", r.Index)
+			}
+			seen[r.Index] = true
+			out.Results = append(out.Results, r)
+		}
+	}
+	// A merge is only "the full report" if every cell of the grid is
+	// present — catching a forgotten shard before its absence silently
+	// skews downstream comparisons.
+	if want := len(out.Grid.Cells()); len(out.Results) != want {
+		return nil, fmt.Errorf("merge incomplete: %d of %d cells (missing shard?)", len(out.Results), want)
+	}
+	sort.Slice(out.Results, func(i, j int) bool { return out.Results[i].Index < out.Results[j].Index })
+	return out, nil
+}

@@ -23,6 +23,8 @@ type RunResult struct {
 	Stats    sccsim.CoreStats
 	// TranslatedSource is the RCCE C program (RCCE modes only).
 	TranslatedSource string
+	// OnChipBytes is what Stage 4 placed in the MPB (RCCE modes only).
+	OnChipBytes int
 }
 
 // Seconds converts the makespan.
@@ -125,6 +127,7 @@ func RunRCCE(w Workload, cfg Config, policy partition.Policy) (*RunResult, error
 		Output:           res.Output,
 		Stats:            res.Stats,
 		TranslatedSource: pipe.Output,
+		OnChipBytes:      pipe.Part.OnChipBytes,
 	}, nil
 }
 

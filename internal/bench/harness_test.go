@@ -151,7 +151,15 @@ func TestByKey(t *testing.T) {
 	if _, ok := ByKey("nope"); ok {
 		t.Error("nope should not exist")
 	}
-	if len(All()) != 6 {
-		t.Errorf("expected the thesis's 6 benchmarks, got %d", len(All()))
+	if len(Thesis()) != 6 {
+		t.Errorf("expected the thesis's 6 benchmarks, got %d", len(Thesis()))
+	}
+	if len(All()) < 10 {
+		t.Errorf("expected the expanded corpus of >= 10 kernels, got %d", len(All()))
+	}
+	for _, key := range []string{"hist", "kmeans", "matmul", "prodcons"} {
+		if _, ok := ByKey(key); !ok {
+			t.Errorf("expanded workload %s should exist", key)
+		}
 	}
 }

@@ -1,6 +1,8 @@
-// Package bench contains the paper's six benchmarks as parameterised
-// Pthread C sources (thesis §5.2, Appendix C) plus the experiment harness
-// that reproduces every table and figure of the evaluation.
+// Package bench contains the paper's benchmarks as parameterised
+// Pthread C sources (thesis §5.2, Appendix C, plus the expanded corpus
+// of workloads_extra.go) and the experiment harness that reproduces
+// every table and figure of the evaluation — sequentially via the Fig6x
+// functions, or concurrently via the grid runner (grid.go).
 //
 // Each workload is generated for a given thread count and problem scale;
 // the same source serves as the single-core Pthread baseline and, after
@@ -29,11 +31,18 @@ type Workload struct {
 	Source func(threads int, scale float64) string
 }
 
-// All returns the six benchmarks in the thesis's order.
-func All() []Workload {
+// Thesis returns the six benchmarks of thesis §5.2 in the thesis's
+// order — the set the Chapter 6 figures are defined over.
+func Thesis() []Workload {
 	return []Workload{
 		Pi(), Sum35(), Primes(), LU(), Dot(), Stream(),
 	}
+}
+
+// All returns the full corpus: the six thesis benchmarks plus the
+// expanded kernels (workloads_extra.go) the grid harness sweeps.
+func All() []Workload {
+	return append(Thesis(), Histogram(), KMeans(), MatMul(), ProdCons())
 }
 
 // ByKey finds a workload.

@@ -1,0 +1,347 @@
+package bench
+
+// The expanded workload corpus beyond the thesis's six benchmarks.
+// NUMA/manycore placement conclusions only generalise across a diverse
+// workload mix (JArena, arXiv:1902.07590; TLP survey, arXiv:1603.09274),
+// so the grid harness adds four kernels exercising mechanisms the
+// original six do not: gather/scatter binning (Histogram), iterative
+// convergence with main-driven rounds (KMeans), O(n^3) tiled compute
+// (MatMul), and a barrier-heavy alternating-phase pipeline
+// (Producer/Consumer). Each is a real Pthread C program driven through
+// the full Stage 1-5 pipeline like the originals.
+
+import "fmt"
+
+// Histogram bins a shared data array into per-thread private bin rows
+// that main merges — the classic gather/scatter reduction. The data
+// array is the memory-bound part; the 16-bin rows are tiny, so Stage 4
+// places the bins on-chip long before the data fits.
+func Histogram() Workload {
+	const bins = 16
+	return Workload{
+		Key:   "hist",
+		Name:  "Histogram",
+		Class: "memory operations",
+		Source: func(threads int, scale float64) string {
+			chunk := scaled(65536, scale, threads) / threads
+			n := chunk * threads
+			return fmt.Sprintf(`
+int data[%[2]d];
+int hist[%[4]d];
+
+void *tf(void *tid) {
+    int me = (int)tid;
+    int lo = me * %[3]d;
+    int hi = lo + %[3]d;
+    int i;
+    int b;
+    for (i = lo; i < hi; i++) {
+        data[i] = (i * 7 + 3) %% 251;
+    }
+    for (i = lo; i < hi; i++) {
+        b = data[i] %% %[5]d;
+        hist[me * %[5]d + b] += 1;
+    }
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t th[%[1]d];
+    int t;
+    for (t = 0; t < %[1]d; t++) {
+        pthread_create(&th[t], NULL, tf, (void *)t);
+    }
+    for (t = 0; t < %[1]d; t++) {
+        pthread_join(th[t], NULL);
+    }
+    int total[%[5]d];
+    int b;
+    int k;
+    for (b = 0; b < %[5]d; b++) {
+        total[b] = 0;
+    }
+    for (k = 0; k < %[1]d; k++) {
+        for (b = 0; b < %[5]d; b++) {
+            total[b] += hist[k * %[5]d + b];
+        }
+    }
+    int check = 0;
+    for (b = 0; b < %[5]d; b++) {
+        check += (b + 1) * total[b];
+    }
+    printf("hist %%d %%d\n", total[0], check);
+    return 0;
+}
+`, threads, n, chunk, bins*threads, bins)
+		},
+	}
+}
+
+// KMeans is 1-D k-means with K=4 centroids over a shared point array:
+// each iteration the threads accumulate per-thread partial sums and
+// counts per cluster, then main recomputes the centroids — an iterative
+// convergence kernel whose rounds become one barrier each after
+// translation (like LU's elimination steps).
+func KMeans() Workload {
+	const k = 4
+	const iters = 3
+	return Workload{
+		Key:   "kmeans",
+		Name:  "KMeans",
+		Class: "machine learning",
+		Source: func(threads int, scale float64) string {
+			chunk := scaled(49152, scale, threads) / threads
+			n := chunk * threads
+			return fmt.Sprintf(`
+double px[%[2]d];
+double cent[%[4]d];
+double csum[%[5]d];
+int ccnt[%[5]d];
+
+void *init_pts(void *tid) {
+    int me = (int)tid;
+    int lo = me * %[3]d;
+    int hi = lo + %[3]d;
+    int i;
+    for (i = lo; i < hi; i++) {
+        px[i] = (double)(i %% 97) * 0.25;
+    }
+    pthread_exit(NULL);
+}
+
+void *assign_pts(void *tid) {
+    int me = (int)tid;
+    int lo = me * %[3]d;
+    int hi = lo + %[3]d;
+    int i;
+    int c;
+    int best;
+    double d;
+    double bestd;
+    double x;
+    double lc[%[4]d];
+    double ls[%[4]d];
+    int ln[%[4]d];
+    for (c = 0; c < %[4]d; c++) {
+        lc[c] = cent[c];
+        ls[c] = 0.0;
+        ln[c] = 0;
+    }
+    for (i = lo; i < hi; i++) {
+        x = px[i];
+        best = 0;
+        bestd = fabs(x - lc[0]);
+        for (c = 1; c < %[4]d; c++) {
+            d = fabs(x - lc[c]);
+            if (d < bestd) {
+                bestd = d;
+                best = c;
+            }
+        }
+        ls[best] += x;
+        ln[best] += 1;
+    }
+    for (c = 0; c < %[4]d; c++) {
+        csum[me * %[4]d + c] = ls[c];
+        ccnt[me * %[4]d + c] = ln[c];
+    }
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t th[%[1]d];
+    int t;
+    int c;
+    int it;
+    for (c = 0; c < %[4]d; c++) {
+        cent[c] = (double)c * 8.0;
+    }
+    for (t = 0; t < %[1]d; t++) {
+        pthread_create(&th[t], NULL, init_pts, (void *)t);
+    }
+    for (t = 0; t < %[1]d; t++) {
+        pthread_join(th[t], NULL);
+    }
+    for (it = 0; it < %[6]d; it++) {
+        for (t = 0; t < %[1]d; t++) {
+            pthread_create(&th[t], NULL, assign_pts, (void *)t);
+        }
+        for (t = 0; t < %[1]d; t++) {
+            pthread_join(th[t], NULL);
+        }
+        double s;
+        int cnt;
+        int j;
+        for (c = 0; c < %[4]d; c++) {
+            s = 0.0;
+            cnt = 0;
+            for (j = 0; j < %[1]d; j++) {
+                s += csum[j * %[4]d + c];
+                cnt += ccnt[j * %[4]d + c];
+            }
+            if (cnt > 0) {
+                cent[c] = s / (double)cnt;
+            }
+        }
+    }
+    printf("kmeans %%.3f %%.3f %%.3f %%.3f\n", cent[0], cent[1], cent[2], cent[3]);
+    return 0;
+}
+`, threads, n, chunk, k, k*threads, iters)
+		},
+	}
+}
+
+// MatMul is a tiled dense matrix multiply C = A x B with rows strided
+// across threads and the inner j-loop blocked into 8-wide tiles. The
+// three n x n double matrices exceed the 384 KB MPB at full size (like
+// LU), so Stage 4 must leave the big operands off-chip.
+func MatMul() Workload {
+	const tile = 8
+	return Workload{
+		Key:   "matmul",
+		Name:  "Tiled MatMul",
+		Class: "linear algebra",
+		Source: func(threads int, scale float64) string {
+			n := scaled(128, scale, tile)
+			return fmt.Sprintf(`
+double A[%[2]d];
+double B[%[2]d];
+double C[%[2]d];
+
+void *init_ab(void *tid) {
+    int me = (int)tid;
+    int i;
+    int j;
+    for (i = me; i < %[3]d; i += %[1]d) {
+        for (j = 0; j < %[3]d; j++) {
+            A[i * %[3]d + j] = (double)((i + j) %% 8) * 0.5;
+            B[i * %[3]d + j] = (double)((i * 2 + j) %% 5) * 1.0;
+        }
+    }
+    pthread_exit(NULL);
+}
+
+void *mul_rows(void *tid) {
+    int me = (int)tid;
+    int i;
+    int j;
+    int jt;
+    int kx;
+    double s;
+    for (i = me; i < %[3]d; i += %[1]d) {
+        for (jt = 0; jt < %[3]d; jt += %[4]d) {
+            for (j = jt; j < jt + %[4]d; j++) {
+                s = 0.0;
+                for (kx = 0; kx < %[3]d; kx++) {
+                    s += A[i * %[3]d + kx] * B[kx * %[3]d + j];
+                }
+                C[i * %[3]d + j] = s;
+            }
+        }
+    }
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t th[%[1]d];
+    int t;
+    for (t = 0; t < %[1]d; t++) {
+        pthread_create(&th[t], NULL, init_ab, (void *)t);
+    }
+    for (t = 0; t < %[1]d; t++) {
+        pthread_join(th[t], NULL);
+    }
+    for (t = 0; t < %[1]d; t++) {
+        pthread_create(&th[t], NULL, mul_rows, (void *)t);
+    }
+    for (t = 0; t < %[1]d; t++) {
+        pthread_join(th[t], NULL);
+    }
+    double trace = 0.0;
+    int d;
+    for (d = 0; d < %[3]d; d++) {
+        trace += C[d * %[3]d + d];
+    }
+    printf("matmul trace %%.1f corner %%.1f\n", trace, C[%[2]d - 1]);
+    return 0;
+}
+`, threads, n*n, n, tile)
+		},
+	}
+}
+
+// ProdCons is a barrier-heavy alternating-phase pipeline: each round the
+// producer threads fill the shared buffer, then (after a join, which
+// translation turns into a barrier) each consumer thread reduces its
+// right neighbour's chunk — forcing cross-core traffic through the
+// shared buffer every round. With two joins per round it has the
+// highest barrier-to-work ratio in the corpus.
+func ProdCons() Workload {
+	return Workload{
+		Key:   "prodcons",
+		Name:  "Producer/Consumer",
+		Class: "synchronization",
+		Source: func(threads int, scale float64) string {
+			chunk := scaled(8192, scale, threads) / threads
+			n := chunk * threads
+			rounds := scaled(8, scale, 2)
+			return fmt.Sprintf(`
+double buf[%[2]d];
+double psum[%[1]d];
+int rr;
+
+void *produce(void *tid) {
+    int me = (int)tid;
+    int lo = me * %[3]d;
+    int hi = lo + %[3]d;
+    int i;
+    for (i = lo; i < hi; i++) {
+        buf[i] = (double)((i + rr * 7) %% 101) * 0.5;
+    }
+    pthread_exit(NULL);
+}
+
+void *consume(void *tid) {
+    int me = (int)tid;
+    int src = ((me + 1) %% %[1]d) * %[3]d;
+    int i;
+    double s = 0.0;
+    for (i = 0; i < %[3]d; i++) {
+        s += buf[src + i];
+    }
+    psum[me] += s;
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t th[%[1]d];
+    int t;
+    int r;
+    for (r = 0; r < %[4]d; r++) {
+        rr = r;
+        for (t = 0; t < %[1]d; t++) {
+            pthread_create(&th[t], NULL, produce, (void *)t);
+        }
+        for (t = 0; t < %[1]d; t++) {
+            pthread_join(th[t], NULL);
+        }
+        for (t = 0; t < %[1]d; t++) {
+            pthread_create(&th[t], NULL, consume, (void *)t);
+        }
+        for (t = 0; t < %[1]d; t++) {
+            pthread_join(th[t], NULL);
+        }
+    }
+    double total = 0.0;
+    int k;
+    for (k = 0; k < %[1]d; k++) {
+        total += psum[k];
+    }
+    printf("prodcons %%.1f\n", total);
+    return 0;
+}
+`, threads, n, chunk, rounds)
+		},
+	}
+}

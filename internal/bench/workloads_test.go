@@ -36,6 +36,11 @@ func TestWorkloadsAnalyzeShared(t *testing.T) {
 		"dot":    {"a", "b", "psum"},
 		"stream": {"a", "b", "c"},
 		"lu":     {"A", "kk"},
+		// Expanded corpus (workloads_extra.go).
+		"hist":     {"data", "hist"},
+		"kmeans":   {"px", "cent", "csum", "ccnt"},
+		"matmul":   {"A", "B", "C"},
+		"prodcons": {"buf", "psum", "rr"},
 	}
 	for _, w := range All() {
 		p, err := core.Analyze(w.Key+".c", w.Source(8, 0.05), core.Config{Cores: 8})

@@ -1,0 +1,29 @@
+#include <stdio.h>
+#include <pthread.h>
+
+int global;
+int *ptr;
+int sum[3] = {0};
+
+void *tf(void *tid) {
+    int tLocal = (int)tid;
+    sum[tLocal] += tLocal;
+    sum[tLocal] += *ptr;
+    pthread_exit(NULL);
+}
+
+int main() {
+    int local = 0;
+    int tmp = 1;
+    ptr = &tmp;
+    pthread_t threads[3];
+    int rc;
+    for (local = 0; local < 3; local++) {
+        rc = pthread_create(&threads[local], NULL, tf, (void *)local);
+    }
+    for (local = 0; local < 3; local++) {
+        pthread_join(threads[local], NULL);
+        printf("Sum Array: %d\n", sum[local]);
+    }
+    return 0;
+}

@@ -1,0 +1,30 @@
+#include <stdio.h>
+#include "RCCE.h"
+int global;
+int *ptr;
+int *sum;
+
+void *tf(void *tid)
+{
+    int tLocal = (int)tid;
+    sum[tLocal] += tLocal;
+    sum[tLocal] += *ptr;
+}
+
+int RCCE_APP(int *argc, char **argv)
+{
+    RCCE_init(&argc, &argv);
+    ptr = (int *)(RCCE_shmalloc(sizeof(int)));
+    sum = (int *)(RCCE_shmalloc(sizeof(int) * 3));
+    int myID;
+    myID = RCCE_ue();
+    int local = 0;
+    int tmp = 1;
+    ptr = &tmp;
+    int rc;
+    tf((void *)(myID));
+    RCCE_barrier(&RCCE_COMM_WORLD);
+    printf("Sum Array: %d\n", sum[myID]);
+    RCCE_finalize();
+    return 0;
+}
