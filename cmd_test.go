@@ -74,6 +74,45 @@ func TestCmdHsmsim(t *testing.T) {
 	}
 }
 
+func TestCmdHsmconf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCmd(t, "hsmconf")
+	// -print must emit a parseable kernel deterministically.
+	a, err := exec.Command(bin, "-seed", "7", "-print", "-cores", "3").Output()
+	if err != nil {
+		t.Fatalf("hsmconf -print: %v", err)
+	}
+	b, err := exec.Command(bin, "-seed", "7", "-print", "-cores", "3").Output()
+	if err != nil {
+		t.Fatalf("hsmconf -print (second): %v", err)
+	}
+	if string(a) != string(b) {
+		t.Error("hsmconf -print is not deterministic for a fixed seed")
+	}
+	if !strings.Contains(string(a), "pthread_create") {
+		t.Errorf("generated kernel has no thread launch:\n%s", a)
+	}
+	// A small conformance run over all three policies must pass.
+	out, err := exec.Command(bin, "-seed", "1", "-n", "6", "-cores", "2",
+		"-policies", "offchip,size,freq", "-budgets", "0",
+		"-out", filepath.Join(t.TempDir(), "crashers")).Output()
+	if err != nil {
+		t.Fatalf("hsmconf run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "0 failure(s)") {
+		t.Errorf("conformance run reported failures:\n%s", out)
+	}
+	// Error paths: a bad matrix must be rejected before any work.
+	if err := exec.Command(bin, "-policies", "bogus").Run(); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	if err := exec.Command(bin, "-cores", "0").Run(); err == nil {
+		t.Error("cores=0 accepted")
+	}
+}
+
 func TestCmdHsmbench(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a binary")

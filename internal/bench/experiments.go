@@ -36,21 +36,17 @@ var paperFig61 = map[string]string{
 func Fig61(cfg Config) ([]Fig61Row, error) {
 	var rows []Fig61Row
 	for _, w := range Thesis() {
-		base, err := RunBaseline(w, cfg)
-		if err != nil {
-			return nil, err
-		}
-		conv, err := RunRCCE(w, cfg, partition.PolicyOffChipOnly)
+		both, err := RunBothBackends(w, cfg, partition.PolicyOffChipOnly)
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, Fig61Row{
 			Workload:  w.Name,
-			BaselineS: base.Seconds(),
-			RCCES:     conv.Seconds(),
-			Speedup:   Speedup(base, conv),
+			BaselineS: both.Baseline.Seconds(),
+			RCCES:     both.RCCE.Seconds(),
+			Speedup:   Speedup(both.Baseline, both.RCCE),
 			PaperNote: paperFig61[w.Key],
-			ResultsOK: SameResults(base.Output, conv.Output),
+			ResultsOK: both.Match,
 		})
 	}
 	return rows, nil
@@ -118,15 +114,11 @@ func Fig63(cfg Config, coreCounts []int) ([]Fig63Row, error) {
 	for _, n := range coreCounts {
 		c := cfg
 		c.Threads = n
-		base, err := RunBaseline(w, c)
+		both, err := RunBothBackends(w, c, partition.PolicySizeAscending)
 		if err != nil {
 			return nil, err
 		}
-		conv, err := RunRCCE(w, c, partition.PolicySizeAscending)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Fig63Row{Cores: n, Speedup: Speedup(base, conv), RCCES: conv.Seconds()})
+		rows = append(rows, Fig63Row{Cores: n, Speedup: Speedup(both.Baseline, both.RCCE), RCCES: both.RCCE.Seconds()})
 	}
 	return rows, nil
 }

@@ -49,6 +49,11 @@ type Config struct {
 	// RCCE overrides the runtime options per UE count (nil = defaults).
 	// The MPB-placement ablation disables striping through this hook.
 	RCCE func(numUEs int) rcce.Options
+	// TransformRCCE, when non-nil, rewrites the translated C source
+	// between Stage 5 and re-parsing. The conformance engine uses it to
+	// inject translator faults and prove the differential oracle catches
+	// them; nil is the identity.
+	TransformRCCE func(src string) (string, error)
 }
 
 // DefaultConfig is the paper's configuration: 32 threads/cores, full
@@ -103,9 +108,16 @@ func RunRCCE(w Workload, cfg Config, policy partition.Policy) (*RunResult, error
 	if err != nil {
 		return nil, fmt.Errorf("%s translate: %w", w.Key, err)
 	}
-	pr, err := interp.Compile(w.Key+"_rcce.c", pipe.Output)
+	translated := pipe.Output
+	if cfg.TransformRCCE != nil {
+		translated, err = cfg.TransformRCCE(translated)
+		if err != nil {
+			return nil, fmt.Errorf("%s transform translated source: %w", w.Key, err)
+		}
+	}
+	pr, err := interp.Compile(w.Key+"_rcce.c", translated)
 	if err != nil {
-		return nil, fmt.Errorf("%s reparse translated source: %w\n---\n%s", w.Key, err, pipe.Output)
+		return nil, fmt.Errorf("%s reparse translated source: %w\n---\n%s", w.Key, err, translated)
 	}
 	mode := "rcce-offchip"
 	if policy != partition.PolicyOffChipOnly {
@@ -126,8 +138,39 @@ func RunRCCE(w Workload, cfg Config, policy partition.Policy) (*RunResult, error
 		Makespan:         res.Makespan,
 		Output:           res.Output,
 		Stats:            res.Stats,
-		TranslatedSource: pipe.Output,
+		TranslatedSource: translated,
 		OnChipBytes:      pipe.Part.OnChipBytes,
+	}, nil
+}
+
+// BothResult pairs one baseline execution with one translated execution
+// of the same workload — the unit of differential validation.
+type BothResult struct {
+	Baseline *RunResult
+	RCCE     *RunResult
+	// Match reports whether both backends printed the same distinct
+	// result lines (see SameResults).
+	Match bool
+}
+
+// RunBothBackends runs w through the single-core Pthread baseline and
+// through the full translate→RCCE→sccsim pipeline under the given
+// Stage 4 policy, then compares their outputs. This is the validation
+// path shared by the experiment figures, the grid runner and the
+// conformance engine.
+func RunBothBackends(w Workload, cfg Config, policy partition.Policy) (*BothResult, error) {
+	base, err := RunBaseline(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	conv, err := RunRCCE(w, cfg, policy)
+	if err != nil {
+		return nil, err
+	}
+	return &BothResult{
+		Baseline: base,
+		RCCE:     conv,
+		Match:    SameResults(base.Output, conv.Output),
 	}, nil
 }
 

@@ -1,0 +1,119 @@
+package ast
+
+import (
+	"reflect"
+
+	"hsmcc/internal/cc/types"
+)
+
+// Equal reports whether two IR trees are structurally equal: the same
+// node shapes, names, operators, literals and declared types. Source
+// positions, sema links (Ident.Sym, the cached result types) and
+// redundant parentheses are ignored, so a tree compares equal to the
+// result of printing and re-parsing it. The conformance engine and the
+// printer round-trip tests build on this.
+func Equal(a, b Node) bool {
+	return eqValue(reflect.ValueOf(a), reflect.ValueOf(b))
+}
+
+// eqValue is a reflective structural walk. It special-cases the three
+// places where "same program" differs from "same Go values": *types.Type
+// (compared structurally, not by pointer), ParenExpr (stripped — the
+// printer adds and removes precedence parens), and the sema-owned fields
+// PosInfo/Sym/Typ (skipped).
+func eqValue(av, bv reflect.Value) bool {
+	av = normalize(av)
+	bv = normalize(bv)
+	if !av.IsValid() || !bv.IsValid() {
+		return av.IsValid() == bv.IsValid()
+	}
+	if av.Type() != bv.Type() {
+		return false
+	}
+	switch av.Kind() {
+	case reflect.Pointer:
+		if av.IsNil() || bv.IsNil() {
+			return av.IsNil() == bv.IsNil()
+		}
+		if at, ok := av.Interface().(*types.Type); ok {
+			return typeEqual(at, bv.Interface().(*types.Type))
+		}
+		return eqValue(av.Elem(), bv.Elem())
+	case reflect.Struct:
+		t := av.Type()
+		for i := 0; i < t.NumField(); i++ {
+			switch t.Field(i).Name {
+			case "PosInfo", "Sym", "Typ":
+				continue
+			case "Name":
+				// File.Name is the compilation name, not program text.
+				if t == reflect.TypeOf(File{}) {
+					continue
+				}
+			}
+			if !eqValue(av.Field(i), bv.Field(i)) {
+				return false
+			}
+		}
+		return true
+	case reflect.Slice:
+		if av.Len() != bv.Len() {
+			return false
+		}
+		for i := 0; i < av.Len(); i++ {
+			if !eqValue(av.Index(i), bv.Index(i)) {
+				return false
+			}
+		}
+		return true
+	default:
+		return av.Interface() == bv.Interface()
+	}
+}
+
+// normalize unwraps interface values and strips ParenExpr wrappers.
+func normalize(v reflect.Value) reflect.Value {
+	for {
+		for v.Kind() == reflect.Interface {
+			v = v.Elem()
+		}
+		if v.IsValid() && v.Kind() == reflect.Pointer && !v.IsNil() {
+			if p, ok := v.Interface().(*ParenExpr); ok {
+				v = reflect.ValueOf(p.X)
+				continue
+			}
+		}
+		return v
+	}
+}
+
+// typeEqual compares types structurally (the types package caches layout
+// in unexported fields, so reflect.DeepEqual would be too strict).
+func typeEqual(a, b *types.Type) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Kind != b.Kind || a.Len != b.Len || a.Name != b.Name || a.Variadic != b.Variadic {
+		return false
+	}
+	if !typeEqual(a.Elem, b.Elem) {
+		return false
+	}
+	if len(a.Params) != len(b.Params) || len(a.Fields) != len(b.Fields) {
+		return false
+	}
+	for i := range a.Params {
+		if !typeEqual(a.Params[i], b.Params[i]) {
+			return false
+		}
+	}
+	for i := range a.Fields {
+		if a.Fields[i].Name != b.Fields[i].Name || !typeEqual(a.Fields[i].Type, b.Fields[i].Type) {
+			return false
+		}
+	}
+	return true
+}

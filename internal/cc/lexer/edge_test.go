@@ -1,0 +1,104 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"hsmcc/internal/cc/token"
+)
+
+// Table-driven edge cases hardening the lexer against the odd shapes a
+// program generator (or a soak run's minimized reproducer) can feed it.
+func TestLexerEdgeCases(t *testing.T) {
+	kinds := func(toks []token.Token) []token.Kind {
+		var ks []token.Kind
+		for _, tk := range toks {
+			ks = append(ks, tk.Kind)
+		}
+		return ks
+	}
+	tests := []struct {
+		name string
+		src  string
+		want []token.Kind // nil = only check it lexes
+		text []string     // optional expected texts
+	}{
+		{name: "line comment at EOF without newline", src: "x // trailing",
+			want: []token.Kind{token.Ident}},
+		{name: "block comment at EOF", src: "x /* done */",
+			want: []token.Kind{token.Ident}},
+		{name: "empty block comment", src: "/**/x",
+			want: []token.Kind{token.Ident}},
+		{name: "comment only", src: "// nothing else", want: []token.Kind{}},
+		{name: "block comment containing stars", src: "/* ** * **/ y",
+			want: []token.Kind{token.Ident}},
+		{name: "line comment containing block open", src: "a // /* not open\nb",
+			want: []token.Kind{token.Ident, token.Ident}},
+		{name: "char literal", src: "'a'", want: []token.Kind{token.CharLit}, text: []string{"a"}},
+		{name: "escaped newline char", src: `'\n'`, want: []token.Kind{token.CharLit}, text: []string{"\n"}},
+		{name: "escaped tab char", src: `'\t'`, want: []token.Kind{token.CharLit}, text: []string{"\t"}},
+		{name: "escaped nul char", src: `'\0'`, want: []token.Kind{token.CharLit}, text: []string{"\x00"}},
+		{name: "escaped backslash char", src: `'\\'`, want: []token.Kind{token.CharLit}, text: []string{`\`}},
+		{name: "escaped quote char", src: `'\''`, want: []token.Kind{token.CharLit}, text: []string{"'"}},
+		{name: "string with every escape", src: `"a\n\t\r\0\\\"b"`,
+			want: []token.Kind{token.StringLit}, text: []string{"a\n\t\r\x00\\\"b"}},
+		{name: "adjacent operators no space", src: "a+++b", // maximal munch: a ++ + b
+			want: []token.Kind{token.Ident, token.PlusPlus, token.Plus, token.Ident}},
+		{name: "float forms", src: "1.5 .5 2. 1e3 1.5e-2 1E+4",
+			want: []token.Kind{token.FloatLit, token.FloatLit, token.FloatLit, token.FloatLit, token.FloatLit, token.FloatLit}},
+		{name: "int suffixes", src: "1L 2u 3UL",
+			want: []token.Kind{token.IntLit, token.IntLit, token.IntLit}},
+		{name: "hex literal", src: "0x1F", want: []token.Kind{token.IntLit}, text: []string{"0x1F"}},
+		{name: "ellipsis vs dots", src: "...", want: []token.Kind{token.Ellipsis}},
+		{name: "shift assigns", src: "a <<= b >>= c",
+			want: []token.Kind{token.Ident, token.ShlAssign, token.Ident, token.ShrAssign, token.Ident}},
+		{name: "deeply nested parens", src: strings.Repeat("(", 64) + "x" + strings.Repeat(")", 64)},
+		{name: "include with angle path", src: "#include <stdio.h>\nint",
+			want: []token.Kind{token.Include, token.KwInt}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			toks, err := Tokenize(tc.src)
+			if err != nil {
+				t.Fatalf("Tokenize(%q): %v", tc.src, err)
+			}
+			if tc.want != nil {
+				got := kinds(toks)
+				if len(got) != len(tc.want) {
+					t.Fatalf("got %v want %v", got, tc.want)
+				}
+				for i := range got {
+					if got[i] != tc.want[i] {
+						t.Fatalf("token %d: got %v want %v (all: %v)", i, got[i], tc.want[i], got)
+					}
+				}
+			}
+			for i, want := range tc.text {
+				if toks[i].Text != want {
+					t.Fatalf("token %d text: got %q want %q", i, toks[i].Text, want)
+				}
+			}
+		})
+	}
+}
+
+// TestLexerErrors pins the rejection paths: the generator must never be
+// able to emit these, and the lexer must flag rather than mis-lex them.
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{
+		"/* unterminated",
+		"\"unterminated",
+		"\"newline\nin string\"",
+		"'",
+		"'ab'",
+		`'\q'`,
+		`"\q"`,
+		"123abc",
+		"#define X 1", // only #include is a lexer-level directive
+		"@",
+	} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) succeeded, want error", src)
+		}
+	}
+}

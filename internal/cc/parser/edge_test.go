@@ -1,0 +1,124 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"hsmcc/internal/cc/ast"
+	"hsmcc/internal/cc/parser"
+	"hsmcc/internal/cc/printer"
+)
+
+// Table-driven parser edge cases: the statement and expression shapes a
+// program generator can legitimately produce, each checked to parse AND
+// to survive the print→reparse round trip (so the conformance engine's
+// re-parse path can never be the component that chokes on them).
+func TestParserEdgeCases(t *testing.T) {
+	tests := []struct {
+		name string
+		body string // wrapped in int main() { ... }
+	}{
+		{"for with empty init", "int i; for (; i < 3; i++) { i = i; }"},
+		{"for with empty cond", "int i; for (i = 0; ; i++) { break; }"},
+		{"for with empty post", "int i; for (i = 0; i < 3; ) { i++; }"},
+		{"for with all empty", "for (;;) { break; }"},
+		{"for single stmt body", "int i; for (i = 0; i < 3; i++) i = i + 1;"},
+		{"for empty stmt body", "int i; for (i = 0; i < 3; i++) ;"},
+		{"for with decl init", "for (int i = 0; i < 3; i++) { break; }"},
+		{"nested parens expr", "int x; x = ((((1)) + ((2))));"},
+		{"deeply nested parens", "int x; x = " + strings.Repeat("(", 40) + "7" + strings.Repeat(")", 40) + ";"},
+		{"parens around lvalue", "int x; (x) = 1;"},
+		{"dangling else binds inner", "int a; if (a) if (a) a = 1; else a = 2;"},
+		{"empty block", "{ }"},
+		{"nested empty blocks", "{ { { ; } } }"},
+		{"lone semicolons", ";;;"},
+		{"while single stmt", "int i; while (i < 3) i++;"},
+		{"do while", "int i; do i++; while (i < 3);"},
+		{"switch with default only", "int a; switch (a) { default: a = 1; }"},
+		{"switch fallthrough cases", "int a; switch (a) { case 1: case 2: a = 3; break; default: break; }"},
+		{"char literal stmt", "char c; c = 'x'; c = '\\n'; c = '\\\\'; c = '\\'';"},
+		{"char compare", "char c; if (c == '\\t') c = ' ';"},
+		{"comma expr", "int a; int b; a = (1, 2); b = a;"},
+		{"conditional expr", "int a; a = a ? 1 : 2;"},
+		{"conditional nested", "int a; a = a ? a ? 1 : 2 : 3;"},
+		{"unary chains", "int a; a = - -a; a = !!a; a = ~~a;"}, // `- -a` must not print as `--a`
+		{"prefix and postfix mix", "int a; int b; b = ++a + a++;"},
+		{"sizeof forms", "int a; a = sizeof(int); a = sizeof(double); a = sizeof a;"},
+		{"casts", "int a; double d; a = (int)d; d = (double)a; d = (double)(a + 1);"},
+		{"compound assigns", "int a; a += 1; a -= 2; a *= 3; a /= 4; a %= 5;"},
+		{"bit ops", "int a; a = a << 2 | a >> 1 & 3 ^ 5;"},
+		{"multi declarator line", "int a, b, c; a = b + c;"},
+		{"decl with init list", "int xs[3]; xs[0] = 1;"},
+		{"string with escapes", `printf("a\tb\n\"q\"\n");`},
+		{"hex and suffix literals", "int a; a = 0x1F; a = 7;"},
+		{"negative literal fold", "int a; a = -1; a = - 1;"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			src := "int main()\n{\n" + tc.body + "\n}\n"
+			first, err := parser.Parse("edge.c", src)
+			if err != nil {
+				t.Fatalf("parse: %v\n%s", err, src)
+			}
+			printed := printer.Print(first)
+			second, err := parser.Parse("edge2.c", printed)
+			if err != nil {
+				t.Fatalf("printed source does not re-parse: %v\n%s", err, printed)
+			}
+			if !ast.Equal(first, second) {
+				t.Fatalf("round trip is not structurally equal\n--- input\n%s--- printed\n%s", src, printed)
+			}
+		})
+	}
+}
+
+// TestParserEdgeCasesTopLevel covers declaration-level shapes plus
+// trailing-comment termination at file scope.
+func TestParserEdgeCasesTopLevel(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"comment at EOF no newline", "int x;\n// trailing comment"},
+		{"block comment at EOF", "int x;\n/* trailing */"},
+		{"only comments after include", "#include <stdio.h>\n/* nothing else */\n"},
+		{"prototype then definition", "void f(int a);\nvoid f(int a)\n{\n}\n"},
+		{"pointer params", "void f(int *p, double **q)\n{\n}\n"},
+		{"array of pointers", "int *ps[4];\n"},
+		{"static and extern", "static int s;\nextern int e;\n"},
+		{"typedef use", "typedef int myint;\nmyint v;\n"},
+		{"global with init", "int a = 3;\ndouble d = 1.5;\n"},
+		{"global init list", "int xs[3] = {1, 2, 3};\n"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			first, err := parser.Parse("top.c", tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v\n%s", err, tc.src)
+			}
+			printed := printer.Print(first)
+			if _, err := parser.Parse("top2.c", printed); err != nil {
+				t.Fatalf("printed source does not re-parse: %v\n%s", err, printed)
+			}
+		})
+	}
+}
+
+// TestParserRejects pins error paths for malformed input a mutated or
+// truncated kernel could contain.
+func TestParserRejects(t *testing.T) {
+	for _, src := range []string{
+		"int main() {",            // unterminated block
+		"int main() { return 1 }", // missing semicolon
+		"int main() { (1 + ; }",   // broken expr
+		"int main() { if }",       // missing condition
+		"int main() { for (;;) }", // missing body
+		"int main() { a b; }",     // two idents
+		"int main() { case 1:; }", // case outside switch
+		"int 1x;",                 // bad declarator
+	} {
+		if _, err := parser.Parse("bad.c", src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}

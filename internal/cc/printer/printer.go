@@ -298,7 +298,16 @@ func exprString(e ast.Expr, parent int) string {
 		s = exprString(n.LHS, precUnary) + " " + opText(n.Op) + " " + exprString(n.RHS, precAssign)
 	case *ast.UnaryExpr:
 		prec = precUnary
-		s = opText(n.Op) + exprString(n.X, precUnary)
+		op := opText(n.Op)
+		inner := exprString(n.X, precUnary)
+		// Keep adjacent sign/address operators from merging into a
+		// different token: `-(-a)` must not print as `--a` (which would
+		// re-lex as a pre-decrement), nor `&(&x)` as `&&x`.
+		if len(inner) > 0 && inner[0] == op[len(op)-1] &&
+			(op == "-" || op == "+" || op == "&") {
+			op += " "
+		}
+		s = op + inner
 	case *ast.PostfixExpr:
 		prec = precPostfix
 		s = exprString(n.X, precPostfix) + opText(n.Op)

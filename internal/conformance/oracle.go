@@ -1,0 +1,299 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hsmcc/internal/bench"
+)
+
+// Matrix is the (cores × placement policy × MPB budget) sweep every
+// kernel is checked across. It mirrors the grid axes of internal/bench:
+// policy names parse with bench.ParsePolicy and budget 0 means the
+// machine's full MPB.
+type Matrix struct {
+	Cores    []int
+	Policies []string
+	Budgets  []int
+}
+
+// DefaultMatrix covers both launch shapes (2 and 4 UEs), all three
+// Stage 4 policies, and both an unconstrained and a pressure-inducing
+// MPB budget — the smallest sweep that exercises every placement
+// decision the paper's claim quantifies over.
+func DefaultMatrix() Matrix {
+	return Matrix{
+		Cores:    []int{2, 4},
+		Policies: []string{"offchip", "size", "freq"},
+		Budgets:  []int{0, 512},
+	}
+}
+
+// SmokeMatrix is the minimal sweep used by the fuzz target, where
+// per-input cost dominates throughput.
+func SmokeMatrix() Matrix {
+	return Matrix{
+		Cores:    []int{2},
+		Policies: []string{"offchip", "size"},
+		Budgets:  []int{0},
+	}
+}
+
+// Cells returns the matrix's RCCE cell count (per kernel, excluding the
+// one baseline run per cores value).
+func (m Matrix) Cells() int { return len(m.Cores) * len(m.Policies) * len(m.Budgets) }
+
+// ParseMatrix builds a validated matrix from the comma-separated flag
+// syntax shared by hsmconf and the docs ("2,4", "offchip,size,freq",
+// "0,512").
+func ParseMatrix(cores, policies, budgets string) (Matrix, error) {
+	var m Matrix
+	for _, s := range strings.Split(cores, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return m, fmt.Errorf("bad cores value %q: %w", s, err)
+		}
+		m.Cores = append(m.Cores, v)
+	}
+	for _, s := range strings.Split(policies, ",") {
+		m.Policies = append(m.Policies, strings.TrimSpace(s))
+	}
+	for _, s := range strings.Split(budgets, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return m, fmt.Errorf("bad budgets value %q: %w", s, err)
+		}
+		m.Budgets = append(m.Budgets, v)
+	}
+	return m, m.Validate()
+}
+
+// Validate rejects malformed matrices before simulation time is spent.
+func (m Matrix) Validate() error {
+	if len(m.Cores) == 0 || len(m.Policies) == 0 || len(m.Budgets) == 0 {
+		return fmt.Errorf("conformance: matrix needs at least one cores value, policy and budget")
+	}
+	for _, c := range m.Cores {
+		if c < 1 || c > 48 {
+			return fmt.Errorf("conformance: cores %d out of range [1,48]", c)
+		}
+	}
+	for _, p := range m.Policies {
+		if _, err := bench.ParsePolicy(p); err != nil {
+			return err
+		}
+	}
+	for _, b := range m.Budgets {
+		if b < 0 {
+			return fmt.Errorf("conformance: negative MPB budget %d", b)
+		}
+	}
+	return nil
+}
+
+// Divergence is one failed differential check: the cell, both outputs,
+// and everything needed to reproduce it from the log line alone.
+type Divergence struct {
+	Seed    int64  `json:"seed"`
+	Cores   int    `json:"cores"`
+	Policy  string `json:"policy"`
+	Budget  int    `json:"budget"`
+	BaseOut string `json:"base_out,omitempty"`
+	RCCEOut string `json:"rcce_out,omitempty"`
+	// Err is set when a pipeline stage failed outright (parse, sema,
+	// translate, execution) rather than producing divergent output.
+	Err string `json:"err,omitempty"`
+	// Source is the Pthread kernel; Translated the (possibly mutated)
+	// RCCE program it became.
+	Source     string `json:"source,omitempty"`
+	Translated string `json:"translated,omitempty"`
+}
+
+// String is the one-line failure report. It leads with the explicit
+// seed and cell so any reported failure is reproducible from the log:
+//
+//	hsmconf -seed <seed> -n 1 -cores <cores> -policies <policy> -budgets <budget>
+func (d *Divergence) String() string {
+	what := "output divergence"
+	if d.Err != "" {
+		what = "error: " + d.Err
+	}
+	return fmt.Sprintf("seed=%d cores=%d policy=%s budget=%d: %s (repro: hsmconf -seed %d -n 1 -cores %d -policies %s -budgets %d)",
+		d.Seed, d.Cores, d.Policy, d.Budget, what, d.Seed, d.Cores, d.Policy, d.Budget)
+}
+
+// Engine runs kernels through both backends across a matrix.
+type Engine struct {
+	Matrix Matrix
+	Gen    GenOptions
+	// Mutate, when non-nil, corrupts the translated RCCE source before
+	// it is re-parsed and executed — the fault-injection seam used to
+	// prove the oracle catches translator bugs.
+	Mutate func(src string) string
+}
+
+// NewEngine returns an engine over the default matrix and generator.
+func NewEngine() *Engine {
+	return &Engine{Matrix: DefaultMatrix(), Gen: DefaultGenOptions()}
+}
+
+// config assembles the bench harness configuration for one cell.
+func (e *Engine) config(cores, budget int) bench.Config {
+	cfg := bench.DefaultConfig()
+	cfg.Threads = cores
+	cfg.MPBCapacity = budget
+	if e.Mutate != nil {
+		mut := e.Mutate
+		cfg.TransformRCCE = func(src string) (string, error) { return mut(src), nil }
+	}
+	return cfg
+}
+
+// workload wraps fixed kernel source as a bench workload. The source is
+// already emitted for the right thread count, so the harness parameters
+// are ignored.
+func kernelWorkload(seed int64, src string) bench.Workload {
+	return bench.Workload{
+		Key:    fmt.Sprintf("gen%d", seed),
+		Name:   fmt.Sprintf("generated kernel %d", seed),
+		Class:  "conformance",
+		Source: func(threads int, scale float64) string { return src },
+	}
+}
+
+// CheckCell runs spec through both backends at one matrix cell and
+// returns the divergence, or nil when the backends agree.
+func (e *Engine) CheckCell(spec *Spec, cores int, policy string, budget int) *Divergence {
+	return e.CheckSource(spec.Seed, spec.Source(cores), cores, policy, budget)
+}
+
+// CheckSource differentially checks fixed kernel source at one cell —
+// the entry point for replaying persisted corpus kernels, where the .c
+// file rather than the generator is the source of truth.
+func (e *Engine) CheckSource(seed int64, src string, cores int, policy string, budget int) *Divergence {
+	div := &Divergence{Seed: seed, Cores: cores, Policy: policy, Budget: budget, Source: src}
+	pol, err := bench.ParsePolicy(policy)
+	if err != nil {
+		div.Err = err.Error()
+		return div
+	}
+	both, err := bench.RunBothBackends(kernelWorkload(seed, src), e.config(cores, budget), pol)
+	if err != nil {
+		div.Err = err.Error()
+		return div
+	}
+	if both.Match {
+		return nil
+	}
+	div.BaseOut = both.Baseline.Output
+	div.RCCEOut = both.RCCE.Output
+	div.Translated = both.RCCE.TranslatedSource
+	return div
+}
+
+// Check runs spec across the whole matrix, sharing one baseline run per
+// cores value, and returns the first divergence (cores-ascending,
+// policy-major) or nil. Sharing the baseline matters: the matrix's RCCE
+// cells all diff against the same reference execution.
+func (e *Engine) Check(spec *Spec) *Divergence {
+	for _, cores := range e.Matrix.Cores {
+		src := spec.Source(cores)
+		w := kernelWorkload(spec.Seed, src)
+		base, err := bench.RunBaseline(w, e.config(cores, 0))
+		if err != nil {
+			return &Divergence{Seed: spec.Seed, Cores: cores, Policy: e.Matrix.Policies[0],
+				Budget: e.Matrix.Budgets[0], Source: src, Err: "baseline: " + err.Error()}
+		}
+		for _, policy := range e.Matrix.Policies {
+			pol, err := bench.ParsePolicy(policy)
+			if err != nil {
+				return &Divergence{Seed: spec.Seed, Cores: cores, Policy: policy, Source: src, Err: err.Error()}
+			}
+			for _, budget := range e.Matrix.Budgets {
+				div := &Divergence{Seed: spec.Seed, Cores: cores, Policy: policy, Budget: budget, Source: src}
+				conv, err := bench.RunRCCE(w, e.config(cores, budget), pol)
+				if err != nil {
+					div.Err = err.Error()
+					return div
+				}
+				if !bench.SameResults(base.Output, conv.Output) {
+					div.BaseOut = base.Output
+					div.RCCEOut = conv.Output
+					div.Translated = conv.TranslatedSource
+					return div
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SpecForSeed deterministically derives kernel i of a run: the kernel's
+// own seed is base+i, so a failure in kernel 137 of a 10k-kernel soak
+// reproduces directly via -seed base+137 -n 1.
+func SpecForSeed(seed int64, opts GenOptions) *Spec {
+	s := Generate(rand.New(rand.NewSource(seed)), opts)
+	s.Seed = seed
+	return s
+}
+
+// Failure is one failed kernel with its shrunken reproducer.
+type Failure struct {
+	Seed      int64       `json:"seed"`
+	Div       *Divergence `json:"divergence"`
+	Spec      *Spec       `json:"spec"`
+	Minimized *Spec       `json:"minimized,omitempty"`
+	MinSource string      `json:"min_source,omitempty"`
+}
+
+// Report summarises an engine run.
+type Report struct {
+	BaseSeed int64
+	Kernels  int
+	Failures []*Failure
+}
+
+// Run generates and checks n kernels with seeds base..base+n-1 across a
+// worker pool, shrinking any failures to minimal reproducers. logf, when
+// non-nil, receives one line per failure as it happens.
+func (e *Engine) Run(base int64, n, parallel int, logf func(format string, args ...any)) *Report {
+	if parallel < 1 {
+		parallel = 1
+	}
+	rep := &Report{BaseSeed: base, Kernels: n}
+	var mu sync.Mutex
+	jobs := make(chan int64)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range jobs {
+				spec := SpecForSeed(seed, e.Gen)
+				div := e.Check(spec)
+				if div == nil {
+					continue
+				}
+				min := e.Shrink(spec, div)
+				f := &Failure{Seed: seed, Div: div, Spec: spec, Minimized: min,
+					MinSource: min.Source(div.Cores)}
+				mu.Lock()
+				rep.Failures = append(rep.Failures, f)
+				mu.Unlock()
+				if logf != nil {
+					logf("conformance: FAIL %s\nminimized (%d lines):\n%s",
+						div, strings.Count(f.MinSource, "\n"), f.MinSource)
+				}
+			}
+		}()
+	}
+	for i := int64(0); i < int64(n); i++ {
+		jobs <- base + i
+	}
+	close(jobs)
+	wg.Wait()
+	return rep
+}

@@ -1,0 +1,82 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SeedMeta is the sidecar metadata of one persisted kernel in a seed
+// corpus directory (testdata/conformance): the cell it must be checked
+// at and the seed it came from. hsmconf writes this shape for minimized
+// failures, so promoting a crasher to a regression seed is a file copy.
+type SeedMeta struct {
+	Seed   int64  `json:"seed"`
+	Cores  int    `json:"cores"`
+	Policy string `json:"policy"`
+	Budget int    `json:"budget"`
+	Note   string `json:"note,omitempty"`
+}
+
+// SeedCase is one loaded corpus entry: C source plus the cell to replay.
+type SeedCase struct {
+	Name   string
+	Source string
+	Meta   SeedMeta
+}
+
+// LoadSeeds reads every <name>.json/<name>.c pair under dir, sorted by
+// name. The .c file is the source of truth — replay does not regenerate
+// from the seed, so corpus entries stay meaningful across generator
+// changes.
+func LoadSeeds(dir string) ([]SeedCase, error) {
+	metas, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(metas)
+	var cases []SeedCase
+	for _, mp := range metas {
+		raw, err := os.ReadFile(mp)
+		if err != nil {
+			return nil, err
+		}
+		var meta SeedMeta
+		if err := json.Unmarshal(raw, &meta); err != nil {
+			return nil, fmt.Errorf("%s: %w", mp, err)
+		}
+		if meta.Cores <= 0 || meta.Policy == "" {
+			return nil, fmt.Errorf("%s: missing cores/policy replay cell", mp)
+		}
+		stem := strings.TrimSuffix(mp, ".json")
+		src, err := os.ReadFile(stem + ".c")
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, SeedCase{
+			Name:   filepath.Base(stem),
+			Source: string(src),
+			Meta:   meta,
+		})
+	}
+	return cases, nil
+}
+
+// Replay checks every corpus entry at its recorded cell and returns the
+// divergences (empty when the whole corpus passes).
+func (e *Engine) Replay(dir string) ([]*Divergence, error) {
+	cases, err := LoadSeeds(dir)
+	if err != nil {
+		return nil, err
+	}
+	var divs []*Divergence
+	for _, c := range cases {
+		if d := e.CheckSource(c.Meta.Seed, c.Source, c.Meta.Cores, c.Meta.Policy, c.Meta.Budget); d != nil {
+			divs = append(divs, d)
+		}
+	}
+	return divs, nil
+}

@@ -1,0 +1,287 @@
+package conformance
+
+import (
+	"encoding/json"
+)
+
+// maxShrinkEvals bounds how many candidate kernels one shrink may
+// execute; each evaluation re-runs both backends at the failing cell.
+const maxShrinkEvals = 400
+
+// Shrink reduces a failing spec to a minimal reproducer: it repeatedly
+// tries structural reductions (drop rounds, statements, arrays; shrink
+// loops to slot writes; replace expressions by their subtrees) and keeps
+// any candidate that still fails at the originally-failing matrix cell.
+// Greedy first-improvement to a fixpoint — the classic delta-debugging
+// loop specialised to the Spec shape, which is why shrinking happens on
+// the spec rather than on C text: every candidate is well-typed and
+// race-free by construction.
+func (e *Engine) Shrink(spec *Spec, div *Divergence) *Spec {
+	evals := 0
+	fails := func(s *Spec) bool {
+		if evals >= maxShrinkEvals {
+			return false
+		}
+		evals++
+		return e.CheckCell(s, div.Cores, div.Policy, div.Budget) != nil
+	}
+	cur := cloneSpec(spec)
+	for {
+		improved := false
+		for _, cand := range reductions(cur) {
+			if cand.size() >= cur.size() {
+				continue
+			}
+			if fails(cand) {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+		if !improved || evals >= maxShrinkEvals {
+			return cur
+		}
+	}
+}
+
+// cloneSpec deep-copies via JSON: Spec is fully exported and acyclic.
+func cloneSpec(s *Spec) *Spec {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err) // Spec is always marshallable
+	}
+	var out Spec
+	if err := json.Unmarshal(b, &out); err != nil {
+		panic(err)
+	}
+	return &out
+}
+
+// size is the node count the shrinker minimises.
+func (s *Spec) size() int {
+	n := len(s.Arrays) + s.PerThread
+	if s.Mutex {
+		n += 2
+	}
+	for _, r := range s.Rounds {
+		n += 2
+		if r.Serial > 1 {
+			n += 2
+		}
+		if r.Print {
+			n++
+		}
+		if !r.Slot {
+			n++ // the loop scaffolding itself
+		}
+		n += exprSize(r.Crit)
+		for _, st := range r.Loop {
+			n += 1 + exprSize(st.RHS) + exprSize(st.Guard)
+			if st.AddTo {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func exprSize(e *Expr) int {
+	if e == nil {
+		return 0
+	}
+	return 1 + exprSize(e.X) + exprSize(e.Y) + exprSize(e.Idx)
+}
+
+// reductions enumerates one-step-smaller candidate specs. Order matters
+// for the greedy loop: the cheap per-round feature drops (print, crit,
+// serial wrapper) come first so that when a fault is observable through
+// several program features at once, shrinking strips the expensive
+// scaffolding (mutex, serial loop) before structural drops can commit
+// the spec to a local minimum that needs it.
+func reductions(s *Spec) []*Spec {
+	var out []*Spec
+	add := func(f func(*Spec)) {
+		c := cloneSpec(s)
+		f(c)
+		out = append(out, c)
+	}
+
+	// Feature drops first.
+	for i := range s.Rounds {
+		i := i
+		r := &s.Rounds[i]
+		if r.Print {
+			add(func(c *Spec) { c.Rounds[i].Print = false })
+		}
+		if r.Crit != nil {
+			add(func(c *Spec) {
+				c.Rounds[i].Crit = nil
+				if !c.anyCrit() {
+					c.Mutex = false
+				}
+			})
+		}
+		if r.Serial > 1 {
+			add(func(c *Spec) {
+				c.Rounds[i].Serial = 0
+				c.Rounds[i].mapExprs(func(e *Expr) {
+					if e.Op == OpRR {
+						*e = Expr{Op: OpIntLit, K: KInt}
+					}
+				})
+			})
+		}
+	}
+	// Drop whole rounds (keep at least one).
+	if len(s.Rounds) > 1 {
+		for i := range s.Rounds {
+			i := i
+			add(func(c *Spec) { c.Rounds = append(c.Rounds[:i], c.Rounds[i+1:]...) })
+		}
+	}
+	// Drop arrays: statements targeting the array go with it, reads of
+	// it become zero literals, and later arrays shift down one id.
+	if len(s.Arrays) > 1 {
+		for a := range s.Arrays {
+			a := a
+			add(func(c *Spec) { c.dropArray(a) })
+		}
+	}
+	// Shrink the slice width.
+	if s.PerThread > 1 {
+		add(func(c *Spec) { c.PerThread = 1; c.stripOpI() })
+	}
+	// Per-round structural reductions.
+	for i := range s.Rounds {
+		i := i
+		r := &s.Rounds[i]
+		if len(r.Loop) > 1 {
+			for j := range r.Loop {
+				j := j
+				add(func(c *Spec) {
+					c.Rounds[i].Loop = append(c.Rounds[i].Loop[:j], c.Rounds[i].Loop[j+1:]...)
+				})
+			}
+		}
+		// Loop -> direct slot write (valid once PerThread == 1; OpI then
+		// means exactly "me").
+		if !r.Slot && s.PerThread == 1 {
+			add(func(c *Spec) { c.Rounds[i].Slot = true })
+		}
+		for j := range r.Loop {
+			j := j
+			st := &r.Loop[j]
+			if st.Guard != nil {
+				add(func(c *Spec) { c.Rounds[i].Loop[j].Guard = nil })
+			}
+			if st.AddTo {
+				add(func(c *Spec) { c.Rounds[i].Loop[j].AddTo = false })
+			}
+			for _, sub := range subExprs(st.RHS) {
+				sub := sub
+				add(func(c *Spec) { c.Rounds[i].Loop[j].RHS = sub })
+			}
+		}
+		for _, sub := range subExprs(r.Crit) {
+			sub := sub
+			add(func(c *Spec) { c.Rounds[i].Crit = sub })
+		}
+	}
+	return out
+}
+
+// subExprs returns strictly smaller replacement candidates for e: its
+// direct children plus the unit literal.
+func subExprs(e *Expr) []*Expr {
+	if e == nil {
+		return nil
+	}
+	var out []*Expr
+	for _, c := range []*Expr{e.X, e.Y, e.Idx} {
+		if c != nil {
+			out = append(out, cloneExpr(c))
+		}
+	}
+	if exprSize(e) > 1 {
+		out = append(out, &Expr{Op: OpIntLit, K: KInt, Val: 1})
+	}
+	return out
+}
+
+func cloneExpr(e *Expr) *Expr {
+	if e == nil {
+		return nil
+	}
+	c := *e
+	c.X = cloneExpr(e.X)
+	c.Y = cloneExpr(e.Y)
+	c.Idx = cloneExpr(e.Idx)
+	return &c
+}
+
+// dropArray removes array a, retargets the program away from it.
+func (s *Spec) dropArray(a int) {
+	s.Arrays = append(s.Arrays[:a], s.Arrays[a+1:]...)
+	for i := range s.Rounds {
+		r := &s.Rounds[i]
+		var kept []Stmt
+		for _, st := range r.Loop {
+			if st.Arr == a {
+				continue
+			}
+			if st.Arr > a {
+				st.Arr--
+			}
+			kept = append(kept, st)
+		}
+		r.Loop = kept
+		r.mapExprs(func(e *Expr) {
+			if e.Op != OpRead {
+				return
+			}
+			if e.Arr == a {
+				k := e.K
+				*e = Expr{Op: OpIntLit, K: KInt}
+				if k == KDouble {
+					*e = Expr{Op: OpFloatLit, K: KDouble}
+				}
+			} else if e.Arr > a {
+				e.Arr--
+			}
+		})
+		// The per-thread print probes array 0; keep it only while one
+		// array remains (it always does — Arrays is never emptied).
+	}
+}
+
+// stripOpI is a no-op placeholder kept for symmetry: OpI stays valid at
+// any PerThread (the loop still exists until a round turns on Slot).
+func (s *Spec) stripOpI() {}
+
+func (s *Spec) anyCrit() bool {
+	for _, r := range s.Rounds {
+		if r.Crit != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// mapExprs applies f to every expression node of the round, bottom-up.
+func (r *Round) mapExprs(f func(*Expr)) {
+	var walk func(*Expr)
+	walk = func(e *Expr) {
+		if e == nil {
+			return
+		}
+		walk(e.X)
+		walk(e.Y)
+		walk(e.Idx)
+		f(e)
+	}
+	for i := range r.Loop {
+		walk(r.Loop[i].RHS)
+		walk(r.Loop[i].Guard)
+	}
+	walk(r.Crit)
+}

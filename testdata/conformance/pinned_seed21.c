@@ -1,0 +1,53 @@
+#include <stdio.h>
+#include <pthread.h>
+double A0[2];
+double A1[2];
+int rr1;
+
+void *step0(void *tid)
+{
+    int me = (int)tid;
+    int lo = me;
+    int i;
+    for (i = lo; i < lo + 1; i++)
+    {
+        A1[i] = ((((double)(me) + 2.5) + A1[i]) - (((double)(me) + (double)(i)) + (A0[i] - A0[i])));
+        A0[i] = (double)(me);
+    }
+    pthread_exit(NULL);
+}
+
+void *step1(void *tid)
+{
+    int me = (int)tid;
+    int lo = me;
+    int i;
+    for (i = lo; i < lo + 1; i++)
+    {
+        A1[i] = (double)(i);
+        A1[i] = ((((double)(rr1) * (double)(rr1)) + A0[(i % 2)]) - (double)(i));
+    }
+    pthread_exit(NULL);
+}
+
+int main()
+{
+    pthread_t th[2];
+    int t;
+    int r;
+    for (t = 0; t < 2; t++)
+        pthread_create(&th[t], NULL, step0, (void *)t);
+    for (t = 0; t < 2; t++)
+        pthread_join(th[t], NULL);
+    for (r = 0; r < 2; r++)
+    {
+        rr1 = r;
+        for (t = 0; t < 2; t++)
+            pthread_create(&th[t], NULL, step1, (void *)t);
+        for (t = 0; t < 2; t++)
+            pthread_join(th[t], NULL);
+    }
+    printf("c0 %.6f\n", A0[0] + A0[1]);
+    printf("c1 %.6f\n", A1[0] + A1[1]);
+    return 0;
+}

@@ -1,0 +1,41 @@
+#include <stdio.h>
+#include <pthread.h>
+double A0[8];
+double A1[8];
+
+void *step0(void *tid)
+{
+    int me = (int)tid;
+    int lo = me * 2;
+    int i;
+    for (i = lo; i < lo + 2; i++)
+    {
+        A1[i] = A1[i] + (A0[(i % 8)] + ((A0[(2 % 8)] - (double)(i)) + ((double)(me) - A0[i])));
+        A1[i] = A1[i] + (double)(me);
+    }
+    printf("p0 %d %d\n", me, (int)(A0[me * 2]));
+    pthread_exit(NULL);
+}
+
+int main()
+{
+    pthread_t th[4];
+    int t;
+    for (t = 0; t < 4; t++)
+        pthread_create(&th[t], NULL, step0, (void *)t);
+    for (t = 0; t < 4; t++)
+        pthread_join(th[t], NULL);
+    int k;
+    double c0;
+    c0 = 0.0;
+    double c1;
+    c1 = 0.0;
+    for (k = 0; k < 8; k++)
+    {
+        c0 = c0 + A0[k];
+        c1 = c1 + A1[k];
+    }
+    printf("c0 %.6f\n", c0);
+    printf("c1 %.6f\n", c1);
+    return 0;
+}

@@ -1,0 +1,43 @@
+#include <stdio.h>
+#include <pthread.h>
+double A0[9];
+int gsum;
+pthread_mutex_t mu;
+
+void *step0(void *tid)
+{
+    int me = (int)tid;
+    int lo = me * 3;
+    int i;
+    for (i = lo; i < lo + 3; i++)
+    {
+        A0[i] = A0[i] + (((A0[i] + (double)(i)) * 1.0) - (double)(me));
+        if ((i) % 2 == 0)
+            A0[i] = (((A0[i] + A0[i]) + A0[i]) + (((double)(i) + 3.0) - (2.5 - (double)(i))));
+        A0[i] = (double)(i);
+    }
+    pthread_mutex_lock(&mu);
+    gsum = gsum + 1;
+    pthread_mutex_unlock(&mu);
+    printf("p0 %d %d\n", me, (int)(A0[me * 3]));
+    pthread_exit(NULL);
+}
+
+int main()
+{
+    pthread_t th[3];
+    int t;
+    pthread_mutex_init(&mu, NULL);
+    for (t = 0; t < 3; t++)
+        pthread_create(&th[t], NULL, step0, (void *)t);
+    for (t = 0; t < 3; t++)
+        pthread_join(th[t], NULL);
+    int k;
+    double c0;
+    c0 = 0.0;
+    for (k = 0; k < 9; k++)
+        c0 = c0 + A0[k];
+    printf("c0 %.6f\n", c0);
+    printf("g %d\n", gsum);
+    return 0;
+}
