@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"testing"
+
+	"hsmcc/internal/interp"
+	"hsmcc/internal/partition"
+	"hsmcc/internal/rcce"
+)
+
+// The compiled engine's landing invariant: byte-identical program output
+// AND identical simulated-time/cycle statistics versus the tree-walk
+// reference engine, over the whole workload corpus, on both the Pthread
+// baseline and the translated RCCE pipeline. Only host-side work may
+// differ between engines; the virtual-clock model must not.
+
+// withEngine runs f with the session default engine forced to e.
+func withEngine(t *testing.T, e interp.Engine, f func()) {
+	t.Helper()
+	old := interp.DefaultEngine
+	interp.DefaultEngine = e
+	defer func() { interp.DefaultEngine = old }()
+	f()
+}
+
+// equivConfig is a reduced-size configuration that still touches every
+// address class (private, shared DRAM, MPB) and both runtimes.
+func equivConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Threads = 8
+	cfg.Scale = 0.05
+	return cfg
+}
+
+func requireEqualRuns(t *testing.T, what string, compiled, reference *RunResult) {
+	t.Helper()
+	if compiled.Output != reference.Output {
+		t.Errorf("%s: output diverged between engines\n--- compiled\n%s\n--- tree-walk\n%s",
+			what, compiled.Output, reference.Output)
+	}
+	if compiled.Makespan != reference.Makespan {
+		t.Errorf("%s: makespan %d ps (compiled) != %d ps (tree-walk)",
+			what, compiled.Makespan, reference.Makespan)
+	}
+	if compiled.Stats != reference.Stats {
+		t.Errorf("%s: cycle statistics diverged\ncompiled:  %+v\ntree-walk: %+v",
+			what, compiled.Stats, reference.Stats)
+	}
+}
+
+// TestEngineEquivalenceCorpus pins compiled-vs-reference equality over
+// the full 10-workload corpus, for the single-core Pthread baseline and
+// for the translate→RCCE→sccsim pipeline under both an off-chip-only and
+// an on-chip placement policy.
+func TestEngineEquivalenceCorpus(t *testing.T) {
+	cfg := equivConfig()
+	for _, w := range All() {
+		w := w
+		t.Run(w.Key, func(t *testing.T) {
+			var cBase, rBase *RunResult
+			var err error
+			withEngine(t, interp.EngineCompiled, func() { cBase, err = RunBaseline(w, cfg) })
+			if err != nil {
+				t.Fatalf("compiled baseline: %v", err)
+			}
+			withEngine(t, interp.EngineTreeWalk, func() { rBase, err = RunBaseline(w, cfg) })
+			if err != nil {
+				t.Fatalf("tree-walk baseline: %v", err)
+			}
+			requireEqualRuns(t, "baseline", cBase, rBase)
+
+			for _, pol := range []partition.Policy{partition.PolicyOffChipOnly, partition.PolicySizeAscending} {
+				var cRCCE, rRCCE *RunResult
+				withEngine(t, interp.EngineCompiled, func() { cRCCE, err = RunRCCE(w, cfg, pol) })
+				if err != nil {
+					t.Fatalf("compiled rcce %v: %v", pol, err)
+				}
+				withEngine(t, interp.EngineTreeWalk, func() { rRCCE, err = RunRCCE(w, cfg, pol) })
+				if err != nil {
+					t.Fatalf("tree-walk rcce %v: %v", pol, err)
+				}
+				requireEqualRuns(t, "rcce/"+string(rune('0'+int(pol))), cRCCE, rRCCE)
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceOversubscribed covers the §7.2 many-to-one
+// scheduler (more UEs than cores), which exercises the manyToOne policy
+// and context-switch charges under the direct-handoff scheduler.
+func TestEngineEquivalenceOversubscribed(t *testing.T) {
+	w, ok := ByKey("pi")
+	if !ok {
+		t.Fatal("no pi workload")
+	}
+	cfg := equivConfig()
+	cfg.Threads = 6
+	cfg.RCCE = func(n int) rcce.Options {
+		o := rcce.DefaultOptions(n)
+		o.Cores = []int{0, 1, 2, 0, 1, 2}
+		o.AllowOversubscribe = true
+		return o
+	}
+	var compiled, reference *RunResult
+	var err error
+	withEngine(t, interp.EngineCompiled, func() { compiled, err = RunRCCE(w, cfg, partition.PolicyOffChipOnly) })
+	if err != nil {
+		t.Fatalf("compiled: %v", err)
+	}
+	withEngine(t, interp.EngineTreeWalk, func() { reference, err = RunRCCE(w, cfg, partition.PolicyOffChipOnly) })
+	if err != nil {
+		t.Fatalf("tree-walk: %v", err)
+	}
+	requireEqualRuns(t, "oversubscribed", compiled, reference)
+}

@@ -1,0 +1,92 @@
+package conformance
+
+import (
+	"testing"
+
+	"hsmcc/internal/bench"
+	"hsmcc/internal/interp"
+	"hsmcc/internal/partition"
+)
+
+// TestEngineEquivalenceKernels extends the compiled-engine golden
+// invariant to generated conformance kernels: for a sample of seeds
+// (including thread-specific solo tasks, serial rounds and mutexes),
+// the compiled engine and the tree-walk reference must produce
+// byte-identical output and identical cycle statistics on both the
+// Pthread baseline and the translated RCCE pipeline.
+func TestEngineEquivalenceKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs dozens of simulated kernels")
+	}
+	const kernels = 24
+	const cores = 4
+	runBoth := func(e interp.Engine, w bench.Workload, cfg bench.Config) (*bench.RunResult, *bench.RunResult, error) {
+		old := interp.DefaultEngine
+		interp.DefaultEngine = e
+		defer func() { interp.DefaultEngine = old }()
+		base, err := bench.RunBaseline(w, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		conv, err := bench.RunRCCE(w, cfg, partition.PolicySizeAscending)
+		if err != nil {
+			return nil, nil, err
+		}
+		return base, conv, nil
+	}
+	for seed := int64(5000); seed < 5000+kernels; seed++ {
+		spec := SpecForSeed(seed, DefaultGenOptions())
+		src := spec.Source(cores)
+		w := kernelWorkload(seed, src)
+		cfg := bench.DefaultConfig()
+		cfg.Threads = cores
+		cBase, cConv, err := runBoth(interp.EngineCompiled, w, cfg)
+		if err != nil {
+			t.Fatalf("seed %d compiled: %v\n%s", seed, err, src)
+		}
+		rBase, rConv, err := runBoth(interp.EngineTreeWalk, w, cfg)
+		if err != nil {
+			t.Fatalf("seed %d tree-walk: %v\n%s", seed, err, src)
+		}
+		for _, pair := range []struct {
+			what string
+			c, r *bench.RunResult
+		}{{"baseline", cBase, rBase}, {"rcce", cConv, rConv}} {
+			if pair.c.Output != pair.r.Output {
+				t.Errorf("seed %d %s: output diverged\n--- compiled\n%s\n--- tree-walk\n%s",
+					seed, pair.what, pair.c.Output, pair.r.Output)
+			}
+			if pair.c.Makespan != pair.r.Makespan || pair.c.Stats != pair.r.Stats {
+				t.Errorf("seed %d %s: cycle statistics diverged (makespan %d vs %d)",
+					seed, pair.what, pair.c.Makespan, pair.r.Makespan)
+			}
+		}
+	}
+}
+
+// TestGeneratorEmitsSoloTasks pins the thread-specific-launch extension:
+// across a seed range, some kernels must contain solo (`if (me == k)`)
+// tasks, and their emitted source must carry the guard.
+func TestGeneratorEmitsSoloTasks(t *testing.T) {
+	found := 0
+	for seed := int64(0); seed < 80; seed++ {
+		spec := SpecForSeed(seed, DefaultGenOptions())
+		for _, rd := range spec.Rounds {
+			if rd.Solo == nil {
+				continue
+			}
+			found++
+			// The solo target must not be a loop target of its round
+			// (race-freedom by construction).
+			for _, st := range rd.Loop {
+				if st.Arr == rd.Solo.Arr {
+					t.Fatalf("seed %d: solo targets array %d which the round's loop also writes", seed, rd.Solo.Arr)
+				}
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no generated kernel contained a thread-specific solo task across 80 seeds")
+	}
+	t.Logf("%d solo tasks across 80 seeds", found)
+}

@@ -92,6 +92,20 @@ type Stmt struct {
 	Guard *Expr `json:"guard,omitempty"`
 }
 
+// Solo is a thread-specific task: exactly one thread (Thread mod the
+// emitted thread count) executes an extra write into its own slice of a
+// designated array — `if (myID == k)` launches, per the ROADMAP open
+// item, so translated programs are exercised with asymmetric thread
+// bodies and not just SPMD loops. The target array is never a loop
+// target of the same round and is marked written, so no other thread
+// reads or writes it concurrently: race-free by construction.
+type Solo struct {
+	Thread int   `json:"thread"`
+	Arr    int   `json:"arr"`
+	Idx    int   `json:"idx"` // offset within the thread's slice, mod PerThread
+	RHS    *Expr `json:"rhs"`
+}
+
 // Round is one pthread_create/pthread_join cycle — after translation,
 // one RCCE barrier phase.
 type Round struct {
@@ -106,6 +120,10 @@ type Round struct {
 	// direct own-slot writes (A[me] = ...) without the for loop — the
 	// compact form the shrinker reduces to.
 	Slot bool `json:"slot,omitempty"`
+	// Solo, when non-nil, appends a thread-specific task guarded by
+	// `if (me == k)` — the asymmetric-body shape of thesis launches where
+	// only a designated thread performs a step.
+	Solo *Solo `json:"solo,omitempty"`
 	// Crit, when non-nil, appends a mutex-guarded update of the shared
 	// counter: lock; gsum = gsum + <Crit>; unlock. Int-kind and
 	// commutative, so the result is schedule-independent.
@@ -140,6 +158,9 @@ type GenOptions struct {
 	PPrint       float64
 	PSerial      float64
 	PGuard       float64
+	// PSolo is the probability a round gains a thread-specific
+	// (`if (me == k)`) task targeting an otherwise-untouched array.
+	PSolo float64
 }
 
 // DefaultGenOptions returns the engine's standard generator bounds.
@@ -155,6 +176,7 @@ func DefaultGenOptions() GenOptions {
 		PPrint:       0.3,
 		PSerial:      0.35,
 		PGuard:       0.3,
+		PSolo:        0.35,
 	}
 }
 
@@ -188,6 +210,28 @@ func Generate(rng *rand.Rand, opts GenOptions) *Spec {
 		for j := range targets {
 			targets[j] = rng.Intn(narr)
 			inRound[targets[j]] = true
+		}
+		// Thread-specific task: pick an array no loop statement writes,
+		// claim it for this round (blocking cross-slice reads of it),
+		// and give one thread an extra own-slice write.
+		if rng.Float64() < opts.PSolo {
+			var cands []int
+			for a := 0; a < narr; a++ {
+				if !inRound[a] {
+					cands = append(cands, a)
+				}
+			}
+			if len(cands) > 0 {
+				arr := cands[rng.Intn(len(cands))]
+				inRound[arr] = true
+				gs := &exprGen{rng: rng, opts: opts, spec: s, serial: rd.Serial > 1, written: written, inRound: inRound}
+				rd.Solo = &Solo{
+					Thread: rng.Intn(8),
+					Arr:    arr,
+					Idx:    rng.Intn(opts.MaxPerThread),
+					RHS:    gs.gen(s.Arrays[arr], opts.MaxExprDepth),
+				}
+			}
 		}
 		g := &exprGen{
 			rng:     rng,
@@ -424,6 +468,19 @@ func (em *emitter) threadFunc(r int) *ast.FuncDecl {
 			Cond: bin(token.Lt, ident("i"), bin(token.Plus, ident("lo"), intLit(int64(em.spec.PerThread)))),
 			Post: &ast.PostfixExpr{Op: token.PlusPlus, X: ident("i")},
 			Body: nested(inner),
+		})
+	}
+	if rd.Solo != nil {
+		k := rd.Solo.Thread % em.threads
+		if k < 0 {
+			k = 0
+		}
+		slot := k*em.spec.PerThread + rd.Solo.Idx%em.spec.PerThread
+		target := &ast.IndexExpr{X: ident(arrName(rd.Solo.Arr)), Index: intLit(int64(slot))}
+		task := exprStmt(assign(target, em.expr(rd.Solo.RHS, em.spec.Arrays[rd.Solo.Arr], ctx)))
+		body = append(body, &ast.IfStmt{
+			Cond: bin(token.EqEq, ident("me"), intLit(int64(k))),
+			Then: &ast.BlockStmt{List: []ast.Stmt{task}},
 		})
 	}
 	if rd.Crit != nil {

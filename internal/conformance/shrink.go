@@ -74,6 +74,9 @@ func (s *Spec) size() int {
 		if !r.Slot {
 			n++ // the loop scaffolding itself
 		}
+		if r.Solo != nil {
+			n += 2 + exprSize(r.Solo.RHS)
+		}
 		n += exprSize(r.Crit)
 		for _, st := range r.Loop {
 			n += 1 + exprSize(st.RHS) + exprSize(st.Guard)
@@ -112,6 +115,9 @@ func reductions(s *Spec) []*Spec {
 		r := &s.Rounds[i]
 		if r.Print {
 			add(func(c *Spec) { c.Rounds[i].Print = false })
+		}
+		if r.Solo != nil {
+			add(func(c *Spec) { c.Rounds[i].Solo = nil })
 		}
 		if r.Crit != nil {
 			add(func(c *Spec) {
@@ -182,6 +188,12 @@ func reductions(s *Spec) []*Spec {
 				add(func(c *Spec) { c.Rounds[i].Loop[j].RHS = sub })
 			}
 		}
+		if r.Solo != nil {
+			for _, sub := range subExprs(r.Solo.RHS) {
+				sub := sub
+				add(func(c *Spec) { c.Rounds[i].Solo.RHS = sub })
+			}
+		}
 		for _, sub := range subExprs(r.Crit) {
 			sub := sub
 			add(func(c *Spec) { c.Rounds[i].Crit = sub })
@@ -235,6 +247,13 @@ func (s *Spec) dropArray(a int) {
 			kept = append(kept, st)
 		}
 		r.Loop = kept
+		if r.Solo != nil {
+			if r.Solo.Arr == a {
+				r.Solo = nil
+			} else if r.Solo.Arr > a {
+				r.Solo.Arr--
+			}
+		}
 		r.mapExprs(func(e *Expr) {
 			if e.Op != OpRead {
 				return
@@ -282,6 +301,9 @@ func (r *Round) mapExprs(f func(*Expr)) {
 	for i := range r.Loop {
 		walk(r.Loop[i].RHS)
 		walk(r.Loop[i].Guard)
+	}
+	if r.Solo != nil {
+		walk(r.Solo.RHS)
 	}
 	walk(r.Crit)
 }

@@ -1,0 +1,152 @@
+package interp
+
+import (
+	"encoding/binary"
+	"math"
+
+	"hsmcc/internal/cc/types"
+)
+
+// Typed memory accessors, selected once per compiled site. Each variant
+// is the fusion of loadValue+decodeValue (or Convert+encodeValue+
+// storeValue) for one type kind: the same Machine access, the same
+// noteMemOp cadence, the same resulting bits — minus the per-operation
+// size computation and kind switches. Kinds outside the table fall back
+// to the generic routines, preserving their exact behaviour (including
+// error messages and panics on malformed types).
+
+// typedLoad reads a value of a fixed type from simulated memory.
+type typedLoad func(p *Proc, addr uint32) (Value, error)
+
+// typedStore writes v (converting it to the fixed type first) and
+// returns the converted value, which assignment expressions yield.
+type typedStore func(p *Proc, addr uint32, v Value) (Value, error)
+
+func makeLoad(t *types.Type) typedLoad {
+	if t == nil {
+		return func(p *Proc, addr uint32) (Value, error) { return p.loadValue(addr, t) }
+	}
+	sz := t.Size()
+	if sz <= 0 || sz > 8 {
+		return func(p *Proc, addr uint32) (Value, error) { return p.loadValue(addr, t) }
+	}
+	switch t.Kind {
+	case types.Char:
+		return func(p *Proc, addr uint32) (Value, error) {
+			buf := p.buf[:sz]
+			p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
+			p.noteMemOp(addr)
+			return Value{T: t, I: int64(int8(buf[0]))}, nil
+		}
+	case types.Short:
+		return func(p *Proc, addr uint32) (Value, error) {
+			buf := p.buf[:sz]
+			p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
+			p.noteMemOp(addr)
+			return Value{T: t, I: int64(int16(binary.LittleEndian.Uint16(buf)))}, nil
+		}
+	case types.Int, types.Long:
+		return func(p *Proc, addr uint32) (Value, error) {
+			buf := p.buf[:sz]
+			p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
+			p.noteMemOp(addr)
+			return Value{T: t, I: int64(int32(binary.LittleEndian.Uint32(buf)))}, nil
+		}
+	case types.UInt, types.Pointer, types.Opaque:
+		return func(p *Proc, addr uint32) (Value, error) {
+			buf := p.buf[:sz]
+			p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
+			p.noteMemOp(addr)
+			return Value{T: t, I: int64(binary.LittleEndian.Uint32(buf))}, nil
+		}
+	case types.Float:
+		return func(p *Proc, addr uint32) (Value, error) {
+			buf := p.buf[:sz]
+			p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
+			p.noteMemOp(addr)
+			return Value{T: t, F: float64(math.Float32frombits(binary.LittleEndian.Uint32(buf)))}, nil
+		}
+	case types.Double:
+		return func(p *Proc, addr uint32) (Value, error) {
+			buf := p.buf[:sz]
+			p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
+			p.noteMemOp(addr)
+			return Value{T: t, F: math.Float64frombits(binary.LittleEndian.Uint64(buf))}, nil
+		}
+	}
+	return func(p *Proc, addr uint32) (Value, error) { return p.loadValue(addr, t) }
+}
+
+func makeStore(t *types.Type) typedStore {
+	generic := func(p *Proc, addr uint32, v Value) (Value, error) {
+		cv := Convert(v, t)
+		if err := p.storeValue(addr, t, cv); err != nil {
+			return Value{}, err
+		}
+		return cv, nil
+	}
+	if t == nil {
+		return generic
+	}
+	sz := t.Size()
+	if sz <= 0 || sz > 8 {
+		return generic
+	}
+	switch t.Kind {
+	case types.Char:
+		return func(p *Proc, addr uint32, v Value) (Value, error) {
+			cv := Value{T: t, I: int64(int8(v.Int()))}
+			buf := p.buf[:sz]
+			buf[0] = byte(cv.I)
+			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
+			p.noteMemOp(addr)
+			return cv, nil
+		}
+	case types.Short:
+		return func(p *Proc, addr uint32, v Value) (Value, error) {
+			cv := Value{T: t, I: int64(int16(v.Int()))}
+			buf := p.buf[:sz]
+			binary.LittleEndian.PutUint16(buf, uint16(cv.I))
+			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
+			p.noteMemOp(addr)
+			return cv, nil
+		}
+	case types.Int, types.Long:
+		return func(p *Proc, addr uint32, v Value) (Value, error) {
+			cv := Value{T: t, I: int64(int32(v.Int()))}
+			buf := p.buf[:sz]
+			binary.LittleEndian.PutUint32(buf, uint32(cv.I))
+			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
+			p.noteMemOp(addr)
+			return cv, nil
+		}
+	case types.UInt, types.Pointer, types.Opaque:
+		return func(p *Proc, addr uint32, v Value) (Value, error) {
+			cv := Value{T: t, I: int64(uint32(v.Int()))}
+			buf := p.buf[:sz]
+			binary.LittleEndian.PutUint32(buf, uint32(cv.I))
+			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
+			p.noteMemOp(addr)
+			return cv, nil
+		}
+	case types.Float:
+		return func(p *Proc, addr uint32, v Value) (Value, error) {
+			cv := Value{T: t, F: float64(float32(v.Float()))}
+			buf := p.buf[:sz]
+			binary.LittleEndian.PutUint32(buf, math.Float32bits(float32(cv.F)))
+			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
+			p.noteMemOp(addr)
+			return cv, nil
+		}
+	case types.Double:
+		return func(p *Proc, addr uint32, v Value) (Value, error) {
+			cv := Value{T: t, F: v.Float()}
+			buf := p.buf[:sz]
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(cv.F))
+			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
+			p.noteMemOp(addr)
+			return cv, nil
+		}
+	}
+	return generic
+}

@@ -1,0 +1,155 @@
+package interp
+
+import (
+	"fmt"
+
+	"hsmcc/internal/cc/token"
+	"hsmcc/internal/cc/types"
+)
+
+// applyBinaryFast is the compiled engine's fusion of applyBinary and
+// foldBinary: one float/int classification, one operator dispatch, the
+// same cycle charges, folds, wrap-arounds and error messages as the
+// two-level reference pair (which stays as the tree-walk path and the
+// constant folder). Behaviourally identical by construction; pinned by
+// the engine-equivalence golden tests.
+func (p *Proc) applyBinaryFast(op token.Kind, x, y Value, rt *types.Type) (Value, error) {
+	// Pointer arithmetic: rare; route through the reference path.
+	if xt := x.T; xt != nil && xt.IsPointerLike() && (op == token.Plus || op == token.Minus) {
+		return p.applyBinary(op, x, y, rt)
+	}
+	if x.IsFloat() || y.IsFloat() {
+		a, b := x.Float(), y.Float()
+		t := types.DoubleType
+		var v Value
+		switch op {
+		case token.Plus:
+			p.chargeCycles(costFAdd)
+			v = Value{T: t, F: a + b}
+		case token.Minus:
+			p.chargeCycles(costFAdd)
+			v = Value{T: t, F: a - b}
+		case token.Star:
+			p.chargeCycles(costFMul)
+			v = Value{T: t, F: a * b}
+		case token.Slash:
+			p.chargeCycles(costFDiv)
+			v = Value{T: t, F: a / b}
+		case token.Lt:
+			p.chargeCycles(costFAdd)
+			v = boolValue(a < b)
+		case token.Gt:
+			p.chargeCycles(costFAdd)
+			v = boolValue(a > b)
+		case token.Le:
+			p.chargeCycles(costFAdd)
+			v = boolValue(a <= b)
+		case token.Ge:
+			p.chargeCycles(costFAdd)
+			v = boolValue(a >= b)
+		case token.EqEq:
+			p.chargeCycles(costFAdd)
+			v = boolValue(a == b)
+		case token.NotEq:
+			p.chargeCycles(costFAdd)
+			v = boolValue(a != b)
+		case token.Percent:
+			p.chargeCycles(costFDiv)
+			return Value{}, fmt.Errorf("float operands for %s", op)
+		default:
+			p.chargeCycles(costFAdd)
+			return Value{}, fmt.Errorf("float operands for %s", op)
+		}
+		if rt != nil && rt.IsArithmetic() {
+			return Convert(v, rt), nil
+		}
+		return v, nil
+	}
+	a, b := x.Int(), y.Int()
+	t := types.IntType
+	uns := x.T != nil && x.T.Kind == types.UInt
+	if uns {
+		t = types.UIntType
+	}
+	wrap := func(v int64) Value {
+		if uns {
+			return Value{T: t, I: int64(uint32(v))}
+		}
+		return Value{T: t, I: int64(int32(v))}
+	}
+	var v Value
+	switch op {
+	case token.Plus:
+		p.chargeCycles(costALU)
+		v = wrap(a + b)
+	case token.Minus:
+		p.chargeCycles(costALU)
+		v = wrap(a - b)
+	case token.Star:
+		p.chargeCycles(costIMul)
+		v = wrap(a * b)
+	case token.Slash:
+		p.chargeCycles(costIDiv)
+		if b == 0 {
+			return Value{}, fmt.Errorf("integer division by zero")
+		}
+		v = wrap(a / b)
+	case token.Percent:
+		p.chargeCycles(costIDiv)
+		if b == 0 {
+			return Value{}, fmt.Errorf("integer modulo by zero")
+		}
+		v = wrap(a % b)
+	case token.Amp:
+		p.chargeCycles(costALU)
+		v = wrap(a & b)
+	case token.Pipe:
+		p.chargeCycles(costALU)
+		v = wrap(a | b)
+	case token.Caret:
+		p.chargeCycles(costALU)
+		v = wrap(a ^ b)
+	case token.Shl:
+		p.chargeCycles(costALU)
+		v = wrap(a << (uint(b) & 31))
+	case token.Shr:
+		p.chargeCycles(costALU)
+		if uns {
+			v = wrap(int64(uint32(a) >> (uint(b) & 31)))
+		} else {
+			v = wrap(int64(int32(a) >> (uint(b) & 31)))
+		}
+	case token.Lt:
+		p.chargeCycles(costALU)
+		v = boolValue(a < b)
+	case token.Gt:
+		p.chargeCycles(costALU)
+		v = boolValue(a > b)
+	case token.Le:
+		p.chargeCycles(costALU)
+		v = boolValue(a <= b)
+	case token.Ge:
+		p.chargeCycles(costALU)
+		v = boolValue(a >= b)
+	case token.EqEq:
+		p.chargeCycles(costALU)
+		v = boolValue(a == b)
+	case token.NotEq:
+		p.chargeCycles(costALU)
+		v = boolValue(a != b)
+	default:
+		p.chargeCycles(costALU)
+		return Value{}, fmt.Errorf("binary op %s unsupported", op)
+	}
+	if rt != nil && rt.IsArithmetic() {
+		return Convert(v, rt), nil
+	}
+	return v, nil
+}
+
+func boolValue(b bool) Value {
+	if b {
+		return Value{T: types.IntType, I: 1}
+	}
+	return Value{T: types.IntType, I: 0}
+}

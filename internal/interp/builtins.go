@@ -78,18 +78,70 @@ func (p *Proc) evalArgs(exprs []ast.Expr) ([]Value, error) {
 }
 
 func isKnownBuiltin(name string) bool {
-	switch name {
-	case "printf", "malloc", "calloc", "free", "memset", "memcpy",
-		"exit", "abort", "atoi", "sqrt", "fabs", "wallclock":
-		return true
-	}
-	return strings.HasPrefix(name, "pthread_") || strings.HasPrefix(name, "RCCE_")
+	return commonBuiltinID(name) != bNone ||
+		strings.HasPrefix(name, "pthread_") || strings.HasPrefix(name, "RCCE_")
 }
 
-// commonBuiltin implements the runtime-independent libc subset.
-func (p *Proc) commonBuiltin(name string, args []Value) (Value, bool, error) {
+// builtinID is an interned common-builtin identity; the compiled engine
+// resolves call sites to IDs once so the hot path dispatches on a small
+// integer instead of comparing strings.
+type builtinID int
+
+// Interned common builtins (bNone means "not a common builtin").
+const (
+	bNone builtinID = iota
+	bPrintf
+	bMalloc
+	bCalloc
+	bFree
+	bMemset
+	bMemcpy
+	bExit
+	bAtoi
+	bSqrt
+	bFabs
+	bWallclock
+)
+
+// commonBuiltinID interns a callee name.
+func commonBuiltinID(name string) builtinID {
 	switch name {
 	case "printf":
+		return bPrintf
+	case "malloc", "RCCE_malloc_request":
+		return bMalloc
+	case "calloc":
+		return bCalloc
+	case "free":
+		return bFree
+	case "memset":
+		return bMemset
+	case "memcpy":
+		return bMemcpy
+	case "exit", "abort":
+		return bExit
+	case "atoi":
+		return bAtoi
+	case "sqrt":
+		return bSqrt
+	case "fabs":
+		return bFabs
+	case "wallclock":
+		return bWallclock
+	}
+	return bNone
+}
+
+// commonBuiltin implements the runtime-independent libc subset (the
+// tree-walk engine's string-keyed entry point).
+func (p *Proc) commonBuiltin(name string, args []Value) (Value, bool, error) {
+	return p.commonBuiltinByID(commonBuiltinID(name), args)
+}
+
+// commonBuiltinByID dispatches an interned common builtin.
+func (p *Proc) commonBuiltinByID(id builtinID, args []Value) (Value, bool, error) {
+	switch id {
+	case bPrintf:
 		if len(args) == 0 {
 			return Value{}, true, fmt.Errorf("printf without format")
 		}
@@ -102,13 +154,13 @@ func (p *Proc) commonBuiltin(name string, args []Value) (Value, bool, error) {
 		p.Sim.Out.WriteString(out)
 		return IntValue(types.IntType, int64(len(out))), true, nil
 
-	case "malloc", "RCCE_malloc_request": // private heap
+	case bMalloc: // private heap (also RCCE_malloc_request)
 		n := int(args[0].Int())
 		addr := p.heapAlloc(n)
 		p.chargeCycles(costCall * 4)
 		return PtrValue(types.PointerTo(types.VoidType), addr), true, nil
 
-	case "calloc":
+	case bCalloc:
 		n := int(args[0].Int() * args[1].Int())
 		addr := p.heapAlloc(n)
 		// PageMem zero-fills fresh pages; the bump allocator never
@@ -116,11 +168,11 @@ func (p *Proc) commonBuiltin(name string, args []Value) (Value, bool, error) {
 		p.chargeCycles(costCall*4 + n/8)
 		return PtrValue(types.PointerTo(types.VoidType), addr), true, nil
 
-	case "free":
+	case bFree:
 		p.chargeCycles(costCall)
 		return Value{T: types.VoidType}, true, nil
 
-	case "memset":
+	case bMemset:
 		addr, val, n := args[0].Addr(), byte(args[1].Int()), int(args[2].Int())
 		buf := make([]byte, n)
 		for i := range buf {
@@ -130,7 +182,7 @@ func (p *Proc) commonBuiltin(name string, args []Value) (Value, bool, error) {
 		p.chargeCycles(n / 4)
 		return args[0], true, nil
 
-	case "memcpy":
+	case bMemcpy:
 		dst, src, n := args[0].Addr(), args[1].Addr(), int(args[2].Int())
 		buf := make([]byte, n)
 		p.Clock += p.Sim.Machine.Load(p.Core, src, buf, p.Clock)
@@ -138,24 +190,24 @@ func (p *Proc) commonBuiltin(name string, args []Value) (Value, bool, error) {
 		p.chargeCycles(n / 4)
 		return args[0], true, nil
 
-	case "exit", "abort":
+	case bExit:
 		return Value{}, true, errThreadExit
 
-	case "atoi":
+	case bAtoi:
 		s := p.ReadCString(args[0].Addr())
 		v, _ := strconv.Atoi(strings.TrimSpace(s))
 		p.chargeCycles(costCall + 4*len(s))
 		return IntValue(types.IntType, int64(v)), true, nil
 
-	case "sqrt":
+	case bSqrt:
 		p.chargeCycles(70) // P54C FSQRT
 		return FloatValue(types.DoubleType, math.Sqrt(args[0].Float())), true, nil
 
-	case "fabs":
+	case bFabs:
 		p.chargeCycles(costFAdd)
 		return FloatValue(types.DoubleType, math.Abs(args[0].Float())), true, nil
 
-	case "wallclock":
+	case bWallclock:
 		p.chargeCycles(costCall)
 		return FloatValue(types.DoubleType, p.Seconds()), true, nil
 	}

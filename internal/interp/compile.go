@@ -1,0 +1,1292 @@
+package interp
+
+import (
+	"fmt"
+
+	"hsmcc/internal/cc/ast"
+	"hsmcc/internal/cc/token"
+	"hsmcc/internal/cc/types"
+)
+
+// The compile pass lowers each function once, at Load time, into the
+// closure form of ir.go. Lowering is a transcription of eval.go/exec.go:
+// every chargeCycles call, memory access and error message is emitted in
+// the same order as the tree-walk engine, so the compiled engine produces
+// byte-identical output AND identical simulated-time statistics — only
+// host-side work (type switches, map lookups, per-call AST walks) is
+// resolved ahead of time. Anything the compiler cannot resolve statically
+// poisons the whole function, which then routes to the tree-walk engine;
+// mixing engines per function is safe because both operate on the same
+// Proc stack-pointer discipline.
+
+// compileProgram lowers every function of a loaded program.
+func compileProgram(pr *Program) {
+	pr.compiled = make(map[*ast.FuncDecl]*compiledFunc, len(pr.funcList))
+	pr.compiledList = make([]*compiledFunc, len(pr.funcList))
+	// Two phases: layouts first, so call sites can reference any callee's
+	// shell (recursion, forward calls), then bodies.
+	for i, fn := range pr.funcList {
+		cf := &compiledFunc{decl: fn, name: fn.Name}
+		cf.buildLayout()
+		pr.compiled[fn] = cf
+		pr.compiledList[i] = cf
+	}
+	for _, cf := range pr.compiledList {
+		if cf.fallback || cf.decl.Body == nil {
+			continue
+		}
+		c := &compiler{pr: pr, cf: cf, slotIdx: make(map[*ast.Symbol]int)}
+		for i, sd := range cf.slots {
+			// Last allocation wins, mirroring the reference frame map.
+			c.slotIdx[sd.sym] = i
+		}
+		body := c.compileBlock(cf.decl.Body)
+		if c.poison {
+			cf.fallback = true
+			continue
+		}
+		cf.body = body
+	}
+}
+
+// buildLayout computes the frame layout exactly as the reference
+// pushFrame does: one slot per named parameter, then one per local
+// declaration anywhere in the body, in Inspect (source) order.
+func (cf *compiledFunc) buildLayout() {
+	fn := cf.decl
+	add := func(sym *ast.Symbol, t *types.Type) int {
+		if t == nil {
+			cf.fallback = true
+			return -1
+		}
+		size := uint32(t.Size())
+		if size == 0 {
+			size = 4
+		}
+		a := uint32(t.Align())
+		if a == 0 {
+			a = 4
+		}
+		cf.slots = append(cf.slots, slotDef{sym: sym, size: size, amask: a - 1})
+		return len(cf.slots) - 1
+	}
+	cf.paramSlot = make([]int, len(fn.Params))
+	cf.paramType = make([]*types.Type, len(fn.Params))
+	cf.paramStore = make([]typedStore, len(fn.Params))
+	for i, prm := range fn.Params {
+		cf.paramSlot[i] = -1
+		cf.paramType[i] = prm.Type
+		cf.paramStore[i] = makeStore(prm.Type)
+		if prm.Sym != nil {
+			cf.paramSlot[i] = add(prm.Sym, prm.Type)
+		}
+	}
+	if fn.Body == nil {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeclStmt); ok && d.Decl.Sym != nil {
+			add(d.Decl.Sym, d.Decl.Type)
+		}
+		return true
+	})
+}
+
+// compiler lowers one function body.
+type compiler struct {
+	pr      *Program
+	cf      *compiledFunc
+	slotIdx map[*ast.Symbol]int
+	poison  bool
+}
+
+// bail poisons the function; the returned closure is never executed.
+func (c *compiler) bail() evalFn {
+	c.poison = true
+	return func(p *Proc) (Value, error) { return Value{}, fmt.Errorf("interp: poisoned function") }
+}
+
+func errEval(err error) evalFn {
+	return func(p *Proc) (Value, error) { return Value{}, err }
+}
+
+// compileLoadOf turns a compiled lvalue into an rvalue closure: arrays
+// decay to element pointers, everything else loads through the typed
+// accessor when the stored type is statically known.
+func (c *compiler) compileLoadOf(lf lvalFn, st *types.Type) evalFn {
+	if st != nil {
+		if st.Kind == types.Array {
+			pt := types.PointerTo(st.Elem)
+			return func(p *Proc) (Value, error) {
+				addr, _, err := lf(p)
+				if err != nil {
+					return Value{}, err
+				}
+				return PtrValue(pt, addr), nil
+			}
+		}
+		ld := makeLoad(st)
+		return func(p *Proc) (Value, error) {
+			addr, _, err := lf(p)
+			if err != nil {
+				return Value{}, err
+			}
+			return ld(p, addr)
+		}
+	}
+	return func(p *Proc) (Value, error) {
+		addr, t, err := lf(p)
+		if err != nil {
+			return Value{}, err
+		}
+		if t.Kind == types.Array {
+			return PtrValue(types.PointerTo(t.Elem), addr), nil
+		}
+		return p.loadValue(addr, t)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+// compileBlock lowers a statement list (no per-block statement tick; the
+// enclosing BlockStmt node, when there is one, carries its own).
+func (c *compiler) compileBlock(b *ast.BlockStmt) execFn {
+	list := make([]execFn, len(b.List))
+	for i, s := range b.List {
+		list[i] = c.compileStmt(s)
+	}
+	switch len(list) {
+	case 0:
+		return func(p *Proc, ret *Value) (ctrl, error) { return ctrlNone, nil }
+	case 1:
+		return list[0]
+	}
+	return func(p *Proc, ret *Value) (ctrl, error) {
+		for _, f := range list {
+			if ct, err := f(p, ret); err != nil || ct != ctrlNone {
+				return ct, err
+			}
+		}
+		return ctrlNone, nil
+	}
+}
+
+// tick is the per-statement prologue of the reference execStmt.
+func (p *Proc) tick() {
+	p.Ops++
+	if rt := p.Sim.Runtime; rt != nil {
+		rt.Tick(p)
+	}
+}
+
+func (c *compiler) compileStmt(s ast.Stmt) execFn {
+	switch n := s.(type) {
+	case *ast.BlockStmt:
+		inner := c.compileBlock(n)
+		return func(p *Proc, ret *Value) (ctrl, error) {
+			p.tick()
+			return inner(p, ret)
+		}
+
+	case *ast.DeclStmt:
+		return c.compileDecl(n)
+
+	case *ast.ExprStmt:
+		x := c.compileExpr(n.X)
+		return func(p *Proc, ret *Value) (ctrl, error) {
+			p.tick()
+			_, err := x(p)
+			return ctrlNone, err
+		}
+
+	case *ast.IfStmt:
+		cond := c.compileExpr(n.Cond)
+		then := c.compileStmt(n.Then)
+		var els execFn
+		if n.Else != nil {
+			els = c.compileStmt(n.Else)
+		}
+		return func(p *Proc, ret *Value) (ctrl, error) {
+			p.tick()
+			v, err := cond(p)
+			if err != nil {
+				return ctrlNone, err
+			}
+			p.chargeCycles(costALU)
+			if v.Bool() {
+				return then(p, ret)
+			}
+			if els != nil {
+				return els(p, ret)
+			}
+			return ctrlNone, nil
+		}
+
+	case *ast.ForStmt:
+		var init execFn
+		if n.Init != nil {
+			init = c.compileStmt(n.Init)
+		}
+		var cond evalFn
+		if n.Cond != nil {
+			cond = c.compileExpr(n.Cond)
+		}
+		var post evalFn
+		if n.Post != nil {
+			post = c.compileExpr(n.Post)
+		}
+		body := c.compileStmt(n.Body)
+		return func(p *Proc, ret *Value) (ctrl, error) {
+			p.tick()
+			if init != nil {
+				if _, err := init(p, ret); err != nil {
+					return ctrlNone, err
+				}
+			}
+			for {
+				if cond != nil {
+					v, err := cond(p)
+					if err != nil {
+						return ctrlNone, err
+					}
+					p.chargeCycles(costALU)
+					if !v.Bool() {
+						break
+					}
+				}
+				ct, err := body(p, ret)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if ct == ctrlBreak {
+					break
+				}
+				if ct == ctrlReturn {
+					return ct, nil
+				}
+				if post != nil {
+					if _, err := post(p); err != nil {
+						return ctrlNone, err
+					}
+				}
+			}
+			return ctrlNone, nil
+		}
+
+	case *ast.WhileStmt:
+		cond := c.compileExpr(n.Cond)
+		body := c.compileStmt(n.Body)
+		return func(p *Proc, ret *Value) (ctrl, error) {
+			p.tick()
+			for {
+				v, err := cond(p)
+				if err != nil {
+					return ctrlNone, err
+				}
+				p.chargeCycles(costALU)
+				if !v.Bool() {
+					return ctrlNone, nil
+				}
+				ct, err := body(p, ret)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if ct == ctrlBreak {
+					return ctrlNone, nil
+				}
+				if ct == ctrlReturn {
+					return ct, nil
+				}
+			}
+		}
+
+	case *ast.DoWhileStmt:
+		body := c.compileStmt(n.Body)
+		cond := c.compileExpr(n.Cond)
+		return func(p *Proc, ret *Value) (ctrl, error) {
+			p.tick()
+			for {
+				ct, err := body(p, ret)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if ct == ctrlBreak {
+					return ctrlNone, nil
+				}
+				if ct == ctrlReturn {
+					return ct, nil
+				}
+				v, err := cond(p)
+				if err != nil {
+					return ctrlNone, err
+				}
+				p.chargeCycles(costALU)
+				if !v.Bool() {
+					return ctrlNone, nil
+				}
+			}
+		}
+
+	case *ast.SwitchStmt:
+		tag := c.compileExpr(n.Tag)
+		type ccase struct {
+			value evalFn // nil => default
+			body  []execFn
+		}
+		cases := make([]ccase, len(n.Cases))
+		for i, cl := range n.Cases {
+			if cl.Value != nil {
+				cases[i].value = c.compileExpr(cl.Value)
+			}
+			cases[i].body = make([]execFn, len(cl.Body))
+			for j, cs := range cl.Body {
+				cases[i].body[j] = c.compileStmt(cs)
+			}
+		}
+		return func(p *Proc, ret *Value) (ctrl, error) {
+			p.tick()
+			tv, err := tag(p)
+			if err != nil {
+				return ctrlNone, err
+			}
+			p.chargeCycles(costALU)
+			matched := false
+			for i := range cases {
+				cl := &cases[i]
+				if !matched {
+					if cl.value == nil {
+						matched = true
+					} else {
+						cv, err := cl.value(p)
+						if err != nil {
+							return ctrlNone, err
+						}
+						matched = cv.Int() == tv.Int()
+					}
+				}
+				if !matched {
+					continue
+				}
+				for _, f := range cl.body {
+					ct, err := f(p, ret)
+					if err != nil {
+						return ctrlNone, err
+					}
+					switch ct {
+					case ctrlBreak:
+						return ctrlNone, nil
+					case ctrlReturn, ctrlContinue:
+						return ct, nil
+					}
+				}
+			}
+			return ctrlNone, nil
+		}
+
+	case *ast.ReturnStmt:
+		if n.Result == nil {
+			return func(p *Proc, ret *Value) (ctrl, error) {
+				p.tick()
+				return ctrlReturn, nil
+			}
+		}
+		res := c.compileExpr(n.Result)
+		return func(p *Proc, ret *Value) (ctrl, error) {
+			p.tick()
+			v, err := res(p)
+			if err != nil {
+				return ctrlNone, err
+			}
+			*ret = v
+			return ctrlReturn, nil
+		}
+
+	case *ast.BreakStmt:
+		return func(p *Proc, ret *Value) (ctrl, error) {
+			p.tick()
+			return ctrlBreak, nil
+		}
+	case *ast.ContinueStmt:
+		return func(p *Proc, ret *Value) (ctrl, error) {
+			p.tick()
+			return ctrlContinue, nil
+		}
+	case *ast.EmptyStmt:
+		return func(p *Proc, ret *Value) (ctrl, error) {
+			p.tick()
+			return ctrlNone, nil
+		}
+
+	default:
+		err := fmt.Errorf("%s: cannot execute %T", s.Pos(), s)
+		return func(p *Proc, ret *Value) (ctrl, error) {
+			p.tick()
+			return ctrlNone, err
+		}
+	}
+}
+
+// compileDecl lowers a local declaration: the slot address comes from the
+// frame arena, initialisers store with full memory timing, and array
+// initialiser lists zero-fill the remainder, all as the reference does.
+func (c *compiler) compileDecl(n *ast.DeclStmt) execFn {
+	d := n.Decl
+	if d.Sym == nil {
+		return func(p *Proc, ret *Value) (ctrl, error) {
+			p.tick()
+			return ctrlNone, nil
+		}
+	}
+	idx, ok := c.slotIdx[d.Sym]
+	if !ok || d.Type == nil {
+		// A local whose symbol is not in its own function's layout cannot
+		// happen for sema-checked trees; keep the reference behaviour.
+		c.poison = true
+		return nil
+	}
+	typ := d.Type
+	var init evalFn
+	if d.Init != nil {
+		init = c.compileExpr(d.Init)
+	}
+	var initLst []evalFn
+	var elem *types.Type
+	var elemSize uint32
+	zeroFrom, zeroTo := 0, 0
+	if len(d.InitLst) > 0 {
+		elem = d.Type.Elem
+		if elem == nil {
+			// Aggregate initialiser on a scalar: defer the reference error
+			// to run time (after the tick, like execStmt).
+			err := fmt.Errorf("%s: aggregate initialiser on scalar %s", d.Pos(), d.Name)
+			return func(p *Proc, ret *Value) (ctrl, error) {
+				p.tick()
+				if init != nil { // mirrors execStmt order: Init runs first
+					v, ierr := init(p)
+					if ierr != nil {
+						return ctrlNone, ierr
+					}
+					addr := p.slotAddr(idx)
+					if serr := p.storeValue(addr, typ, v); serr != nil {
+						return ctrlNone, serr
+					}
+				}
+				return ctrlNone, err
+			}
+		}
+		elemSize = uint32(elem.Size())
+		initLst = make([]evalFn, len(d.InitLst))
+		for i, e := range d.InitLst {
+			initLst[i] = c.compileExpr(e)
+		}
+		if d.Type.Kind == types.Array {
+			zeroFrom, zeroTo = len(d.InitLst), d.Type.Len
+		}
+	}
+	sf := makeStore(typ)
+	var elemStore typedStore
+	if elem != nil {
+		elemStore = makeStore(elem)
+	}
+	return func(p *Proc, ret *Value) (ctrl, error) {
+		p.tick()
+		addr := p.slotAddr(idx)
+		if init != nil {
+			v, err := init(p)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if _, err := sf(p, addr, v); err != nil {
+				return ctrlNone, err
+			}
+		}
+		for i, f := range initLst {
+			v, err := f(p)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if _, err := elemStore(p, addr+uint32(i)*elemSize, v); err != nil {
+				return ctrlNone, err
+			}
+		}
+		if zeroTo > zeroFrom {
+			zero := IntValue(types.IntType, 0)
+			for i := zeroFrom; i < zeroTo; i++ {
+				if _, err := elemStore(p, addr+uint32(i)*elemSize, zero); err != nil {
+					return ctrlNone, err
+				}
+			}
+		}
+		return ctrlNone, nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+func (c *compiler) compileExpr(e ast.Expr) evalFn {
+	switch n := e.(type) {
+	case *ast.ParenExpr:
+		return c.compileExpr(n.X)
+
+	case *ast.IntLit:
+		v := IntValue(types.IntType, n.Value)
+		return func(p *Proc) (Value, error) { return v, nil }
+	case *ast.FloatLit:
+		v := FloatValue(types.DoubleType, n.Value)
+		return func(p *Proc) (Value, error) { return v, nil }
+	case *ast.CharLit:
+		v := IntValue(types.CharType, int64(n.Value))
+		return func(p *Proc) (Value, error) { return v, nil }
+
+	case *ast.StringLit:
+		addr, ok := c.pr.stringAddrs[n]
+		if !ok {
+			return errEval(fmt.Errorf("%s: string literal not in image", n.Pos()))
+		}
+		v := PtrValue(types.PointerTo(types.CharType), addr)
+		return func(p *Proc) (Value, error) { return v, nil }
+
+	case *ast.Ident:
+		return c.compileIdent(n)
+
+	case *ast.BinaryExpr:
+		return c.compileBinary(n)
+
+	case *ast.AssignExpr:
+		return c.compileAssign(n)
+
+	case *ast.UnaryExpr:
+		return c.compileUnary(n)
+
+	case *ast.PostfixExpr:
+		lf, st := c.compileLValue(n.X)
+		delta := int64(1)
+		if n.Op == token.MinusMinus {
+			delta = -1
+		}
+		if st != nil {
+			ld, sf := makeLoad(st), makeStore(st)
+			return func(p *Proc) (Value, error) {
+				addr, _, err := lf(p)
+				if err != nil {
+					return Value{}, err
+				}
+				old, err := ld(p, addr)
+				if err != nil {
+					return Value{}, err
+				}
+				p.chargeCycles(costALU)
+				if _, err := sf(p, addr, p.stepValue(old, st, delta)); err != nil {
+					return Value{}, err
+				}
+				return old, nil
+			}
+		}
+		return func(p *Proc) (Value, error) {
+			addr, t, err := lf(p)
+			if err != nil {
+				return Value{}, err
+			}
+			old, err := p.loadValue(addr, t)
+			if err != nil {
+				return Value{}, err
+			}
+			p.chargeCycles(costALU)
+			upd := p.stepValue(old, t, delta)
+			if err := p.storeValue(addr, t, upd); err != nil {
+				return Value{}, err
+			}
+			return old, nil
+		}
+
+	case *ast.IndexExpr:
+		return c.compileLoadOf(c.compileLValue(n))
+
+	case *ast.CallExpr:
+		return c.compileCall(n)
+
+	case *ast.CastExpr:
+		x := c.compileExpr(n.X)
+		to := n.To
+		if to == nil {
+			c.poison = true
+			return c.bail()
+		}
+		toInt, toFloat := to.IsInteger(), to.IsFloat()
+		return func(p *Proc) (Value, error) {
+			v, err := x(p)
+			if err != nil {
+				return Value{}, err
+			}
+			if (v.IsFloat() && toInt) || (!v.IsFloat() && toFloat) {
+				p.chargeCycles(costConv)
+			}
+			return Convert(v, to), nil
+		}
+
+	case *ast.SizeofExpr:
+		t := n.OfType
+		if t == nil && n.X != nil {
+			t = n.X.ResultType()
+		}
+		if t == nil {
+			return errEval(fmt.Errorf("%s: sizeof untyped operand", n.Pos()))
+		}
+		v := IntValue(types.UIntType, int64(t.Size()))
+		return func(p *Proc) (Value, error) { return v, nil }
+
+	case *ast.CondExpr:
+		cond := c.compileExpr(n.Cond)
+		then := c.compileExpr(n.Then)
+		els := c.compileExpr(n.Else)
+		return func(p *Proc) (Value, error) {
+			v, err := cond(p)
+			if err != nil {
+				return Value{}, err
+			}
+			p.chargeCycles(costALU)
+			if v.Bool() {
+				return then(p)
+			}
+			return els(p)
+		}
+
+	case *ast.CommaExpr:
+		x := c.compileExpr(n.X)
+		y := c.compileExpr(n.Y)
+		return func(p *Proc) (Value, error) {
+			if _, err := x(p); err != nil {
+				return Value{}, err
+			}
+			return y(p)
+		}
+
+	case *ast.MemberExpr:
+		lf, st := c.compileLValue(n)
+		if st != nil {
+			ld := makeLoad(st)
+			return func(p *Proc) (Value, error) {
+				addr, _, err := lf(p)
+				if err != nil {
+					return Value{}, err
+				}
+				return ld(p, addr)
+			}
+		}
+		return func(p *Proc) (Value, error) {
+			addr, t, err := lf(p)
+			if err != nil {
+				return Value{}, err
+			}
+			return p.loadValue(addr, t)
+		}
+
+	default:
+		return errEval(fmt.Errorf("%s: cannot evaluate %T", e.Pos(), e))
+	}
+}
+
+// compileIdent resolves an identifier occurrence once: globals to their
+// image address, locals to a frame slot index, functions to their encoded
+// value — the reference engine redoes all of this on every occurrence.
+func (c *compiler) compileIdent(n *ast.Ident) evalFn {
+	if n.Sym == nil {
+		switch n.Name {
+		case "NULL":
+			v := PtrValue(types.PointerTo(types.VoidType), 0)
+			return func(p *Proc) (Value, error) { return v, nil }
+		case "RCCE_COMM_WORLD":
+			v := IntValue(types.OpaqueOf("RCCE_COMM"), 0)
+			return func(p *Proc) (Value, error) { return v, nil }
+		}
+		return errEval(fmt.Errorf("%s: unresolved identifier %s", n.Pos(), n.Name))
+	}
+	if n.Sym.Kind == ast.SymFunc {
+		fn, ok := c.pr.Funcs[n.Name]
+		if !ok {
+			return errEval(fmt.Errorf("%s: undefined function %s", n.Pos(), n.Name))
+		}
+		v := c.pr.FuncValue(fn)
+		return func(p *Proc) (Value, error) { return v, nil }
+	}
+	typ := n.Sym.Type
+	if typ == nil {
+		c.poison = true
+		return c.bail()
+	}
+	if idx, ok := c.slotIdx[n.Sym]; ok {
+		if typ.Kind == types.Array {
+			pt := types.PointerTo(typ.Elem)
+			return func(p *Proc) (Value, error) {
+				p.chargeCycles(costALU)
+				return PtrValue(pt, p.slotAddr(idx)), nil
+			}
+		}
+		ld := makeLoad(typ)
+		return func(p *Proc) (Value, error) {
+			return ld(p, p.slotAddr(idx))
+		}
+	}
+	if addr, ok := c.pr.GlobalAddr(n.Sym); ok {
+		if typ.Kind == types.Array {
+			v := PtrValue(types.PointerTo(typ.Elem), addr)
+			return func(p *Proc) (Value, error) {
+				p.chargeCycles(costALU)
+				return v, nil
+			}
+		}
+		ld := makeLoad(typ)
+		return func(p *Proc) (Value, error) {
+			return ld(p, addr)
+		}
+	}
+	return errEval(fmt.Errorf("%s: no storage for %s", n.Pos(), n.Name))
+}
+
+// compileLValue lowers e to an address resolver. The second result is
+// the statically-known stored type when the compiler can prove it (used
+// to specialise index arithmetic); the closure always reports the type
+// it resolved, exactly as the reference evalLValue does.
+func (c *compiler) compileLValue(e ast.Expr) (lvalFn, *types.Type) {
+	switch n := e.(type) {
+	case *ast.ParenExpr:
+		return c.compileLValue(n.X)
+
+	case *ast.Ident:
+		if n.Sym == nil {
+			err := fmt.Errorf("%s: %s is not assignable", n.Pos(), n.Name)
+			return func(p *Proc) (uint32, *types.Type, error) { return 0, nil, err }, nil
+		}
+		typ := n.Sym.Type
+		if idx, ok := c.slotIdx[n.Sym]; ok {
+			return func(p *Proc) (uint32, *types.Type, error) {
+				return p.slotAddr(idx), typ, nil
+			}, typ
+		}
+		if addr, ok := c.pr.GlobalAddr(n.Sym); ok {
+			return func(p *Proc) (uint32, *types.Type, error) {
+				return addr, typ, nil
+			}, typ
+		}
+		err := fmt.Errorf("%s: no storage for %s", n.Pos(), n.Name)
+		return func(p *Proc) (uint32, *types.Type, error) { return 0, nil, err }, nil
+
+	case *ast.UnaryExpr:
+		if n.Op != token.Star {
+			err := fmt.Errorf("%s: %s is not an lvalue", e.Pos(), n.Op)
+			return func(p *Proc) (uint32, *types.Type, error) { return 0, nil, err }, nil
+		}
+		x := c.compileExpr(n.X)
+		t := n.X.ResultType()
+		var elem *types.Type
+		if t != nil && t.IsPointerLike() {
+			elem = t.Decay().Elem
+		}
+		if elem == nil {
+			elem = types.IntType
+		}
+		nullErr := fmt.Errorf("%s: null pointer dereference", e.Pos())
+		return func(p *Proc) (uint32, *types.Type, error) {
+			v, err := x(p)
+			if err != nil {
+				return 0, nil, err
+			}
+			if v.Addr() == 0 {
+				return 0, nil, nullErr
+			}
+			return v.Addr(), elem, nil
+		}, elem
+
+	case *ast.IndexExpr:
+		return c.compileIndexLValue(n)
+
+	case *ast.MemberExpr:
+		return c.compileMemberLValue(n)
+
+	default:
+		err := fmt.Errorf("%s: %T is not an lvalue", e.Pos(), e)
+		return func(p *Proc) (uint32, *types.Type, error) { return 0, nil, err }, nil
+	}
+}
+
+// compileIndexLValue lowers x[i], replicating indexBase: array-typed
+// bases use their storage address, pointer bases load the pointer first.
+func (c *compiler) compileIndexLValue(n *ast.IndexExpr) (lvalFn, *types.Type) {
+	idxFn := c.compileExpr(n.Index)
+	bt := n.X.ResultType()
+	if bt != nil && bt.Kind == types.Array {
+		baseFn, staticT := c.compileLValue(n.X)
+		if staticT != nil {
+			elem := staticT.Elem
+			if elem == nil {
+				c.poison = true
+				return nil, nil
+			}
+			elemSize := int64(elem.Size())
+			return func(p *Proc) (uint32, *types.Type, error) {
+				base, _, err := baseFn(p)
+				if err != nil {
+					return 0, nil, err
+				}
+				iv, err := idxFn(p)
+				if err != nil {
+					return 0, nil, err
+				}
+				p.chargeCycles(costALU)
+				return base + uint32(iv.Int()*elemSize), elem, nil
+			}, elem
+		}
+		// Base type only known at run time (error paths): mirror the
+		// reference flow with the runtime type.
+		return func(p *Proc) (uint32, *types.Type, error) {
+			base, t, err := baseFn(p)
+			if err != nil {
+				return 0, nil, err
+			}
+			elem := t.Elem
+			iv, err := idxFn(p)
+			if err != nil {
+				return 0, nil, err
+			}
+			p.chargeCycles(costALU)
+			return base + uint32(iv.Int()*int64(elem.Size())), elem, nil
+		}, nil
+	}
+	xFn := c.compileExpr(n.X)
+	var elem *types.Type
+	if bt != nil && bt.IsPointerLike() {
+		elem = bt.Decay().Elem
+	}
+	if elem == nil {
+		elem = types.IntType
+	}
+	elemSize := int64(elem.Size())
+	nullErr := fmt.Errorf("%s: indexing a null pointer", n.Pos())
+	return func(p *Proc) (uint32, *types.Type, error) {
+		v, err := xFn(p)
+		if err != nil {
+			return 0, nil, err
+		}
+		if v.Addr() == 0 {
+			return 0, nil, nullErr
+		}
+		iv, err := idxFn(p)
+		if err != nil {
+			return 0, nil, err
+		}
+		p.chargeCycles(costALU)
+		return v.Addr() + uint32(iv.Int()*elemSize), elem, nil
+	}, elem
+}
+
+// compileMemberLValue lowers x.f / x->f with the field offset resolved
+// at compile time whenever the struct type is statically known.
+func (c *compiler) compileMemberLValue(n *ast.MemberExpr) (lvalFn, *types.Type) {
+	if n.Arrow {
+		t := n.X.ResultType()
+		if t == nil || t.Elem == nil {
+			x := c.compileExpr(n.X)
+			err := fmt.Errorf("%s: -> on non-pointer", n.Pos())
+			return func(p *Proc) (uint32, *types.Type, error) {
+				if _, e := x(p); e != nil {
+					return 0, nil, e
+				}
+				return 0, nil, err
+			}, nil
+		}
+		st := t.Elem
+		f, ok := st.Field(n.Name)
+		if !ok {
+			x := c.compileExpr(n.X)
+			err := fmt.Errorf("%s: no field %s in %s", n.Pos(), n.Name, st)
+			return func(p *Proc) (uint32, *types.Type, error) {
+				if _, e := x(p); e != nil {
+					return 0, nil, e
+				}
+				return 0, nil, err
+			}, nil
+		}
+		x := c.compileExpr(n.X)
+		off := uint32(f.Offset)
+		ft := f.Type
+		return func(p *Proc) (uint32, *types.Type, error) {
+			v, err := x(p)
+			if err != nil {
+				return 0, nil, err
+			}
+			p.chargeCycles(costALU)
+			return v.Addr() + off, ft, nil
+		}, ft
+	}
+	baseFn, staticT := c.compileLValue(n.X)
+	if staticT == nil {
+		// Inner lvalue type resolves at run time (error paths): replicate
+		// the reference field lookup dynamically.
+		name := n.Name
+		pos := n.Pos()
+		return func(p *Proc) (uint32, *types.Type, error) {
+			base, st, err := baseFn(p)
+			if err != nil {
+				return 0, nil, err
+			}
+			f, ok := st.Field(name)
+			if !ok {
+				return 0, nil, fmt.Errorf("%s: no field %s in %s", pos, name, st)
+			}
+			p.chargeCycles(costALU)
+			return base + uint32(f.Offset), f.Type, nil
+		}, nil
+	}
+	f, ok := staticT.Field(n.Name)
+	if !ok {
+		err := fmt.Errorf("%s: no field %s in %s", n.Pos(), n.Name, staticT)
+		return func(p *Proc) (uint32, *types.Type, error) {
+			if _, _, e := baseFn(p); e != nil {
+				return 0, nil, e
+			}
+			return 0, nil, err
+		}, nil
+	}
+	off := uint32(f.Offset)
+	ft := f.Type
+	return func(p *Proc) (uint32, *types.Type, error) {
+		base, _, err := baseFn(p)
+		if err != nil {
+			return 0, nil, err
+		}
+		p.chargeCycles(costALU)
+		return base + off, ft, nil
+	}, ft
+}
+
+func (c *compiler) compileUnary(n *ast.UnaryExpr) evalFn {
+	switch n.Op {
+	case token.Amp:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			if id.Sym != nil && id.Sym.Kind == ast.SymFunc {
+				return c.compileIdent(id)
+			}
+			if id.Sym == nil && id.Name == "RCCE_COMM_WORLD" {
+				v := PtrValue(types.PointerTo(types.OpaqueOf("RCCE_COMM")), 0)
+				return func(p *Proc) (Value, error) { return v, nil }
+			}
+		}
+		lf, _ := c.compileLValue(n.X)
+		return func(p *Proc) (Value, error) {
+			addr, t, err := lf(p)
+			if err != nil {
+				return Value{}, err
+			}
+			p.chargeCycles(costALU)
+			return PtrValue(types.PointerTo(t), addr), nil
+		}
+
+	case token.Star:
+		return c.compileLoadOf(c.compileLValue(n))
+
+	case token.PlusPlus, token.MinusMinus:
+		lf, st := c.compileLValue(n.X)
+		delta := int64(1)
+		if n.Op == token.MinusMinus {
+			delta = -1
+		}
+		if st != nil {
+			ld, sf := makeLoad(st), makeStore(st)
+			return func(p *Proc) (Value, error) {
+				addr, _, err := lf(p)
+				if err != nil {
+					return Value{}, err
+				}
+				old, err := ld(p, addr)
+				if err != nil {
+					return Value{}, err
+				}
+				p.chargeCycles(costALU)
+				upd := p.stepValue(old, st, delta)
+				if _, err := sf(p, addr, upd); err != nil {
+					return Value{}, err
+				}
+				return upd, nil
+			}
+		}
+		return func(p *Proc) (Value, error) {
+			addr, t, err := lf(p)
+			if err != nil {
+				return Value{}, err
+			}
+			old, err := p.loadValue(addr, t)
+			if err != nil {
+				return Value{}, err
+			}
+			p.chargeCycles(costALU)
+			upd := p.stepValue(old, t, delta)
+			if err := p.storeValue(addr, t, upd); err != nil {
+				return Value{}, err
+			}
+			return upd, nil
+		}
+	}
+
+	x := c.compileExpr(n.X)
+	switch n.Op {
+	case token.Minus:
+		return func(p *Proc) (Value, error) {
+			v, err := x(p)
+			if err != nil {
+				return Value{}, err
+			}
+			if v.IsFloat() {
+				p.chargeCycles(costFAdd)
+				return FloatValue(v.T, -v.F), nil
+			}
+			p.chargeCycles(costALU)
+			return IntValue(v.T, -v.I), nil
+		}
+	case token.Plus:
+		return x
+	case token.Bang:
+		return func(p *Proc) (Value, error) {
+			v, err := x(p)
+			if err != nil {
+				return Value{}, err
+			}
+			p.chargeCycles(costALU)
+			if v.Bool() {
+				return IntValue(types.IntType, 0), nil
+			}
+			return IntValue(types.IntType, 1), nil
+		}
+	case token.Tilde:
+		return func(p *Proc) (Value, error) {
+			v, err := x(p)
+			if err != nil {
+				return Value{}, err
+			}
+			p.chargeCycles(costALU)
+			return IntValue(v.T, int64(int32(^uint32(v.Int())))), nil
+		}
+	default:
+		err := fmt.Errorf("%s: unary %s unsupported", n.Pos(), n.Op)
+		return func(p *Proc) (Value, error) {
+			if _, e := x(p); e != nil {
+				return Value{}, e
+			}
+			return Value{}, err
+		}
+	}
+}
+
+func (c *compiler) compileAssign(n *ast.AssignExpr) evalFn {
+	lf, st := c.compileLValue(n.LHS)
+	rf := c.compileExpr(n.RHS)
+	if n.Op == token.Assign {
+		if st != nil {
+			sf := makeStore(st)
+			return func(p *Proc) (Value, error) {
+				addr, _, err := lf(p)
+				if err != nil {
+					return Value{}, err
+				}
+				rhs, err := rf(p)
+				if err != nil {
+					return Value{}, err
+				}
+				return sf(p, addr, rhs)
+			}
+		}
+		return func(p *Proc) (Value, error) {
+			addr, t, err := lf(p)
+			if err != nil {
+				return Value{}, err
+			}
+			rhs, err := rf(p)
+			if err != nil {
+				return Value{}, err
+			}
+			v := Convert(rhs, t)
+			if err := p.storeValue(addr, t, v); err != nil {
+				return Value{}, err
+			}
+			return v, nil
+		}
+	}
+	op, opOK := compoundOps[n.Op]
+	badOp := fmt.Errorf("%s: assignment op %s unsupported", n.Pos(), n.Op)
+	if st != nil && opOK {
+		ld, sf := makeLoad(st), makeStore(st)
+		return func(p *Proc) (Value, error) {
+			addr, _, err := lf(p)
+			if err != nil {
+				return Value{}, err
+			}
+			old, err := ld(p, addr)
+			if err != nil {
+				return Value{}, err
+			}
+			rhs, err := rf(p)
+			if err != nil {
+				return Value{}, err
+			}
+			res, err := p.applyBinaryFast(op, old, rhs, st)
+			if err != nil {
+				return Value{}, err
+			}
+			return sf(p, addr, res)
+		}
+	}
+	return func(p *Proc) (Value, error) {
+		addr, t, err := lf(p)
+		if err != nil {
+			return Value{}, err
+		}
+		old, err := p.loadValue(addr, t)
+		if err != nil {
+			return Value{}, err
+		}
+		rhs, err := rf(p)
+		if err != nil {
+			return Value{}, err
+		}
+		if !opOK {
+			return Value{}, badOp
+		}
+		res, err := p.applyBinary(op, old, rhs, t)
+		if err != nil {
+			return Value{}, err
+		}
+		v := Convert(res, t)
+		if err := p.storeValue(addr, t, v); err != nil {
+			return Value{}, err
+		}
+		return v, nil
+	}
+}
+
+func (c *compiler) compileBinary(n *ast.BinaryExpr) evalFn {
+	x := c.compileExpr(n.X)
+	y := c.compileExpr(n.Y)
+	if n.Op == token.AndAnd || n.Op == token.OrOr {
+		andand := n.Op == token.AndAnd
+		return func(p *Proc) (Value, error) {
+			xv, err := x(p)
+			if err != nil {
+				return Value{}, err
+			}
+			p.chargeCycles(costALU)
+			if andand && !xv.Bool() {
+				return IntValue(types.IntType, 0), nil
+			}
+			if !andand && xv.Bool() {
+				return IntValue(types.IntType, 1), nil
+			}
+			yv, err := y(p)
+			if err != nil {
+				return Value{}, err
+			}
+			if yv.Bool() {
+				return IntValue(types.IntType, 1), nil
+			}
+			return IntValue(types.IntType, 0), nil
+		}
+	}
+	op, rt := n.Op, n.Typ
+	return func(p *Proc) (Value, error) {
+		xv, err := x(p)
+		if err != nil {
+			return Value{}, err
+		}
+		yv, err := y(p)
+		if err != nil {
+			return Value{}, err
+		}
+		return p.applyBinaryFast(op, xv, yv, rt)
+	}
+}
+
+// compileCall classifies the call site once — direct (callee resolved to
+// its compiled form), indirect (function-pointer variable), or builtin
+// (runtime dispatch by name, then the interned common-libc subset) — the
+// exact classification evalCall re-derives on every execution.
+func (c *compiler) compileCall(n *ast.CallExpr) evalFn {
+	pr := c.pr
+	name := n.FuncName()
+	argFns := make([]evalFn, len(n.Args))
+	for i, a := range n.Args {
+		argFns[i] = c.compileExpr(a)
+	}
+	cid := commonBuiltinID(name)
+	unknownErr := fmt.Errorf("%s: call of unknown function %s", n.Pos(), name)
+	builtinTail := func(p *Proc, argv []Value) (Value, error) {
+		if rt := p.Sim.Runtime; rt != nil {
+			v, handled, err := rt.CallBuiltin(p, name, argv)
+			if err != nil {
+				return Value{}, err
+			}
+			if handled {
+				return v, nil
+			}
+		}
+		v, handled, err := p.commonBuiltinByID(cid, argv)
+		if err != nil {
+			return Value{}, err
+		}
+		if handled {
+			return v, nil
+		}
+		return Value{}, unknownErr
+	}
+
+	indirect := false
+	if name == "" || (n.Fun.ResultType() != nil && pr.Funcs[name] == nil && !isKnownBuiltin(name)) {
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Sym != nil && id.Sym.Kind != ast.SymFunc {
+			indirect = true
+		}
+	}
+	if indirect {
+		funFn := c.compileExpr(n.Fun)
+		return func(p *Proc) (Value, error) {
+			fv, err := funFn(p)
+			if err != nil {
+				return Value{}, err
+			}
+			cf := p.Sim.Program.compiledByValue(fv)
+			argv, base, err := p.evalCompiledArgs(argFns)
+			if err != nil {
+				return Value{}, err
+			}
+			var v Value
+			if cf != nil {
+				v, err = p.dispatchCall(cf, argv)
+			} else {
+				v, err = builtinTail(p, argv)
+			}
+			p.argArena = p.argArena[:base]
+			return v, err
+		}
+	}
+	if fn := pr.Funcs[name]; fn != nil && fn.Body != nil {
+		cf := pr.compiled[fn]
+		return func(p *Proc) (Value, error) {
+			argv, base, err := p.evalCompiledArgs(argFns)
+			if err != nil {
+				return Value{}, err
+			}
+			v, err := p.dispatchCall(cf, argv)
+			p.argArena = p.argArena[:base]
+			return v, err
+		}
+	}
+	return func(p *Proc) (Value, error) {
+		argv, base, err := p.evalCompiledArgs(argFns)
+		if err != nil {
+			return Value{}, err
+		}
+		v, err := builtinTail(p, argv)
+		p.argArena = p.argArena[:base]
+		return v, err
+	}
+}

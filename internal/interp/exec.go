@@ -33,8 +33,20 @@ const (
 	ctrlReturn
 )
 
-// call runs fn(args) to completion in a fresh frame and returns its value.
+// call runs fn(args) to completion and returns its value, dispatching on
+// the session's engine: the compiled form by default, the tree-walk
+// reference on request or for functions the compiler refused.
 func (p *Proc) call(fn *ast.FuncDecl, args []Value) (Value, error) {
+	if p.Sim.Engine != EngineTreeWalk {
+		if cf := p.Sim.Program.compiled[fn]; cf != nil && !cf.fallback {
+			return p.callCompiled(cf, args)
+		}
+	}
+	return p.callTree(fn, args)
+}
+
+// callTree runs fn(args) in a fresh tree-walk frame (reference engine).
+func (p *Proc) callTree(fn *ast.FuncDecl, args []Value) (Value, error) {
 	if fn.Body == nil {
 		return Value{}, fmt.Errorf("call of undefined function %s", fn.Name)
 	}

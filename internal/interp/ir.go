@@ -1,0 +1,89 @@
+package interp
+
+import (
+	"os"
+
+	"hsmcc/internal/cc/ast"
+	"hsmcc/internal/cc/types"
+)
+
+// This file defines the compiled (lowered) form of a program: the result
+// of the one-time compile pass in compile.go. The tree-walking evaluator
+// in eval.go/exec.go is kept unchanged as the reference engine; the
+// golden equivalence tests pin the compiled engine to byte-identical
+// output and identical cycle statistics against it.
+
+// Engine selects how execution contexts run function bodies.
+type Engine int
+
+// Engines.
+const (
+	// EngineCompiled executes the closure form lowered by compile.go:
+	// frame layouts resolved once per function, locals as dense slot
+	// arrays, expressions pre-bound so the per-node type-switch and all
+	// name re-resolution disappear from the hot loop.
+	EngineCompiled Engine = iota
+	// EngineTreeWalk is the original statement-by-statement AST walk,
+	// retained as the semantic reference for golden tests.
+	EngineTreeWalk
+)
+
+// DefaultEngine is the engine NewSim installs. The HSMCC_ENGINE
+// environment variable overrides it ("treewalk" selects the reference
+// engine), which is how CI benchmarks both engines from one binary.
+var DefaultEngine = engineFromEnv()
+
+func engineFromEnv() Engine {
+	if os.Getenv("HSMCC_ENGINE") == "treewalk" {
+		return EngineTreeWalk
+	}
+	return EngineCompiled
+}
+
+// evalFn is a lowered expression: evaluate to an rvalue.
+type evalFn func(p *Proc) (Value, error)
+
+// lvalFn is a lowered lvalue: resolve to (address, stored type).
+type lvalFn func(p *Proc) (uint32, *types.Type, error)
+
+// execFn is a lowered statement.
+type execFn func(p *Proc, ret *Value) (ctrl, error)
+
+// slotDef is one frame slot of a function's layout, in allocation order
+// (parameters first, then every local declaration in source order —
+// exactly the order the reference engine's pushFrame walks).
+type slotDef struct {
+	sym   *ast.Symbol
+	size  uint32
+	amask uint32 // alignment - 1
+}
+
+// compiledFunc is the resolved form of one *ast.FuncDecl, cached on the
+// Program at load time.
+type compiledFunc struct {
+	decl *ast.FuncDecl
+	name string
+
+	// slots is the frame layout; slot i's address is computed at frame
+	// push (a subtract and mask per slot) into the Proc's slot arena.
+	slots []slotDef
+	// paramSlot maps parameter index -> slot index (-1: unnamed param).
+	paramSlot  []int
+	paramType  []*types.Type
+	paramStore []typedStore
+
+	body execFn
+
+	// fallback marks a function the compiler refused (a nil type in its
+	// layout or an unexpected tree shape); calls route to the tree-walk
+	// engine, which reproduces the reference behaviour exactly.
+	fallback bool
+}
+
+// cframe is one compiled-engine activation record. Slot addresses live in
+// the Proc's slotMem arena at [base, base+n); saved restores the stack
+// pointer on pop.
+type cframe struct {
+	base  int
+	saved uint32
+}

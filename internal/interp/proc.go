@@ -36,7 +36,6 @@ type Proc struct {
 	fn     *ast.FuncDecl
 	args   []Value
 	resume chan struct{}
-	yieldq chan struct{}
 
 	frames    []*frame
 	stackIdx  int
@@ -45,6 +44,18 @@ type Proc struct {
 	memOps    int
 	lastYield sccsim.Time
 	buf       [8]byte
+
+	// Compiled-engine state: activation records index into the slotMem
+	// arena (cfp is the running frame's base), and argArena is the
+	// stack-disciplined scratch space for call arguments. Both amortise
+	// to zero allocations per call.
+	cframes  []cframe
+	slotMem  []uint32
+	cfp      int
+	argArena []Value
+	// timer is the machine's cycle-to-time handle for this context's
+	// core (stable across DVFS changes).
+	timer *sccsim.CoreTimer
 
 	// Stats.
 	Ops   uint64 // executed statements
@@ -72,9 +83,11 @@ type frame struct {
 const yieldHorizonPs = sccsim.Time(2_500_000)
 
 // chargeCycles adds n core cycles of compute time, yielding when the
-// clock has run past the skew horizon.
+// clock has run past the skew horizon. The per-core timer handle is
+// cached on the context, so the per-operation cost is one multiply and
+// two adds.
 func (p *Proc) chargeCycles(n int) {
-	p.Clock += p.Sim.Machine.ComputeTime(p.Core, n)
+	p.Clock += p.timer.Cycles(n)
 	if p.Clock-p.lastYield >= yieldHorizonPs {
 		p.Yield()
 	}
@@ -155,7 +168,7 @@ func (p *Proc) heapAlloc(n int) uint32 {
 // slot per parameter and per local declaration anywhere in the body
 // (slots are assigned once, like a compiled frame).
 func (p *Proc) pushFrame(fn *ast.FuncDecl) (*frame, error) {
-	if len(p.frames) >= maxCallDepth {
+	if len(p.frames)+len(p.cframes) >= maxCallDepth {
 		return nil, fmt.Errorf("call depth exceeds %d in %s", maxCallDepth, fn.Name)
 	}
 	fr := &frame{fn: fn, slots: make(map[*ast.Symbol]uint32), saved: p.stackPtr}
@@ -196,6 +209,121 @@ func (p *Proc) popFrame() {
 	fr := p.frames[len(p.frames)-1]
 	p.frames = p.frames[:len(p.frames)-1]
 	p.stackPtr = fr.saved
+}
+
+// ---------------------------------------------------------------------------
+// Compiled-engine frames and calls
+// ---------------------------------------------------------------------------
+
+// slotAddr returns the address of slot idx in the running compiled frame.
+func (p *Proc) slotAddr(idx int) uint32 { return p.slotMem[p.cfp+idx] }
+
+// pushCFrame materialises cf's precomputed layout: the same subtract-and-
+// align walk pushFrame performs, but over a resolved slot list instead of
+// a fresh AST inspection, into a reused arena instead of a fresh map.
+func (p *Proc) pushCFrame(cf *compiledFunc) error {
+	// Depth counts frames of both engines: a compiled caller can recurse
+	// through a fallback (tree-walk) callee and vice versa, and the limit
+	// must trip at the same combined depth either way.
+	if len(p.cframes)+len(p.frames) >= maxCallDepth {
+		return fmt.Errorf("call depth exceeds %d in %s", maxCallDepth, cf.name)
+	}
+	base := len(p.slotMem)
+	sp := p.stackPtr
+	for _, sd := range cf.slots {
+		sp -= sd.size
+		sp &^= sd.amask
+		p.slotMem = append(p.slotMem, sp)
+	}
+	if p.stackTop-sp > StackBytes {
+		p.slotMem = p.slotMem[:base]
+		return fmt.Errorf("stack overflow in %s", cf.name)
+	}
+	p.cframes = append(p.cframes, cframe{base: base, saved: p.stackPtr})
+	p.stackPtr = sp
+	p.cfp = base
+	return nil
+}
+
+func (p *Proc) popCFrame() {
+	fr := p.cframes[len(p.cframes)-1]
+	p.cframes = p.cframes[:len(p.cframes)-1]
+	p.slotMem = p.slotMem[:fr.base]
+	p.stackPtr = fr.saved
+	if n := len(p.cframes); n > 0 {
+		p.cfp = p.cframes[n-1].base
+	} else {
+		p.cfp = 0
+	}
+}
+
+// dispatchCall routes a resolved callee: compiled body, or the tree-walk
+// reference for functions the compiler refused.
+func (p *Proc) dispatchCall(cf *compiledFunc, args []Value) (Value, error) {
+	if cf.fallback {
+		return p.callTree(cf.decl, args)
+	}
+	return p.callCompiled(cf, args)
+}
+
+// callCompiled is the compiled twin of callTree: identical cycle charges,
+// identical timed parameter stores, no per-call allocation.
+func (p *Proc) callCompiled(cf *compiledFunc, args []Value) (Value, error) {
+	if cf.body == nil {
+		return Value{}, fmt.Errorf("call of undefined function %s", cf.name)
+	}
+	p.Calls++
+	p.chargeCycles(costCall)
+	if err := p.pushCFrame(cf); err != nil {
+		return Value{}, err
+	}
+	for i, si := range cf.paramSlot {
+		if si < 0 {
+			continue
+		}
+		var v Value
+		if i < len(args) {
+			v = args[i]
+		}
+		if _, err := cf.paramStore[i](p, p.slotMem[p.cfp+si], v); err != nil {
+			p.popCFrame()
+			return Value{}, err
+		}
+	}
+	var ret Value
+	_, err := cf.body(p, &ret)
+	p.popCFrame()
+	if err != nil {
+		return Value{}, err
+	}
+	p.chargeCycles(costReturn)
+	return ret, nil
+}
+
+// evalCompiledArgs evaluates call arguments into the Proc's argument
+// arena, charging one ALU cycle per argument push as evalArgs does. The
+// caller truncates the arena back to base when the call returns; builtins
+// receive the arena-backed slice and must not retain it (none do).
+func (p *Proc) evalCompiledArgs(fns []evalFn) ([]Value, int, error) {
+	base := len(p.argArena)
+	need := base + len(fns)
+	if cap(p.argArena) < need {
+		grown := make([]Value, need, need*2+8)
+		copy(grown, p.argArena)
+		p.argArena = grown
+	} else {
+		p.argArena = p.argArena[:need]
+	}
+	for i, f := range fns {
+		v, err := f(p)
+		if err != nil {
+			p.argArena = p.argArena[:base]
+			return nil, 0, err
+		}
+		p.argArena[base+i] = v
+		p.chargeCycles(costALU)
+	}
+	return p.argArena[base : base+len(fns) : base+len(fns)], base, nil
 }
 
 // LoadTyped reads a typed value with timing; for runtime packages.

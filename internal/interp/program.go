@@ -33,6 +33,12 @@ type Program struct {
 	// values (e.g. pthread_create's third argument) fit in a Value; index
 	// i is encoded as i+1 so that 0 stays a null function pointer.
 	funcList []*ast.FuncDecl
+
+	// compiled caches the lowered form of every function (compile.go),
+	// built once at Load time; compiledList parallels funcList so
+	// function values decode to their compiled form without a map lookup.
+	compiled     map[*ast.FuncDecl]*compiledFunc
+	compiledList []*compiledFunc
 }
 
 // FuncValue returns the value encoding of a defined function.
@@ -52,6 +58,15 @@ func (pr *Program) FuncByValue(v Value) *ast.FuncDecl {
 		return nil
 	}
 	return pr.funcList[i]
+}
+
+// compiledByValue decodes a function value to its compiled form.
+func (pr *Program) compiledByValue(v Value) *compiledFunc {
+	i := int(v.Int()) - 1
+	if i < 0 || i >= len(pr.compiledList) {
+		return nil
+	}
+	return pr.compiledList[i]
 }
 
 // GlobalsBase is where the globals segment starts in private memory.
@@ -101,6 +116,7 @@ func Load(file *ast.File, info *sema.Info) (*Program, error) {
 		return true
 	})
 	pr.ImageEnd = align(cursor, 8)
+	compileProgram(pr)
 	return pr, nil
 }
 

@@ -73,7 +73,10 @@ type Sim struct {
 	Program *Program
 	Runtime Runtime
 	Policy  Policy
-	Out     bytes.Buffer
+	// Engine selects the execution engine (compiled by default; the
+	// tree-walk reference for golden comparisons). Set before Spawn.
+	Engine Engine
+	Out    bytes.Buffer
 
 	procs  []*Proc
 	nextID int
@@ -86,8 +89,13 @@ type Sim struct {
 	freeStacks map[int][]int
 	// doneMax preserves the completion times of compacted contexts.
 	doneMax sccsim.Time
+	done    int // finished contexts still in procs
 	err     error
 	halted  bool
+	// ctrl wakes Run when the session finishes (all done, deadlock, or
+	// error). Contexts hand off to each other directly; Run only sees
+	// the first dispatch and the final signal.
+	ctrl chan struct{}
 }
 
 // NewSim builds a session. The runtime must be attached by the caller
@@ -96,10 +104,12 @@ func NewSim(m *sccsim.Machine, pr *Program) *Sim {
 	return &Sim{
 		Machine:    m,
 		Program:    pr,
-		Policy:     MinClock{},
+		Policy:     NewMinClockHeap(),
+		Engine:     DefaultEngine,
 		heaps:      make(map[int]uint32),
 		stacks:     make(map[int]int),
 		freeStacks: make(map[int][]int),
+		ctrl:       make(chan struct{}, 1),
 	}
 }
 
@@ -142,35 +152,61 @@ func (s *Sim) Spawn(core int, fn *ast.FuncDecl, args []Value, start sccsim.Time)
 		fn:       fn,
 		args:     args,
 		resume:   make(chan struct{}),
-		yieldq:   make(chan struct{}),
 	}
 	p.stackTop = sccsim.PrivateLimit - uint32(idx*StackBytes)
 	p.stackPtr = p.stackTop
+	p.timer = s.Machine.Timer(core)
 	s.nextID++
 	s.procs = append(s.procs, p)
+	s.noteRunnable(p)
 	go p.top()
 	return p, nil
 }
 
-// Run drives the scheduler until every context is done or execution
-// cannot make progress. It returns the first runtime error, if any.
+// Run starts the handoff chain and waits for the session to end. Unlike
+// the original central loop — two channel round-trips through a scheduler
+// goroutine per yield — contexts pick their successor themselves and
+// resume it directly; a context that reschedules itself (the common
+// non-blocking yield) performs no channel operation at all. Run returns
+// the first runtime error, if any.
 func (s *Sim) Run() error {
 	defer s.stopAll()
-	for {
-		if s.err != nil {
-			return s.err
-		}
+	s.handoff(s.pickNext())
+	<-s.ctrl
+	if s.err != nil {
+		return s.err
+	}
+	if s.allDone() {
+		return nil
+	}
+	return fmt.Errorf("interp: deadlock: %s", s.stateSummary())
+}
+
+// handoff transfers control to next (resuming its goroutine), or signals
+// Run that nothing is runnable. Exactly one goroutine holds control at a
+// time; every transfer is a single channel send.
+func (s *Sim) handoff(next *Proc) {
+	if next == nil {
+		s.ctrl <- struct{}{}
+		return
+	}
+	next.State = Running
+	next.resume <- struct{}{}
+}
+
+// pickNext compacts if due and asks the policy for the next context.
+func (s *Sim) pickNext() *Proc {
+	if s.done >= 64 && s.done*2 >= len(s.procs) {
 		s.compact()
-		p := s.Policy.Next(s.procs)
-		if p == nil {
-			if s.allDone() {
-				return nil
-			}
-			return fmt.Errorf("interp: deadlock: %s", s.stateSummary())
-		}
-		p.State = Running
-		p.resume <- struct{}{}
-		<-p.yieldq
+	}
+	return s.Policy.Next(s.procs)
+}
+
+// noteRunnable tells a notification-aware policy (the min-clock heap)
+// that p became runnable or changed clock while runnable.
+func (s *Sim) noteRunnable(p *Proc) {
+	if n, ok := s.Policy.(runnableNotifier); ok {
+		n.NoteRunnable(p)
 	}
 }
 
@@ -178,15 +214,6 @@ func (s *Sim) Run() error {
 // outnumber the live ones, keeping Next() cheap for programs that spawn
 // thousands of short-lived threads.
 func (s *Sim) compact() {
-	done := 0
-	for _, p := range s.procs {
-		if p.State == Done {
-			done++
-		}
-	}
-	if done < 64 || done*2 < len(s.procs) {
-		return
-	}
 	live := s.procs[:0]
 	for _, p := range s.procs {
 		if p.State == Done {
@@ -198,6 +225,7 @@ func (s *Sim) compact() {
 		live = append(live, p)
 	}
 	s.procs = live
+	s.done = 0
 }
 
 // Makespan returns the latest completion time across contexts.
@@ -272,11 +300,18 @@ func (p *Proc) top() {
 	}
 	p.State = Done
 	s := p.Sim
+	s.done++
 	s.freeStacks[p.Core] = append(s.freeStacks[p.Core], p.stackIdx)
 	if s.Runtime != nil {
 		s.Runtime.OnExit(p)
 	}
-	p.yieldq <- struct{}{}
+	if s.err != nil {
+		// The session stops on the first error without scheduling more
+		// work, as the original run loop did.
+		s.ctrl <- struct{}{}
+		return
+	}
+	s.handoff(s.pickNext())
 }
 
 // acquire waits to be scheduled; false means the session was torn down.
@@ -288,23 +323,32 @@ func (p *Proc) acquire() bool {
 	return ok
 }
 
-// yieldToScheduler hands control back and waits to be rescheduled.
-func (p *Proc) yieldToScheduler() {
-	p.lastYield = p.Clock
-	p.yieldq <- struct{}{}
-	p.acquire()
-}
-
 // Yield cooperatively gives up the processor while staying runnable.
+// When the policy re-elects the yielding context — the common case under
+// both the round-robin baseline (within a quantum) and min-clock once a
+// context owns the smallest time — control returns without touching a
+// channel or waking another goroutine.
 func (p *Proc) Yield() {
 	p.State = Runnable
-	p.yieldToScheduler()
+	p.lastYield = p.Clock
+	s := p.Sim
+	s.noteRunnable(p)
+	next := s.pickNext()
+	if next == p {
+		p.State = Running
+		return
+	}
+	s.handoff(next)
+	p.acquire()
 }
 
 // Block parks the context until another context calls Unblock.
 func (p *Proc) Block() {
 	p.State = Blocked
-	p.yieldToScheduler()
+	p.lastYield = p.Clock
+	s := p.Sim
+	s.handoff(s.pickNext())
+	p.acquire()
 }
 
 // Unblock makes a parked context runnable again, advancing its clock to
@@ -315,5 +359,8 @@ func (p *Proc) Unblock(at sccsim.Time) {
 	}
 	if p.State == Blocked {
 		p.State = Runnable
+	}
+	if p.State == Runnable {
+		p.Sim.noteRunnable(p)
 	}
 }

@@ -1,0 +1,97 @@
+package interp
+
+import "hsmcc/internal/sccsim"
+
+// runnableNotifier is implemented by policies that maintain indexed
+// scheduling state. The session calls NoteRunnable at every transition
+// that makes a context runnable or changes its clock while runnable
+// (spawn, unblock, cooperative yield); policies without the method are
+// scanned statelessly, as before.
+type runnableNotifier interface {
+	NoteRunnable(p *Proc)
+}
+
+// MinClockHeap is the indexed form of MinClock: an intrusive min-heap
+// keyed on (Clock, ID), updated on state transitions, replacing the O(n)
+// scan per scheduling decision. Entries are invalidated lazily — a
+// context's stale entries (from before its clock advanced) are discarded
+// at pop time, which keeps every update O(log n) with no delete-by-key.
+// MinClock (the linear scan) is retained as the test oracle; the
+// equivalence property is pinned by TestMinClockHeapMatchesLinear.
+//
+// The heap must observe every runnable transition, so it only works as a
+// session's policy when installed before the first Spawn (NewSim does
+// this); swapping it in mid-session would miss existing contexts.
+type MinClockHeap struct {
+	h []clockEntry
+}
+
+type clockEntry struct {
+	clock sccsim.Time
+	id    int
+	p     *Proc
+}
+
+// NewMinClockHeap returns an empty indexed min-clock policy.
+func NewMinClockHeap() *MinClockHeap { return &MinClockHeap{} }
+
+// NoteRunnable implements runnableNotifier.
+func (m *MinClockHeap) NoteRunnable(p *Proc) {
+	m.h = append(m.h, clockEntry{clock: p.Clock, id: p.ID, p: p})
+	m.up(len(m.h) - 1)
+}
+
+// Next implements Policy: pop entries until one still describes a
+// runnable context at its current clock. An entry is stale when the
+// context ran (clock advanced), blocked, or finished since it was
+// pushed; the context's current state, if runnable, is always covered
+// by a fresher entry, so discarding stale ones is safe.
+func (m *MinClockHeap) Next(procs []*Proc) *Proc {
+	for len(m.h) > 0 {
+		e := m.h[0]
+		m.pop()
+		if e.p.State == Runnable && e.p.Clock == e.clock {
+			return e.p
+		}
+	}
+	return nil
+}
+
+func (m *MinClockHeap) less(i, j int) bool {
+	a, b := &m.h[i], &m.h[j]
+	return a.clock < b.clock || (a.clock == b.clock && a.id < b.id)
+}
+
+func (m *MinClockHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !m.less(i, parent) {
+			return
+		}
+		m.h[i], m.h[parent] = m.h[parent], m.h[i]
+		i = parent
+	}
+}
+
+func (m *MinClockHeap) pop() {
+	n := len(m.h) - 1
+	m.h[0] = m.h[n]
+	m.h = m.h[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && m.less(l, small) {
+			small = l
+		}
+		if r < n && m.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		m.h[i], m.h[small] = m.h[small], m.h[i]
+		i = small
+	}
+}

@@ -6,8 +6,18 @@ package sccsim
 // non-coherent and private: a cached line can never be stale with respect
 // to another core's writes (shared pages are uncacheable), so hit/miss
 // behaviour is independent of contents.
+//
+// Lines are stored as one flat ways-major array (set s occupies
+// lines[s*ways : (s+1)*ways]) and Access resolves hit and LRU victim in
+// a single pass — this sits directly on the simulator's per-access hot
+// path, so it is kept branch-lean and allocation-free.
 type Cache struct {
-	sets      [][]cacheLine
+	// lines is materialised on first access: a machine constructs one
+	// L1+L2 pair per core, but a run touches only the cores it schedules
+	// work on, so eager allocation would dominate short simulations.
+	lines     []cacheLine
+	nlines    int
+	ways      int
 	lineBits  uint
 	setMask   uint32
 	tick      uint64
@@ -17,12 +27,18 @@ type Cache struct {
 	DirtyEv   uint64
 }
 
+// cacheLine packs to 16 bytes (used, tag, flag bits) so a set scan
+// stays within one or two host cache lines.
 type cacheLine struct {
-	tag   uint32
-	valid bool
-	dirty bool
 	used  uint64
+	tag   uint32
+	flags uint8 // bit 0: valid, bit 1: dirty
 }
+
+const (
+	lineValid = 1 << 0
+	lineDirty = 1 << 1
+)
 
 // NewCache builds a cache of the given geometry. size and lineBytes must
 // be powers-of-two multiples.
@@ -31,15 +47,12 @@ func NewCache(size, ways, lineBytes int) *Cache {
 	if nsets < 1 {
 		nsets = 1
 	}
-	c := &Cache{
-		sets:     make([][]cacheLine, nsets),
+	return &Cache{
+		nlines:   nsets * ways,
+		ways:     ways,
 		lineBits: log2(lineBytes),
 		setMask:  uint32(nsets - 1),
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]cacheLine, ways)
-	}
-	return c
 }
 
 func log2(v int) uint {
@@ -53,50 +66,63 @@ func log2(v int) uint {
 
 // Access looks up the line containing addr, allocating it on a miss.
 // It returns whether the access hit and whether the allocation evicted a
-// dirty line (which costs a write-back).
+// dirty line (which costs a write-back). One pass finds both the hit and
+// the replacement victim: invalid ways carry used==0 while valid ways
+// carry used>=1, so the minimum-used way is exactly the first invalid
+// way when one exists and the LRU way otherwise — the same choice the
+// original two-pass scan made.
 func (c *Cache) Access(addr uint32, write bool) (hit, dirtyEvict bool) {
 	c.tick++
+	if c.lines == nil {
+		c.lines = make([]cacheLine, c.nlines)
+	}
 	lineAddr := addr >> c.lineBits
-	set := c.sets[lineAddr&c.setMask]
+	base := int(lineAddr&c.setMask) * c.ways
+	set := c.lines[base : base+c.ways]
+	victim := 0
+	minUsed := ^uint64(0)
 	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			set[i].used = c.tick
+		ln := &set[i]
+		if ln.flags&lineValid != 0 && ln.tag == lineAddr {
+			ln.used = c.tick
 			if write {
-				set[i].dirty = true
+				ln.flags |= lineDirty
 			}
 			c.Hits++
 			return true, false
 		}
+		if ln.used < minUsed {
+			minUsed = ln.used
+			victim = i
+		}
 	}
 	c.Misses++
-	// Miss: allocate over the LRU way.
-	victim := 0
-	for i := 1; i < len(set); i++ {
-		if !set[i].valid {
-			victim = i
-			break
-		}
-		if set[i].used < set[victim].used {
-			victim = i
-		}
-	}
-	if set[victim].valid {
+	v := &set[victim]
+	if v.flags&lineValid != 0 {
 		c.Evictions++
-		if set[victim].dirty {
+		if v.flags&lineDirty != 0 {
 			c.DirtyEv++
 			dirtyEvict = true
 		}
 	}
-	set[victim] = cacheLine{tag: lineAddr, valid: true, dirty: write, used: c.tick}
+	flags := uint8(lineValid)
+	if write {
+		flags |= lineDirty
+	}
+	*v = cacheLine{tag: lineAddr, flags: flags, used: c.tick}
 	return false, dirtyEvict
 }
 
 // Contains reports whether addr's line is resident (no state change).
 func (c *Cache) Contains(addr uint32) bool {
+	if c.lines == nil {
+		return false
+	}
 	lineAddr := addr >> c.lineBits
-	set := c.sets[lineAddr&c.setMask]
+	base := int(lineAddr&c.setMask) * c.ways
+	set := c.lines[base : base+c.ways]
 	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
+		if set[i].flags&lineValid != 0 && set[i].tag == lineAddr {
 			return true
 		}
 	}
@@ -107,19 +133,17 @@ func (c *Cache) Contains(addr uint32) bool {
 // written back. The pthread baseline uses this to model the cache
 // pollution of a context switch.
 func (c *Cache) Flush() (dirty int) {
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			if c.sets[s][i].valid && c.sets[s][i].dirty {
-				dirty++
-			}
-			c.sets[s][i] = cacheLine{}
+	for i := range c.lines {
+		if c.lines[i].flags&(lineValid|lineDirty) == lineValid|lineDirty {
+			dirty++
 		}
+		c.lines[i] = cacheLine{}
 	}
 	return dirty
 }
 
 // Lines returns the total line capacity.
-func (c *Cache) Lines() int { return len(c.sets) * len(c.sets[0]) }
+func (c *Cache) Lines() int { return c.nlines }
 
 // LineBytes returns the line size in bytes.
 func (c *Cache) LineBytes() int { return 1 << c.lineBits }

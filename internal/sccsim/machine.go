@@ -36,11 +36,44 @@ type Machine struct {
 }
 
 type coreState struct {
-	l1     *Cache
-	l2     *Cache
-	priv   *PageMem
-	period Time // current core period under DVFS
+	l1    *Cache
+	l2    *Cache
+	priv  *PageMem
+	timer CoreTimer // current core period under DVFS + compute-time accumulator
+	// Derived per-core latencies, recomputed on DVFS changes so the
+	// per-access hot path avoids a cycles×period multiply each time.
+	l1HitT Time
+	l2HitT Time
+	dirtyT Time
 	stats  CoreStats
+}
+
+// CoreTimer is one core's cycle-to-time converter: Period tracks the
+// core's DVFS state and Comp accumulates its compute time. The machine
+// hands out a stable pointer per core (Timer) so the interpreter can
+// charge compute cycles with one multiply and two adds — no machine or
+// core-state re-resolution on the per-operation hot path.
+type CoreTimer struct {
+	Period Time
+	Comp   Time
+}
+
+// Cycles converts a cycle count on this core into time, accounting it.
+func (t *CoreTimer) Cycles(n int) Time {
+	d := Time(n) * t.Period
+	t.Comp += d
+	return d
+}
+
+// Timer returns core's timer handle; it stays valid across DVFS changes.
+func (m *Machine) Timer(core int) *CoreTimer { return &m.cores[core].timer }
+
+// setPeriod installs a core period and its derived latencies.
+func (cs *coreState) setPeriod(cfg *Config, period Time) {
+	cs.timer.Period = period
+	cs.l1HitT = Time(cfg.L1HitCycles) * period
+	cs.l2HitT = Time(cfg.L2HitCycles) * period
+	cs.dirtyT = Time(cfg.DirtyEvictCycles) * period
 }
 
 // CoreStats counts one core's memory traffic and time.
@@ -88,12 +121,13 @@ func New(cfg Config) (*Machine, error) {
 		tas:        make([]bool, cfg.Cores),
 	}
 	for i := 0; i < cfg.Cores; i++ {
-		m.cores = append(m.cores, &coreState{
-			l1:     NewCache(cfg.L1Bytes, cfg.L1Ways, cfg.LineBytes),
-			l2:     NewCache(cfg.L2Bytes, cfg.L2Ways, cfg.LineBytes),
-			priv:   NewPageMem(),
-			period: period,
-		})
+		cs := &coreState{
+			l1:   NewCache(cfg.L1Bytes, cfg.L1Ways, cfg.LineBytes),
+			l2:   NewCache(cfg.L2Bytes, cfg.L2Ways, cfg.LineBytes),
+			priv: NewPageMem(),
+		}
+		cs.setPeriod(&m.cfg, period)
+		m.cores = append(m.cores, cs)
 	}
 	for i := 0; i < cfg.MemControllers; i++ {
 		m.mcs = append(m.mcs, &memController{})
@@ -117,14 +151,12 @@ func (m *Machine) Config() Config { return m.cfg }
 func (m *Machine) Cores() int { return len(m.cores) }
 
 // CorePeriodOf returns core's current cycle duration (DVFS-aware).
-func (m *Machine) CorePeriodOf(core int) Time { return m.cores[core].period }
+func (m *Machine) CorePeriodOf(core int) Time { return m.cores[core].timer.Period }
 
 // ComputeTime converts an instruction cycle count on core into time and
 // records it.
 func (m *Machine) ComputeTime(core int, cycles int) Time {
-	d := Time(cycles) * m.cores[core].period
-	m.cores[core].stats.CompTime += d
-	return d
+	return m.cores[core].timer.Cycles(cycles)
 }
 
 // ---------------------------------------------------------------------------
@@ -132,9 +164,17 @@ func (m *Machine) ComputeTime(core int, cycles int) Time {
 // ---------------------------------------------------------------------------
 
 // Load reads len(buf) bytes at addr on behalf of core and returns the
-// access latency starting from now.
+// access latency starting from now. The backing store is selected with a
+// direct switch (no interface dispatch or boxing on the hot path).
 func (m *Machine) Load(core int, addr uint32, buf []byte, now Time) Time {
-	m.backing(core, addr).Read(addr-m.regionBase(addr), buf)
+	switch {
+	case addr >= MPBBase:
+		copy(buf, m.mpb[addr-MPBBase:])
+	case addr >= SharedBase:
+		m.shared.Read(addr-SharedBase, buf)
+	default:
+		m.cores[core].priv.Read(addr, buf)
+	}
 	cs := m.cores[core]
 	cs.stats.Loads++
 	lat := m.accessTime(core, addr, false, now)
@@ -144,7 +184,14 @@ func (m *Machine) Load(core int, addr uint32, buf []byte, now Time) Time {
 
 // Store writes data at addr on behalf of core and returns the latency.
 func (m *Machine) Store(core int, addr uint32, data []byte, now Time) Time {
-	m.backing(core, addr).Write(addr-m.regionBase(addr), data)
+	switch {
+	case addr >= MPBBase:
+		copy(m.mpb[addr-MPBBase:], data)
+	case addr >= SharedBase:
+		m.shared.Write(addr-SharedBase, data)
+	default:
+		m.cores[core].priv.Write(addr, data)
+	}
 	cs := m.cores[core]
 	cs.stats.Stores++
 	lat := m.accessTime(core, addr, true, now)
@@ -225,30 +272,29 @@ func (m *Machine) accessTime(core int, addr uint32, write bool, now Time) Time {
 // cachedTime walks the private hierarchy: L1, then L2, then DRAM via the
 // quadrant controller. Write misses allocate (write-allocate policy).
 // Cache latencies are in the core's clock domain, so they scale with
-// DVFS; the mesh and controllers run off their own clocks.
+// DVFS (the derived times are recomputed whenever a domain's frequency
+// changes); the mesh and controllers run off their own clocks.
 func (m *Machine) cachedTime(core int, addr uint32, write bool, now Time) Time {
 	cs := m.cores[core]
-	l1Hit := Time(m.cfg.L1HitCycles) * cs.period
 	hit, dirty := cs.l1.Access(addr, write)
 	if hit {
 		cs.stats.L1Hits++
-		return l1Hit
+		return cs.l1HitT
 	}
 	cs.stats.L1Misses++
-	evict := Time(m.cfg.DirtyEvictCycles) * cs.period
-	lat := l1Hit
+	lat := cs.l1HitT
 	if dirty {
-		lat += evict
+		lat += cs.dirtyT
 	}
 	hit, dirty = cs.l2.Access(addr, write)
 	if hit {
 		cs.stats.L2Hits++
-		return lat + Time(m.cfg.L2HitCycles)*cs.period
+		return lat + cs.l2HitT
 	}
 	cs.stats.L2Misses++
-	lat += Time(m.cfg.L2HitCycles) * cs.period
+	lat += cs.l2HitT
 	if dirty {
-		lat += evict
+		lat += cs.dirtyT
 	}
 	return lat + m.dramTime(core, now+lat)
 }
@@ -286,7 +332,7 @@ func (m *Machine) mpbTime(core int, addr uint32, write bool) Time {
 		hit, _ := cs.l1.Access(addr, write)
 		if hit {
 			cs.stats.L1Hits++
-			return Time(m.cfg.L1HitCycles) * cs.period
+			return cs.l1HitT
 		}
 		cs.stats.L1Misses++
 	}
@@ -366,8 +412,13 @@ func (m *Machine) FlushL1(core int) Time {
 	return Time(dirty) * m.dirtyEvict
 }
 
-// StatsOf returns a copy of core's counters.
-func (m *Machine) StatsOf(core int) CoreStats { return m.cores[core].stats }
+// StatsOf returns a copy of core's counters. Compute time lives in the
+// core's timer (the hot-path accumulator) and is folded into the copy.
+func (m *Machine) StatsOf(core int) CoreStats {
+	st := m.cores[core].stats
+	st.CompTime = m.cores[core].timer.Comp
+	return st
+}
 
 // TotalStats sums the per-core counters.
 func (m *Machine) TotalStats() CoreStats {
@@ -384,7 +435,7 @@ func (m *Machine) TotalStats() CoreStats {
 		t.L2Hits += c.stats.L2Hits
 		t.L2Misses += c.stats.L2Misses
 		t.MemTime += c.stats.MemTime
-		t.CompTime += c.stats.CompTime
+		t.CompTime += c.timer.Comp
 	}
 	return t
 }

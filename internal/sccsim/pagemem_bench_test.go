@@ -1,0 +1,120 @@
+package sccsim
+
+import "testing"
+
+// mapPageMem is the original map-backed page store, kept here as the
+// benchmark baseline so `go test -bench PageMem ./internal/sccsim`
+// shows what removing the map hash from the access path buys.
+type mapPageMem struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+func (p *mapPageMem) page(addr uint32) *[pageSize]byte {
+	key := addr / pageSize
+	pg, ok := p.pages[key]
+	if !ok {
+		pg = new([pageSize]byte)
+		p.pages[key] = pg
+	}
+	return pg
+}
+
+func (p *mapPageMem) Read(addr uint32, buf []byte) {
+	for len(buf) > 0 {
+		pg := p.page(addr)
+		off := addr % pageSize
+		n := copy(buf, pg[off:])
+		buf = buf[n:]
+		addr += uint32(n)
+	}
+}
+
+func (p *mapPageMem) Write(addr uint32, data []byte) {
+	for len(data) > 0 {
+		pg := p.page(addr)
+		off := addr % pageSize
+		n := copy(pg[off:], data)
+		data = data[n:]
+		addr += uint32(n)
+	}
+}
+
+// accessPattern mimics the interpreter's traffic: a loop walking an
+// array in one region (the heap) interleaved with stack-slot accesses
+// high in the address space — two localities the last-page cache and
+// dense table serve without hashing.
+var accessPattern = func() []uint32 {
+	addrs := make([]uint32, 0, 4096)
+	const heap = PrivateBase + 0x2000
+	const stack = PrivateLimit - 0x100
+	for i := 0; i < 2048; i++ {
+		addrs = append(addrs, heap+uint32(i%1024)*4, stack-uint32(i%16)*8)
+	}
+	return addrs
+}()
+
+func BenchmarkPageMemAccess(b *testing.B) {
+	var buf [8]byte
+	b.Run("dense", func(b *testing.B) {
+		m := NewPageMem()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, a := range accessPattern {
+				m.Write(a, buf[:4])
+				m.Read(a, buf[:4])
+			}
+		}
+	})
+	b.Run("map-baseline", func(b *testing.B) {
+		m := &mapPageMem{pages: make(map[uint32]*[pageSize]byte)}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, a := range accessPattern {
+				m.Write(a, buf[:4])
+				m.Read(a, buf[:4])
+			}
+		}
+	})
+}
+
+// TestPageMemSpanningAndZeroing covers the dense store against the
+// behaviours the simulator relies on: zero-fill on first touch, reads
+// and writes spanning page boundaries, and Touched accounting.
+func TestPageMemSpanningAndZeroing(t *testing.T) {
+	m := NewPageMem()
+	var got [16]byte
+	m.Read(pageSize-8, got[:])
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("fresh pages must read zero")
+		}
+	}
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	m.Write(pageSize-8, data) // spans pages 0 and 1
+	m.Read(pageSize-8, got[:])
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("spanning write: byte %d = %d, want %d", i, got[i], data[i])
+		}
+	}
+	if m.Touched() != 2 {
+		t.Fatalf("Touched = %d, want 2", m.Touched())
+	}
+	// High stack addresses coexist with low heap pages.
+	m.Write(PrivateLimit-4, []byte{0xaa, 0xbb, 0xcc, 0xdd})
+	var hi [4]byte
+	m.Read(PrivateLimit-4, hi[:])
+	if hi != [4]byte{0xaa, 0xbb, 0xcc, 0xdd} {
+		t.Fatalf("high write read back %x", hi)
+	}
+	if m.Touched() != 3 {
+		t.Fatalf("Touched = %d, want 3", m.Touched())
+	}
+	m.Zero(pageSize-8, 16)
+	m.Read(pageSize-8, got[:])
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("Zero must clear the range")
+		}
+	}
+}

@@ -69,7 +69,7 @@ func (m *Machine) SetDomainMHz(domain, mhz int) error {
 		hi = len(m.cores)
 	}
 	for c := lo; c < hi; c++ {
-		m.cores[c].period = period
+		m.cores[c].setPeriod(&m.cfg, period)
 	}
 	return nil
 }
@@ -77,7 +77,7 @@ func (m *Machine) SetDomainMHz(domain, mhz int) error {
 // DomainMHz returns the current frequency of a domain's cores.
 func (m *Machine) DomainMHz(domain int) int {
 	core := domain * VoltageDomainCores
-	return int(1e6 / uint64(m.cores[core].period))
+	return int(1e6 / uint64(m.cores[core].timer.Period))
 }
 
 // PowerEstimate sums a per-domain fit of the chip's power at the current
