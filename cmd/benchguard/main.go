@@ -1,15 +1,15 @@
 // Command benchguard is the benchmark regression gate: it compares two
 // `go test -bench` outputs — the tree-walk reference engine (HSMCC_ENGINE=
-// treewalk) and the default compiled engine from the same binary on the
-// same machine — and fails unless the compiled engine keeps a minimum
-// geomean speedup. Comparing the two engines of one build keeps the
-// guard machine-independent: absolute ns/op vary with CI hardware, the
-// ratio between engines does not. It also emits a benchstat-style delta
-// report for the CI artifact.
+// treewalk) and the default coroutine (compiled) engine from the same
+// binary on the same machine — and fails unless the coroutine engine
+// keeps a minimum geomean speedup. Comparing the two engines of one
+// build keeps the guard machine-independent: absolute ns/op vary with
+// CI hardware, the ratio between engines does not. It also emits a
+// benchstat-style delta report for the CI artifact.
 //
 // Usage:
 //
-//	benchguard -old treewalk.txt -new compiled.txt -min-speedup 1.5 -out delta.txt
+//	benchguard -old treewalk.txt -new coroutine.txt -min-speedup 1.15 -out delta.txt
 package main
 
 import (
@@ -59,7 +59,7 @@ func median(v []float64) float64 {
 
 func run() error {
 	oldPath := flag.String("old", "", "benchmark output of the reference (tree-walk) engine")
-	newPath := flag.String("new", "", "benchmark output of the compiled engine")
+	newPath := flag.String("new", "", "benchmark output of the coroutine (compiled) engine")
 	minSpeedup := flag.Float64("min-speedup", 1.5, "minimum geomean old/new ratio to pass")
 	outPath := flag.String("out", "", "optional delta report file")
 	flag.Parse()
@@ -85,7 +85,7 @@ func run() error {
 	}
 	sort.Strings(names)
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-34s %14s %14s %9s\n", "benchmark", "tree-walk", "compiled", "speedup")
+	fmt.Fprintf(&sb, "%-34s %14s %14s %9s\n", "benchmark", "tree-walk", "coroutine", "speedup")
 	logSum := 0.0
 	for _, name := range names {
 		o, n := median(oldRes[name]), median(newRes[name])
@@ -102,7 +102,7 @@ func run() error {
 		}
 	}
 	if geomean < *minSpeedup {
-		return fmt.Errorf("benchguard: geomean speedup %.2fx below the %.2fx floor — the compiled engine regressed",
+		return fmt.Errorf("benchguard: geomean speedup %.2fx below the %.2fx floor — the coroutine engine regressed",
 			geomean, *minSpeedup)
 	}
 	fmt.Printf("benchguard: ok (geomean %.2fx >= %.2fx)\n", geomean, *minSpeedup)

@@ -47,6 +47,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "grid mode: worker goroutines (0 = GOMAXPROCS)")
 	shard := flag.String("shard", "", "grid mode: run shard i/n of the grid, e.g. 0/4")
 	jsonOut := flag.Bool("json", false, "grid mode: write BENCH_<grid>.json")
+	engine := flag.String("engine", "", "execution engine: compiled (coroutine core) or treewalk; empty = HSMCC_ENGINE/default")
 	outPath := flag.String("out", "", "grid mode: JSON output path override (- = stdout)")
 	flag.Parse()
 
@@ -66,7 +67,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *exp == "grid" || gridFlags {
-		if err := runGrid(*gridName, *workloads, *coresList, *policies, *budgets, *scale, *parallel, *shard, *jsonOut, *outPath); err != nil {
+		if err := runGrid(*gridName, *workloads, *coresList, *policies, *budgets, *scale, *parallel, *shard, *engine, *jsonOut, *outPath); err != nil {
 			fmt.Fprintf(os.Stderr, "hsmbench grid: %v\n", err)
 			os.Exit(1)
 		}
@@ -138,7 +139,7 @@ func main() {
 }
 
 // runGrid executes the parallel experiment sweep and emits the report.
-func runGrid(name, workloads, cores, policies, budgets string, scale float64, parallel int, shard string, jsonOut bool, outPath string) error {
+func runGrid(name, workloads, cores, policies, budgets string, scale float64, parallel int, shard, engine string, jsonOut bool, outPath string) error {
 	g := bench.DefaultGrid()
 	g.Name = name
 	g.Scale = scale
@@ -160,7 +161,7 @@ func runGrid(name, workloads, cores, policies, budgets string, scale float64, pa
 			return fmt.Errorf("-mpb: %w", err)
 		}
 	}
-	opt := bench.RunOptions{Parallel: parallel}
+	opt := bench.RunOptions{Parallel: parallel, Engine: engine}
 	if shard != "" {
 		var err error
 		if opt.ShardIndex, opt.ShardCount, err = parseShard(shard); err != nil {

@@ -41,6 +41,7 @@ func main() {
 		cores    = flag.String("cores", "2,4", "comma-separated UE counts to sweep")
 		policies = flag.String("policies", "offchip,size,freq", "comma-separated Stage 4 policies")
 		budgets  = flag.String("budgets", "0,512", "comma-separated MPB byte budgets (0 = full MPB)")
+		oversub  = flag.String("oversub", "1,2", "comma-separated many-to-one factors (1 = one UE per core; f > 1 runs f*cores UEs, thesis 7.2)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent kernel checks")
 		out      = flag.String("out", "testdata/conformance", "directory that receives minimized failing kernels")
 		doPrint  = flag.Bool("print", false, "print the kernel -seed generates (at the first -cores value) and exit")
@@ -50,7 +51,7 @@ func main() {
 	if *n < 1 {
 		fatal(fmt.Errorf("-n must be at least 1, got %d", *n))
 	}
-	matrix, err := conformance.ParseMatrix(*cores, *policies, *budgets)
+	matrix, err := conformance.ParseMatrix(*cores, *policies, *budgets, *oversub)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,8 +83,8 @@ func main() {
 			batch+1, totalKernels, time.Since(start).Round(time.Second))
 	}
 
-	fmt.Printf("conformance: %d kernels x %d RCCE cells each (seeds %d..%d, policies %s, budgets %s): %d failure(s)\n",
-		totalKernels, matrix.Cells(), *seed, base-1, *policies, *budgets, len(failures))
+	fmt.Printf("conformance: %d kernels x %d RCCE cells each (seeds %d..%d, policies %s, budgets %s, oversub %s): %d failure(s)\n",
+		totalKernels, matrix.Cells(), *seed, base-1, *policies, *budgets, *oversub, len(failures))
 	if len(failures) == 0 {
 		return
 	}

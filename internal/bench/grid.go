@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 
+	"hsmcc/internal/interp"
 	"hsmcc/internal/partition"
 	"hsmcc/internal/sccsim"
 )
@@ -173,6 +174,9 @@ type RunOptions struct {
 	// machines each running shard i/n cover the grid exactly once.
 	// ShardCount <= 1 disables sharding.
 	ShardIndex, ShardCount int
+	// Engine selects the execution engine for every cell ("",
+	// "compiled" or "treewalk"; empty defers to HSMCC_ENGINE).
+	Engine string
 }
 
 // Report is the JSON document hsmbench emits as BENCH_<grid>.json.
@@ -199,20 +203,26 @@ func (r *Report) Filename() string {
 }
 
 // baselineKey caches RunBaseline across cells: the baseline depends
-// only on (workload, cores) — every policy and budget variant reuses it.
+// only on (workload, cores) for a given engine — every policy and
+// budget variant reuses it. The engine is part of the identity: a run
+// under one engine must never serve a cell that asked for another
+// (equivalence tests compare engines through this very path).
 type baselineKey struct {
 	workload string
 	cores    int
+	engine   interp.Engine
 }
 
 // cellKey identifies the semantic inputs of an RCCE run. Cells with
 // different spec budgets can resolve to the same effective work (budget
-// 0 is "the full MPB"), which the cache collapses.
+// 0 is "the full MPB"), which the cache collapses. The engine is part
+// of the identity for the same reason as baselineKey.
 type cellKey struct {
 	workload string
 	cores    int
 	policy   string
 	budget   int
+	engine   interp.Engine
 }
 
 // onceCache memoizes a computation per key, running it exactly once
@@ -245,19 +255,21 @@ func (c *onceCache[K, V]) get(k K, f func() (V, error)) (V, error) {
 
 // semanticKey normalises a cell to its cache identity: budget 0 and an
 // explicit full-MPB budget are the same work.
-func semanticKey(c Cell, fullMPB int) cellKey {
+func semanticKey(c Cell, fullMPB int, engine interp.Engine) cellKey {
 	b := c.MPBBudget
 	if b <= 0 {
 		b = fullMPB
 	}
-	return cellKey{c.Workload, c.Cores, c.Policy, b}
+	return cellKey{c.Workload, c.Cores, c.Policy, b, engine}
 }
 
 // gridRunner carries the per-run caches.
 type gridRunner struct {
-	grid      Grid
-	cfg       Config
-	fullMPB   int
+	grid    Grid
+	cfg     Config
+	fullMPB int
+	// engine is the resolved execution engine, part of every cache key.
+	engine    interp.Engine
 	baselines onceCache[baselineKey, *RunResult]
 	cells     onceCache[cellKey, *RunResult]
 }
@@ -301,6 +313,17 @@ func RunGrid(g Grid, opt RunOptions) (*Report, error) {
 	if r.cfg.Scale == 0 {
 		r.cfg.Scale = 1.0
 	}
+	// One compile cache for the whole sweep: each workload's baseline
+	// source and each distinct translated source compile exactly once,
+	// and all matrix cells (across all workers) share the immutable
+	// compiled Programs.
+	r.cfg.Cache = NewCache()
+	eng, err := interp.ParseEngine(opt.Engine)
+	if err != nil {
+		return nil, err
+	}
+	r.cfg.Engine = eng
+	r.engine = eng.Resolve()
 
 	// Mark duplicate cells (same semantic key as an earlier-indexed
 	// cell) up front, so the Cached flag does not depend on which
@@ -309,7 +332,7 @@ func RunGrid(g Grid, opt RunOptions) (*Report, error) {
 	firstByKey := make(map[cellKey]int)
 	dup := make([]bool, len(cells))
 	for i, c := range cells {
-		k := semanticKey(c, r.fullMPB)
+		k := semanticKey(c, r.fullMPB, r.engine)
 		if _, ok := firstByKey[k]; ok {
 			dup[i] = true
 		} else {
@@ -358,14 +381,14 @@ func (r *gridRunner) runCell(cell Cell) CellResult {
 	cfg.Threads = cell.Cores
 	cfg.MPBCapacity = cell.MPBBudget
 
-	base, err := r.baselines.get(baselineKey{cell.Workload, cell.Cores}, func() (*RunResult, error) {
+	base, err := r.baselines.get(baselineKey{cell.Workload, cell.Cores, r.engine}, func() (*RunResult, error) {
 		return RunBaseline(w, cfg)
 	})
 	if err != nil {
 		res.Error = err.Error()
 		return res
 	}
-	conv, err := r.cells.get(semanticKey(cell, r.fullMPB), func() (*RunResult, error) {
+	conv, err := r.cells.get(semanticKey(cell, r.fullMPB, r.engine), func() (*RunResult, error) {
 		return RunRCCE(w, cfg, policy)
 	})
 	if err != nil {

@@ -5,7 +5,6 @@ import (
 	"sort"
 	"strings"
 
-	"hsmcc/internal/core"
 	"hsmcc/internal/interp"
 	"hsmcc/internal/partition"
 	"hsmcc/internal/pthreadrt"
@@ -54,6 +53,15 @@ type Config struct {
 	// inject translator faults and prove the differential oracle catches
 	// them; nil is the identity.
 	TransformRCCE func(src string) (string, error)
+	// Engine selects the execution engine for both backends (the zero
+	// value defers to interp.DefaultEngine / HSMCC_ENGINE). Part of the
+	// cell cache identity: mixed-engine sweeps must not share results.
+	Engine interp.Engine
+	// Cache, when non-nil, memoizes the compile-side stages (source
+	// compile and translation) so one compiled Program serves every
+	// cell — and every concurrent worker — with the same source. The
+	// grid runner and the conformance oracle install one.
+	Cache *Cache
 }
 
 // DefaultConfig is the paper's configuration: 32 threads/cores, full
@@ -67,15 +75,24 @@ func DefaultConfig() Config {
 	}
 }
 
-// RunBaseline measures the unconverted Pthread program: all threads
-// time-share one SCC core (thesis Chapter 6's baseline).
-func RunBaseline(w Workload, cfg Config) (*RunResult, error) {
+// CompileBaseline compiles (or fetches from the cache) the unconverted
+// Pthread program for cfg's thread count and scale. The returned Program
+// is immutable — one compile serves any number of concurrent runs.
+func CompileBaseline(w Workload, cfg Config) (*interp.Program, error) {
 	src := w.Source(cfg.Threads, cfg.Scale)
-	pr, err := interp.Compile(w.Key+".c", src)
+	pr, err := cfg.Cache.program(w.Key+".c", src)
 	if err != nil {
 		return nil, fmt.Errorf("%s baseline: %w", w.Key, err)
 	}
-	res, err := pthreadrt.Run(pr, cfg.Machine(), cfg.Baseline)
+	return pr, nil
+}
+
+// RunBaselineProgram executes an already-compiled baseline program: all
+// threads time-share one SCC core (thesis Chapter 6's baseline).
+func RunBaselineProgram(w Workload, pr *interp.Program, cfg Config) (*RunResult, error) {
+	opts := cfg.Baseline
+	opts.Engine = cfg.Engine
+	res, err := pthreadrt.Run(pr, cfg.Machine(), opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s baseline: %w", w.Key, err)
 	}
@@ -89,36 +106,56 @@ func RunBaseline(w Workload, cfg Config) (*RunResult, error) {
 	}, nil
 }
 
-// RunRCCE translates the Pthread program through the five-stage pipeline
-// with the given Stage 4 policy, re-parses the emitted C source (so the
-// experiment exercises exactly what the translator prints), and executes
-// it with one process per core.
-func RunRCCE(w Workload, cfg Config, policy partition.Policy) (*RunResult, error) {
-	src := w.Source(cfg.Threads, cfg.Scale)
-	machine := cfg.Machine()
+// RunBaseline measures the unconverted Pthread program (compile — cached
+// when cfg carries a Cache — then run).
+func RunBaseline(w Workload, cfg Config) (*RunResult, error) {
+	pr, err := CompileBaseline(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunBaselineProgram(w, pr, cfg)
+}
+
+// Translation is the compiled outcome of the five-stage pipeline for one
+// placement: the emitted RCCE C source (after any TransformRCCE hook),
+// its immutable compiled Program, and the Stage 4 on-chip footprint.
+type Translation struct {
+	Source      string
+	Program     *interp.Program
+	OnChipBytes int
+}
+
+// TranslateWorkload runs the translate pipeline for one cell and
+// compiles the emitted source, reusing cfg.Cache for both stages: the
+// pipeline is keyed by (workload, threads, scale, policy, capacity) and
+// the compile by the emitted text, so cells whose placements print
+// identical programs share one compiled image.
+func TranslateWorkload(w Workload, cfg Config, policy partition.Policy) (*Translation, error) {
 	capacity := cfg.MPBCapacity
 	if capacity <= 0 {
-		capacity = machine.Config().MPBTotal()
+		capacity = cfg.Machine().Config().MPBTotal()
 	}
-	pipe, err := core.Run(w.Key+".c", src, core.Config{
-		Cores:       cfg.Threads,
-		Policy:      policy,
-		MPBCapacity: capacity,
-	})
+	scale := cfg.Scale
+	tr, err := cfg.Cache.translate(w, cfg.Threads, scale, policy, capacity)
 	if err != nil {
-		return nil, fmt.Errorf("%s translate: %w", w.Key, err)
+		return nil, err
 	}
-	translated := pipe.Output
+	translated := tr.source
 	if cfg.TransformRCCE != nil {
 		translated, err = cfg.TransformRCCE(translated)
 		if err != nil {
 			return nil, fmt.Errorf("%s transform translated source: %w", w.Key, err)
 		}
 	}
-	pr, err := interp.Compile(w.Key+"_rcce.c", translated)
+	pr, err := cfg.Cache.program(w.Key+"_rcce.c", translated)
 	if err != nil {
 		return nil, fmt.Errorf("%s reparse translated source: %w\n---\n%s", w.Key, err, translated)
 	}
+	return &Translation{Source: translated, Program: pr, OnChipBytes: tr.onChipBytes}, nil
+}
+
+// RunRCCEProgram executes a translated program with one process per UE.
+func RunRCCEProgram(w Workload, tr *Translation, cfg Config, policy partition.Policy) (*RunResult, error) {
 	mode := "rcce-offchip"
 	if policy != partition.PolicyOffChipOnly {
 		mode = "rcce-onchip"
@@ -127,7 +164,8 @@ func RunRCCE(w Workload, cfg Config, policy partition.Policy) (*RunResult, error
 	if cfg.RCCE != nil {
 		ropts = cfg.RCCE(cfg.Threads)
 	}
-	res, err := rcce.Run(pr, machine, ropts)
+	ropts.Engine = cfg.Engine
+	res, err := rcce.Run(tr.Program, cfg.Machine(), ropts)
 	if err != nil {
 		return nil, fmt.Errorf("%s %s: %w", w.Key, mode, err)
 	}
@@ -138,9 +176,21 @@ func RunRCCE(w Workload, cfg Config, policy partition.Policy) (*RunResult, error
 		Makespan:         res.Makespan,
 		Output:           res.Output,
 		Stats:            res.Stats,
-		TranslatedSource: translated,
-		OnChipBytes:      pipe.Part.OnChipBytes,
+		TranslatedSource: tr.Source,
+		OnChipBytes:      tr.OnChipBytes,
 	}, nil
+}
+
+// RunRCCE translates the Pthread program through the five-stage pipeline
+// with the given Stage 4 policy, re-parses the emitted C source (so the
+// experiment exercises exactly what the translator prints), and executes
+// it with one process per core.
+func RunRCCE(w Workload, cfg Config, policy partition.Policy) (*RunResult, error) {
+	tr, err := TranslateWorkload(w, cfg, policy)
+	if err != nil {
+		return nil, err
+	}
+	return RunRCCEProgram(w, tr, cfg, policy)
 }
 
 // BothResult pairs one baseline execution with one translated execution

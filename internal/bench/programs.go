@@ -1,0 +1,87 @@
+package bench
+
+// Compile-once batching. A compiled interp.Program is immutable, so one
+// compile can serve every matrix cell (and every concurrent worker) that
+// executes the same source. The Cache memoizes the two compile-side
+// stages of a harness run — the Pthread source compile and the
+// translate→emit→re-parse pipeline — so a grid sweep or a conformance
+// matrix compiles each workload exactly once per distinct source and
+// fans the cells out across host cores against the shared Program.
+
+import (
+	"fmt"
+
+	"hsmcc/internal/core"
+	"hsmcc/internal/interp"
+	"hsmcc/internal/partition"
+)
+
+// programKey identifies one compiled source image.
+type programKey struct {
+	name string
+	src  string
+}
+
+// translationKey identifies one run of the five-stage translation
+// pipeline. Scale and threads pin the generated source; policy and the
+// effective MPB capacity pin the Stage 4 placement. The translated
+// source itself then feeds the program cache, so cells whose placements
+// emit identical C (e.g. budgets above the working-set size) share one
+// compile.
+type translationKey struct {
+	workload string
+	threads  int
+	scale    float64
+	policy   partition.Policy
+	capacity int
+}
+
+// translation is the cached output of the pipeline before any
+// TransformRCCE hook runs (the hook is a per-run fault-injection seam,
+// so it must apply after the cache).
+type translation struct {
+	source      string
+	onChipBytes int
+}
+
+// Cache memoizes compile-side work across harness runs. Safe for
+// concurrent use; a nil *Cache disables caching (every call compiles).
+type Cache struct {
+	programs     onceCache[programKey, *interp.Program]
+	translations onceCache[translationKey, *translation]
+}
+
+// NewCache returns an empty compile cache.
+func NewCache() *Cache { return &Cache{} }
+
+// program returns the compiled form of (name, src), compiling at most
+// once per distinct source even under concurrent lookups.
+func (c *Cache) program(name, src string) (*interp.Program, error) {
+	if c == nil {
+		return interp.Compile(name, src)
+	}
+	return c.programs.get(programKey{name, src}, func() (*interp.Program, error) {
+		return interp.Compile(name, src)
+	})
+}
+
+// translate runs (or reuses) the translation pipeline for one cell.
+func (c *Cache) translate(w Workload, threads int, scale float64, policy partition.Policy, capacity int) (*translation, error) {
+	run := func() (*translation, error) {
+		src := w.Source(threads, scale)
+		pipe, err := core.Run(w.Key+".c", src, core.Config{
+			Cores:       threads,
+			Policy:      policy,
+			MPBCapacity: capacity,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s translate: %w", w.Key, err)
+		}
+		return &translation{source: pipe.Output, onChipBytes: pipe.Part.OnChipBytes}, nil
+	}
+	if c == nil {
+		return run()
+	}
+	key := translationKey{w.Key, threads, scale, policy, capacity}
+	return c.translations.get(key, run)
+}

@@ -181,10 +181,10 @@ func TestInjectedTranslateBugCaughtAndShrunk(t *testing.T) {
 	if lines > 25 {
 		t.Fatalf("minimized reproducer is %d lines, want <= 25:\n%s", lines, minSrc)
 	}
-	if buggy.CheckCell(min, div.Cores, div.Policy, div.Budget) == nil {
+	if buggy.CheckCell(min, div.Cores, div.Policy, div.Budget, div.Oversub) == nil {
 		t.Fatal("minimized kernel no longer reproduces the injected bug")
 	}
-	if d := clean.CheckCell(min, div.Cores, div.Policy, div.Budget); d != nil {
+	if d := clean.CheckCell(min, div.Cores, div.Policy, div.Budget, div.Oversub); d != nil {
 		t.Fatalf("minimized kernel fails even without the injected bug: %s", d)
 	}
 }

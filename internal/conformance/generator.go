@@ -75,9 +75,16 @@ type Expr struct {
 	Val  int64    `json:"val,omitempty"`
 	FVal float64  `json:"fval,omitempty"`
 	Arr  int      `json:"arr,omitempty"`
-	Idx  *Expr    `json:"idx,omitempty"`
-	X    *Expr    `json:"x,omitempty"`
-	Y    *Expr    `json:"y,omitempty"`
+	// Via, when > 0, routes an OpRead through shared pointer Via-1
+	// (Ptrs[Via-1].Arr == Arr): the emitted form is
+	// `P<j>[(<Idx>) % (N - Off)]`, an aliased read into the pointee
+	// array that stays in bounds for every thread count. Restricted to
+	// arrays stable in the current round, exactly like cross-slice
+	// reads, so the alias is race-free by construction.
+	Via int   `json:"via,omitempty"`
+	Idx *Expr `json:"idx,omitempty"`
+	X   *Expr `json:"x,omitempty"`
+	Y   *Expr `json:"y,omitempty"`
 }
 
 // Stmt is one statement of a round's per-element loop: an assignment (or
@@ -87,9 +94,24 @@ type Stmt struct {
 	Arr   int   `json:"arr"`
 	AddTo bool  `json:"add_to,omitempty"`
 	RHS   *Expr `json:"rhs"`
+	// Ptr, when > 0, writes through shared pointer Ptr-1 instead of the
+	// array name: `P<j>[i] = ...`. Only zero-offset pointers to the
+	// statement's own target array qualify, so the aliased store hits
+	// exactly the element the direct store would — same race profile,
+	// different lvalue path through the translator.
+	Ptr int `json:"ptr,omitempty"`
 	// Guard, when non-nil, wraps the assignment in
 	// `if ((<guard>) % 2 == 0)`.
 	Guard *Expr `json:"guard,omitempty"`
+}
+
+// Ptr is one pointer-typed shared global: `T *P<j>;` initialised in
+// main (before any launch, hence race-free) as `P<j> = A<Arr> + Off;`.
+// Off stays below PerThread so the alias window is valid at every
+// thread count the matrix sweeps.
+type Ptr struct {
+	Arr int `json:"arr"`
+	Off int `json:"off,omitempty"`
 }
 
 // Solo is a thread-specific task: exactly one thread (Thread mod the
@@ -140,8 +162,12 @@ type Spec struct {
 	Seed      int64      `json:"seed"`
 	PerThread int        `json:"per_thread"` // P: elements per thread per array
 	Arrays    []ElemKind `json:"arrays"`
-	Mutex     bool       `json:"mutex"` // gsum counter + pthread mutex
-	Rounds    []Round    `json:"rounds"`
+	// Ptrs are pointer-typed shared globals aliasing into the arrays
+	// (thesis Example 4.2's `ptr`); reads and writes through them
+	// exercise the translator's shared-pointer backing path.
+	Ptrs   []Ptr   `json:"ptrs,omitempty"`
+	Mutex  bool    `json:"mutex"` // gsum counter + pthread mutex
+	Rounds []Round `json:"rounds"`
 }
 
 // GenOptions bounds the generator. The defaults keep kernels small
@@ -161,6 +187,13 @@ type GenOptions struct {
 	// PSolo is the probability a round gains a thread-specific
 	// (`if (me == k)`) task targeting an otherwise-untouched array.
 	PSolo float64
+	// MaxPtrs bounds the pointer-typed shared globals; PPtr is the
+	// probability the kernel has any, and PPtrWrite the probability a
+	// loop statement writes through a qualifying (zero-offset) pointer
+	// instead of the array name.
+	MaxPtrs   int
+	PPtr      float64
+	PPtrWrite float64
 }
 
 // DefaultGenOptions returns the engine's standard generator bounds.
@@ -177,6 +210,9 @@ func DefaultGenOptions() GenOptions {
 		PSerial:      0.35,
 		PGuard:       0.3,
 		PSolo:        0.35,
+		MaxPtrs:      2,
+		PPtr:         0.5,
+		PPtrWrite:    0.35,
 	}
 }
 
@@ -194,6 +230,16 @@ func Generate(rng *rand.Rand, opts GenOptions) *Spec {
 			k = KDouble
 		}
 		s.Arrays = append(s.Arrays, k)
+	}
+	if opts.MaxPtrs > 0 && rng.Float64() < opts.PPtr {
+		nptr := 1 + rng.Intn(opts.MaxPtrs)
+		for j := 0; j < nptr; j++ {
+			pt := Ptr{Arr: rng.Intn(narr)}
+			if rng.Intn(2) == 1 {
+				pt.Off = rng.Intn(s.PerThread)
+			}
+			s.Ptrs = append(s.Ptrs, pt)
+		}
 	}
 	nrounds := 1 + rng.Intn(opts.MaxRounds)
 	written := make([]bool, narr) // arrays written in any earlier round
@@ -247,6 +293,13 @@ func Generate(rng *rand.Rand, opts GenOptions) *Spec {
 				Arr:   tgt,
 				AddTo: rng.Intn(3) == 0,
 				RHS:   g.gen(s.Arrays[tgt], opts.MaxExprDepth),
+			}
+			// Route the store through a zero-offset alias of the target
+			// when one exists: same element, pointer lvalue path.
+			if rng.Float64() < opts.PPtrWrite {
+				if j, ok := s.zeroOffsetPtr(tgt, rng); ok {
+					st.Ptr = j + 1
+				}
 			}
 			if rng.Float64() < opts.PGuard {
 				st.Guard = g.gen(KInt, 2)
@@ -304,11 +357,27 @@ func (g *exprGen) gen(k ElemKind, depth int) *Expr {
 	}
 }
 
-// leaf picks an atom: a literal, me, i, rr, or an array read. Mixed-kind
-// atoms are fine — Emit inserts the casts.
+// zeroOffsetPtr finds a zero-offset pointer aliasing arr (rng breaks
+// ties among several).
+func (s *Spec) zeroOffsetPtr(arr int, rng *rand.Rand) (int, bool) {
+	var cands []int
+	for j, pt := range s.Ptrs {
+		if pt.Arr == arr && pt.Off == 0 {
+			cands = append(cands, j)
+		}
+	}
+	if len(cands) == 0 {
+		return 0, false
+	}
+	return cands[rng.Intn(len(cands))], true
+}
+
+// leaf picks an atom: a literal, me, i, rr, an array read, or an
+// aliased read through a shared pointer. Mixed-kind atoms are fine —
+// Emit inserts the casts.
 func (g *exprGen) leaf(k ElemKind) *Expr {
 	for tries := 0; tries < 4; tries++ {
-		switch g.rng.Intn(6) {
+		switch g.rng.Intn(7) {
 		case 0:
 			if k == KDouble {
 				fvals := []float64{0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0}
@@ -339,12 +408,36 @@ func (g *exprGen) leaf(k ElemKind) *Expr {
 				return &Expr{Op: OpRead, K: g.spec.Arrays[a], Arr: a,
 					Idx: &Expr{Op: OpModN, K: KInt, X: g.nonNegative(2)}}
 			}
+		case 6:
+			// Aliased read through a shared pointer whose pointee array
+			// is stable this round; the emitter wraps the index in
+			// `% (N - Off)` so the alias window stays in bounds.
+			if j, ok := g.stablePtr(); ok {
+				pt := g.spec.Ptrs[j]
+				return &Expr{Op: OpRead, K: g.spec.Arrays[pt.Arr], Arr: pt.Arr,
+					Via: j + 1, Idx: g.nonNegative(2)}
+			}
 		}
 	}
 	if k == KDouble {
 		return &Expr{Op: OpFloatLit, K: KDouble, FVal: 1.0}
 	}
 	return &Expr{Op: OpIntLit, K: KInt, Val: 1}
+}
+
+// stablePtr picks a pointer whose pointee array no thread writes in the
+// current round — the same stability rule cross-slice reads obey.
+func (g *exprGen) stablePtr() (int, bool) {
+	var cands []int
+	for j, pt := range g.spec.Ptrs {
+		if !g.inRound[pt.Arr] {
+			cands = append(cands, j)
+		}
+	}
+	if len(cands) == 0 {
+		return 0, false
+	}
+	return cands[g.rng.Intn(len(cands))], true
 }
 
 // stableArray picks an array no thread writes in the current round (its
@@ -415,6 +508,12 @@ func (s *Spec) File(threads int) *ast.File {
 			Type: types.ArrayOf(k.ctype(), em.n),
 		})
 	}
+	for j, pt := range s.Ptrs {
+		f.Decls = append(f.Decls, &ast.VarDecl{
+			Name: ptrName(j),
+			Type: types.PointerTo(s.Arrays[pt.Arr].ctype()),
+		})
+	}
 	if s.Mutex {
 		f.Decls = append(f.Decls,
 			&ast.VarDecl{Name: "gsum", Type: types.IntType},
@@ -434,6 +533,7 @@ func (s *Spec) File(threads int) *ast.File {
 }
 
 func arrName(a int) string  { return fmt.Sprintf("A%d", a) }
+func ptrName(j int) string  { return fmt.Sprintf("P%d", j) }
 func rrName(r int) string   { return fmt.Sprintf("rr%d", r) }
 func stepName(r int) string { return fmt.Sprintf("step%d", r) }
 
@@ -506,12 +606,17 @@ func (em *emitter) threadFunc(r int) *ast.FuncDecl {
 }
 
 // assignStmt emits one loop/slot statement, with the optional parity
-// guard.
+// guard. A Ptr-routed statement indexes the aliasing pointer instead of
+// the array name (same element: the pointer has offset zero).
 func (em *emitter) assignStmt(st Stmt, ctx exprCtx) ast.Stmt {
-	target := &ast.IndexExpr{X: ident(arrName(st.Arr)), Index: ctx.indexExpr(em)}
+	base := arrName(st.Arr)
+	if st.Ptr > 0 {
+		base = ptrName(st.Ptr - 1)
+	}
+	target := &ast.IndexExpr{X: ident(base), Index: ctx.indexExpr(em)}
 	rhs := em.expr(st.RHS, em.spec.Arrays[st.Arr], ctx)
 	if st.AddTo {
-		rhs = bin(token.Plus, &ast.IndexExpr{X: ident(arrName(st.Arr)), Index: ctx.indexExpr(em)}, rhs)
+		rhs = bin(token.Plus, &ast.IndexExpr{X: ident(base), Index: ctx.indexExpr(em)}, rhs)
 	}
 	var out ast.Stmt = exprStmt(assign(target, rhs))
 	if st.Guard != nil {
@@ -543,6 +648,15 @@ func (em *emitter) mainFunc() *ast.FuncDecl {
 	}
 	if s.Mutex {
 		body = append(body, callStmt("pthread_mutex_init", addr("mu"), ident("NULL")))
+	}
+	// Bind the shared pointers before any launch: every thread reads a
+	// pointer main wrote while still single-threaded.
+	for j, pt := range s.Ptrs {
+		var rhs ast.Expr = ident(arrName(pt.Arr))
+		if pt.Off > 0 {
+			rhs = bin(token.Plus, rhs, intLit(int64(pt.Off)))
+		}
+		body = append(body, exprStmt(assign(ident(ptrName(j)), rhs)))
 	}
 	for r, rd := range s.Rounds {
 		launch := []ast.Stmt{
@@ -691,6 +805,13 @@ func (em *emitter) exprRaw(e *Expr, ctx exprCtx) ast.Expr {
 	case OpRR:
 		return ident(rrName(ctx.round))
 	case OpRead:
+		if e.Via > 0 {
+			pt := em.spec.Ptrs[e.Via-1]
+			window := em.n - pt.Off
+			idx := &ast.ParenExpr{X: bin(token.Percent,
+				&ast.ParenExpr{X: em.expr(e.Idx, KInt, ctx)}, intLit(int64(window)))}
+			return &ast.IndexExpr{X: ident(ptrName(e.Via - 1)), Index: idx}
+		}
 		return &ast.IndexExpr{X: ident(arrName(e.Arr)), Index: em.expr(e.Idx, KInt, ctx)}
 	case OpAdd, OpSub, OpMul:
 		ops := map[Op]token.Kind{OpAdd: token.Plus, OpSub: token.Minus, OpMul: token.Star}

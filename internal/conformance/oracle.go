@@ -8,27 +8,35 @@ import (
 	"sync"
 
 	"hsmcc/internal/bench"
+	"hsmcc/internal/rcce"
 )
 
-// Matrix is the (cores × placement policy × MPB budget) sweep every
-// kernel is checked across. It mirrors the grid axes of internal/bench:
-// policy names parse with bench.ParsePolicy and budget 0 means the
-// machine's full MPB.
+// Matrix is the (cores × oversubscription × placement policy × MPB
+// budget) sweep every kernel is checked across. It mirrors the grid
+// axes of internal/bench: policy names parse with bench.ParsePolicy and
+// budget 0 means the machine's full MPB.
 type Matrix struct {
 	Cores    []int
 	Policies []string
 	Budgets  []int
+	// Oversub lists §7.2 many-to-one factors: factor f > 1 runs
+	// f×cores UEs assigned round-robin onto the cores (the runtime's
+	// AllowOversubscribe mode, time-multiplexed with context-switch
+	// costs); factor 1 is the one-UE-per-core default. Empty means [1].
+	Oversub []int
 }
 
 // DefaultMatrix covers both launch shapes (2 and 4 UEs), all three
-// Stage 4 policies, and both an unconstrained and a pressure-inducing
-// MPB budget — the smallest sweep that exercises every placement
-// decision the paper's claim quantifies over.
+// Stage 4 policies, an unconstrained and a pressure-inducing MPB
+// budget, and both the 1:1 and the §7.2 two-UEs-per-core mapping — the
+// smallest sweep that exercises every placement and scheduling decision
+// the paper's claim quantifies over.
 func DefaultMatrix() Matrix {
 	return Matrix{
 		Cores:    []int{2, 4},
 		Policies: []string{"offchip", "size", "freq"},
 		Budgets:  []int{0, 512},
+		Oversub:  []int{1, 2},
 	}
 }
 
@@ -42,14 +50,24 @@ func SmokeMatrix() Matrix {
 	}
 }
 
+// factors returns the oversubscription axis ([1] when unset).
+func (m Matrix) factors() []int {
+	if len(m.Oversub) == 0 {
+		return []int{1}
+	}
+	return m.Oversub
+}
+
 // Cells returns the matrix's RCCE cell count (per kernel, excluding the
-// one baseline run per cores value).
-func (m Matrix) Cells() int { return len(m.Cores) * len(m.Policies) * len(m.Budgets) }
+// one baseline run per (cores, factor) value).
+func (m Matrix) Cells() int {
+	return len(m.Cores) * len(m.factors()) * len(m.Policies) * len(m.Budgets)
+}
 
 // ParseMatrix builds a validated matrix from the comma-separated flag
 // syntax shared by hsmconf and the docs ("2,4", "offchip,size,freq",
-// "0,512").
-func ParseMatrix(cores, policies, budgets string) (Matrix, error) {
+// "0,512", "1,2").
+func ParseMatrix(cores, policies, budgets, oversub string) (Matrix, error) {
 	var m Matrix
 	for _, s := range strings.Split(cores, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(s))
@@ -67,6 +85,15 @@ func ParseMatrix(cores, policies, budgets string) (Matrix, error) {
 			return m, fmt.Errorf("bad budgets value %q: %w", s, err)
 		}
 		m.Budgets = append(m.Budgets, v)
+	}
+	if oversub != "" {
+		for _, s := range strings.Split(oversub, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return m, fmt.Errorf("bad oversub value %q: %w", s, err)
+			}
+			m.Oversub = append(m.Oversub, v)
+		}
 	}
 	return m, m.Validate()
 }
@@ -91,16 +118,24 @@ func (m Matrix) Validate() error {
 			return fmt.Errorf("conformance: negative MPB budget %d", b)
 		}
 	}
+	for _, f := range m.Oversub {
+		if f < 1 || f > 8 {
+			return fmt.Errorf("conformance: oversubscription factor %d out of range [1,8]", f)
+		}
+	}
 	return nil
 }
 
 // Divergence is one failed differential check: the cell, both outputs,
 // and everything needed to reproduce it from the log line alone.
 type Divergence struct {
-	Seed    int64  `json:"seed"`
-	Cores   int    `json:"cores"`
-	Policy  string `json:"policy"`
-	Budget  int    `json:"budget"`
+	Seed   int64  `json:"seed"`
+	Cores  int    `json:"cores"`
+	Policy string `json:"policy"`
+	Budget int    `json:"budget"`
+	// Oversub is the §7.2 many-to-one factor of the failing cell
+	// (0 or 1: one UE per core).
+	Oversub int    `json:"oversub,omitempty"`
 	BaseOut string `json:"base_out,omitempty"`
 	RCCEOut string `json:"rcce_out,omitempty"`
 	// Err is set when a pipeline stage failed outright (parse, sema,
@@ -115,14 +150,18 @@ type Divergence struct {
 // String is the one-line failure report. It leads with the explicit
 // seed and cell so any reported failure is reproducible from the log:
 //
-//	hsmconf -seed <seed> -n 1 -cores <cores> -policies <policy> -budgets <budget>
+//	hsmconf -seed <seed> -n 1 -cores <cores> -policies <policy> -budgets <budget> -oversub <factor>
 func (d *Divergence) String() string {
 	what := "output divergence"
 	if d.Err != "" {
 		what = "error: " + d.Err
 	}
-	return fmt.Sprintf("seed=%d cores=%d policy=%s budget=%d: %s (repro: hsmconf -seed %d -n 1 -cores %d -policies %s -budgets %d)",
-		d.Seed, d.Cores, d.Policy, d.Budget, what, d.Seed, d.Cores, d.Policy, d.Budget)
+	f := d.Oversub
+	if f < 1 {
+		f = 1
+	}
+	return fmt.Sprintf("seed=%d cores=%d oversub=%d policy=%s budget=%d: %s (repro: hsmconf -seed %d -n 1 -cores %d -oversub %d -policies %s -budgets %d)",
+		d.Seed, d.Cores, f, d.Policy, d.Budget, what, d.Seed, d.Cores, f, d.Policy, d.Budget)
 }
 
 // Engine runs kernels through both backends across a matrix.
@@ -140,11 +179,15 @@ func NewEngine() *Engine {
 	return &Engine{Matrix: DefaultMatrix(), Gen: DefaultGenOptions()}
 }
 
-// config assembles the bench harness configuration for one cell.
-func (e *Engine) config(cores, budget int) bench.Config {
+// config assembles the bench harness configuration for one cell. The
+// cache — typically one per kernel — lets every matrix cell share the
+// kernel's compiled baseline Program and each distinct translated
+// source's compiled image (compile once, run the whole matrix).
+func (e *Engine) config(cores, budget int, cache *bench.Cache) bench.Config {
 	cfg := bench.DefaultConfig()
 	cfg.Threads = cores
 	cfg.MPBCapacity = budget
+	cfg.Cache = cache
 	if e.Mutate != nil {
 		mut := e.Mutate
 		cfg.TransformRCCE = func(src string) (string, error) { return mut(src), nil }
@@ -164,23 +207,53 @@ func kernelWorkload(seed int64, src string) bench.Workload {
 	}
 }
 
+// oversubOptions maps factor×cores UEs round-robin onto cores cores in
+// the runtime's §7.2 many-to-one mode.
+func oversubOptions(cores, factor int) func(int) rcce.Options {
+	return func(n int) rcce.Options {
+		o := rcce.DefaultOptions(n)
+		ues := make([]int, cores*factor)
+		for i := range ues {
+			ues[i] = i % cores
+		}
+		o.Cores = ues
+		o.AllowOversubscribe = true
+		return o
+	}
+}
+
+// cellConfig assembles the harness configuration for one cell: the UE
+// count is cores×oversub, and an oversubscribed cell installs the
+// many-to-one runtime mapping.
+func (e *Engine) cellConfig(cores, budget, oversub int, cache *bench.Cache) bench.Config {
+	ues := cores * max(oversub, 1)
+	cfg := e.config(ues, budget, cache)
+	if oversub > 1 {
+		cfg.RCCE = oversubOptions(cores, oversub)
+	}
+	return cfg
+}
+
 // CheckCell runs spec through both backends at one matrix cell and
 // returns the divergence, or nil when the backends agree.
-func (e *Engine) CheckCell(spec *Spec, cores int, policy string, budget int) *Divergence {
-	return e.CheckSource(spec.Seed, spec.Source(cores), cores, policy, budget)
+func (e *Engine) CheckCell(spec *Spec, cores int, policy string, budget, oversub int) *Divergence {
+	ues := cores * max(oversub, 1)
+	return e.CheckSource(spec.Seed, spec.Source(ues), cores, policy, budget, oversub)
 }
 
 // CheckSource differentially checks fixed kernel source at one cell —
 // the entry point for replaying persisted corpus kernels, where the .c
-// file rather than the generator is the source of truth.
-func (e *Engine) CheckSource(seed int64, src string, cores int, policy string, budget int) *Divergence {
-	div := &Divergence{Seed: seed, Cores: cores, Policy: policy, Budget: budget, Source: src}
+// file rather than the generator is the source of truth. The source
+// must already be emitted for cores×oversub threads.
+func (e *Engine) CheckSource(seed int64, src string, cores int, policy string, budget, oversub int) *Divergence {
+	div := &Divergence{Seed: seed, Cores: cores, Policy: policy, Budget: budget, Oversub: oversub, Source: src}
 	pol, err := bench.ParsePolicy(policy)
 	if err != nil {
 		div.Err = err.Error()
 		return div
 	}
-	both, err := bench.RunBothBackends(kernelWorkload(seed, src), e.config(cores, budget), pol)
+	cfg := e.cellConfig(cores, budget, oversub, bench.NewCache())
+	both, err := bench.RunBothBackends(kernelWorkload(seed, src), cfg, pol)
 	if err != nil {
 		div.Err = err.Error()
 		return div
@@ -194,36 +267,46 @@ func (e *Engine) CheckSource(seed int64, src string, cores int, policy string, b
 	return div
 }
 
-// Check runs spec across the whole matrix, sharing one baseline run per
-// cores value, and returns the first divergence (cores-ascending,
-// policy-major) or nil. Sharing the baseline matters: the matrix's RCCE
-// cells all diff against the same reference execution.
+// Check runs spec across the whole matrix, compiling the kernel once
+// per cores value and sharing one baseline run, and returns the first
+// divergence (cores-ascending, policy-major) or nil. Sharing matters
+// twice over: the matrix's RCCE cells all diff against the same
+// reference execution, and the per-kernel compile cache means the
+// baseline source and each distinct translated source compile exactly
+// once for the whole matrix instead of once per cell.
 func (e *Engine) Check(spec *Spec) *Divergence {
+	cache := bench.NewCache()
 	for _, cores := range e.Matrix.Cores {
-		src := spec.Source(cores)
-		w := kernelWorkload(spec.Seed, src)
-		base, err := bench.RunBaseline(w, e.config(cores, 0))
-		if err != nil {
-			return &Divergence{Seed: spec.Seed, Cores: cores, Policy: e.Matrix.Policies[0],
-				Budget: e.Matrix.Budgets[0], Source: src, Err: "baseline: " + err.Error()}
-		}
-		for _, policy := range e.Matrix.Policies {
-			pol, err := bench.ParsePolicy(policy)
+		for _, factor := range e.Matrix.factors() {
+			ues := cores * factor
+			src := spec.Source(ues)
+			w := kernelWorkload(spec.Seed, src)
+			base, err := bench.RunBaseline(w, e.cellConfig(cores, 0, factor, cache))
 			if err != nil {
-				return &Divergence{Seed: spec.Seed, Cores: cores, Policy: policy, Source: src, Err: err.Error()}
+				return &Divergence{Seed: spec.Seed, Cores: cores, Oversub: factor,
+					Policy: e.Matrix.Policies[0], Budget: e.Matrix.Budgets[0],
+					Source: src, Err: "baseline: " + err.Error()}
 			}
-			for _, budget := range e.Matrix.Budgets {
-				div := &Divergence{Seed: spec.Seed, Cores: cores, Policy: policy, Budget: budget, Source: src}
-				conv, err := bench.RunRCCE(w, e.config(cores, budget), pol)
+			for _, policy := range e.Matrix.Policies {
+				pol, err := bench.ParsePolicy(policy)
 				if err != nil {
-					div.Err = err.Error()
-					return div
+					return &Divergence{Seed: spec.Seed, Cores: cores, Oversub: factor,
+						Policy: policy, Source: src, Err: err.Error()}
 				}
-				if !bench.SameResults(base.Output, conv.Output) {
-					div.BaseOut = base.Output
-					div.RCCEOut = conv.Output
-					div.Translated = conv.TranslatedSource
-					return div
+				for _, budget := range e.Matrix.Budgets {
+					div := &Divergence{Seed: spec.Seed, Cores: cores, Oversub: factor,
+						Policy: policy, Budget: budget, Source: src}
+					conv, err := bench.RunRCCE(w, e.cellConfig(cores, budget, factor, cache), pol)
+					if err != nil {
+						div.Err = err.Error()
+						return div
+					}
+					if !bench.SameResults(base.Output, conv.Output) {
+						div.BaseOut = base.Output
+						div.RCCEOut = conv.Output
+						div.Translated = conv.TranslatedSource
+						return div
+					}
 				}
 			}
 		}

@@ -18,7 +18,10 @@ type SeedMeta struct {
 	Cores  int    `json:"cores"`
 	Policy string `json:"policy"`
 	Budget int    `json:"budget"`
-	Note   string `json:"note,omitempty"`
+	// Oversub is the §7.2 many-to-one factor of the replay cell
+	// (0 or 1: one UE per core).
+	Oversub int    `json:"oversub,omitempty"`
+	Note    string `json:"note,omitempty"`
 }
 
 // SeedCase is one loaded corpus entry: C source plus the cell to replay.
@@ -74,7 +77,7 @@ func (e *Engine) Replay(dir string) ([]*Divergence, error) {
 	}
 	var divs []*Divergence
 	for _, c := range cases {
-		if d := e.CheckSource(c.Meta.Seed, c.Source, c.Meta.Cores, c.Meta.Policy, c.Meta.Budget); d != nil {
+		if d := e.CheckSource(c.Meta.Seed, c.Source, c.Meta.Cores, c.Meta.Policy, c.Meta.Budget, c.Meta.Oversub); d != nil {
 			divs = append(divs, d)
 		}
 	}

@@ -23,7 +23,7 @@ func (e *Engine) Shrink(spec *Spec, div *Divergence) *Spec {
 			return false
 		}
 		evals++
-		return e.CheckCell(s, div.Cores, div.Policy, div.Budget) != nil
+		return e.CheckCell(s, div.Cores, div.Policy, div.Budget, div.Oversub) != nil
 	}
 	cur := cloneSpec(spec)
 	for {
@@ -59,7 +59,7 @@ func cloneSpec(s *Spec) *Spec {
 
 // size is the node count the shrinker minimises.
 func (s *Spec) size() int {
-	n := len(s.Arrays) + s.PerThread
+	n := len(s.Arrays) + s.PerThread + 2*len(s.Ptrs)
 	if s.Mutex {
 		n += 2
 	}
@@ -81,6 +81,9 @@ func (s *Spec) size() int {
 		for _, st := range r.Loop {
 			n += 1 + exprSize(st.RHS) + exprSize(st.Guard)
 			if st.AddTo {
+				n++
+			}
+			if st.Ptr > 0 {
 				n++
 			}
 		}
@@ -143,6 +146,23 @@ func reductions(s *Spec) []*Spec {
 		for i := range s.Rounds {
 			i := i
 			add(func(c *Spec) { c.Rounds = append(c.Rounds[:i], c.Rounds[i+1:]...) })
+		}
+	}
+	// Drop shared pointers: aliased reads become direct cross-slice
+	// reads of the pointee (index re-wrapped mod N), aliased writes
+	// become direct writes. Also try demoting each pointer-routed write
+	// to a direct one without dropping the pointer.
+	for j := range s.Ptrs {
+		j := j
+		add(func(c *Spec) { c.dropPtr(j) })
+	}
+	for i := range s.Rounds {
+		i := i
+		for j := range s.Rounds[i].Loop {
+			j := j
+			if s.Rounds[i].Loop[j].Ptr > 0 {
+				add(func(c *Spec) { c.Rounds[i].Loop[j].Ptr = 0 })
+			}
 		}
 	}
 	// Drop arrays: statements targeting the array go with it, reads of
@@ -231,8 +251,49 @@ func cloneExpr(e *Expr) *Expr {
 	return &c
 }
 
+// dropPtr removes pointer j: writes through it become direct writes,
+// aliased reads become direct mod-N cross-slice reads of the pointee,
+// and later pointers shift down one id.
+func (s *Spec) dropPtr(j int) {
+	s.Ptrs = append(s.Ptrs[:j], s.Ptrs[j+1:]...)
+	for i := range s.Rounds {
+		r := &s.Rounds[i]
+		for k := range r.Loop {
+			if r.Loop[k].Ptr == j+1 {
+				r.Loop[k].Ptr = 0
+			} else if r.Loop[k].Ptr > j+1 {
+				r.Loop[k].Ptr--
+			}
+		}
+		r.mapExprs(func(e *Expr) {
+			if e.Op != OpRead || e.Via == 0 {
+				return
+			}
+			if e.Via == j+1 {
+				e.Via = 0
+				e.Idx = &Expr{Op: OpModN, K: KInt, X: e.Idx}
+			} else if e.Via > j+1 {
+				e.Via--
+			}
+		})
+	}
+}
+
 // dropArray removes array a, retargets the program away from it.
 func (s *Spec) dropArray(a int) {
+	// Pointers into the array go first (their uses become direct forms).
+	for j := 0; j < len(s.Ptrs); {
+		if s.Ptrs[j].Arr == a {
+			s.dropPtr(j)
+		} else {
+			j++
+		}
+	}
+	for j := range s.Ptrs {
+		if s.Ptrs[j].Arr > a {
+			s.Ptrs[j].Arr--
+		}
+	}
 	s.Arrays = append(s.Arrays[:a], s.Arrays[a+1:]...)
 	for i := range s.Rounds {
 		r := &s.Rounds[i]

@@ -14,6 +14,11 @@ import (
 // size computation and kind switches. Kinds outside the table fall back
 // to the generic routines, preserving their exact behaviour (including
 // error messages and panics on malformed types).
+//
+// Every accessor is a coroutine-protocol leaf: the machine access and
+// the decode/encode complete before the memory-op cadence can yield, so
+// on errYield the returned Value is the real result and the caller
+// resumes after the access without re-issuing it.
 
 // typedLoad reads a value of a fixed type from simulated memory.
 type typedLoad func(p *Proc, addr uint32) (Value, error)
@@ -35,43 +40,37 @@ func makeLoad(t *types.Type) typedLoad {
 		return func(p *Proc, addr uint32) (Value, error) {
 			buf := p.buf[:sz]
 			p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
-			p.noteMemOp(addr)
-			return Value{T: t, I: int64(int8(buf[0]))}, nil
+			return Value{T: t, I: int64(int8(buf[0]))}, p.noteMemOp(addr)
 		}
 	case types.Short:
 		return func(p *Proc, addr uint32) (Value, error) {
 			buf := p.buf[:sz]
 			p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
-			p.noteMemOp(addr)
-			return Value{T: t, I: int64(int16(binary.LittleEndian.Uint16(buf)))}, nil
+			return Value{T: t, I: int64(int16(binary.LittleEndian.Uint16(buf)))}, p.noteMemOp(addr)
 		}
 	case types.Int, types.Long:
 		return func(p *Proc, addr uint32) (Value, error) {
 			buf := p.buf[:sz]
 			p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
-			p.noteMemOp(addr)
-			return Value{T: t, I: int64(int32(binary.LittleEndian.Uint32(buf)))}, nil
+			return Value{T: t, I: int64(int32(binary.LittleEndian.Uint32(buf)))}, p.noteMemOp(addr)
 		}
 	case types.UInt, types.Pointer, types.Opaque:
 		return func(p *Proc, addr uint32) (Value, error) {
 			buf := p.buf[:sz]
 			p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
-			p.noteMemOp(addr)
-			return Value{T: t, I: int64(binary.LittleEndian.Uint32(buf))}, nil
+			return Value{T: t, I: int64(binary.LittleEndian.Uint32(buf))}, p.noteMemOp(addr)
 		}
 	case types.Float:
 		return func(p *Proc, addr uint32) (Value, error) {
 			buf := p.buf[:sz]
 			p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
-			p.noteMemOp(addr)
-			return Value{T: t, F: float64(math.Float32frombits(binary.LittleEndian.Uint32(buf)))}, nil
+			return Value{T: t, F: float64(math.Float32frombits(binary.LittleEndian.Uint32(buf)))}, p.noteMemOp(addr)
 		}
 	case types.Double:
 		return func(p *Proc, addr uint32) (Value, error) {
 			buf := p.buf[:sz]
 			p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
-			p.noteMemOp(addr)
-			return Value{T: t, F: math.Float64frombits(binary.LittleEndian.Uint64(buf))}, nil
+			return Value{T: t, F: math.Float64frombits(binary.LittleEndian.Uint64(buf))}, p.noteMemOp(addr)
 		}
 	}
 	return func(p *Proc, addr uint32) (Value, error) { return p.loadValue(addr, t) }
@@ -81,7 +80,7 @@ func makeStore(t *types.Type) typedStore {
 	generic := func(p *Proc, addr uint32, v Value) (Value, error) {
 		cv := Convert(v, t)
 		if err := p.storeValue(addr, t, cv); err != nil {
-			return Value{}, err
+			return cv, err
 		}
 		return cv, nil
 	}
@@ -99,8 +98,7 @@ func makeStore(t *types.Type) typedStore {
 			buf := p.buf[:sz]
 			buf[0] = byte(cv.I)
 			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
-			p.noteMemOp(addr)
-			return cv, nil
+			return cv, p.noteMemOp(addr)
 		}
 	case types.Short:
 		return func(p *Proc, addr uint32, v Value) (Value, error) {
@@ -108,8 +106,7 @@ func makeStore(t *types.Type) typedStore {
 			buf := p.buf[:sz]
 			binary.LittleEndian.PutUint16(buf, uint16(cv.I))
 			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
-			p.noteMemOp(addr)
-			return cv, nil
+			return cv, p.noteMemOp(addr)
 		}
 	case types.Int, types.Long:
 		return func(p *Proc, addr uint32, v Value) (Value, error) {
@@ -117,8 +114,7 @@ func makeStore(t *types.Type) typedStore {
 			buf := p.buf[:sz]
 			binary.LittleEndian.PutUint32(buf, uint32(cv.I))
 			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
-			p.noteMemOp(addr)
-			return cv, nil
+			return cv, p.noteMemOp(addr)
 		}
 	case types.UInt, types.Pointer, types.Opaque:
 		return func(p *Proc, addr uint32, v Value) (Value, error) {
@@ -126,8 +122,7 @@ func makeStore(t *types.Type) typedStore {
 			buf := p.buf[:sz]
 			binary.LittleEndian.PutUint32(buf, uint32(cv.I))
 			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
-			p.noteMemOp(addr)
-			return cv, nil
+			return cv, p.noteMemOp(addr)
 		}
 	case types.Float:
 		return func(p *Proc, addr uint32, v Value) (Value, error) {
@@ -135,8 +130,7 @@ func makeStore(t *types.Type) typedStore {
 			buf := p.buf[:sz]
 			binary.LittleEndian.PutUint32(buf, math.Float32bits(float32(cv.F)))
 			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
-			p.noteMemOp(addr)
-			return cv, nil
+			return cv, p.noteMemOp(addr)
 		}
 	case types.Double:
 		return func(p *Proc, addr uint32, v Value) (Value, error) {
@@ -144,8 +138,7 @@ func makeStore(t *types.Type) typedStore {
 			buf := p.buf[:sz]
 			binary.LittleEndian.PutUint64(buf, math.Float64bits(cv.F))
 			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
-			p.noteMemOp(addr)
-			return cv, nil
+			return cv, p.noteMemOp(addr)
 		}
 	}
 	return generic

@@ -7,57 +7,105 @@ import (
 	"hsmcc/internal/cc/types"
 )
 
+// binCost is the cycle charge for one binary operation — the exact
+// per-case charges of the original applyBinary/applyBinaryFast pair,
+// hoisted to a pure table so each apply has a single charge site (which
+// is what makes the pair resumable with one frame under the coroutine
+// engine; the charge-then-compute order per case is unchanged).
+func binCost(op token.Kind, float bool) int {
+	switch op {
+	case token.Star:
+		if float {
+			return costFMul
+		}
+		return costIMul
+	case token.Slash, token.Percent:
+		if float {
+			return costFDiv
+		}
+		return costIDiv
+	default:
+		if float {
+			return costFAdd
+		}
+		return costALU
+	}
+}
+
+// applyResume finishes a suspended binary apply: the charge completed
+// and the pure outcome (value or fold error) was saved in the frame, so
+// re-entry returns it without consulting the operands. Both appliers
+// push this frame shape, which lets a resume reach either one — the
+// zero operands a caller passes on re-entry route to the numeric branch
+// regardless of how the original call routed.
+func (p *Proc) applyResume() (Value, error) {
+	fr := p.popKRef()
+	if e, ok := fr.x.(error); ok {
+		return Value{}, e
+	}
+	return fr.v, nil
+}
+
+// pushApplyOutcome saves a suspended apply's pure outcome.
+func (p *Proc) pushApplyOutcome(v Value, err error) {
+	if err != nil {
+		p.pushK(kframe{x: err})
+	} else {
+		p.pushK(kframe{v: v})
+	}
+}
+
 // applyBinaryFast is the compiled engine's fusion of applyBinary and
-// foldBinary: one float/int classification, one operator dispatch, the
-// same cycle charges, folds, wrap-arounds and error messages as the
-// two-level reference pair (which stays as the tree-walk path and the
-// constant folder). Behaviourally identical by construction; pinned by
-// the engine-equivalence golden tests.
+// foldBinary: one float/int classification, one charge, the same folds,
+// wrap-arounds and error messages as the two-level reference pair (which
+// stays as the tree-walk path and the constant folder). Behaviourally
+// identical by construction; pinned by the engine-equivalence golden
+// tests. Resumable: the only suspension point is the charge, after which
+// the computation is pure over the operands, so the yield path computes
+// the outcome eagerly and re-entry just returns it.
 func (p *Proc) applyBinaryFast(op token.Kind, x, y Value, rt *types.Type) (Value, error) {
 	// Pointer arithmetic: rare; route through the reference path.
 	if xt := x.T; xt != nil && xt.IsPointerLike() && (op == token.Plus || op == token.Minus) {
 		return p.applyBinary(op, x, y, rt)
 	}
+	if p.coResuming {
+		return p.applyResume()
+	}
+	if err := p.chargeCycles(binCost(op, x.IsFloat() || y.IsFloat())); err != nil {
+		p.pushApplyOutcome(foldFast(op, x, y, rt))
+		return Value{}, err
+	}
+	return foldFast(op, x, y, rt)
+}
+
+// foldFast is applyBinaryFast's pure compute half.
+func foldFast(op token.Kind, x, y Value, rt *types.Type) (Value, error) {
 	if x.IsFloat() || y.IsFloat() {
 		a, b := x.Float(), y.Float()
 		t := types.DoubleType
 		var v Value
 		switch op {
 		case token.Plus:
-			p.chargeCycles(costFAdd)
 			v = Value{T: t, F: a + b}
 		case token.Minus:
-			p.chargeCycles(costFAdd)
 			v = Value{T: t, F: a - b}
 		case token.Star:
-			p.chargeCycles(costFMul)
 			v = Value{T: t, F: a * b}
 		case token.Slash:
-			p.chargeCycles(costFDiv)
 			v = Value{T: t, F: a / b}
 		case token.Lt:
-			p.chargeCycles(costFAdd)
 			v = boolValue(a < b)
 		case token.Gt:
-			p.chargeCycles(costFAdd)
 			v = boolValue(a > b)
 		case token.Le:
-			p.chargeCycles(costFAdd)
 			v = boolValue(a <= b)
 		case token.Ge:
-			p.chargeCycles(costFAdd)
 			v = boolValue(a >= b)
 		case token.EqEq:
-			p.chargeCycles(costFAdd)
 			v = boolValue(a == b)
 		case token.NotEq:
-			p.chargeCycles(costFAdd)
 			v = boolValue(a != b)
-		case token.Percent:
-			p.chargeCycles(costFDiv)
-			return Value{}, fmt.Errorf("float operands for %s", op)
 		default:
-			p.chargeCycles(costFAdd)
 			return Value{}, fmt.Errorf("float operands for %s", op)
 		}
 		if rt != nil && rt.IsArithmetic() {
@@ -80,65 +128,48 @@ func (p *Proc) applyBinaryFast(op token.Kind, x, y Value, rt *types.Type) (Value
 	var v Value
 	switch op {
 	case token.Plus:
-		p.chargeCycles(costALU)
 		v = wrap(a + b)
 	case token.Minus:
-		p.chargeCycles(costALU)
 		v = wrap(a - b)
 	case token.Star:
-		p.chargeCycles(costIMul)
 		v = wrap(a * b)
 	case token.Slash:
-		p.chargeCycles(costIDiv)
 		if b == 0 {
 			return Value{}, fmt.Errorf("integer division by zero")
 		}
 		v = wrap(a / b)
 	case token.Percent:
-		p.chargeCycles(costIDiv)
 		if b == 0 {
 			return Value{}, fmt.Errorf("integer modulo by zero")
 		}
 		v = wrap(a % b)
 	case token.Amp:
-		p.chargeCycles(costALU)
 		v = wrap(a & b)
 	case token.Pipe:
-		p.chargeCycles(costALU)
 		v = wrap(a | b)
 	case token.Caret:
-		p.chargeCycles(costALU)
 		v = wrap(a ^ b)
 	case token.Shl:
-		p.chargeCycles(costALU)
 		v = wrap(a << (uint(b) & 31))
 	case token.Shr:
-		p.chargeCycles(costALU)
 		if uns {
 			v = wrap(int64(uint32(a) >> (uint(b) & 31)))
 		} else {
 			v = wrap(int64(int32(a) >> (uint(b) & 31)))
 		}
 	case token.Lt:
-		p.chargeCycles(costALU)
 		v = boolValue(a < b)
 	case token.Gt:
-		p.chargeCycles(costALU)
 		v = boolValue(a > b)
 	case token.Le:
-		p.chargeCycles(costALU)
 		v = boolValue(a <= b)
 	case token.Ge:
-		p.chargeCycles(costALU)
 		v = boolValue(a >= b)
 	case token.EqEq:
-		p.chargeCycles(costALU)
 		v = boolValue(a == b)
 	case token.NotEq:
-		p.chargeCycles(costALU)
 		v = boolValue(a != b)
 	default:
-		p.chargeCycles(costALU)
 		return Value{}, fmt.Errorf("binary op %s unsupported", op)
 	}
 	if rt != nil && rt.IsArithmetic() {

@@ -72,7 +72,9 @@ func (p *Proc) evalArgs(exprs []ast.Expr) ([]Value, error) {
 			return nil, err
 		}
 		args[i] = v
-		p.chargeCycles(costALU) // argument push
+		if err := p.chargeCycles(costALU); err != nil { // argument push
+			return nil, err
+		}
 	}
 	return args, nil
 }
@@ -138,77 +140,143 @@ func (p *Proc) commonBuiltin(name string, args []Value) (Value, bool, error) {
 	return p.commonBuiltinByID(commonBuiltinID(name), args)
 }
 
-// commonBuiltinByID dispatches an interned common builtin.
+// commonBuiltinByID dispatches an interned common builtin. Every builtin
+// follows the coroutine resumption protocol: all side effects that must
+// not repeat (output formatting, heap allocation, machine accesses)
+// happen before the single trailing charge, and a frame carries whatever
+// the post-charge epilogue needs (the formatted text, the allocated
+// address, the computed result).
 func (p *Proc) commonBuiltinByID(id builtinID, args []Value) (Value, bool, error) {
+	var fr kframe
+	if p.coResuming {
+		fr = p.popK()
+	}
 	switch id {
 	case bPrintf:
-		if len(args) == 0 {
-			return Value{}, true, fmt.Errorf("printf without format")
+		var out string
+		if fr.step == 0 {
+			if len(args) == 0 {
+				return Value{}, true, fmt.Errorf("printf without format")
+			}
+			format := p.ReadCString(args[0].Addr())
+			var err error
+			out, err = p.formatC(format, args[1:])
+			if err != nil {
+				return Value{}, true, err
+			}
+			if err := p.chargeCycles(costCall + len(out)); err != nil { // I/O cost proportional to text
+				p.pushK(kframe{step: 1, x: out})
+				return Value{}, true, err
+			}
+		} else {
+			out = fr.x.(string)
 		}
-		format := p.ReadCString(args[0].Addr())
-		out, err := p.formatC(format, args[1:])
-		if err != nil {
-			return Value{}, true, err
-		}
-		p.chargeCycles(costCall + len(out)) // I/O cost proportional to text
 		p.Sim.Out.WriteString(out)
 		return IntValue(types.IntType, int64(len(out))), true, nil
 
 	case bMalloc: // private heap (also RCCE_malloc_request)
-		n := int(args[0].Int())
-		addr := p.heapAlloc(n)
-		p.chargeCycles(costCall * 4)
+		addr := fr.a
+		if fr.step == 0 {
+			addr = p.heapAlloc(int(args[0].Int()))
+			if err := p.chargeCycles(costCall * 4); err != nil {
+				p.pushK(kframe{step: 1, a: addr})
+				return Value{}, true, err
+			}
+		}
 		return PtrValue(types.PointerTo(types.VoidType), addr), true, nil
 
 	case bCalloc:
-		n := int(args[0].Int() * args[1].Int())
-		addr := p.heapAlloc(n)
-		// PageMem zero-fills fresh pages; the bump allocator never
-		// reuses, so the region is already zero.
-		p.chargeCycles(costCall*4 + n/8)
+		addr := fr.a
+		if fr.step == 0 {
+			n := int(args[0].Int() * args[1].Int())
+			addr = p.heapAlloc(n)
+			// PageMem zero-fills fresh pages; the bump allocator never
+			// reuses, so the region is already zero.
+			if err := p.chargeCycles(costCall*4 + n/8); err != nil {
+				p.pushK(kframe{step: 1, a: addr})
+				return Value{}, true, err
+			}
+		}
 		return PtrValue(types.PointerTo(types.VoidType), addr), true, nil
 
 	case bFree:
-		p.chargeCycles(costCall)
+		if fr.step == 0 {
+			if err := p.chargeCycles(costCall); err != nil {
+				p.pushK(kframe{step: 1})
+				return Value{}, true, err
+			}
+		}
 		return Value{T: types.VoidType}, true, nil
 
 	case bMemset:
-		addr, val, n := args[0].Addr(), byte(args[1].Int()), int(args[2].Int())
-		buf := make([]byte, n)
-		for i := range buf {
-			buf[i] = val
+		if fr.step == 0 {
+			addr, val, n := args[0].Addr(), byte(args[1].Int()), int(args[2].Int())
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = val
+			}
+			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
+			if err := p.chargeCycles(n / 4); err != nil {
+				p.pushK(kframe{step: 1})
+				return Value{}, true, err
+			}
 		}
-		p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
-		p.chargeCycles(n / 4)
 		return args[0], true, nil
 
 	case bMemcpy:
-		dst, src, n := args[0].Addr(), args[1].Addr(), int(args[2].Int())
-		buf := make([]byte, n)
-		p.Clock += p.Sim.Machine.Load(p.Core, src, buf, p.Clock)
-		p.Clock += p.Sim.Machine.Store(p.Core, dst, buf, p.Clock)
-		p.chargeCycles(n / 4)
+		if fr.step == 0 {
+			dst, src, n := args[0].Addr(), args[1].Addr(), int(args[2].Int())
+			buf := make([]byte, n)
+			p.Clock += p.Sim.Machine.Load(p.Core, src, buf, p.Clock)
+			p.Clock += p.Sim.Machine.Store(p.Core, dst, buf, p.Clock)
+			if err := p.chargeCycles(n / 4); err != nil {
+				p.pushK(kframe{step: 1})
+				return Value{}, true, err
+			}
+		}
 		return args[0], true, nil
 
 	case bExit:
 		return Value{}, true, errThreadExit
 
 	case bAtoi:
-		s := p.ReadCString(args[0].Addr())
-		v, _ := strconv.Atoi(strings.TrimSpace(s))
-		p.chargeCycles(costCall + 4*len(s))
-		return IntValue(types.IntType, int64(v)), true, nil
+		v := fr.n
+		if fr.step == 0 {
+			s := p.ReadCString(args[0].Addr())
+			iv, _ := strconv.Atoi(strings.TrimSpace(s))
+			v = int64(iv)
+			if err := p.chargeCycles(costCall + 4*len(s)); err != nil {
+				p.pushK(kframe{step: 1, n: v})
+				return Value{}, true, err
+			}
+		}
+		return IntValue(types.IntType, v), true, nil
 
 	case bSqrt:
-		p.chargeCycles(70) // P54C FSQRT
+		if fr.step == 0 {
+			if err := p.chargeCycles(70); err != nil { // P54C FSQRT
+				p.pushK(kframe{step: 1})
+				return Value{}, true, err
+			}
+		}
 		return FloatValue(types.DoubleType, math.Sqrt(args[0].Float())), true, nil
 
 	case bFabs:
-		p.chargeCycles(costFAdd)
+		if fr.step == 0 {
+			if err := p.chargeCycles(costFAdd); err != nil {
+				p.pushK(kframe{step: 1})
+				return Value{}, true, err
+			}
+		}
 		return FloatValue(types.DoubleType, math.Abs(args[0].Float())), true, nil
 
 	case bWallclock:
-		p.chargeCycles(costCall)
+		if fr.step == 0 {
+			if err := p.chargeCycles(costCall); err != nil {
+				p.pushK(kframe{step: 1})
+				return Value{}, true, err
+			}
+		}
 		return FloatValue(types.DoubleType, p.Seconds()), true, nil
 	}
 	return Value{}, false, nil

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"hsmcc/internal/cc/ast"
-	"hsmcc/internal/cc/token"
 	"hsmcc/internal/cc/types"
 )
 
@@ -17,7 +16,27 @@ import (
 // resolved ahead of time. Anything the compiler cannot resolve statically
 // poisons the whole function, which then routes to the tree-walk engine;
 // mixing engines per function is safe because both operate on the same
-// Proc stack-pointer discipline.
+// Proc stack-pointer discipline (a program with any poisoned function
+// falls back to the goroutine scheduler as a whole — see Sim.decideMode).
+//
+// Every lowered closure additionally follows the coroutine resumption
+// protocol of coro.go. Each closure's body is a sequence of units
+// separated by suspension sites; the frame it pushes on a yield records
+// the unit to continue from plus any locals later units consume. A
+// child-yield (the unit's sub-closure suspended and pushed its own
+// frame) records the same unit, so re-entry re-calls the child, which
+// resumes internally; a leaf-yield (chargeCycles or a typed accessor
+// completed its effect and yielded) records the next unit. The two cases
+// need no flag: after this closure pops its frame, the resuming bit is
+// still set exactly when a deeper frame (the child's) remains.
+//
+// The resume dispatch is kept OFF the fresh path: closures test the
+// resuming bit once, handle non-zero steps in a cold block (small
+// resume-tail closures bound at compile time carry any duplicated
+// suffix), and fall through to a straight-line fresh body that matches
+// the pre-coroutine engine instruction for instruction. A step-0 frame
+// ("inside my first child") also falls through — the child pops its own
+// frame and resumes internally.
 
 // compileProgram lowers every function of a loaded program.
 func compileProgram(pr *Program) {
@@ -31,8 +50,13 @@ func compileProgram(pr *Program) {
 		pr.compiled[fn] = cf
 		pr.compiledList[i] = cf
 	}
+	pr.fullyCompiled = true
 	for _, cf := range pr.compiledList {
-		if cf.fallback || cf.decl.Body == nil {
+		if cf.decl.Body == nil {
+			continue
+		}
+		if cf.fallback {
+			pr.fullyCompiled = false
 			continue
 		}
 		c := &compiler{pr: pr, cf: cf, slotIdx: make(map[*ast.Symbol]int)}
@@ -43,6 +67,7 @@ func compileProgram(pr *Program) {
 		body := c.compileBlock(cf.decl.Body)
 		if c.poison {
 			cf.fallback = true
+			pr.fullyCompiled = false
 			continue
 		}
 		cf.body = body
@@ -110,40 +135,12 @@ func errEval(err error) evalFn {
 	return func(p *Proc) (Value, error) { return Value{}, err }
 }
 
-// compileLoadOf turns a compiled lvalue into an rvalue closure: arrays
-// decay to element pointers, everything else loads through the typed
-// accessor when the stored type is statically known.
-func (c *compiler) compileLoadOf(lf lvalFn, st *types.Type) evalFn {
-	if st != nil {
-		if st.Kind == types.Array {
-			pt := types.PointerTo(st.Elem)
-			return func(p *Proc) (Value, error) {
-				addr, _, err := lf(p)
-				if err != nil {
-					return Value{}, err
-				}
-				return PtrValue(pt, addr), nil
-			}
-		}
-		ld := makeLoad(st)
-		return func(p *Proc) (Value, error) {
-			addr, _, err := lf(p)
-			if err != nil {
-				return Value{}, err
-			}
-			return ld(p, addr)
-		}
+// b2i packs a saved boolean into a frame counter field.
+func b2i(b bool) int64 {
+	if b {
+		return 1
 	}
-	return func(p *Proc) (Value, error) {
-		addr, t, err := lf(p)
-		if err != nil {
-			return Value{}, err
-		}
-		if t.Kind == types.Array {
-			return PtrValue(types.PointerTo(t.Elem), addr), nil
-		}
-		return p.loadValue(addr, t)
-	}
+	return 0
 }
 
 // ---------------------------------------------------------------------------
@@ -164,8 +161,15 @@ func (c *compiler) compileBlock(b *ast.BlockStmt) execFn {
 		return list[0]
 	}
 	return func(p *Proc, ret *Value) (ctrl, error) {
-		for _, f := range list {
-			if ct, err := f(p, ret); err != nil || ct != ctrlNone {
+		start := 0
+		if p.coResuming {
+			start = p.popKRef().step
+		}
+		for i := start; i < len(list); i++ {
+			if ct, err := list[i](p, ret); err != nil || ct != ctrlNone {
+				if err == errYield {
+					p.pushK(kframe{step: i})
+				}
 				return ct, err
 			}
 		}
@@ -173,7 +177,9 @@ func (c *compiler) compileBlock(b *ast.BlockStmt) execFn {
 	}
 }
 
-// tick is the per-statement prologue of the reference execStmt.
+// tick is the per-statement prologue of the reference execStmt. It must
+// not yield (Runtime.Tick is documented non-yielding), so statement
+// combinators run it only on fresh entry.
 func (p *Proc) tick() {
 	p.Ops++
 	if rt := p.Sim.Runtime; rt != nil {
@@ -183,10 +189,18 @@ func (p *Proc) tick() {
 
 func (c *compiler) compileStmt(s ast.Stmt) execFn {
 	switch n := s.(type) {
+	// BlockStmt and ExprStmt are TRANSPARENT combinators: single-child
+	// pass-throughs whose resume unconditionally re-enters the child and
+	// restores no locals. They push no frame — on a re-descent the
+	// resuming bit alone routes them straight into the child (skipping
+	// the tick, which already ran on fresh entry) — so every suspension
+	// that crosses them saves a frame both ways.
 	case *ast.BlockStmt:
 		inner := c.compileBlock(n)
 		return func(p *Proc, ret *Value) (ctrl, error) {
-			p.tick()
+			if !p.coResuming {
+				p.tick()
+			}
 			return inner(p, ret)
 		}
 
@@ -196,7 +210,9 @@ func (c *compiler) compileStmt(s ast.Stmt) execFn {
 	case *ast.ExprStmt:
 		x := c.compileExpr(n.X)
 		return func(p *Proc, ret *Value) (ctrl, error) {
-			p.tick()
+			if !p.coResuming {
+				p.tick()
+			}
 			_, err := x(p)
 			return ctrlNone, err
 		}
@@ -208,18 +224,43 @@ func (c *compiler) compileStmt(s ast.Stmt) execFn {
 		if n.Else != nil {
 			els = c.compileStmt(n.Else)
 		}
+		// Units: 1 condition eval, 2 post-charge branch select (n = the
+		// saved condition), 3 inside the taken branch.
 		return func(p *Proc, ret *Value) (ctrl, error) {
-			p.tick()
-			v, err := cond(p)
-			if err != nil {
-				return ctrlNone, err
+			step, cb := 0, false
+			if p.coResuming {
+				fr := p.popKRef()
+				step, cb = fr.step, fr.n != 0
+			} else {
+				p.tick()
 			}
-			p.chargeCycles(costALU)
-			if v.Bool() {
-				return then(p, ret)
+			if step <= 1 {
+				v, err := cond(p)
+				if err != nil {
+					if err == errYield {
+						p.pushK(kframe{step: 1})
+					}
+					return ctrlNone, err
+				}
+				cb = v.Bool()
+				if err := p.chargeCycles(costALU); err != nil {
+					p.pushK(kframe{step: 2, n: b2i(cb)})
+					return ctrlNone, err
+				}
+			}
+			if cb {
+				ct, err := then(p, ret)
+				if err == errYield {
+					p.pushK(kframe{step: 3, n: 1})
+				}
+				return ct, err
 			}
 			if els != nil {
-				return els(p, ret)
+				ct, err := els(p, ret)
+				if err == errYield {
+					p.pushK(kframe{step: 3})
+				}
+				return ct, err
 			}
 			return ctrlNone, nil
 		}
@@ -238,39 +279,76 @@ func (c *compiler) compileStmt(s ast.Stmt) execFn {
 			post = c.compileExpr(n.Post)
 		}
 		body := c.compileStmt(n.Body)
+		// Units per iteration: 2 cond eval, 3 post-charge test (n = the
+		// saved condition), 4 body, 5 post expression; unit 1 is the
+		// one-time init.
 		return func(p *Proc, ret *Value) (ctrl, error) {
-			p.tick()
-			if init != nil {
-				if _, err := init(p, ret); err != nil {
-					return ctrlNone, err
-				}
+			step, cbSaved := 0, false
+			if p.coResuming {
+				fr := p.popKRef()
+				step, cbSaved = fr.step, fr.n != 0
+			} else {
+				p.tick()
 			}
-			for {
-				if cond != nil {
-					v, err := cond(p)
-					if err != nil {
+			if step <= 1 {
+				if init != nil {
+					if _, err := init(p, ret); err != nil {
+						if err == errYield {
+							p.pushK(kframe{step: 1})
+						}
 						return ctrlNone, err
 					}
-					p.chargeCycles(costALU)
-					if !v.Bool() {
+				}
+				step = 2
+			}
+			for {
+				if step <= 2 {
+					if cond != nil {
+						v, err := cond(p)
+						if err != nil {
+							if err == errYield {
+								p.pushK(kframe{step: 2})
+							}
+							return ctrlNone, err
+						}
+						cb := v.Bool()
+						if err := p.chargeCycles(costALU); err != nil {
+							p.pushK(kframe{step: 3, n: b2i(cb)})
+							return ctrlNone, err
+						}
+						if !cb {
+							break
+						}
+					}
+				} else if step == 3 {
+					if !cbSaved {
 						break
 					}
 				}
-				ct, err := body(p, ret)
-				if err != nil {
-					return ctrlNone, err
-				}
-				if ct == ctrlBreak {
-					break
-				}
-				if ct == ctrlReturn {
-					return ct, nil
+				if step <= 4 {
+					ct, err := body(p, ret)
+					if err != nil {
+						if err == errYield {
+							p.pushK(kframe{step: 4})
+						}
+						return ctrlNone, err
+					}
+					if ct == ctrlBreak {
+						break
+					}
+					if ct == ctrlReturn {
+						return ct, nil
+					}
 				}
 				if post != nil {
 					if _, err := post(p); err != nil {
+						if err == errYield {
+							p.pushK(kframe{step: 5})
+						}
 						return ctrlNone, err
 					}
 				}
+				step = 2
 			}
 			return ctrlNone, nil
 		}
@@ -278,19 +356,42 @@ func (c *compiler) compileStmt(s ast.Stmt) execFn {
 	case *ast.WhileStmt:
 		cond := c.compileExpr(n.Cond)
 		body := c.compileStmt(n.Body)
+		// Units per iteration: 1 cond eval, 2 post-charge test, 3 body.
 		return func(p *Proc, ret *Value) (ctrl, error) {
-			p.tick()
+			step, cbSaved := 0, false
+			if p.coResuming {
+				fr := p.popKRef()
+				step, cbSaved = fr.step, fr.n != 0
+			} else {
+				p.tick()
+			}
 			for {
-				v, err := cond(p)
-				if err != nil {
-					return ctrlNone, err
-				}
-				p.chargeCycles(costALU)
-				if !v.Bool() {
-					return ctrlNone, nil
+				if step <= 1 {
+					v, err := cond(p)
+					if err != nil {
+						if err == errYield {
+							p.pushK(kframe{step: 1})
+						}
+						return ctrlNone, err
+					}
+					cb := v.Bool()
+					if err := p.chargeCycles(costALU); err != nil {
+						p.pushK(kframe{step: 2, n: b2i(cb)})
+						return ctrlNone, err
+					}
+					if !cb {
+						return ctrlNone, nil
+					}
+				} else if step == 2 {
+					if !cbSaved {
+						return ctrlNone, nil
+					}
 				}
 				ct, err := body(p, ret)
 				if err != nil {
+					if err == errYield {
+						p.pushK(kframe{step: 3})
+					}
 					return ctrlNone, err
 				}
 				if ct == ctrlBreak {
@@ -299,33 +400,60 @@ func (c *compiler) compileStmt(s ast.Stmt) execFn {
 				if ct == ctrlReturn {
 					return ct, nil
 				}
+				step = 1
 			}
 		}
 
 	case *ast.DoWhileStmt:
 		body := c.compileStmt(n.Body)
 		cond := c.compileExpr(n.Cond)
+		// Units per iteration: 1 body, 2 cond eval, 3 post-charge test.
 		return func(p *Proc, ret *Value) (ctrl, error) {
-			p.tick()
+			step, cbSaved := 0, false
+			if p.coResuming {
+				fr := p.popKRef()
+				step, cbSaved = fr.step, fr.n != 0
+			} else {
+				p.tick()
+			}
 			for {
-				ct, err := body(p, ret)
-				if err != nil {
-					return ctrlNone, err
+				if step <= 1 {
+					ct, err := body(p, ret)
+					if err != nil {
+						if err == errYield {
+							p.pushK(kframe{step: 1})
+						}
+						return ctrlNone, err
+					}
+					if ct == ctrlBreak {
+						return ctrlNone, nil
+					}
+					if ct == ctrlReturn {
+						return ct, nil
+					}
 				}
-				if ct == ctrlBreak {
-					return ctrlNone, nil
+				if step <= 2 {
+					v, err := cond(p)
+					if err != nil {
+						if err == errYield {
+							p.pushK(kframe{step: 2})
+						}
+						return ctrlNone, err
+					}
+					cb := v.Bool()
+					if err := p.chargeCycles(costALU); err != nil {
+						p.pushK(kframe{step: 3, n: b2i(cb)})
+						return ctrlNone, err
+					}
+					if !cb {
+						return ctrlNone, nil
+					}
+				} else if step == 3 {
+					if !cbSaved {
+						return ctrlNone, nil
+					}
 				}
-				if ct == ctrlReturn {
-					return ct, nil
-				}
-				v, err := cond(p)
-				if err != nil {
-					return ctrlNone, err
-				}
-				p.chargeCycles(costALU)
-				if !v.Bool() {
-					return ctrlNone, nil
-				}
+				step = 1
 			}
 		}
 
@@ -345,15 +473,43 @@ func (c *compiler) compileStmt(s ast.Stmt) execFn {
 				cases[i].body[j] = c.compileStmt(cs)
 			}
 		}
+		// Units: 1 tag eval, 2 post-charge dispatch (n = tag), 3 case-
+		// value eval (a = case index), 4 case-body stmt (a = case,
+		// n = stmt index — the tag is dead once a body runs, and
+		// matched stays true from there on).
 		return func(p *Proc, ret *Value) (ctrl, error) {
-			p.tick()
-			tv, err := tag(p)
-			if err != nil {
-				return ctrlNone, err
-			}
-			p.chargeCycles(costALU)
+			var tagI int64
+			step, startCase, startStmt := 0, 0, 0
 			matched := false
-			for i := range cases {
+			if p.coResuming {
+				fr := p.popKRef()
+				step, tagI = fr.step, fr.n
+				switch step {
+				case 3:
+					startCase = int(fr.a)
+				case 4:
+					startCase = int(fr.a)
+					startStmt = int(fr.n)
+					matched = true
+				}
+			} else {
+				p.tick()
+			}
+			if step <= 1 {
+				tv, err := tag(p)
+				if err != nil {
+					if err == errYield {
+						p.pushK(kframe{step: 1})
+					}
+					return ctrlNone, err
+				}
+				tagI = tv.Int()
+				if err := p.chargeCycles(costALU); err != nil {
+					p.pushK(kframe{step: 2, n: tagI})
+					return ctrlNone, err
+				}
+			}
+			for i := startCase; i < len(cases); i++ {
 				cl := &cases[i]
 				if !matched {
 					if cl.value == nil {
@@ -361,17 +517,23 @@ func (c *compiler) compileStmt(s ast.Stmt) execFn {
 					} else {
 						cv, err := cl.value(p)
 						if err != nil {
+							if err == errYield {
+								p.pushK(kframe{step: 3, n: tagI, a: uint32(i)})
+							}
 							return ctrlNone, err
 						}
-						matched = cv.Int() == tv.Int()
+						matched = cv.Int() == tagI
 					}
 				}
 				if !matched {
 					continue
 				}
-				for _, f := range cl.body {
-					ct, err := f(p, ret)
+				for j := startStmt; j < len(cl.body); j++ {
+					ct, err := cl.body[j](p, ret)
 					if err != nil {
+						if err == errYield {
+							p.pushK(kframe{step: 4, a: uint32(i), n: int64(j)})
+						}
 						return ctrlNone, err
 					}
 					switch ct {
@@ -381,6 +543,7 @@ func (c *compiler) compileStmt(s ast.Stmt) execFn {
 						return ct, nil
 					}
 				}
+				startStmt = 0
 			}
 			return ctrlNone, nil
 		}
@@ -393,8 +556,12 @@ func (c *compiler) compileStmt(s ast.Stmt) execFn {
 			}
 		}
 		res := c.compileExpr(n.Result)
+		// Transparent: resume re-enters the result expression; nothing
+		// happens between its completion and the return.
 		return func(p *Proc, ret *Value) (ctrl, error) {
-			p.tick()
+			if !p.coResuming {
+				p.tick()
+			}
 			v, err := res(p)
 			if err != nil {
 				return ctrlNone, err
@@ -431,6 +598,11 @@ func (c *compiler) compileStmt(s ast.Stmt) execFn {
 // compileDecl lowers a local declaration: the slot address comes from the
 // frame arena, initialisers store with full memory timing, and array
 // initialiser lists zero-fill the remainder, all as the reference does.
+// Units: 1 init eval, 2 init store done, 3 list element (n = index; a
+// leaf-yield at the element store records the next index), 5 zero-fill
+// element (n = next index). Slot addresses are resolved per unit — never
+// at entry — because cfp still points at the innermost frame while a
+// resume is descending.
 func (c *compiler) compileDecl(n *ast.DeclStmt) execFn {
 	d := n.Decl
 	if d.Sym == nil {
@@ -462,14 +634,24 @@ func (c *compiler) compileDecl(n *ast.DeclStmt) execFn {
 			// to run time (after the tick, like execStmt).
 			err := fmt.Errorf("%s: aggregate initialiser on scalar %s", d.Pos(), d.Name)
 			return func(p *Proc, ret *Value) (ctrl, error) {
-				p.tick()
-				if init != nil { // mirrors execStmt order: Init runs first
+				step := 0
+				if p.coResuming {
+					step = p.popKRef().step
+				} else {
+					p.tick()
+				}
+				if init != nil && step <= 1 { // mirrors execStmt order: Init runs first
 					v, ierr := init(p)
 					if ierr != nil {
+						if ierr == errYield {
+							p.pushK(kframe{step: 1})
+						}
 						return ctrlNone, ierr
 					}
-					addr := p.slotAddr(idx)
-					if serr := p.storeValue(addr, typ, v); serr != nil {
+					if serr := p.storeValue(p.slotAddr(idx), typ, v); serr != nil {
+						if serr == errYield {
+							p.pushK(kframe{step: 2})
+						}
 						return ctrlNone, serr
 					}
 				}
@@ -491,802 +673,63 @@ func (c *compiler) compileDecl(n *ast.DeclStmt) execFn {
 		elemStore = makeStore(elem)
 	}
 	return func(p *Proc, ret *Value) (ctrl, error) {
-		p.tick()
-		addr := p.slotAddr(idx)
-		if init != nil {
+		step := 0
+		listFrom, zFrom := 0, zeroFrom
+		if p.coResuming {
+			fr := p.popKRef()
+			step = fr.step
+			switch step {
+			case 3:
+				listFrom = int(fr.n)
+			case 5:
+				zFrom = int(fr.n)
+			}
+		} else {
+			p.tick()
+		}
+		if step <= 1 && init != nil {
 			v, err := init(p)
 			if err != nil {
+				if err == errYield {
+					p.pushK(kframe{step: 1})
+				}
 				return ctrlNone, err
 			}
-			if _, err := sf(p, addr, v); err != nil {
-				return ctrlNone, err
-			}
-		}
-		for i, f := range initLst {
-			v, err := f(p)
-			if err != nil {
-				return ctrlNone, err
-			}
-			if _, err := elemStore(p, addr+uint32(i)*elemSize, v); err != nil {
+			if _, err := sf(p, p.slotAddr(idx), v); err != nil {
+				if err == errYield {
+					p.pushK(kframe{step: 2})
+				}
 				return ctrlNone, err
 			}
 		}
-		if zeroTo > zeroFrom {
+		if step <= 3 {
+			for i := listFrom; i < len(initLst); i++ {
+				v, err := initLst[i](p)
+				if err != nil {
+					if err == errYield {
+						p.pushK(kframe{step: 3, n: int64(i)})
+					}
+					return ctrlNone, err
+				}
+				if _, err := elemStore(p, p.slotAddr(idx)+uint32(i)*elemSize, v); err != nil {
+					if err == errYield {
+						p.pushK(kframe{step: 3, n: int64(i + 1)})
+					}
+					return ctrlNone, err
+				}
+			}
+		}
+		if zeroTo > zFrom {
 			zero := IntValue(types.IntType, 0)
-			for i := zeroFrom; i < zeroTo; i++ {
-				if _, err := elemStore(p, addr+uint32(i)*elemSize, zero); err != nil {
+			for i := zFrom; i < zeroTo; i++ {
+				if _, err := elemStore(p, p.slotAddr(idx)+uint32(i)*elemSize, zero); err != nil {
+					if err == errYield {
+						p.pushK(kframe{step: 5, n: int64(i + 1)})
+					}
 					return ctrlNone, err
 				}
 			}
 		}
 		return ctrlNone, nil
-	}
-}
-
-// ---------------------------------------------------------------------------
-// Expressions
-// ---------------------------------------------------------------------------
-
-func (c *compiler) compileExpr(e ast.Expr) evalFn {
-	switch n := e.(type) {
-	case *ast.ParenExpr:
-		return c.compileExpr(n.X)
-
-	case *ast.IntLit:
-		v := IntValue(types.IntType, n.Value)
-		return func(p *Proc) (Value, error) { return v, nil }
-	case *ast.FloatLit:
-		v := FloatValue(types.DoubleType, n.Value)
-		return func(p *Proc) (Value, error) { return v, nil }
-	case *ast.CharLit:
-		v := IntValue(types.CharType, int64(n.Value))
-		return func(p *Proc) (Value, error) { return v, nil }
-
-	case *ast.StringLit:
-		addr, ok := c.pr.stringAddrs[n]
-		if !ok {
-			return errEval(fmt.Errorf("%s: string literal not in image", n.Pos()))
-		}
-		v := PtrValue(types.PointerTo(types.CharType), addr)
-		return func(p *Proc) (Value, error) { return v, nil }
-
-	case *ast.Ident:
-		return c.compileIdent(n)
-
-	case *ast.BinaryExpr:
-		return c.compileBinary(n)
-
-	case *ast.AssignExpr:
-		return c.compileAssign(n)
-
-	case *ast.UnaryExpr:
-		return c.compileUnary(n)
-
-	case *ast.PostfixExpr:
-		lf, st := c.compileLValue(n.X)
-		delta := int64(1)
-		if n.Op == token.MinusMinus {
-			delta = -1
-		}
-		if st != nil {
-			ld, sf := makeLoad(st), makeStore(st)
-			return func(p *Proc) (Value, error) {
-				addr, _, err := lf(p)
-				if err != nil {
-					return Value{}, err
-				}
-				old, err := ld(p, addr)
-				if err != nil {
-					return Value{}, err
-				}
-				p.chargeCycles(costALU)
-				if _, err := sf(p, addr, p.stepValue(old, st, delta)); err != nil {
-					return Value{}, err
-				}
-				return old, nil
-			}
-		}
-		return func(p *Proc) (Value, error) {
-			addr, t, err := lf(p)
-			if err != nil {
-				return Value{}, err
-			}
-			old, err := p.loadValue(addr, t)
-			if err != nil {
-				return Value{}, err
-			}
-			p.chargeCycles(costALU)
-			upd := p.stepValue(old, t, delta)
-			if err := p.storeValue(addr, t, upd); err != nil {
-				return Value{}, err
-			}
-			return old, nil
-		}
-
-	case *ast.IndexExpr:
-		return c.compileLoadOf(c.compileLValue(n))
-
-	case *ast.CallExpr:
-		return c.compileCall(n)
-
-	case *ast.CastExpr:
-		x := c.compileExpr(n.X)
-		to := n.To
-		if to == nil {
-			c.poison = true
-			return c.bail()
-		}
-		toInt, toFloat := to.IsInteger(), to.IsFloat()
-		return func(p *Proc) (Value, error) {
-			v, err := x(p)
-			if err != nil {
-				return Value{}, err
-			}
-			if (v.IsFloat() && toInt) || (!v.IsFloat() && toFloat) {
-				p.chargeCycles(costConv)
-			}
-			return Convert(v, to), nil
-		}
-
-	case *ast.SizeofExpr:
-		t := n.OfType
-		if t == nil && n.X != nil {
-			t = n.X.ResultType()
-		}
-		if t == nil {
-			return errEval(fmt.Errorf("%s: sizeof untyped operand", n.Pos()))
-		}
-		v := IntValue(types.UIntType, int64(t.Size()))
-		return func(p *Proc) (Value, error) { return v, nil }
-
-	case *ast.CondExpr:
-		cond := c.compileExpr(n.Cond)
-		then := c.compileExpr(n.Then)
-		els := c.compileExpr(n.Else)
-		return func(p *Proc) (Value, error) {
-			v, err := cond(p)
-			if err != nil {
-				return Value{}, err
-			}
-			p.chargeCycles(costALU)
-			if v.Bool() {
-				return then(p)
-			}
-			return els(p)
-		}
-
-	case *ast.CommaExpr:
-		x := c.compileExpr(n.X)
-		y := c.compileExpr(n.Y)
-		return func(p *Proc) (Value, error) {
-			if _, err := x(p); err != nil {
-				return Value{}, err
-			}
-			return y(p)
-		}
-
-	case *ast.MemberExpr:
-		lf, st := c.compileLValue(n)
-		if st != nil {
-			ld := makeLoad(st)
-			return func(p *Proc) (Value, error) {
-				addr, _, err := lf(p)
-				if err != nil {
-					return Value{}, err
-				}
-				return ld(p, addr)
-			}
-		}
-		return func(p *Proc) (Value, error) {
-			addr, t, err := lf(p)
-			if err != nil {
-				return Value{}, err
-			}
-			return p.loadValue(addr, t)
-		}
-
-	default:
-		return errEval(fmt.Errorf("%s: cannot evaluate %T", e.Pos(), e))
-	}
-}
-
-// compileIdent resolves an identifier occurrence once: globals to their
-// image address, locals to a frame slot index, functions to their encoded
-// value — the reference engine redoes all of this on every occurrence.
-func (c *compiler) compileIdent(n *ast.Ident) evalFn {
-	if n.Sym == nil {
-		switch n.Name {
-		case "NULL":
-			v := PtrValue(types.PointerTo(types.VoidType), 0)
-			return func(p *Proc) (Value, error) { return v, nil }
-		case "RCCE_COMM_WORLD":
-			v := IntValue(types.OpaqueOf("RCCE_COMM"), 0)
-			return func(p *Proc) (Value, error) { return v, nil }
-		}
-		return errEval(fmt.Errorf("%s: unresolved identifier %s", n.Pos(), n.Name))
-	}
-	if n.Sym.Kind == ast.SymFunc {
-		fn, ok := c.pr.Funcs[n.Name]
-		if !ok {
-			return errEval(fmt.Errorf("%s: undefined function %s", n.Pos(), n.Name))
-		}
-		v := c.pr.FuncValue(fn)
-		return func(p *Proc) (Value, error) { return v, nil }
-	}
-	typ := n.Sym.Type
-	if typ == nil {
-		c.poison = true
-		return c.bail()
-	}
-	if idx, ok := c.slotIdx[n.Sym]; ok {
-		if typ.Kind == types.Array {
-			pt := types.PointerTo(typ.Elem)
-			return func(p *Proc) (Value, error) {
-				p.chargeCycles(costALU)
-				return PtrValue(pt, p.slotAddr(idx)), nil
-			}
-		}
-		ld := makeLoad(typ)
-		return func(p *Proc) (Value, error) {
-			return ld(p, p.slotAddr(idx))
-		}
-	}
-	if addr, ok := c.pr.GlobalAddr(n.Sym); ok {
-		if typ.Kind == types.Array {
-			v := PtrValue(types.PointerTo(typ.Elem), addr)
-			return func(p *Proc) (Value, error) {
-				p.chargeCycles(costALU)
-				return v, nil
-			}
-		}
-		ld := makeLoad(typ)
-		return func(p *Proc) (Value, error) {
-			return ld(p, addr)
-		}
-	}
-	return errEval(fmt.Errorf("%s: no storage for %s", n.Pos(), n.Name))
-}
-
-// compileLValue lowers e to an address resolver. The second result is
-// the statically-known stored type when the compiler can prove it (used
-// to specialise index arithmetic); the closure always reports the type
-// it resolved, exactly as the reference evalLValue does.
-func (c *compiler) compileLValue(e ast.Expr) (lvalFn, *types.Type) {
-	switch n := e.(type) {
-	case *ast.ParenExpr:
-		return c.compileLValue(n.X)
-
-	case *ast.Ident:
-		if n.Sym == nil {
-			err := fmt.Errorf("%s: %s is not assignable", n.Pos(), n.Name)
-			return func(p *Proc) (uint32, *types.Type, error) { return 0, nil, err }, nil
-		}
-		typ := n.Sym.Type
-		if idx, ok := c.slotIdx[n.Sym]; ok {
-			return func(p *Proc) (uint32, *types.Type, error) {
-				return p.slotAddr(idx), typ, nil
-			}, typ
-		}
-		if addr, ok := c.pr.GlobalAddr(n.Sym); ok {
-			return func(p *Proc) (uint32, *types.Type, error) {
-				return addr, typ, nil
-			}, typ
-		}
-		err := fmt.Errorf("%s: no storage for %s", n.Pos(), n.Name)
-		return func(p *Proc) (uint32, *types.Type, error) { return 0, nil, err }, nil
-
-	case *ast.UnaryExpr:
-		if n.Op != token.Star {
-			err := fmt.Errorf("%s: %s is not an lvalue", e.Pos(), n.Op)
-			return func(p *Proc) (uint32, *types.Type, error) { return 0, nil, err }, nil
-		}
-		x := c.compileExpr(n.X)
-		t := n.X.ResultType()
-		var elem *types.Type
-		if t != nil && t.IsPointerLike() {
-			elem = t.Decay().Elem
-		}
-		if elem == nil {
-			elem = types.IntType
-		}
-		nullErr := fmt.Errorf("%s: null pointer dereference", e.Pos())
-		return func(p *Proc) (uint32, *types.Type, error) {
-			v, err := x(p)
-			if err != nil {
-				return 0, nil, err
-			}
-			if v.Addr() == 0 {
-				return 0, nil, nullErr
-			}
-			return v.Addr(), elem, nil
-		}, elem
-
-	case *ast.IndexExpr:
-		return c.compileIndexLValue(n)
-
-	case *ast.MemberExpr:
-		return c.compileMemberLValue(n)
-
-	default:
-		err := fmt.Errorf("%s: %T is not an lvalue", e.Pos(), e)
-		return func(p *Proc) (uint32, *types.Type, error) { return 0, nil, err }, nil
-	}
-}
-
-// compileIndexLValue lowers x[i], replicating indexBase: array-typed
-// bases use their storage address, pointer bases load the pointer first.
-func (c *compiler) compileIndexLValue(n *ast.IndexExpr) (lvalFn, *types.Type) {
-	idxFn := c.compileExpr(n.Index)
-	bt := n.X.ResultType()
-	if bt != nil && bt.Kind == types.Array {
-		baseFn, staticT := c.compileLValue(n.X)
-		if staticT != nil {
-			elem := staticT.Elem
-			if elem == nil {
-				c.poison = true
-				return nil, nil
-			}
-			elemSize := int64(elem.Size())
-			return func(p *Proc) (uint32, *types.Type, error) {
-				base, _, err := baseFn(p)
-				if err != nil {
-					return 0, nil, err
-				}
-				iv, err := idxFn(p)
-				if err != nil {
-					return 0, nil, err
-				}
-				p.chargeCycles(costALU)
-				return base + uint32(iv.Int()*elemSize), elem, nil
-			}, elem
-		}
-		// Base type only known at run time (error paths): mirror the
-		// reference flow with the runtime type.
-		return func(p *Proc) (uint32, *types.Type, error) {
-			base, t, err := baseFn(p)
-			if err != nil {
-				return 0, nil, err
-			}
-			elem := t.Elem
-			iv, err := idxFn(p)
-			if err != nil {
-				return 0, nil, err
-			}
-			p.chargeCycles(costALU)
-			return base + uint32(iv.Int()*int64(elem.Size())), elem, nil
-		}, nil
-	}
-	xFn := c.compileExpr(n.X)
-	var elem *types.Type
-	if bt != nil && bt.IsPointerLike() {
-		elem = bt.Decay().Elem
-	}
-	if elem == nil {
-		elem = types.IntType
-	}
-	elemSize := int64(elem.Size())
-	nullErr := fmt.Errorf("%s: indexing a null pointer", n.Pos())
-	return func(p *Proc) (uint32, *types.Type, error) {
-		v, err := xFn(p)
-		if err != nil {
-			return 0, nil, err
-		}
-		if v.Addr() == 0 {
-			return 0, nil, nullErr
-		}
-		iv, err := idxFn(p)
-		if err != nil {
-			return 0, nil, err
-		}
-		p.chargeCycles(costALU)
-		return v.Addr() + uint32(iv.Int()*elemSize), elem, nil
-	}, elem
-}
-
-// compileMemberLValue lowers x.f / x->f with the field offset resolved
-// at compile time whenever the struct type is statically known.
-func (c *compiler) compileMemberLValue(n *ast.MemberExpr) (lvalFn, *types.Type) {
-	if n.Arrow {
-		t := n.X.ResultType()
-		if t == nil || t.Elem == nil {
-			x := c.compileExpr(n.X)
-			err := fmt.Errorf("%s: -> on non-pointer", n.Pos())
-			return func(p *Proc) (uint32, *types.Type, error) {
-				if _, e := x(p); e != nil {
-					return 0, nil, e
-				}
-				return 0, nil, err
-			}, nil
-		}
-		st := t.Elem
-		f, ok := st.Field(n.Name)
-		if !ok {
-			x := c.compileExpr(n.X)
-			err := fmt.Errorf("%s: no field %s in %s", n.Pos(), n.Name, st)
-			return func(p *Proc) (uint32, *types.Type, error) {
-				if _, e := x(p); e != nil {
-					return 0, nil, e
-				}
-				return 0, nil, err
-			}, nil
-		}
-		x := c.compileExpr(n.X)
-		off := uint32(f.Offset)
-		ft := f.Type
-		return func(p *Proc) (uint32, *types.Type, error) {
-			v, err := x(p)
-			if err != nil {
-				return 0, nil, err
-			}
-			p.chargeCycles(costALU)
-			return v.Addr() + off, ft, nil
-		}, ft
-	}
-	baseFn, staticT := c.compileLValue(n.X)
-	if staticT == nil {
-		// Inner lvalue type resolves at run time (error paths): replicate
-		// the reference field lookup dynamically.
-		name := n.Name
-		pos := n.Pos()
-		return func(p *Proc) (uint32, *types.Type, error) {
-			base, st, err := baseFn(p)
-			if err != nil {
-				return 0, nil, err
-			}
-			f, ok := st.Field(name)
-			if !ok {
-				return 0, nil, fmt.Errorf("%s: no field %s in %s", pos, name, st)
-			}
-			p.chargeCycles(costALU)
-			return base + uint32(f.Offset), f.Type, nil
-		}, nil
-	}
-	f, ok := staticT.Field(n.Name)
-	if !ok {
-		err := fmt.Errorf("%s: no field %s in %s", n.Pos(), n.Name, staticT)
-		return func(p *Proc) (uint32, *types.Type, error) {
-			if _, _, e := baseFn(p); e != nil {
-				return 0, nil, e
-			}
-			return 0, nil, err
-		}, nil
-	}
-	off := uint32(f.Offset)
-	ft := f.Type
-	return func(p *Proc) (uint32, *types.Type, error) {
-		base, _, err := baseFn(p)
-		if err != nil {
-			return 0, nil, err
-		}
-		p.chargeCycles(costALU)
-		return base + off, ft, nil
-	}, ft
-}
-
-func (c *compiler) compileUnary(n *ast.UnaryExpr) evalFn {
-	switch n.Op {
-	case token.Amp:
-		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
-			if id.Sym != nil && id.Sym.Kind == ast.SymFunc {
-				return c.compileIdent(id)
-			}
-			if id.Sym == nil && id.Name == "RCCE_COMM_WORLD" {
-				v := PtrValue(types.PointerTo(types.OpaqueOf("RCCE_COMM")), 0)
-				return func(p *Proc) (Value, error) { return v, nil }
-			}
-		}
-		lf, _ := c.compileLValue(n.X)
-		return func(p *Proc) (Value, error) {
-			addr, t, err := lf(p)
-			if err != nil {
-				return Value{}, err
-			}
-			p.chargeCycles(costALU)
-			return PtrValue(types.PointerTo(t), addr), nil
-		}
-
-	case token.Star:
-		return c.compileLoadOf(c.compileLValue(n))
-
-	case token.PlusPlus, token.MinusMinus:
-		lf, st := c.compileLValue(n.X)
-		delta := int64(1)
-		if n.Op == token.MinusMinus {
-			delta = -1
-		}
-		if st != nil {
-			ld, sf := makeLoad(st), makeStore(st)
-			return func(p *Proc) (Value, error) {
-				addr, _, err := lf(p)
-				if err != nil {
-					return Value{}, err
-				}
-				old, err := ld(p, addr)
-				if err != nil {
-					return Value{}, err
-				}
-				p.chargeCycles(costALU)
-				upd := p.stepValue(old, st, delta)
-				if _, err := sf(p, addr, upd); err != nil {
-					return Value{}, err
-				}
-				return upd, nil
-			}
-		}
-		return func(p *Proc) (Value, error) {
-			addr, t, err := lf(p)
-			if err != nil {
-				return Value{}, err
-			}
-			old, err := p.loadValue(addr, t)
-			if err != nil {
-				return Value{}, err
-			}
-			p.chargeCycles(costALU)
-			upd := p.stepValue(old, t, delta)
-			if err := p.storeValue(addr, t, upd); err != nil {
-				return Value{}, err
-			}
-			return upd, nil
-		}
-	}
-
-	x := c.compileExpr(n.X)
-	switch n.Op {
-	case token.Minus:
-		return func(p *Proc) (Value, error) {
-			v, err := x(p)
-			if err != nil {
-				return Value{}, err
-			}
-			if v.IsFloat() {
-				p.chargeCycles(costFAdd)
-				return FloatValue(v.T, -v.F), nil
-			}
-			p.chargeCycles(costALU)
-			return IntValue(v.T, -v.I), nil
-		}
-	case token.Plus:
-		return x
-	case token.Bang:
-		return func(p *Proc) (Value, error) {
-			v, err := x(p)
-			if err != nil {
-				return Value{}, err
-			}
-			p.chargeCycles(costALU)
-			if v.Bool() {
-				return IntValue(types.IntType, 0), nil
-			}
-			return IntValue(types.IntType, 1), nil
-		}
-	case token.Tilde:
-		return func(p *Proc) (Value, error) {
-			v, err := x(p)
-			if err != nil {
-				return Value{}, err
-			}
-			p.chargeCycles(costALU)
-			return IntValue(v.T, int64(int32(^uint32(v.Int())))), nil
-		}
-	default:
-		err := fmt.Errorf("%s: unary %s unsupported", n.Pos(), n.Op)
-		return func(p *Proc) (Value, error) {
-			if _, e := x(p); e != nil {
-				return Value{}, e
-			}
-			return Value{}, err
-		}
-	}
-}
-
-func (c *compiler) compileAssign(n *ast.AssignExpr) evalFn {
-	lf, st := c.compileLValue(n.LHS)
-	rf := c.compileExpr(n.RHS)
-	if n.Op == token.Assign {
-		if st != nil {
-			sf := makeStore(st)
-			return func(p *Proc) (Value, error) {
-				addr, _, err := lf(p)
-				if err != nil {
-					return Value{}, err
-				}
-				rhs, err := rf(p)
-				if err != nil {
-					return Value{}, err
-				}
-				return sf(p, addr, rhs)
-			}
-		}
-		return func(p *Proc) (Value, error) {
-			addr, t, err := lf(p)
-			if err != nil {
-				return Value{}, err
-			}
-			rhs, err := rf(p)
-			if err != nil {
-				return Value{}, err
-			}
-			v := Convert(rhs, t)
-			if err := p.storeValue(addr, t, v); err != nil {
-				return Value{}, err
-			}
-			return v, nil
-		}
-	}
-	op, opOK := compoundOps[n.Op]
-	badOp := fmt.Errorf("%s: assignment op %s unsupported", n.Pos(), n.Op)
-	if st != nil && opOK {
-		ld, sf := makeLoad(st), makeStore(st)
-		return func(p *Proc) (Value, error) {
-			addr, _, err := lf(p)
-			if err != nil {
-				return Value{}, err
-			}
-			old, err := ld(p, addr)
-			if err != nil {
-				return Value{}, err
-			}
-			rhs, err := rf(p)
-			if err != nil {
-				return Value{}, err
-			}
-			res, err := p.applyBinaryFast(op, old, rhs, st)
-			if err != nil {
-				return Value{}, err
-			}
-			return sf(p, addr, res)
-		}
-	}
-	return func(p *Proc) (Value, error) {
-		addr, t, err := lf(p)
-		if err != nil {
-			return Value{}, err
-		}
-		old, err := p.loadValue(addr, t)
-		if err != nil {
-			return Value{}, err
-		}
-		rhs, err := rf(p)
-		if err != nil {
-			return Value{}, err
-		}
-		if !opOK {
-			return Value{}, badOp
-		}
-		res, err := p.applyBinary(op, old, rhs, t)
-		if err != nil {
-			return Value{}, err
-		}
-		v := Convert(res, t)
-		if err := p.storeValue(addr, t, v); err != nil {
-			return Value{}, err
-		}
-		return v, nil
-	}
-}
-
-func (c *compiler) compileBinary(n *ast.BinaryExpr) evalFn {
-	x := c.compileExpr(n.X)
-	y := c.compileExpr(n.Y)
-	if n.Op == token.AndAnd || n.Op == token.OrOr {
-		andand := n.Op == token.AndAnd
-		return func(p *Proc) (Value, error) {
-			xv, err := x(p)
-			if err != nil {
-				return Value{}, err
-			}
-			p.chargeCycles(costALU)
-			if andand && !xv.Bool() {
-				return IntValue(types.IntType, 0), nil
-			}
-			if !andand && xv.Bool() {
-				return IntValue(types.IntType, 1), nil
-			}
-			yv, err := y(p)
-			if err != nil {
-				return Value{}, err
-			}
-			if yv.Bool() {
-				return IntValue(types.IntType, 1), nil
-			}
-			return IntValue(types.IntType, 0), nil
-		}
-	}
-	op, rt := n.Op, n.Typ
-	return func(p *Proc) (Value, error) {
-		xv, err := x(p)
-		if err != nil {
-			return Value{}, err
-		}
-		yv, err := y(p)
-		if err != nil {
-			return Value{}, err
-		}
-		return p.applyBinaryFast(op, xv, yv, rt)
-	}
-}
-
-// compileCall classifies the call site once — direct (callee resolved to
-// its compiled form), indirect (function-pointer variable), or builtin
-// (runtime dispatch by name, then the interned common-libc subset) — the
-// exact classification evalCall re-derives on every execution.
-func (c *compiler) compileCall(n *ast.CallExpr) evalFn {
-	pr := c.pr
-	name := n.FuncName()
-	argFns := make([]evalFn, len(n.Args))
-	for i, a := range n.Args {
-		argFns[i] = c.compileExpr(a)
-	}
-	cid := commonBuiltinID(name)
-	unknownErr := fmt.Errorf("%s: call of unknown function %s", n.Pos(), name)
-	builtinTail := func(p *Proc, argv []Value) (Value, error) {
-		if rt := p.Sim.Runtime; rt != nil {
-			v, handled, err := rt.CallBuiltin(p, name, argv)
-			if err != nil {
-				return Value{}, err
-			}
-			if handled {
-				return v, nil
-			}
-		}
-		v, handled, err := p.commonBuiltinByID(cid, argv)
-		if err != nil {
-			return Value{}, err
-		}
-		if handled {
-			return v, nil
-		}
-		return Value{}, unknownErr
-	}
-
-	indirect := false
-	if name == "" || (n.Fun.ResultType() != nil && pr.Funcs[name] == nil && !isKnownBuiltin(name)) {
-		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Sym != nil && id.Sym.Kind != ast.SymFunc {
-			indirect = true
-		}
-	}
-	if indirect {
-		funFn := c.compileExpr(n.Fun)
-		return func(p *Proc) (Value, error) {
-			fv, err := funFn(p)
-			if err != nil {
-				return Value{}, err
-			}
-			cf := p.Sim.Program.compiledByValue(fv)
-			argv, base, err := p.evalCompiledArgs(argFns)
-			if err != nil {
-				return Value{}, err
-			}
-			var v Value
-			if cf != nil {
-				v, err = p.dispatchCall(cf, argv)
-			} else {
-				v, err = builtinTail(p, argv)
-			}
-			p.argArena = p.argArena[:base]
-			return v, err
-		}
-	}
-	if fn := pr.Funcs[name]; fn != nil && fn.Body != nil {
-		cf := pr.compiled[fn]
-		return func(p *Proc) (Value, error) {
-			argv, base, err := p.evalCompiledArgs(argFns)
-			if err != nil {
-				return Value{}, err
-			}
-			v, err := p.dispatchCall(cf, argv)
-			p.argArena = p.argArena[:base]
-			return v, err
-		}
-	}
-	return func(p *Proc) (Value, error) {
-		argv, base, err := p.evalCompiledArgs(argFns)
-		if err != nil {
-			return Value{}, err
-		}
-		v, err := builtinTail(p, argv)
-		p.argArena = p.argArena[:base]
-		return v, err
 	}
 }

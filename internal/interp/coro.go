@@ -1,0 +1,258 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The coroutine execution core. Under the compiled engine, execution
+// contexts are stackless coroutines stepped from one plain loop on the
+// caller's goroutine: a yield point (memory-op cadence, clock-skew
+// horizon, RCCE/pthread blocking) unwinds the compiled-closure stack
+// with the errYield sentinel while every closure on the path pushes an
+// explicit resumption frame, and the scheduler loop later re-enters the
+// context from the top, each closure popping its frame and jumping
+// straight back to the suspended child. No goroutines are created and
+// no channel is touched on any context switch; the tree-walk reference
+// engine keeps the original goroutine-per-context blocking scheduler
+// behind the HSMCC_ENGINE seam.
+//
+// Frame discipline (the whole protocol):
+//
+//   - Leaf primitives (chargeCycles, noteMemOp and the typed memory
+//     accessors, Yield, Block) COMPLETE their effect before yielding and
+//     return errYield without a frame; their caller records "site k
+//     done" and resumes after the call, never re-running it. A leaf
+//     that produces a value returns the real value alongside errYield
+//     so the caller can save it in its frame.
+//   - Every other function on the unwind path pushes exactly one frame
+//     ("I was inside child k", plus any locals computed so far) and, on
+//     resume, pops it and re-invokes the same child, which resumes
+//     internally. The re-descent never evaluates anything fresh, so the
+//     shared Proc state (slot arena, frame pointer, argument arena) is
+//     only consulted once control reaches the suspension point again.
+//
+// Resumption frames are pushed innermost-first during the unwind, so
+// popping from the tail re-enters the path outermost-first. The last
+// pop clears the resuming flag; execution then continues normally.
+
+// errYield is the coroutine suspension sentinel. It travels the same
+// path as runtime errors — every combinator already propagates errors
+// immediately — but is intercepted by the scheduler loop instead of
+// failing the session.
+var errYield = errors.New("interp: coroutine yield")
+
+// IsYield reports whether err is the coroutine suspension sentinel.
+// Runtime packages use it to distinguish a suspension from a failure
+// when a primitive they called wants to yield.
+func IsYield(err error) bool { return err == errYield }
+
+// kframe is one resumption frame: the step a function suspended at plus
+// whatever locals it needs to continue. The scratch fields cover every
+// shape the compiled combinators save (values, addresses, counters);
+// runtimes put their state in x.
+//
+// Storage is split for the sake of the switch hot path: the per-frame
+// meta (step, address, counter) lives in a pointer-free 16-byte stack
+// that the garbage collector never scans and pushes without write
+// barriers, while the occasional Value or interface payload rides on
+// side stacks, flagged in the step word. A frame push is the unwind's
+// only memory traffic, so this layout halves the cost of every context
+// switch.
+type kframe struct {
+	step int
+	v    Value
+	a    uint32
+	n    int64
+	x    any
+}
+
+// kmeta is the pointer-free stored form of a frame.
+type kmeta struct {
+	step int32 // step | kHasV | kHasX
+	a    uint32
+	n    int64
+}
+
+const (
+	kHasV     = 1 << 30
+	kHasX     = 1 << 29
+	kStepMask = kHasX - 1
+)
+
+// pushK saves one resumption frame. A saved Value always carries its
+// type (the zero Value means "nothing saved"), which is what lets the
+// payload flags reconstruct the frame exactly.
+func (p *Proc) pushK(fr kframe) {
+	st := int32(fr.step)
+	if fr.v.T != nil {
+		st |= kHasV
+		p.kvals = append(p.kvals, fr.v)
+	}
+	if fr.x != nil {
+		st |= kHasX
+		p.kxs = append(p.kxs, fr.x)
+	}
+	p.kstack = append(p.kstack, kmeta{step: st, a: fr.a, n: fr.n})
+}
+
+func (p *Proc) popK() kframe {
+	return *p.popKRef()
+}
+
+// popKRef pops the top frame into the Proc's scratch slot and returns a
+// pointer to it. The slot is overwritten by the next pop, so a resuming
+// function must copy any field it needs into locals before re-invoking
+// anything that could pop or push (the re-descent discipline already
+// requires exactly that).
+func (p *Proc) popKRef() *kframe {
+	n := len(p.kstack) - 1
+	m := p.kstack[n]
+	p.kstack = p.kstack[:n]
+	fr := &p.kscratch
+	fr.step = int(m.step & kStepMask)
+	fr.a = m.a
+	fr.n = m.n
+	if m.step&kHasV != 0 {
+		vi := len(p.kvals) - 1
+		fr.v = p.kvals[vi]
+		p.kvals[vi] = Value{}
+		p.kvals = p.kvals[:vi]
+	} else {
+		fr.v = Value{}
+	}
+	if m.step&kHasX != 0 {
+		xi := len(p.kxs) - 1
+		fr.x = p.kxs[xi]
+		p.kxs[xi] = nil
+		p.kxs = p.kxs[:xi]
+	} else {
+		fr.x = nil
+	}
+	if n == 0 {
+		p.coResuming = false
+	}
+	return fr
+}
+
+// Resuming reports whether the context is re-descending to a suspension
+// point. Runtime packages check it at the top of a builtin and pop
+// their frame with PopResume.
+func (p *Proc) Resuming() bool { return p.coResuming }
+
+// PushResume saves a runtime builtin's continuation before it
+// propagates a yield: step selects where to re-enter, x carries any
+// state the re-entry needs.
+func (p *Proc) PushResume(step int, x any) { p.pushK(kframe{step: step, x: x}) }
+
+// PopResume pops the frame pushed by PushResume. Call only when
+// Resuming reports true.
+func (p *Proc) PopResume() (int, any) {
+	fr := p.popK()
+	return fr.step, fr.x
+}
+
+// yieldCoro suspends a coroutine-mode context: it stays runnable, the
+// next context is elected with exactly one policy call (matching the
+// goroutine engine's Yield), and when the policy re-elects the yielder
+// the suspension is skipped entirely — no unwind, no frames.
+func (p *Proc) yieldCoro() error {
+	p.State = Runnable
+	p.lastYield = p.Clock
+	s := p.Sim
+	s.noteRunnable(p)
+	next := s.pickNext()
+	if next == p {
+		p.State = Running
+		return nil
+	}
+	s.elected, s.electedValid = next, true
+	return errYield
+}
+
+// blockCoro parks a coroutine-mode context until Unblock; the caller's
+// builtin resumes after its Block call once re-elected.
+func (p *Proc) blockCoro() error {
+	p.State = Blocked
+	p.lastYield = p.Clock
+	s := p.Sim
+	s.elected, s.electedValid = s.pickNext(), true
+	return errYield
+}
+
+// runCoro is the coroutine scheduler: a plain loop that steps whichever
+// context the policy elects until everything is done, something
+// deadlocks, or a context fails. The policy call sequence is identical
+// to the goroutine engine's handoff chain — one Next per yield, block
+// or exit — so stateful policies (round-robin quanta, many-to-one
+// core multiplexing) observe the exact same transitions.
+func (s *Sim) runCoro() error {
+	next := s.pickNext()
+	for next != nil {
+		next.State = Running
+		s.elected, s.electedValid = nil, false
+		finished := next.stepCoro()
+		if s.err != nil {
+			break
+		}
+		if finished {
+			next = s.pickNext()
+			continue
+		}
+		if s.electedValid {
+			next = s.elected
+		} else {
+			// A context must suspend through yieldCoro/blockCoro, which
+			// always elect a successor; reaching here is a protocol bug.
+			s.fail(fmt.Errorf("interp: context %d suspended without electing a successor", next.ID))
+			break
+		}
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if s.allDone() {
+		return nil
+	}
+	return fmt.Errorf("interp: deadlock: %s", s.stateSummary())
+}
+
+// stepCoro enters or resumes a context and runs it to its next
+// suspension point; true means the context finished (bookkeeping done).
+// The root callee is resolved once at spawn, so a resume costs no map
+// lookup before the re-descent.
+func (p *Proc) stepCoro() bool {
+	if len(p.kstack) > 0 {
+		p.coResuming = true
+	}
+	var v Value
+	var err error
+	if cf := p.rootCF; cf != nil {
+		v, err = p.callCompiled(cf, p.args)
+	} else {
+		v, err = p.call(p.fn, p.args)
+	}
+	if err == errYield {
+		return false
+	}
+	p.finish(v, err)
+	return true
+}
+
+// finish is the context completion path shared by both engines: record
+// the result, recycle the stack slot, wake joiners.
+func (p *Proc) finish(v Value, err error) {
+	switch err {
+	case nil, errThreadExit:
+		p.Ret = v
+	default:
+		p.Sim.fail(fmt.Errorf("proc %d (core %d): %w", p.ID, p.Core, err))
+	}
+	p.State = Done
+	s := p.Sim
+	s.done++
+	s.freeStacks[p.Core] = append(s.freeStacks[p.Core], p.stackIdx)
+	if s.Runtime != nil {
+		s.Runtime.OnExit(p)
+	}
+}

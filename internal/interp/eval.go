@@ -8,7 +8,10 @@ import (
 	"hsmcc/internal/cc/types"
 )
 
-// evalExpr evaluates e to an rvalue.
+// evalExpr evaluates e to an rvalue (tree-walk reference engine; runs
+// only under the blocking goroutine scheduler, so the yield-capable
+// primitives suspend internally and the propagated errors here are
+// always real failures).
 func (p *Proc) evalExpr(e ast.Expr) (Value, error) {
 	switch n := e.(type) {
 	case *ast.ParenExpr:
@@ -52,7 +55,9 @@ func (p *Proc) evalExpr(e ast.Expr) (Value, error) {
 		if n.Op == token.MinusMinus {
 			delta = -1
 		}
-		p.chargeCycles(costALU)
+		if err := p.chargeCycles(costALU); err != nil {
+			return Value{}, err
+		}
 		upd := p.stepValue(old, t, delta)
 		if err := p.storeValue(addr, t, upd); err != nil {
 			return Value{}, err
@@ -79,7 +84,9 @@ func (p *Proc) evalExpr(e ast.Expr) (Value, error) {
 			return Value{}, err
 		}
 		if (v.IsFloat() && n.To.IsInteger()) || (!v.IsFloat() && n.To.IsFloat()) {
-			p.chargeCycles(costConv)
+			if err := p.chargeCycles(costConv); err != nil {
+				return Value{}, err
+			}
 		}
 		return Convert(v, n.To), nil
 
@@ -98,7 +105,9 @@ func (p *Proc) evalExpr(e ast.Expr) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		p.chargeCycles(costALU)
+		if err := p.chargeCycles(costALU); err != nil {
+			return Value{}, err
+		}
 		if cond.Bool() {
 			return p.evalExpr(n.Then)
 		}
@@ -146,7 +155,9 @@ func (p *Proc) evalIdent(n *ast.Ident) (Value, error) {
 		return Value{}, fmt.Errorf("%s: no storage for %s", n.Pos(), n.Name)
 	}
 	if n.Sym.Type.Kind == types.Array {
-		p.chargeCycles(costALU) // address formation only
+		if err := p.chargeCycles(costALU); err != nil { // address formation only
+			return Value{}, err
+		}
 		return PtrValue(types.PointerTo(n.Sym.Type.Elem), addr), nil
 	}
 	return p.loadValue(addr, n.Sym.Type)
@@ -198,7 +209,9 @@ func (p *Proc) evalLValue(e ast.Expr) (uint32, *types.Type, error) {
 		if err != nil {
 			return 0, nil, err
 		}
-		p.chargeCycles(costALU) // address arithmetic
+		if err := p.chargeCycles(costALU); err != nil { // address arithmetic
+			return 0, nil, err
+		}
 		return base + uint32(idx.Int()*int64(elem.Size())), elem, nil
 
 	case *ast.MemberExpr:
@@ -226,7 +239,9 @@ func (p *Proc) evalLValue(e ast.Expr) (uint32, *types.Type, error) {
 		if !ok {
 			return 0, nil, fmt.Errorf("%s: no field %s in %s", e.Pos(), n.Name, st)
 		}
-		p.chargeCycles(costALU)
+		if err := p.chargeCycles(costALU); err != nil {
+			return 0, nil, err
+		}
 		return base + uint32(f.Offset), f.Type, nil
 
 	default:
@@ -293,7 +308,9 @@ func (p *Proc) evalUnary(n *ast.UnaryExpr) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		p.chargeCycles(costALU)
+		if err := p.chargeCycles(costALU); err != nil {
+			return Value{}, err
+		}
 		return PtrValue(types.PointerTo(t), addr), nil
 
 	case token.Star:
@@ -319,7 +336,9 @@ func (p *Proc) evalUnary(n *ast.UnaryExpr) (Value, error) {
 		if n.Op == token.MinusMinus {
 			delta = -1
 		}
-		p.chargeCycles(costALU)
+		if err := p.chargeCycles(costALU); err != nil {
+			return Value{}, err
+		}
 		upd := p.stepValue(old, t, delta)
 		if err := p.storeValue(addr, t, upd); err != nil {
 			return Value{}, err
@@ -334,21 +353,29 @@ func (p *Proc) evalUnary(n *ast.UnaryExpr) (Value, error) {
 	switch n.Op {
 	case token.Minus:
 		if v.IsFloat() {
-			p.chargeCycles(costFAdd)
+			if err := p.chargeCycles(costFAdd); err != nil {
+				return Value{}, err
+			}
 			return FloatValue(v.T, -v.F), nil
 		}
-		p.chargeCycles(costALU)
+		if err := p.chargeCycles(costALU); err != nil {
+			return Value{}, err
+		}
 		return IntValue(v.T, -v.I), nil
 	case token.Plus:
 		return v, nil
 	case token.Bang:
-		p.chargeCycles(costALU)
+		if err := p.chargeCycles(costALU); err != nil {
+			return Value{}, err
+		}
 		if v.Bool() {
 			return IntValue(types.IntType, 0), nil
 		}
 		return IntValue(types.IntType, 1), nil
 	case token.Tilde:
-		p.chargeCycles(costALU)
+		if err := p.chargeCycles(costALU); err != nil {
+			return Value{}, err
+		}
 		return IntValue(v.T, int64(int32(^uint32(v.Int())))), nil
 	default:
 		return Value{}, fmt.Errorf("%s: unary %s unsupported", n.Pos(), n.Op)
@@ -416,7 +443,9 @@ func (p *Proc) evalBinary(n *ast.BinaryExpr) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		p.chargeCycles(costALU)
+		if err := p.chargeCycles(costALU); err != nil {
+			return Value{}, err
+		}
 		if n.Op == token.AndAnd && !x.Bool() {
 			return IntValue(types.IntType, 0), nil
 		}
@@ -443,8 +472,30 @@ func (p *Proc) evalBinary(n *ast.BinaryExpr) (Value, error) {
 	return p.applyBinary(n.Op, x, y, n.Typ)
 }
 
-// applyBinary computes x op y, charging the operation cost.
+// applyBinary computes x op y, charging the operation cost. The charges
+// are those of the original per-case table (binCost hoists them without
+// changing any charge or its order relative to the fold), and the single
+// charge site is what makes the function resumable under the coroutine
+// engine: a yield at the charge saves the pure outcome in the frame, so
+// re-entry (with any operands) just returns it.
 func (p *Proc) applyBinary(op token.Kind, x, y Value, rt *types.Type) (Value, error) {
+	if p.coResuming {
+		return p.applyResume()
+	}
+	cost := costALU // pointer arithmetic charges one ALU cycle
+	if xt := x.T; xt == nil || !xt.IsPointerLike() || (op != token.Plus && op != token.Minus) {
+		cost = binCost(op, x.IsFloat() || y.IsFloat())
+	}
+	if err := p.chargeCycles(cost); err != nil {
+		p.pushApplyOutcome(applyBinaryFold(op, x, y, rt))
+		return Value{}, err
+	}
+	return applyBinaryFold(op, x, y, rt)
+}
+
+// applyBinaryFold is applyBinary's pure compute half: pointer
+// arithmetic, then the shared numeric fold.
+func applyBinaryFold(op token.Kind, x, y Value, rt *types.Type) (Value, error) {
 	// Pointer arithmetic: scale the integer side by the element size.
 	if xt := x.T; xt != nil && xt.IsPointerLike() && (op == token.Plus || op == token.Minus) {
 		elem := xt.Decay().Elem
@@ -453,42 +504,13 @@ func (p *Proc) applyBinary(op token.Kind, x, y Value, rt *types.Type) (Value, er
 			size = int64(elem.Size())
 		}
 		if yt := y.T; yt != nil && yt.IsPointerLike() && op == token.Minus {
-			p.chargeCycles(costALU)
 			return IntValue(types.IntType, (x.Int()-y.Int())/size), nil
 		}
-		p.chargeCycles(costALU)
 		delta := y.Int() * size
 		if op == token.Minus {
 			delta = -delta
 		}
 		return PtrValue(xt.Decay(), uint32(x.Int()+delta)), nil
-	}
-	float := x.IsFloat() || y.IsFloat()
-	switch op {
-	case token.Plus, token.Minus:
-		if float {
-			p.chargeCycles(costFAdd)
-		} else {
-			p.chargeCycles(costALU)
-		}
-	case token.Star:
-		if float {
-			p.chargeCycles(costFMul)
-		} else {
-			p.chargeCycles(costIMul)
-		}
-	case token.Slash, token.Percent:
-		if float {
-			p.chargeCycles(costFDiv)
-		} else {
-			p.chargeCycles(costIDiv)
-		}
-	default:
-		if float {
-			p.chargeCycles(costFAdd)
-		} else {
-			p.chargeCycles(costALU)
-		}
 	}
 	v, err := foldBinary(op, x, y)
 	if err != nil {

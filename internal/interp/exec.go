@@ -35,7 +35,9 @@ const (
 
 // call runs fn(args) to completion and returns its value, dispatching on
 // the session's engine: the compiled form by default, the tree-walk
-// reference on request or for functions the compiler refused.
+// reference on request or for functions the compiler refused. The
+// dispatch is deterministic in the Program and Engine, so a coroutine
+// re-descent reaches the same callee.
 func (p *Proc) call(fn *ast.FuncDecl, args []Value) (Value, error) {
 	if p.Sim.Engine != EngineTreeWalk {
 		if cf := p.Sim.Program.compiled[fn]; cf != nil && !cf.fallback {
@@ -46,12 +48,17 @@ func (p *Proc) call(fn *ast.FuncDecl, args []Value) (Value, error) {
 }
 
 // callTree runs fn(args) in a fresh tree-walk frame (reference engine).
+// The tree-walk only runs under the blocking goroutine scheduler, where
+// the yield-capable primitives suspend internally and never return the
+// yield sentinel.
 func (p *Proc) callTree(fn *ast.FuncDecl, args []Value) (Value, error) {
 	if fn.Body == nil {
 		return Value{}, fmt.Errorf("call of undefined function %s", fn.Name)
 	}
 	p.Calls++
-	p.chargeCycles(costCall)
+	if err := p.chargeCycles(costCall); err != nil {
+		return Value{}, err
+	}
 	fr, err := p.pushFrame(fn)
 	if err != nil {
 		return Value{}, err
@@ -70,12 +77,12 @@ func (p *Proc) callTree(fn *ast.FuncDecl, args []Value) (Value, error) {
 		}
 	}
 	var ret Value
-	c, err := p.execBlock(fn.Body, &ret)
-	if err != nil {
+	if _, err := p.execBlock(fn.Body, &ret); err != nil {
 		return Value{}, err
 	}
-	_ = c
-	p.chargeCycles(costReturn)
+	if err := p.chargeCycles(costReturn); err != nil {
+		return Value{}, err
+	}
 	return ret, nil
 }
 
@@ -151,7 +158,9 @@ func (p *Proc) execStmt(s ast.Stmt, ret *Value) (ctrl, error) {
 		if err != nil {
 			return ctrlNone, err
 		}
-		p.chargeCycles(costALU)
+		if err := p.chargeCycles(costALU); err != nil {
+			return ctrlNone, err
+		}
 		if cond.Bool() {
 			return p.execStmt(n.Then, ret)
 		}
@@ -172,7 +181,9 @@ func (p *Proc) execStmt(s ast.Stmt, ret *Value) (ctrl, error) {
 				if err != nil {
 					return ctrlNone, err
 				}
-				p.chargeCycles(costALU)
+				if err := p.chargeCycles(costALU); err != nil {
+					return ctrlNone, err
+				}
 				if !cond.Bool() {
 					break
 				}
@@ -201,7 +212,9 @@ func (p *Proc) execStmt(s ast.Stmt, ret *Value) (ctrl, error) {
 			if err != nil {
 				return ctrlNone, err
 			}
-			p.chargeCycles(costALU)
+			if err := p.chargeCycles(costALU); err != nil {
+				return ctrlNone, err
+			}
 			if !cond.Bool() {
 				return ctrlNone, nil
 			}
@@ -233,7 +246,9 @@ func (p *Proc) execStmt(s ast.Stmt, ret *Value) (ctrl, error) {
 			if err != nil {
 				return ctrlNone, err
 			}
-			p.chargeCycles(costALU)
+			if err := p.chargeCycles(costALU); err != nil {
+				return ctrlNone, err
+			}
 			if !cond.Bool() {
 				return ctrlNone, nil
 			}
@@ -244,7 +259,9 @@ func (p *Proc) execStmt(s ast.Stmt, ret *Value) (ctrl, error) {
 		if err != nil {
 			return ctrlNone, err
 		}
-		p.chargeCycles(costALU)
+		if err := p.chargeCycles(costALU); err != nil {
+			return ctrlNone, err
+		}
 		matched := false
 		for _, cl := range n.Cases {
 			if !matched {

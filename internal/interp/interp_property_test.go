@@ -143,9 +143,10 @@ int main() { return down(0); }`)
 }
 
 // TestDeadlockDetected: a context blocking forever is a scheduler error,
-// not a hang.
+// not a hang. The block happens through a runtime builtin — the
+// supported suspension path in both engines (Tick must not block).
 func TestDeadlockDetected(t *testing.T) {
-	pr, err := Compile("d.c", "int main() { return 0; }")
+	pr, err := Compile("d.c", "int park(); int main() { park(); return 0; }")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,17 +161,25 @@ func TestDeadlockDetected(t *testing.T) {
 	}
 }
 
-// blockForever blocks every context at its first statement.
+// blockForever parks any context that calls park(), with no one to wake
+// it.
 type blockForever struct{}
 
 func (blockForever) CallBuiltin(p *Proc, name string, args []Value) (Value, bool, error) {
-	return Value{}, false, nil
-}
-func (blockForever) Tick(p *Proc) {
-	if p.Ops == 1 {
-		p.Block()
+	if name != "park" {
+		return Value{}, false, nil
 	}
+	if p.Resuming() {
+		p.PopResume()
+		return Value{}, true, nil
+	}
+	if err := p.Block(); err != nil {
+		p.PushResume(1, nil)
+		return Value{}, true, err
+	}
+	return Value{}, true, nil
 }
+func (blockForever) Tick(p *Proc) {}
 func (blockForever) OnExit(p *Proc) {}
 
 func contains(s, sub string) bool {

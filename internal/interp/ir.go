@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"fmt"
 	"os"
 
 	"hsmcc/internal/cc/ast"
@@ -18,15 +19,54 @@ type Engine int
 
 // Engines.
 const (
+	// EngineDefault defers to the session default (DefaultEngine, which
+	// the HSMCC_ENGINE environment variable seeds). It is the zero value
+	// so option structs that embed an Engine inherit the default.
+	EngineDefault Engine = iota
 	// EngineCompiled executes the closure form lowered by compile.go:
 	// frame layouts resolved once per function, locals as dense slot
 	// arrays, expressions pre-bound so the per-node type-switch and all
-	// name re-resolution disappear from the hot loop.
-	EngineCompiled Engine = iota
+	// name re-resolution disappear from the hot loop. On fully-compiled
+	// programs it runs contexts as stackless coroutines (coro.go).
+	EngineCompiled
 	// EngineTreeWalk is the original statement-by-statement AST walk,
-	// retained as the semantic reference for golden tests.
+	// retained as the semantic reference for golden tests; its contexts
+	// block on goroutines.
 	EngineTreeWalk
 )
+
+// String names the engine as the CLI flags and HSMCC_ENGINE spell it.
+func (e Engine) String() string {
+	switch e {
+	case EngineCompiled:
+		return "compiled"
+	case EngineTreeWalk:
+		return "treewalk"
+	}
+	return "default"
+}
+
+// ParseEngine maps a CLI/flag name to an engine; the empty string (and
+// "default") selects the session default.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "", "default":
+		return EngineDefault, nil
+	case "compiled", "coroutine":
+		return EngineCompiled, nil
+	case "treewalk":
+		return EngineTreeWalk, nil
+	}
+	return EngineDefault, fmt.Errorf("unknown engine %q (want compiled or treewalk)", name)
+}
+
+// Resolve replaces EngineDefault with the session default.
+func (e Engine) Resolve() Engine {
+	if e == EngineDefault {
+		return DefaultEngine
+	}
+	return e
+}
 
 // DefaultEngine is the engine NewSim installs. The HSMCC_ENGINE
 // environment variable overrides it ("treewalk" selects the reference

@@ -33,8 +33,13 @@ type Proc struct {
 	// stores the quantum start here).
 	Slice sccsim.Time
 
-	fn     *ast.FuncDecl
+	fn *ast.FuncDecl
+	// rootCF is fn's compiled form, resolved at spawn for coroutine
+	// contexts so every resume skips the map lookup.
+	rootCF *compiledFunc
 	args   []Value
+	// resume is the goroutine-mode wakeup channel; coroutine-mode
+	// contexts have no goroutine and leave it nil.
 	resume chan struct{}
 
 	frames    []*frame
@@ -53,6 +58,19 @@ type Proc struct {
 	slotMem  []uint32
 	cfp      int
 	argArena []Value
+	// retSlots holds one return-value cell per call depth, so a call's
+	// ret pointer does not escape to the heap; fixed capacity because
+	// active bodies hold interior pointers across nested calls.
+	retSlots []Value
+	// Coroutine state: the resumption stacks a suspension unwinds into
+	// (pointer-free meta plus payload side stacks), the pop scratch
+	// slot, and the flag marking a re-descent to the suspension point
+	// (coro.go documents the protocol).
+	kstack     []kmeta
+	kvals      []Value
+	kxs        []any
+	kscratch   kframe
+	coResuming bool
 	// timer is the machine's cycle-to-time handle for this context's
 	// core (stable across DVFS changes).
 	timer *sccsim.CoreTimer
@@ -83,14 +101,15 @@ type frame struct {
 const yieldHorizonPs = sccsim.Time(2_500_000)
 
 // chargeCycles adds n core cycles of compute time, yielding when the
-// clock has run past the skew horizon. The per-core timer handle is
-// cached on the context, so the per-operation cost is one multiply and
-// two adds.
-func (p *Proc) chargeCycles(n int) {
+// clock has run past the skew horizon. The charge is complete before a
+// yield propagates, so callers resume after the call without re-running
+// it (a "leaf" in the coroutine protocol).
+func (p *Proc) chargeCycles(n int) error {
 	p.Clock += p.timer.Cycles(n)
 	if p.Clock-p.lastYield >= yieldHorizonPs {
-		p.Yield()
+		return p.Yield()
 	}
+	return nil
 }
 
 // noteMemOp implements the cooperative yield cadence. Accesses to shared
@@ -99,17 +118,26 @@ func (p *Proc) chargeCycles(n int) {
 // burst ahead would serialize whole bursts at the memory controllers
 // instead of interleaving requests in virtual-time order. Private
 // accesses cannot contend, so they only yield every YieldEvery ops to
-// keep scheduling overhead low.
-func (p *Proc) noteMemOp(addr uint32) {
+// keep scheduling overhead low. The yield itself is outlined so the
+// no-yield path inlines into the typed accessors.
+func (p *Proc) noteMemOp(addr uint32) error {
 	p.memOps++
 	if addr >= sccsim.SharedBase || p.memOps >= YieldEvery ||
 		p.Clock-p.lastYield >= yieldHorizonPs {
-		p.memOps = 0
-		p.Yield()
+		return p.yieldMemOp()
 	}
+	return nil
+}
+
+// yieldMemOp is noteMemOp's cold half.
+func (p *Proc) yieldMemOp() error {
+	p.memOps = 0
+	return p.Yield()
 }
 
 // loadValue reads a typed value from simulated memory, charging latency.
+// The access and decode complete before a yield propagates; the real
+// value rides alongside errYield for the caller to save.
 func (p *Proc) loadValue(addr uint32, t *types.Type) (Value, error) {
 	size := t.Size()
 	if size <= 0 || size > 8 {
@@ -117,11 +145,16 @@ func (p *Proc) loadValue(addr uint32, t *types.Type) (Value, error) {
 	}
 	buf := p.buf[:size]
 	p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
-	p.noteMemOp(addr)
-	return decodeValue(t, buf)
+	yerr := p.noteMemOp(addr)
+	v, err := decodeValue(t, buf)
+	if err != nil {
+		return Value{}, err
+	}
+	return v, yerr
 }
 
 // storeValue writes a typed value to simulated memory, charging latency.
+// The store is complete before a yield propagates.
 func (p *Proc) storeValue(addr uint32, t *types.Type, v Value) error {
 	size := t.Size()
 	if size <= 0 || size > 8 {
@@ -132,8 +165,7 @@ func (p *Proc) storeValue(addr uint32, t *types.Type, v Value) error {
 		return err
 	}
 	p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
-	p.noteMemOp(addr)
-	return nil
+	return p.noteMemOp(addr)
 }
 
 // ---------------------------------------------------------------------------
@@ -258,7 +290,8 @@ func (p *Proc) popCFrame() {
 }
 
 // dispatchCall routes a resolved callee: compiled body, or the tree-walk
-// reference for functions the compiler refused.
+// reference for functions the compiler refused (goroutine mode only; a
+// coroutine session requires a fully-compiled program).
 func (p *Proc) dispatchCall(cf *compiledFunc, args []Value) (Value, error) {
 	if cf.fallback {
 		return p.callTree(cf.decl, args)
@@ -267,17 +300,55 @@ func (p *Proc) dispatchCall(cf *compiledFunc, args []Value) (Value, error) {
 }
 
 // callCompiled is the compiled twin of callTree: identical cycle charges,
-// identical timed parameter stores, no per-call allocation.
+// identical timed parameter stores, no per-call allocation. Resumable at
+// every suspension point: after the call charge (1), between parameter
+// stores (2), inside the body (3) and after the return charge (4).
 func (p *Proc) callCompiled(cf *compiledFunc, args []Value) (Value, error) {
 	if cf.body == nil {
 		return Value{}, fmt.Errorf("call of undefined function %s", cf.name)
 	}
+	if p.coResuming {
+		fr := p.popKRef()
+		switch fr.step {
+		case 1: // call charge complete, frame not yet pushed
+			return p.enterCompiled(cf, args)
+		case 2: // parameter store i-1 complete
+			if err := p.storeParams(cf, args, int(fr.n)); err != nil {
+				return Value{}, err
+			}
+			return p.runCompiledBody(cf)
+		case 3: // suspended inside the body; fr.n carries the call depth
+			return p.runCompiledBodyAt(cf, int(fr.n))
+		default: // 4: return charge complete, result saved
+			return fr.v, nil
+		}
+	}
 	p.Calls++
-	p.chargeCycles(costCall)
+	if err := p.chargeCycles(costCall); err != nil {
+		p.pushK(kframe{step: 1})
+		return Value{}, err
+	}
+	return p.enterCompiled(cf, args)
+}
+
+// enterCompiled pushes the activation record, stores the parameters and
+// runs the body (everything after the call charge).
+func (p *Proc) enterCompiled(cf *compiledFunc, args []Value) (Value, error) {
 	if err := p.pushCFrame(cf); err != nil {
 		return Value{}, err
 	}
-	for i, si := range cf.paramSlot {
+	if err := p.storeParams(cf, args, 0); err != nil {
+		return Value{}, err
+	}
+	return p.runCompiledBody(cf)
+}
+
+// storeParams performs the timed parameter stores from index `from`; on
+// a yield the in-flight store has completed and the frame records the
+// next index.
+func (p *Proc) storeParams(cf *compiledFunc, args []Value, from int) error {
+	for i := from; i < len(cf.paramSlot); i++ {
+		si := cf.paramSlot[i]
 		if si < 0 {
 			continue
 		}
@@ -286,58 +357,115 @@ func (p *Proc) callCompiled(cf *compiledFunc, args []Value) (Value, error) {
 			v = args[i]
 		}
 		if _, err := cf.paramStore[i](p, p.slotMem[p.cfp+si], v); err != nil {
+			if err == errYield {
+				p.pushK(kframe{step: 2, n: int64(i + 1)})
+				return err
+			}
 			p.popCFrame()
-			return Value{}, err
+			return err
 		}
 	}
-	var ret Value
-	_, err := cf.body(p, &ret)
-	p.popCFrame()
-	if err != nil {
+	return nil
+}
+
+// runCompiledBody starts a fresh body at the current call depth (this
+// function's frame is the innermost, so len(cframes) IS its depth).
+func (p *Proc) runCompiledBody(cf *compiledFunc) (Value, error) {
+	return p.runCompiledBodyAt(cf, len(p.cframes))
+}
+
+// runCompiledBodyAt executes (or re-enters) the body, pops the
+// activation record and charges the return. The return cell comes from
+// the per-depth arena at the function's OWN depth — recorded in the
+// suspension frame, because during a resume descent the deeper
+// suspended calls are still pushed and len(cframes) would index a
+// deeper call's cell. The cell is zeroed on fresh entry exactly like
+// the local it replaces (ReturnStmt writes it with no suspension before
+// the body completes, so a re-entered body never carries a partial cell
+// across a yield, and nothing runs on this context while it is
+// suspended).
+func (p *Proc) runCompiledBodyAt(cf *compiledFunc, depth int) (Value, error) {
+	if p.retSlots == nil {
+		p.retSlots = make([]Value, maxCallDepth+1)
+	}
+	ret := &p.retSlots[depth]
+	if !p.coResuming {
+		*ret = Value{}
+	}
+	if _, err := cf.body(p, ret); err != nil {
+		if err == errYield {
+			p.pushK(kframe{step: 3, n: int64(depth)})
+			return Value{}, err
+		}
+		p.popCFrame()
 		return Value{}, err
 	}
-	p.chargeCycles(costReturn)
-	return ret, nil
+	rv := *ret
+	p.popCFrame()
+	if err := p.chargeCycles(costReturn); err != nil {
+		p.pushK(kframe{step: 4, v: rv})
+		return Value{}, err
+	}
+	return rv, nil
 }
 
 // evalCompiledArgs evaluates call arguments into the Proc's argument
 // arena, charging one ALU cycle per argument push as evalArgs does. The
 // caller truncates the arena back to base when the call returns; builtins
-// receive the arena-backed slice and must not retain it (none do).
+// receive the arena-backed slice and must not retain it (none do). On a
+// yield the arena stays extended — evaluated arguments live there across
+// the suspension — and the frame records the next argument to evaluate.
 func (p *Proc) evalCompiledArgs(fns []evalFn) ([]Value, int, error) {
-	base := len(p.argArena)
-	need := base + len(fns)
-	if cap(p.argArena) < need {
-		grown := make([]Value, need, need*2+8)
-		copy(grown, p.argArena)
-		p.argArena = grown
+	var base, start int
+	if p.coResuming {
+		fr := p.popKRef()
+		base, start = int(fr.a), int(fr.n)
 	} else {
-		p.argArena = p.argArena[:need]
+		base = len(p.argArena)
+		need := base + len(fns)
+		if cap(p.argArena) < need {
+			grown := make([]Value, need, need*2+8)
+			copy(grown, p.argArena)
+			p.argArena = grown
+		} else {
+			p.argArena = p.argArena[:need]
+		}
 	}
-	for i, f := range fns {
-		v, err := f(p)
+	for i := start; i < len(fns); i++ {
+		v, err := fns[i](p)
 		if err != nil {
+			if err == errYield {
+				p.pushK(kframe{a: uint32(base), n: int64(i)})
+				return nil, 0, err
+			}
 			p.argArena = p.argArena[:base]
 			return nil, 0, err
 		}
 		p.argArena[base+i] = v
-		p.chargeCycles(costALU)
+		if err := p.chargeCycles(costALU); err != nil {
+			p.pushK(kframe{a: uint32(base), n: int64(i + 1)})
+			return nil, 0, err
+		}
 	}
 	return p.argArena[base : base+len(fns) : base+len(fns)], base, nil
 }
 
-// LoadTyped reads a typed value with timing; for runtime packages.
+// LoadTyped reads a typed value with timing; for runtime packages. The
+// coroutine leaf convention applies: on a yield the access has completed
+// and the real value is returned alongside the sentinel.
 func (p *Proc) LoadTyped(addr uint32, t *types.Type) (Value, error) {
 	return p.loadValue(addr, t)
 }
 
 // StoreTyped writes a typed value with timing; for runtime packages.
+// On a yield the store has completed.
 func (p *Proc) StoreTyped(addr uint32, t *types.Type, v Value) error {
 	return p.storeValue(addr, t, v)
 }
 
-// ChargeCycles adds compute cycles; for runtime packages.
-func (p *Proc) ChargeCycles(n int) { p.chargeCycles(n) }
+// ChargeCycles adds compute cycles; for runtime packages. On a yield
+// the charge has completed.
+func (p *Proc) ChargeCycles(n int) error { return p.chargeCycles(n) }
 
 // Printf appends to the session output.
 func (p *Proc) Printf(format string, args ...any) {

@@ -14,6 +14,15 @@ import (
 // of its globals and string literals in the private address space. The
 // same Program instantiates once per execution context (each SCC process
 // gets its own private copy; baseline threads share their parent's copy).
+//
+// A Program is IMMUTABLE once Load returns: the layout maps, the function
+// tables and every compiled closure are built eagerly and only read
+// afterwards. That immutability is a load-bearing contract — one compiled
+// Program is shared by any number of concurrent Sims (the grid runner and
+// the conformance oracle compile once per workload and fan matrix cells
+// out across host cores), so nothing reached from a Program may be
+// written during execution. TestProgramSharedAcrossSims pins this under
+// the race detector.
 type Program struct {
 	File  *ast.File
 	Info  *sema.Info
@@ -39,7 +48,15 @@ type Program struct {
 	// function values decode to their compiled form without a map lookup.
 	compiled     map[*ast.FuncDecl]*compiledFunc
 	compiledList []*compiledFunc
+	// fullyCompiled reports that no function poisoned back to the
+	// tree-walk reference; only then can a session run its contexts as
+	// stackless coroutines (the tree-walk can only block on a goroutine).
+	fullyCompiled bool
 }
+
+// FullyCompiled reports whether every defined function lowered to the
+// compiled form — the precondition for the coroutine execution core.
+func (pr *Program) FullyCompiled() bool { return pr.fullyCompiled }
 
 // FuncValue returns the value encoding of a defined function.
 func (pr *Program) FuncValue(fn *ast.FuncDecl) Value {

@@ -50,9 +50,15 @@ func (MinClock) Next(procs []*Proc) *Proc {
 // and scheduling hooks.
 type Runtime interface {
 	// CallBuiltin dispatches a runtime function; handled=false passes the
-	// call to the interpreter's common builtins.
+	// call to the interpreter's common builtins. A builtin that calls a
+	// yield-capable primitive (ChargeCycles, Block, Yield, the typed
+	// accessors) must follow the coroutine resumption protocol: push a
+	// continuation with PushResume before propagating a yield, pop it
+	// with PopResume when re-entered with Resuming true, and never
+	// yield before committing to handle the call.
 	CallBuiltin(p *Proc, name string, args []Value) (v Value, handled bool, err error)
-	// Tick runs at statement boundaries (preemption hook).
+	// Tick runs at statement boundaries (preemption hook). It must not
+	// yield or block.
 	Tick(p *Proc)
 	// OnExit runs when a context finishes (wakes joiners, etc.).
 	OnExit(p *Proc)
@@ -67,7 +73,10 @@ const YieldEvery = 32
 const StackBytes = 256 * 1024
 
 // Sim is one simulation session: a machine, a loaded program, a runtime
-// and the set of execution contexts.
+// and the set of execution contexts. The Program is the immutable
+// compiled half — one Program may back any number of concurrent Sims —
+// while the Sim carries every piece of per-run mutable state (context
+// set, heaps, stack slots, output).
 type Sim struct {
 	Machine *sccsim.Machine
 	Program *Program
@@ -92,9 +101,21 @@ type Sim struct {
 	done    int // finished contexts still in procs
 	err     error
 	halted  bool
-	// ctrl wakes Run when the session finishes (all done, deadlock, or
-	// error). Contexts hand off to each other directly; Run only sees
-	// the first dispatch and the final signal.
+	// coro is true when contexts run as stackless coroutines stepped by
+	// runCoro (the compiled engine on a fully-compiled program); false
+	// runs the goroutine-per-context handoff chain (tree-walk reference,
+	// or a program with compiler-poisoned functions). Fixed at the first
+	// Spawn, when the engine choice is final.
+	coro    bool
+	modeSet bool
+	// elected carries the successor chosen by a suspending coroutine to
+	// the stepping loop, so each scheduling event makes exactly one
+	// Policy.Next call in both modes.
+	elected      *Proc
+	electedValid bool
+	// ctrl wakes Run when a goroutine-mode session finishes (all done,
+	// deadlock, or error). Contexts hand off to each other directly; Run
+	// only sees the first dispatch and the final signal.
 	ctrl chan struct{}
 }
 
@@ -116,6 +137,22 @@ func NewSim(m *sccsim.Machine, pr *Program) *Sim {
 // Procs returns the spawned contexts.
 func (s *Sim) Procs() []*Proc { return s.procs }
 
+// Coroutine reports whether the session runs contexts as stackless
+// coroutines (no goroutine, no channel op per context switch).
+func (s *Sim) Coroutine() bool { return s.coro }
+
+// decideMode fixes the execution mode at the first Spawn: coroutines
+// need every function in compiled form (a poisoned function would have
+// to block inside the tree-walk, which only the goroutine engine can).
+func (s *Sim) decideMode() {
+	if s.modeSet {
+		return
+	}
+	s.modeSet = true
+	s.Engine = s.Engine.Resolve()
+	s.coro = s.Engine != EngineTreeWalk && s.Program.FullyCompiled()
+}
+
 // Spawn creates an execution context on core that will run fn(args) when
 // first scheduled, starting at virtual time start. The program image is
 // instantiated into the core's private memory the first time a context
@@ -124,6 +161,7 @@ func (s *Sim) Spawn(core int, fn *ast.FuncDecl, args []Value, start sccsim.Time)
 	if core < 0 || core >= s.Machine.Cores() {
 		return nil, fmt.Errorf("interp: spawn on core %d of %d", core, s.Machine.Cores())
 	}
+	s.decideMode()
 	if _, loaded := s.heaps[core]; !loaded {
 		if err := s.Program.instantiate(s.Machine, core); err != nil {
 			return nil, err
@@ -151,7 +189,6 @@ func (s *Sim) Spawn(core int, fn *ast.FuncDecl, args []Value, start sccsim.Time)
 		stackIdx: idx,
 		fn:       fn,
 		args:     args,
-		resume:   make(chan struct{}),
 	}
 	p.stackTop = sccsim.PrivateLimit - uint32(idx*StackBytes)
 	p.stackPtr = p.stackTop
@@ -159,17 +196,31 @@ func (s *Sim) Spawn(core int, fn *ast.FuncDecl, args []Value, start sccsim.Time)
 	s.nextID++
 	s.procs = append(s.procs, p)
 	s.noteRunnable(p)
-	go p.top()
+	if s.coro {
+		// Reserve the resumption stack up front: a suspension pushes one
+		// frame per active closure, and growth inside an unwind would
+		// add allocation noise to the hot switch path.
+		p.kstack = make([]kmeta, 0, 64)
+		if cf := s.Program.compiled[fn]; cf != nil && !cf.fallback {
+			p.rootCF = cf
+		}
+	} else {
+		p.resume = make(chan struct{})
+		go p.top()
+	}
 	return p, nil
 }
 
-// Run starts the handoff chain and waits for the session to end. Unlike
-// the original central loop — two channel round-trips through a scheduler
-// goroutine per yield — contexts pick their successor themselves and
-// resume it directly; a context that reschedules itself (the common
-// non-blocking yield) performs no channel operation at all. Run returns
-// the first runtime error, if any.
+// Run executes the session to completion and returns the first runtime
+// error, if any. Coroutine sessions step contexts from a plain loop on
+// the calling goroutine; goroutine-mode sessions start the handoff
+// chain — contexts pick their successor and resume it directly, and a
+// context that reschedules itself performs no channel operation at all.
 func (s *Sim) Run() error {
+	s.decideMode()
+	if s.coro {
+		return s.runCoro()
+	}
 	defer s.stopAll()
 	s.handoff(s.pickNext())
 	<-s.ctrl
@@ -273,7 +324,7 @@ func (s *Sim) stateSummary() string {
 func (s *Sim) stopAll() {
 	s.halted = true
 	for _, p := range s.procs {
-		if p.State != Done {
+		if p.State != Done && p.resume != nil {
 			close(p.resume)
 		}
 	}
@@ -286,25 +337,14 @@ func (s *Sim) fail(err error) {
 	}
 }
 
-// top is the context goroutine body.
+// top is the context goroutine body (goroutine mode only).
 func (p *Proc) top() {
 	if !p.acquire() {
 		return
 	}
 	v, err := p.call(p.fn, p.args)
-	switch err {
-	case nil, errThreadExit:
-		p.Ret = v
-	default:
-		p.Sim.fail(fmt.Errorf("proc %d (core %d): %w", p.ID, p.Core, err))
-	}
-	p.State = Done
+	p.finish(v, err)
 	s := p.Sim
-	s.done++
-	s.freeStacks[p.Core] = append(s.freeStacks[p.Core], p.stackIdx)
-	if s.Runtime != nil {
-		s.Runtime.OnExit(p)
-	}
 	if s.err != nil {
 		// The session stops on the first error without scheduling more
 		// work, as the original run loop did.
@@ -326,9 +366,14 @@ func (p *Proc) acquire() bool {
 // Yield cooperatively gives up the processor while staying runnable.
 // When the policy re-elects the yielding context — the common case under
 // both the round-robin baseline (within a quantum) and min-clock once a
-// context owns the smallest time — control returns without touching a
-// channel or waking another goroutine.
-func (p *Proc) Yield() {
+// context owns the smallest time — control returns without suspending at
+// all. In goroutine mode the call blocks until re-elected and returns
+// nil; in coroutine mode it returns the yield sentinel, which the caller
+// propagates (pushing its resumption frame) to the stepping loop.
+func (p *Proc) Yield() error {
+	if p.Sim.coro {
+		return p.yieldCoro()
+	}
 	p.State = Runnable
 	p.lastYield = p.Clock
 	s := p.Sim
@@ -336,19 +381,26 @@ func (p *Proc) Yield() {
 	next := s.pickNext()
 	if next == p {
 		p.State = Running
-		return
+		return nil
 	}
 	s.handoff(next)
 	p.acquire()
+	return nil
 }
 
-// Block parks the context until another context calls Unblock.
-func (p *Proc) Block() {
+// Block parks the context until another context calls Unblock. The same
+// mode split as Yield applies: goroutine mode blocks and returns nil,
+// coroutine mode returns the yield sentinel to propagate.
+func (p *Proc) Block() error {
+	if p.Sim.coro {
+		return p.blockCoro()
+	}
 	p.State = Blocked
 	p.lastYield = p.Clock
 	s := p.Sim
 	s.handoff(s.pickNext())
 	p.acquire()
+	return nil
 }
 
 // Unblock makes a parked context runnable again, advancing its clock to

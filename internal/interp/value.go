@@ -6,9 +6,12 @@
 // per-operation compute costs, so runtime ratios reflect the memory
 // system and the parallel structure rather than interpreter artifacts.
 //
-// Execution contexts (threads or core processes) are goroutines under a
-// strict-handoff scheduler: exactly one context runs at a time and all
-// virtual-time decisions are deterministic (DESIGN.md §8).
+// Execution contexts (threads or core processes) are stackless
+// coroutines under the compiled engine — stepped from one scheduler
+// loop with zero goroutines and zero channel operations per switch
+// (coro.go) — and goroutines under a strict-handoff scheduler for the
+// tree-walk reference. In both modes exactly one context runs at a time
+// and all virtual-time decisions are deterministic (DESIGN.md §8).
 package interp
 
 import (

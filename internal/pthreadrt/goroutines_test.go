@@ -1,0 +1,108 @@
+package pthreadrt
+
+import (
+	"runtime"
+	"testing"
+
+	"hsmcc/internal/interp"
+	"hsmcc/internal/sccsim"
+)
+
+// countingRuntime wraps the pthread runtime and samples the host
+// goroutine count at every statement boundary — including while threads
+// are being created and joined mid-run.
+type countingRuntime struct {
+	inner   *Runtime
+	samples int
+	min     int
+	max     int
+}
+
+func (c *countingRuntime) CallBuiltin(p *interp.Proc, name string, args []interp.Value) (interp.Value, bool, error) {
+	return c.inner.CallBuiltin(p, name, args)
+}
+
+func (c *countingRuntime) Tick(p *interp.Proc) {
+	n := runtime.NumGoroutine()
+	if c.samples == 0 || n < c.min {
+		c.min = n
+	}
+	if c.samples == 0 || n > c.max {
+		c.max = n
+	}
+	c.samples++
+	c.inner.Tick(p)
+}
+
+func (c *countingRuntime) OnExit(p *interp.Proc) { c.inner.OnExit(p) }
+
+// TestCoroutineZeroGoroutines is the tentpole invariant: under the
+// coroutine engine a multi-context run — threads created, scheduled,
+// blocked on joins and mutexes, and exited mid-run — never creates a
+// goroutine or varies the host goroutine count.
+func TestCoroutineZeroGoroutines(t *testing.T) {
+	src := `
+int done[8];
+int gsum;
+pthread_mutex_t mu;
+void *tf(void *arg) {
+  int me; int i;
+  me = (int)arg;
+  for (i = 0; i < 200; i++) done[me] = done[me] + i;
+  pthread_mutex_lock(&mu);
+  gsum = gsum + done[me];
+  pthread_mutex_unlock(&mu);
+  pthread_exit(NULL);
+}
+int main() {
+  pthread_t th[8];
+  int t;
+  pthread_mutex_init(&mu, NULL);
+  for (t = 0; t < 8; t++) pthread_create(&th[t], NULL, tf, (void *)t);
+  for (t = 0; t < 8; t++) pthread_join(th[t], NULL);
+  printf("g %d\n", gsum);
+  return 0;
+}`
+	pr, err := interp.Compile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.FullyCompiled() {
+		t.Fatal("program should compile fully")
+	}
+	sim := interp.NewSim(sccsim.MustNew(sccsim.DefaultConfig()), pr)
+	sim.Engine = interp.EngineCompiled
+	rt := New(sim, DefaultOptions())
+	counter := &countingRuntime{inner: rt}
+	sim.Runtime = counter
+
+	root, err := sim.Spawn(0, pr.Funcs["main"], nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.tidOf[root] = 0
+	rt.byTID[0] = root
+
+	before := runtime.NumGoroutine()
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	after := runtime.NumGoroutine()
+
+	if !sim.Coroutine() {
+		t.Fatal("expected coroutine mode")
+	}
+	if counter.samples == 0 {
+		t.Fatal("runtime ticks never sampled")
+	}
+	if counter.min != before || counter.max != before {
+		t.Errorf("goroutine count varied during the run: before=%d min=%d max=%d (samples=%d)",
+			before, counter.min, counter.max, counter.samples)
+	}
+	if after != before {
+		t.Errorf("goroutine count changed across the run: %d -> %d", before, after)
+	}
+	if got, want := sim.Output(), "g 159200\n"; got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}

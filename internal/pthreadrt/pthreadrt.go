@@ -30,6 +30,9 @@ type Options struct {
 	FlushOnSwitch bool
 	// CreateCycles is the cost of pthread_create (kernel thread setup).
 	CreateCycles int
+	// Engine overrides the execution engine for the session (the zero
+	// value defers to interp.DefaultEngine / HSMCC_ENGINE).
+	Engine interp.Engine
 }
 
 // DefaultOptions returns the calibrated baseline used by the experiment
@@ -157,46 +160,85 @@ func (rt *Runtime) OnExit(p *interp.Proc) {
 }
 
 // CallBuiltin implements the Pthread API subset of thesis Algorithms 4-8.
+//
+// Every builtin follows the coroutine resumption protocol: a yield from
+// ChargeCycles/StoreTyped/Block propagates with a PushResume frame whose
+// step marks the continuation, and re-entry (Resuming true) pops the
+// frame and skips everything already done. Side effects that must not
+// repeat (Spawn, TID bookkeeping, waiter registration) sit strictly
+// before the suspension that follows them. No builtin yields before
+// committing to handle its call, so an unhandled name never touches the
+// frame stack.
 func (rt *Runtime) CallBuiltin(p *interp.Proc, name string, args []interp.Value) (interp.Value, bool, error) {
 	zero := interp.IntValue(types.IntType, 0)
+	step := 0
+	if p.Resuming() {
+		step, _ = p.PopResume()
+	}
 	switch name {
 	case "pthread_create":
-		if len(args) < 4 {
-			return zero, true, fmt.Errorf("pthread_create: want 4 arguments, got %d", len(args))
-		}
-		fn := rt.sim.Program.FuncByValue(args[2])
-		if fn == nil {
-			return zero, true, fmt.Errorf("pthread_create: third argument is not a function")
-		}
-		p.ChargeCycles(rt.opts.CreateCycles)
-		child, err := rt.sim.Spawn(rt.opts.Core, fn, []interp.Value{args[3]}, p.Clock)
-		if err != nil {
-			return zero, true, err
-		}
-		rt.nextTID++
-		tid := rt.nextTID
-		rt.byTID[tid] = child
-		rt.tidOf[child] = tid
-		if addr := args[0].Addr(); addr != 0 {
-			if err := p.StoreTyped(addr, types.OpaqueOf("pthread_t"), interp.IntValue(types.IntType, tid)); err != nil {
+		// Steps: 0 charge; 1 spawn + bookkeeping + tid store; 2 done.
+		if step == 0 {
+			if len(args) < 4 {
+				return zero, true, fmt.Errorf("pthread_create: want 4 arguments, got %d", len(args))
+			}
+			if rt.sim.Program.FuncByValue(args[2]) == nil {
+				return zero, true, fmt.Errorf("pthread_create: third argument is not a function")
+			}
+			if err := p.ChargeCycles(rt.opts.CreateCycles); err != nil {
+				p.PushResume(1, nil)
 				return zero, true, err
+			}
+		}
+		if step <= 1 {
+			fn := rt.sim.Program.FuncByValue(args[2])
+			child, err := rt.sim.Spawn(rt.opts.Core, fn, []interp.Value{args[3]}, p.Clock)
+			if err != nil {
+				return zero, true, err
+			}
+			rt.nextTID++
+			tid := rt.nextTID
+			rt.byTID[tid] = child
+			rt.tidOf[child] = tid
+			if addr := args[0].Addr(); addr != 0 {
+				if err := p.StoreTyped(addr, types.OpaqueOf("pthread_t"), interp.IntValue(types.IntType, tid)); err != nil {
+					if interp.IsYield(err) {
+						p.PushResume(2, nil)
+					}
+					return zero, true, err
+				}
 			}
 		}
 		return zero, true, nil
 
 	case "pthread_join":
-		if len(args) < 1 {
-			return zero, true, fmt.Errorf("pthread_join: missing thread ID")
+		// Steps: 0 charge; 1 join test + block; 2 woken after the child
+		// exited (the unblocker only wakes joiners from OnExit).
+		if step == 0 {
+			if len(args) < 1 {
+				return zero, true, fmt.Errorf("pthread_join: missing thread ID")
+			}
+			tid := args[0].Int()
+			child, ok := rt.byTID[tid]
+			if !ok {
+				return zero, true, fmt.Errorf("pthread_join: unknown thread %d", tid)
+			}
+			if err := p.ChargeCycles(200); err != nil {
+				p.PushResume(1, nil)
+				return zero, true, err
+			}
+			_ = child
 		}
-		tid := args[0].Int()
-		child, ok := rt.byTID[tid]
-		if !ok {
-			return zero, true, fmt.Errorf("pthread_join: unknown thread %d", tid)
-		}
-		p.ChargeCycles(200)
-		if child.State != interp.Done {
-			rt.joiners[tid] = append(rt.joiners[tid], p)
-			p.Block()
+		if step <= 1 {
+			tid := args[0].Int()
+			child := rt.byTID[tid]
+			if child.State != interp.Done {
+				rt.joiners[tid] = append(rt.joiners[tid], p)
+				if err := p.Block(); err != nil {
+					p.PushResume(2, nil)
+					return zero, true, err
+				}
+			}
 		}
 		return zero, true, nil
 
@@ -204,30 +246,56 @@ func (rt *Runtime) CallBuiltin(p *interp.Proc, name string, args []interp.Value)
 		return zero, true, interp.ThreadExitError()
 
 	case "pthread_self":
-		p.ChargeCycles(10)
+		if step == 0 {
+			if err := p.ChargeCycles(10); err != nil {
+				p.PushResume(1, nil)
+				return zero, true, err
+			}
+		}
 		return interp.IntValue(types.IntType, rt.tidOf[p]), true, nil
 
 	case "pthread_mutex_init", "pthread_mutex_destroy",
 		"pthread_attr_init", "pthread_attr_destroy", "pthread_attr_setdetachstate":
-		p.ChargeCycles(50)
+		if step == 0 {
+			if err := p.ChargeCycles(50); err != nil {
+				p.PushResume(1, nil)
+				return zero, true, err
+			}
+		}
 		return zero, true, nil
 
 	case "pthread_mutex_lock":
+		// Steps: 0 charge; 1 acquire loop (a woken waiter re-enters the
+		// loop and re-checks ownership, exactly as the blocking engine's
+		// loop does after Block returns).
 		mu := rt.mutex(args[0].Addr())
-		p.ChargeCycles(25) // futex fast path
+		if step == 0 {
+			if err := p.ChargeCycles(25); err != nil { // futex fast path
+				p.PushResume(1, nil)
+				return zero, true, err
+			}
+		}
 		for mu.owner != nil && mu.owner != p {
 			mu.waiters = append(mu.waiters, p)
-			p.Block()
+			if err := p.Block(); err != nil {
+				p.PushResume(1, nil)
+				return zero, true, err
+			}
 		}
 		mu.owner = p
 		return zero, true, nil
 
 	case "pthread_mutex_unlock":
 		mu := rt.mutex(args[0].Addr())
-		if mu.owner != p {
-			return zero, true, fmt.Errorf("pthread_mutex_unlock: not the owner")
+		if step == 0 {
+			if mu.owner != p {
+				return zero, true, fmt.Errorf("pthread_mutex_unlock: not the owner")
+			}
+			if err := p.ChargeCycles(25); err != nil {
+				p.PushResume(1, nil)
+				return zero, true, err
+			}
 		}
-		p.ChargeCycles(25)
 		mu.owner = nil
 		if len(mu.waiters) > 0 {
 			w := mu.waiters[0]
@@ -263,6 +331,9 @@ func (r *Result) Seconds() float64 { return float64(r.Makespan) / sccsim.PsPerSe
 // bound to machine m.
 func Run(pr *interp.Program, m *sccsim.Machine, opts Options) (*Result, error) {
 	sim := interp.NewSim(m, pr)
+	if opts.Engine != interp.EngineDefault {
+		sim.Engine = opts.Engine
+	}
 	rt := New(sim, opts)
 	main := pr.Funcs["main"]
 	if main == nil {

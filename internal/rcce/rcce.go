@@ -44,6 +44,9 @@ type Options struct {
 	// each barrier visit.
 	InitCycles    int
 	BarrierCycles int
+	// Engine overrides the execution engine for the session (the zero
+	// value defers to interp.DefaultEngine / HSMCC_ENGINE).
+	Engine interp.Engine
 }
 
 // DefaultOptions returns the runtime configuration used by the harness.
@@ -160,67 +163,130 @@ func (rt *Runtime) Tick(p *interp.Proc) {}
 func (rt *Runtime) OnExit(p *interp.Proc) {}
 
 // CallBuiltin implements the RCCE API.
+//
+// Every builtin follows the coroutine resumption protocol (see
+// interp.Runtime): the single frame popped here carries the step to
+// continue from plus any loop state (acquireLock's backoff), and is
+// routed into whichever builtin the name dispatches to. Side effects
+// that must not repeat (symmetric allocations, barrier arrival, message
+// staging) sit strictly before the suspension that follows them, and no
+// builtin yields before committing to handle its call.
 func (rt *Runtime) CallBuiltin(p *interp.Proc, name string, args []interp.Value) (interp.Value, bool, error) {
-	if v, handled, err := rt.sendrecvBuiltin(p, name, args); handled || err != nil {
+	step := 0
+	var sx any
+	if p.Resuming() {
+		step, sx = p.PopResume()
+	}
+	if v, handled, err := rt.sendrecvBuiltin(p, name, args, step); handled || err != nil {
 		return v, handled, err
 	}
 	zero := interp.IntValue(types.IntType, 0)
 	switch name {
 	case "RCCE_init":
-		p.ChargeCycles(rt.opts.InitCycles)
+		if step == 0 {
+			if err := p.ChargeCycles(rt.opts.InitCycles); err != nil {
+				p.PushResume(1, nil)
+				return zero, true, err
+			}
+		}
 		return zero, true, nil
 
 	case "RCCE_finalize":
-		p.ChargeCycles(1_000)
+		if step == 0 {
+			if err := p.ChargeCycles(1_000); err != nil {
+				p.PushResume(1, nil)
+				return zero, true, err
+			}
+		}
 		return zero, true, nil
 
 	case "RCCE_ue":
-		p.ChargeCycles(10)
+		if step == 0 {
+			if err := p.ChargeCycles(10); err != nil {
+				p.PushResume(1, nil)
+				return zero, true, err
+			}
+		}
 		return interp.IntValue(types.IntType, int64(rt.RankOf(p))), true, nil
 
 	case "RCCE_num_ues":
-		p.ChargeCycles(10)
+		if step == 0 {
+			if err := p.ChargeCycles(10); err != nil {
+				p.PushResume(1, nil)
+				return zero, true, err
+			}
+		}
 		return interp.IntValue(types.IntType, int64(len(rt.ues))), true, nil
 
 	case "RCCE_wtime", "wallclock":
-		p.ChargeCycles(15)
+		if step == 0 {
+			if err := p.ChargeCycles(15); err != nil {
+				p.PushResume(1, nil)
+				return zero, true, err
+			}
+		}
 		return interp.FloatValue(types.DoubleType, p.Seconds()), true, nil
 
 	case "RCCE_shmalloc":
-		if len(args) < 1 {
-			return zero, true, fmt.Errorf("RCCE_shmalloc: missing size")
+		// The symmetric allocator advances a per-context sequence; it
+		// must run exactly once, so the charge-yield saves the address.
+		addr, _ := sx.(uint32)
+		if step == 0 {
+			if len(args) < 1 {
+				return zero, true, fmt.Errorf("RCCE_shmalloc: missing size")
+			}
+			var err error
+			addr, err = rt.shmalloc(p, int(args[0].Int()))
+			if err != nil {
+				return zero, true, err
+			}
+			if err := p.ChargeCycles(300); err != nil {
+				p.PushResume(1, addr)
+				return zero, true, err
+			}
 		}
-		addr, err := rt.shmalloc(p, int(args[0].Int()))
-		if err != nil {
-			return zero, true, err
-		}
-		p.ChargeCycles(300)
 		return interp.PtrValue(types.PointerTo(types.VoidType), addr), true, nil
 
 	case "RCCE_shfree":
-		p.ChargeCycles(50)
+		if step == 0 {
+			if err := p.ChargeCycles(50); err != nil {
+				p.PushResume(1, nil)
+				return zero, true, err
+			}
+		}
 		return zero, true, nil
 
 	case "RCCE_mpbmalloc", "RCCE_malloc":
-		if len(args) < 1 {
-			return zero, true, fmt.Errorf("%s: missing size", name)
+		addr, _ := sx.(uint32)
+		if step == 0 {
+			if len(args) < 1 {
+				return zero, true, fmt.Errorf("%s: missing size", name)
+			}
+			var err error
+			addr, err = rt.mpbmalloc(p, int(args[0].Int()))
+			if err != nil {
+				return zero, true, err
+			}
+			if err := p.ChargeCycles(300); err != nil {
+				p.PushResume(1, addr)
+				return zero, true, err
+			}
 		}
-		addr, err := rt.mpbmalloc(p, int(args[0].Int()))
-		if err != nil {
-			return zero, true, err
-		}
-		p.ChargeCycles(300)
 		return interp.PtrValue(types.PointerTo(types.VoidType), addr), true, nil
 
 	case "RCCE_barrier":
-		rt.doBarrier(p)
+		if err := rt.doBarrier(p, step); err != nil {
+			return zero, true, err
+		}
 		return zero, true, nil
 
 	case "RCCE_acquire_lock":
-		if len(args) < 1 {
+		if step == 0 && len(args) < 1 {
 			return zero, true, fmt.Errorf("RCCE_acquire_lock: missing UE")
 		}
-		rt.acquireLock(p, int(args[0].Int()))
+		if err := rt.acquireLock(p, int(args[0].Int()), step, sx); err != nil {
+			return zero, true, err
+		}
 		return zero, true, nil
 
 	case "RCCE_release_lock":
@@ -233,30 +299,47 @@ func (rt *Runtime) CallBuiltin(p *interp.Proc, name string, args []interp.Value)
 		return zero, true, nil
 
 	case "RCCE_put", "RCCE_get":
-		if len(args) < 3 {
+		if step == 0 && len(args) < 3 {
 			return zero, true, fmt.Errorf("%s: want (dst, src, size, ue)", name)
 		}
-		rt.bulkCopy(p, args[0].Addr(), args[1].Addr(), int(args[2].Int()))
+		if err := rt.bulkCopy(p, args[0].Addr(), args[1].Addr(), int(args[2].Int()), step); err != nil {
+			return zero, true, err
+		}
 		return zero, true, nil
 
 	// Power management (thesis §5.1: "procedure calls to the power
 	// management API"; frequency changes act on the caller's voltage
 	// domain, as on the real chip).
 	case "RCCE_power_domain":
-		p.ChargeCycles(10)
+		if step == 0 {
+			if err := p.ChargeCycles(10); err != nil {
+				p.PushResume(1, nil)
+				return zero, true, err
+			}
+		}
 		return interp.IntValue(types.IntType, int64(rt.sim.Machine.DomainOf(p.Core))), true, nil
 
 	case "RCCE_get_frequency":
-		p.ChargeCycles(10)
+		if step == 0 {
+			if err := p.ChargeCycles(10); err != nil {
+				p.PushResume(1, nil)
+				return zero, true, err
+			}
+		}
 		mhz := rt.sim.Machine.DomainMHz(rt.sim.Machine.DomainOf(p.Core))
 		return interp.IntValue(types.IntType, int64(mhz)), true, nil
 
 	case "RCCE_set_frequency":
-		if len(args) < 1 {
-			return zero, true, fmt.Errorf("RCCE_set_frequency: missing MHz")
+		if step == 0 {
+			if len(args) < 1 {
+				return zero, true, fmt.Errorf("RCCE_set_frequency: missing MHz")
+			}
+			// Changing a domain's voltage and clock stalls it briefly.
+			if err := p.ChargeCycles(20_000); err != nil {
+				p.PushResume(1, nil)
+				return zero, true, err
+			}
 		}
-		// Changing a domain's voltage and clock stalls it briefly.
-		p.ChargeCycles(20_000)
 		dom := rt.sim.Machine.DomainOf(p.Core)
 		if err := rt.sim.Machine.SetDomainMHz(dom, int(args[0].Int())); err != nil {
 			return interp.IntValue(types.IntType, -1), true, nil
@@ -264,7 +347,12 @@ func (rt *Runtime) CallBuiltin(p *interp.Proc, name string, args []interp.Value)
 		return zero, true, nil
 
 	case "RCCE_chip_power":
-		p.ChargeCycles(100)
+		if step == 0 {
+			if err := p.ChargeCycles(100); err != nil {
+				p.PushResume(1, nil)
+				return zero, true, err
+			}
+		}
 		return interp.FloatValue(types.DoubleType, rt.sim.Machine.PowerEstimate()), true, nil
 	}
 	return interp.Value{}, false, nil
@@ -324,29 +412,41 @@ func (rt *Runtime) mpbmalloc(p *interp.Proc, size int) (uint32, error) {
 }
 
 // doBarrier implements a dissemination-cost barrier: everyone waits for
-// the last arriver, then resumes at the release time.
-func (rt *Runtime) doBarrier(p *interp.Proc) {
-	p.ChargeCycles(rt.opts.BarrierCycles)
-	b := &rt.barrier
-	if p.Clock > b.release {
-		b.release = p.Clock
-	}
-	b.arrived++
-	if b.arrived == len(rt.ues) {
-		release := b.release
-		for _, w := range b.waiting {
-			w.Unblock(release)
+// the last arriver, then resumes at the release time. Steps: 0 the
+// arrival charge; 1 arrival bookkeeping + block; 2 woken at release.
+func (rt *Runtime) doBarrier(p *interp.Proc, step int) error {
+	if step == 0 {
+		if err := p.ChargeCycles(rt.opts.BarrierCycles); err != nil {
+			p.PushResume(1, nil)
+			return err
 		}
-		b.waiting = b.waiting[:0]
-		b.arrived = 0
-		b.release = 0
-		if release > p.Clock {
-			p.Clock = release
-		}
-		return
 	}
-	b.waiting = append(b.waiting, p)
-	p.Block()
+	if step <= 1 {
+		b := &rt.barrier
+		if p.Clock > b.release {
+			b.release = p.Clock
+		}
+		b.arrived++
+		if b.arrived == len(rt.ues) {
+			release := b.release
+			for _, w := range b.waiting {
+				w.Unblock(release)
+			}
+			b.waiting = b.waiting[:0]
+			b.arrived = 0
+			b.release = 0
+			if release > p.Clock {
+				p.Clock = release
+			}
+			return nil
+		}
+		b.waiting = append(b.waiting, p)
+		if err := p.Block(); err != nil {
+			p.PushResume(2, nil)
+			return err
+		}
+	}
+	return nil
 }
 
 // lockTarget maps a UE number to the core whose test-and-set register
@@ -358,27 +458,49 @@ func (rt *Runtime) lockTarget(ue int) int {
 	return rt.ues[0]
 }
 
-// acquireLock spins on the target core's test-and-set register.
-func (rt *Runtime) acquireLock(p *interp.Proc, ue int) {
+// acquireLock spins on the target core's test-and-set register. The
+// spin iteration has two suspension points — the backoff charge and the
+// explicit yield — so the frame carries the current backoff: step 1
+// resumes before the doubling (charge done), step 2 after the yield
+// (iteration complete, test again).
+func (rt *Runtime) acquireLock(p *interp.Proc, ue int, step int, sx any) error {
 	target := rt.lockTarget(ue)
 	backoff := 50
+	if b, ok := sx.(int); ok {
+		backoff = b
+	}
 	for {
-		ok, lat := rt.sim.Machine.TestAndSet(p.Core, target, p.Clock)
-		p.Clock += lat
-		if ok {
-			return
+		if step == 0 {
+			ok, lat := rt.sim.Machine.TestAndSet(p.Core, target, p.Clock)
+			p.Clock += lat
+			if ok {
+				return nil
+			}
+			if err := p.ChargeCycles(backoff); err != nil {
+				p.PushResume(1, backoff)
+				return err
+			}
 		}
-		p.ChargeCycles(backoff)
-		if backoff < 800 {
-			backoff *= 2
+		if step <= 1 {
+			if backoff < 800 {
+				backoff *= 2
+			}
+			if err := p.Yield(); err != nil {
+				p.PushResume(2, backoff)
+				return err
+			}
 		}
-		p.Yield()
+		step = 0
 	}
 }
 
 // bulkCopy moves size bytes line-by-line with full memory timing: the
-// transfer cost of RCCE_put/RCCE_get.
-func (rt *Runtime) bulkCopy(p *interp.Proc, dst, src uint32, size int) {
+// transfer cost of RCCE_put/RCCE_get. Only the trailing charge can
+// yield; the copies complete before it.
+func (rt *Runtime) bulkCopy(p *interp.Proc, dst, src uint32, size int, step int) error {
+	if step != 0 {
+		return nil
+	}
 	const line = 32
 	buf := make([]byte, line)
 	m := rt.sim.Machine
@@ -390,7 +512,11 @@ func (rt *Runtime) bulkCopy(p *interp.Proc, dst, src uint32, size int) {
 		p.Clock += m.Load(p.Core, src+uint32(off), buf[:n], p.Clock)
 		p.Clock += m.Store(p.Core, dst+uint32(off), buf[:n], p.Clock)
 	}
-	p.ChargeCycles(costPerCall + size/line)
+	if err := p.ChargeCycles(costPerCall + size/line); err != nil {
+		p.PushResume(1, nil)
+		return err
+	}
+	return nil
 }
 
 const costPerCall = 40
@@ -422,6 +548,9 @@ func EntryPoint(pr *interp.Program) *ast.FuncDecl {
 // rank at time zero (the SCC launcher starts all cores together).
 func Run(pr *interp.Program, m *sccsim.Machine, opts Options) (*Result, error) {
 	sim := interp.NewSim(m, pr)
+	if opts.Engine != interp.EngineDefault {
+		sim.Engine = opts.Engine
+	}
 	rt, err := New(sim, opts)
 	if err != nil {
 		return nil, err

@@ -56,8 +56,14 @@ func (rt *Runtime) sends() *sendState {
 func pairKey(src, dst int) int { return src*maxRanks + dst }
 
 // send implements RCCE_send(buf, size, dest): stage the payload, wake a
-// waiting receiver, block until the receiver drains it.
-func (rt *Runtime) send(p *interp.Proc, buf uint32, size, dst int) error {
+// waiting receiver, block until the receiver drains it. The staging
+// copies charge the machine directly (no yield cadence), so the only
+// suspension is the rendezvous block: step 1 means the receiver drained
+// and released us.
+func (rt *Runtime) send(p *interp.Proc, buf uint32, size, dst int, step int) error {
+	if step != 0 {
+		return nil
+	}
 	me := rt.RankOf(p)
 	if dst < 0 || dst >= len(rt.ues) {
 		return fmt.Errorf("RCCE_send: no rank %d", dst)
@@ -80,13 +86,18 @@ func (rt *Runtime) send(p *interp.Proc, buf uint32, size, dst int) error {
 		r.Unblock(msg.ready)
 	}
 	// Rendezvous: the sender blocks until the receiver drains.
-	p.Block()
+	if err := p.Block(); err != nil {
+		p.PushResume(1, nil)
+		return err
+	}
 	return nil
 }
 
 // recv implements RCCE_recv(buf, size, source): wait for the matching
-// send, drain the payload into buf, release the sender.
-func (rt *Runtime) recv(p *interp.Proc, buf uint32, size, src int) error {
+// send, drain the payload into buf, release the sender. A woken
+// receiver (step 1) re-enters the wait loop and finds its message; the
+// drain path has no suspension points.
+func (rt *Runtime) recv(p *interp.Proc, buf uint32, size, src int, step int) error {
 	me := rt.RankOf(p)
 	if src < 0 || src >= len(rt.ues) {
 		return fmt.Errorf("RCCE_recv: no rank %d", src)
@@ -98,7 +109,10 @@ func (rt *Runtime) recv(p *interp.Proc, buf uint32, size, src int) error {
 			return fmt.Errorf("RCCE_recv: two receivers for the same channel %d->%d", src, me)
 		}
 		st.recvWaiting[key] = p
-		p.Block()
+		if err := p.Block(); err != nil {
+			p.PushResume(1, nil)
+			return err
+		}
 	}
 	msg := st.pending[key]
 	delete(st.pending, key)
@@ -151,20 +165,21 @@ func (rt *Runtime) drainCopy(p *interp.Proc, senderCore int, src, dst uint32, si
 	}
 }
 
-// sendrecvBuiltin dispatches the two-sided API.
-func (rt *Runtime) sendrecvBuiltin(p *interp.Proc, name string, args []interp.Value) (interp.Value, bool, error) {
+// sendrecvBuiltin dispatches the two-sided API; step is the resumption
+// step popped by CallBuiltin, routed into the suspended half.
+func (rt *Runtime) sendrecvBuiltin(p *interp.Proc, name string, args []interp.Value, step int) (interp.Value, bool, error) {
 	zero := interp.IntValue(types.IntType, 0)
 	switch name {
 	case "RCCE_send":
 		if len(args) < 3 {
 			return zero, true, fmt.Errorf("RCCE_send: want (buf, size, dest)")
 		}
-		return zero, true, rt.send(p, args[0].Addr(), int(args[1].Int()), int(args[2].Int()))
+		return zero, true, rt.send(p, args[0].Addr(), int(args[1].Int()), int(args[2].Int()), step)
 	case "RCCE_recv":
 		if len(args) < 3 {
 			return zero, true, fmt.Errorf("RCCE_recv: want (buf, size, source)")
 		}
-		return zero, true, rt.recv(p, args[0].Addr(), int(args[1].Int()), int(args[2].Int()))
+		return zero, true, rt.recv(p, args[0].Addr(), int(args[1].Int()), int(args[2].Int()), step)
 	}
 	return interp.Value{}, false, nil
 }
