@@ -42,7 +42,7 @@ func main() {
 	gridName := flag.String("grid", "paper", "grid name; the JSON artifact is BENCH_<name>.json")
 	workloads := flag.String("workloads", "", "grid mode: comma-separated workload keys (empty = full corpus)")
 	coresList := flag.String("cores", "", "grid mode: comma-separated core counts (empty = 1,2,4,8,16,32)")
-	policies := flag.String("policies", "offchip,size", "grid mode: comma-separated Stage 4 policies (offchip, size, freq)")
+	policies := flag.String("policies", "offchip,size", "grid mode: comma-separated Stage 4 policies (offchip, size, freq, profiled)")
 	budgets := flag.String("mpb", "", "grid mode: comma-separated MPB byte budgets (0 = full MPB)")
 	parallel := flag.Int("parallel", 0, "grid mode: worker goroutines (0 = GOMAXPROCS)")
 	shard := flag.String("shard", "", "grid mode: run shard i/n of the grid, e.g. 0/4")

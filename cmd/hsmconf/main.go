@@ -1,7 +1,10 @@
 // Command hsmconf is the differential conformance driver: it generates
 // seeded random Pthread kernels and checks that the single-core Pthread
 // baseline and the full translate→RCCE→sccsim pipeline agree on every
-// (cores × placement policy × MPB budget) cell of the matrix.
+// (cores × placement policy × MPB budget) cell of the matrix. The
+// policy axis includes the profile-guided `profiled` placement, so the
+// profiling pass and its optimizer are fuzzed against every generated
+// kernel shape alongside the static heuristics.
 //
 // Quick check (200 kernels, default matrix):
 //
@@ -39,7 +42,7 @@ func main() {
 		n        = flag.Int("n", 200, "number of kernels to check (ignored with -soak)")
 		soak     = flag.Duration("soak", 0, "keep generating batches until this much time has passed (e.g. 8h)")
 		cores    = flag.String("cores", "2,4", "comma-separated UE counts to sweep")
-		policies = flag.String("policies", "offchip,size,freq", "comma-separated Stage 4 policies")
+		policies = flag.String("policies", "offchip,size,freq,profiled", "comma-separated Stage 4 policies (offchip, size, freq, profiled)")
 		budgets  = flag.String("budgets", "0,512", "comma-separated MPB byte budgets (0 = full MPB)")
 		oversub  = flag.String("oversub", "1,2", "comma-separated many-to-one factors (1 = one UE per core; f > 1 runs f*cores UEs, thesis 7.2)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent kernel checks")

@@ -42,6 +42,9 @@ const (
 	FrequencyDensity = partition.PolicyFrequencyDensity
 	// OffChipOnly disables the MPB (the Fig 6.1 configuration).
 	OffChipOnly = partition.PolicyOffChipOnly
+	// Profiled places by an explicit measured placement map (see
+	// Options.Placement and internal/profile).
+	Profiled = partition.PolicyProfiled
 )
 
 // Options configures the translation pipeline.
@@ -54,6 +57,10 @@ type Options struct {
 	MPBCapacity int
 	// Policy is the Stage 4 partitioning heuristic.
 	Policy PartitionPolicy
+	// Placement is the explicit per-variable placement map (name ->
+	// on-chip) for the Profiled policy — typically the output of the
+	// access-profiling optimizer (bench.ProfileWorkload + profile.Optimize).
+	Placement map[string]bool
 }
 
 // Result is a completed translation: the pipeline artifacts plus the
@@ -70,6 +77,7 @@ func Translate(name, source string, opts Options) (*Result, error) {
 		Cores:       opts.Cores,
 		MPBCapacity: opts.MPBCapacity,
 		Policy:      opts.Policy,
+		Placement:   opts.Placement,
 	})
 	if err != nil {
 		return nil, err

@@ -28,7 +28,9 @@ type Grid struct {
 	Workloads []string `json:"workloads"`
 	// Cores are the thread/core counts to sweep.
 	Cores []int `json:"cores"`
-	// Policies are Stage 4 policy names: "offchip", "size", "freq".
+	// Policies are Stage 4 policy names: "offchip", "size", "freq", or
+	// "profiled" (profile-guided placement; each profiled cell first
+	// takes a memoized profiling pass at its (workload, cores) point).
 	Policies []string `json:"policies"`
 	// MPBBudgets are Stage 4 on-chip byte budgets; 0 = the machine's
 	// full MPB. Empty = [0].
@@ -63,8 +65,10 @@ func ParsePolicy(name string) (partition.Policy, error) {
 		return partition.PolicyFrequencyDensity, nil
 	case "offchip":
 		return partition.PolicyOffChipOnly, nil
+	case "profiled":
+		return partition.PolicyProfiled, nil
 	}
-	return 0, fmt.Errorf("unknown policy %q (want size, freq or offchip)", name)
+	return 0, fmt.Errorf("unknown policy %q (want size, freq, offchip or profiled)", name)
 }
 
 // Cell is one point of the grid.
@@ -153,6 +157,9 @@ type CellResult struct {
 	Match bool `json:"match"`
 	// OnChipBytes is what Stage 4 placed in the MPB.
 	OnChipBytes int `json:"onchip_bytes"`
+	// PlacementDigest fingerprints the profile-guided placement map
+	// (profiled cells only).
+	PlacementDigest string `json:"placement_digest,omitempty"`
 	// MPBAccesses/SharedAccesses are the RCCE run's memory counters.
 	MPBAccesses    uint64 `json:"mpb_accesses"`
 	SharedAccesses uint64 `json:"shared_accesses"`
@@ -202,27 +209,26 @@ func (r *Report) Filename() string {
 	return fmt.Sprintf("BENCH_%s.json", r.Grid.Name)
 }
 
-// baselineKey caches RunBaseline across cells: the baseline depends
-// only on (workload, cores) for a given engine — every policy and
-// budget variant reuses it. The engine is part of the identity: a run
-// under one engine must never serve a cell that asked for another
-// (equivalence tests compare engines through this very path).
-type baselineKey struct {
-	workload string
-	cores    int
-	engine   interp.Engine
-}
-
 // cellKey identifies the semantic inputs of an RCCE run. Cells with
 // different spec budgets can resolve to the same effective work (budget
 // 0 is "the full MPB"), which the cache collapses. The engine is part
-// of the identity for the same reason as baselineKey.
+// of the identity: a run under one engine must never serve a cell that
+// asked for another (equivalence tests compare engines through this
+// very path). placement is the profile-guided placement map digest —
+// empty for static policies — so a profiled cell can never collide with
+// a static-policy cell at the same (cores, policy-name, budget) tuple,
+// nor with a profiled cell whose measured placement differs.
+//
+// (Baseline runs have no per-grid cache anymore: RunBaseline memoizes
+// through the sweep's shared bench.Cache, so every policy and budget
+// cell at one (workload, cores) point shares a single run.)
 type cellKey struct {
-	workload string
-	cores    int
-	policy   string
-	budget   int
-	engine   interp.Engine
+	workload  string
+	cores     int
+	policy    string
+	budget    int
+	engine    interp.Engine
+	placement string
 }
 
 // onceCache memoizes a computation per key, running it exactly once
@@ -254,13 +260,17 @@ func (c *onceCache[K, V]) get(k K, f func() (V, error)) (V, error) {
 }
 
 // semanticKey normalises a cell to its cache identity: budget 0 and an
-// explicit full-MPB budget are the same work.
+// explicit full-MPB budget are the same work. The placement digest is
+// filled in by runCell once the (memoized) profile pass has produced
+// it; for duplicate-marking before execution the empty digest is
+// enough, because the digest is itself a deterministic function of the
+// other key fields.
 func semanticKey(c Cell, fullMPB int, engine interp.Engine) cellKey {
 	b := c.MPBBudget
 	if b <= 0 {
 		b = fullMPB
 	}
-	return cellKey{c.Workload, c.Cores, c.Policy, b, engine}
+	return cellKey{workload: c.Workload, cores: c.Cores, policy: c.Policy, budget: b, engine: engine}
 }
 
 // gridRunner carries the per-run caches.
@@ -269,9 +279,8 @@ type gridRunner struct {
 	cfg     Config
 	fullMPB int
 	// engine is the resolved execution engine, part of every cache key.
-	engine    interp.Engine
-	baselines onceCache[baselineKey, *RunResult]
-	cells     onceCache[cellKey, *RunResult]
+	engine interp.Engine
+	cells  onceCache[cellKey, *RunResult]
 }
 
 // RunGrid executes the grid's cells across a worker pool and returns
@@ -327,8 +336,11 @@ func RunGrid(g Grid, opt RunOptions) (*Report, error) {
 
 	// Mark duplicate cells (same semantic key as an earlier-indexed
 	// cell) up front, so the Cached flag does not depend on which
-	// worker won the race to compute the shared entry.
+	// worker won the race to compute the shared entry. The machine
+	// config is fixed across the sweep: fingerprint it once here so
+	// per-cell cache-key construction never builds a throwaway machine.
 	r.fullMPB = r.cfg.Machine().Config().MPBTotal()
+	r.cfg = r.cfg.PrecomputeMachineEnv()
 	firstByKey := make(map[cellKey]int)
 	dup := make([]bool, len(cells))
 	for i, c := range cells {
@@ -381,14 +393,27 @@ func (r *gridRunner) runCell(cell Cell) CellResult {
 	cfg.Threads = cell.Cores
 	cfg.MPBCapacity = cell.MPBBudget
 
-	base, err := r.baselines.get(baselineKey{cell.Workload, cell.Cores, r.engine}, func() (*RunResult, error) {
-		return RunBaseline(w, cfg)
-	})
+	// The baseline is memoized through the sweep's shared bench.Cache
+	// (keyed by workload, cores, scale, engine and run environment), so
+	// every policy and budget cell shares one run.
+	base, err := RunBaseline(w, cfg)
 	if err != nil {
 		res.Error = err.Error()
 		return res
 	}
-	conv, err := r.cells.get(semanticKey(cell, r.fullMPB, r.engine), func() (*RunResult, error) {
+	key := semanticKey(cell, r.fullMPB, r.engine)
+	if policy == partition.PolicyProfiled {
+		// Resolve the measured placement (profile pass memoized in the
+		// shared Cache) so its digest becomes part of the cell's cache
+		// identity.
+		pl, err := PlacementFor(w, cfg, key.budget)
+		if err != nil {
+			res.Error = err.Error()
+			return res
+		}
+		key.placement = pl.Digest()
+	}
+	conv, err := r.cells.get(key, func() (*RunResult, error) {
 		return RunRCCE(w, cfg, policy)
 	})
 	if err != nil {
@@ -402,6 +427,7 @@ func (r *gridRunner) runCell(cell Cell) CellResult {
 	res.MPBAccesses = conv.Stats.MPBAccesses
 	res.SharedAccesses = conv.Stats.SharedAccesses
 	res.OnChipBytes = conv.OnChipBytes
+	res.PlacementDigest = conv.PlacementDigest
 	return res
 }
 

@@ -246,3 +246,63 @@ func TestDefaultGridCoversCorpus(t *testing.T) {
 		t.Errorf("cells = %d, want %d", got, want)
 	}
 }
+
+// TestGridProfiledPolicy sweeps the profiled policy through the grid
+// runner: outputs still match the baseline, every profiled cell carries
+// a placement digest, the profiled cells never trail the best static
+// policy at the same budget, and a parallel run stays byte-identical to
+// a sequential one (the profile pass is memoized, not racy).
+func TestGridProfiledPolicy(t *testing.T) {
+	g := Grid{
+		Name:       "profiled-test",
+		Workloads:  []string{"dot", "stream", "hist"},
+		Cores:      []int{4},
+		Policies:   []string{"offchip", "size", "freq", "profiled"},
+		MPBBudgets: []int{2048, 16384},
+		Scale:      0.05,
+	}
+	seq, err := RunGrid(g, RunOptions{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunGrid(g, RunOptions{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, _ := seq.JSON()
+	pj, _ := par.JSON()
+	if !bytes.Equal(sj, pj) {
+		t.Errorf("profiled grid not deterministic across worker counts")
+	}
+	best := map[[2]interface{}]uint64{} // (workload, budget) -> best static ps
+	for _, r := range seq.Results {
+		if r.Error != "" {
+			t.Fatalf("cell %d: %s", r.Index, r.Error)
+		}
+		if !r.Match {
+			t.Errorf("cell %d (%s/%s): outputs diverged", r.Index, r.Workload, r.Policy)
+		}
+		k := [2]interface{}{r.Workload, r.MPBBudget}
+		if r.Policy != "profiled" {
+			if r.PlacementDigest != "" {
+				t.Errorf("static cell %d carries placement digest %s", r.Index, r.PlacementDigest)
+			}
+			if best[k] == 0 || r.RCCEPs < best[k] {
+				best[k] = r.RCCEPs
+			}
+		}
+	}
+	for _, r := range seq.Results {
+		if r.Policy != "profiled" {
+			continue
+		}
+		if r.PlacementDigest == "" {
+			t.Errorf("profiled cell %d has no placement digest", r.Index)
+		}
+		k := [2]interface{}{r.Workload, r.MPBBudget}
+		if r.RCCEPs > best[k] {
+			t.Errorf("%s budget %d: profiled %d ps trails best static %d ps",
+				r.Workload, r.MPBBudget, r.RCCEPs, best[k])
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"hsmcc/internal/interp"
 	"hsmcc/internal/partition"
+	"hsmcc/internal/profile"
 	"hsmcc/internal/pthreadrt"
 	"hsmcc/internal/rcce"
 	"hsmcc/internal/sccsim"
@@ -15,7 +16,7 @@ import (
 // RunResult is one measured execution.
 type RunResult struct {
 	Workload string
-	Mode     string // "pthread-1core", "rcce-offchip", "rcce-onchip"
+	Mode     string // "pthread-1core", "rcce-offchip", "rcce-onchip", "rcce-profiled"
 	Threads  int
 	Makespan sccsim.Time
 	Output   string
@@ -24,6 +25,9 @@ type RunResult struct {
 	TranslatedSource string
 	// OnChipBytes is what Stage 4 placed in the MPB (RCCE modes only).
 	OnChipBytes int
+	// PlacementDigest fingerprints the profile-guided placement map
+	// (profiled policy only; empty for the static policies).
+	PlacementDigest string
 }
 
 // Seconds converts the makespan.
@@ -62,6 +66,11 @@ type Config struct {
 	// cell — and every concurrent worker — with the same source. The
 	// grid runner and the conformance oracle install one.
 	Cache *Cache
+	// machineEnv, when non-empty, is a precomputed fingerprint of
+	// cfg.Machine().Config() — sweeps whose machine is fixed (the grid
+	// runner) set it once so cache-key construction does not build a
+	// throwaway machine per lookup.
+	machineEnv string
 }
 
 // DefaultConfig is the paper's configuration: 32 threads/cores, full
@@ -73,6 +82,52 @@ func DefaultConfig() Config {
 		Baseline: pthreadrt.DefaultOptions(),
 		Machine:  func() *sccsim.Machine { return sccsim.MustNew(sccsim.DefaultConfig()) },
 	}
+}
+
+// rcceOptions resolves the effective RCCE runtime options for cfg.
+func (cfg Config) rcceOptions() rcce.Options {
+	ropts := rcce.DefaultOptions(cfg.Threads)
+	if cfg.RCCE != nil {
+		ropts = cfg.RCCE(cfg.Threads)
+	}
+	ropts.Engine = cfg.Engine
+	return ropts
+}
+
+// baselineEnv fingerprints the parts of the environment a baseline run
+// depends on beyond (workload, threads, scale, engine): the machine
+// configuration and the baseline runtime options. It completes the
+// cross-cell memoization key — two cells may share a baseline result
+// only when every input of that run is identical.
+func (cfg Config) baselineEnv() string {
+	return fmt.Sprintf("%s|%+v", cfg.machineFingerprint(), cfg.Baseline)
+}
+
+// machineFingerprint renders the machine configuration for cache keys,
+// preferring the precomputed copy over constructing a throwaway machine
+// per lookup.
+func (cfg Config) machineFingerprint() string {
+	if cfg.machineEnv != "" {
+		return cfg.machineEnv
+	}
+	return fmt.Sprintf("%+v", cfg.Machine().Config())
+}
+
+// PrecomputeMachineEnv returns a copy of cfg carrying the machine-config
+// fingerprint, built once here. Harnesses that derive many cell configs
+// from one template over a fixed machine (the grid runner, the
+// conformance oracle) call this on the template so per-cell cache-key
+// construction never builds a throwaway machine.
+func (cfg Config) PrecomputeMachineEnv() Config {
+	cfg.machineEnv = cfg.machineFingerprint()
+	return cfg
+}
+
+// rcceEnv fingerprints the profiling-run environment: the machine
+// configuration plus the effective RCCE options (which carry the
+// core mapping and oversubscription mode).
+func (cfg Config) rcceEnv() string {
+	return fmt.Sprintf("%s|%+v", cfg.machineFingerprint(), cfg.rcceOptions())
 }
 
 // CompileBaseline compiles (or fetches from the cache) the unconverted
@@ -106,9 +161,20 @@ func RunBaselineProgram(w Workload, pr *interp.Program, cfg Config) (*RunResult,
 	}, nil
 }
 
-// RunBaseline measures the unconverted Pthread program (compile — cached
-// when cfg carries a Cache — then run).
+// RunBaseline measures the unconverted Pthread program. With a Cache in
+// cfg both the compile AND the execution are memoized: the baseline is
+// a pure function of (workload, threads, scale, engine, machine+runtime
+// options), so every policy and budget cell of a sweep at the same
+// configuration shares one run instead of recomputing it.
 func RunBaseline(w Workload, cfg Config) (*RunResult, error) {
+	if cfg.Cache != nil {
+		return cfg.Cache.baselineRun(w, cfg)
+	}
+	return runBaselineUncached(w, cfg)
+}
+
+// runBaselineUncached is the compute half of RunBaseline.
+func runBaselineUncached(w Workload, cfg Config) (*RunResult, error) {
 	pr, err := CompileBaseline(w, cfg)
 	if err != nil {
 		return nil, err
@@ -123,20 +189,40 @@ type Translation struct {
 	Source      string
 	Program     *interp.Program
 	OnChipBytes int
+	// Placement is the profile-guided placement the translation applied
+	// (profiled policy only; nil for the static policies).
+	Placement *profile.Placement
 }
 
 // TranslateWorkload runs the translate pipeline for one cell and
 // compiles the emitted source, reusing cfg.Cache for both stages: the
-// pipeline is keyed by (workload, threads, scale, policy, capacity) and
-// the compile by the emitted text, so cells whose placements print
-// identical programs share one compiled image.
+// pipeline is keyed by (workload, threads, scale, policy, capacity,
+// placement digest) and the compile by the emitted text, so cells whose
+// placements print identical programs share one compiled image. For the
+// profiled policy it first obtains the workload's access profile
+// (memoized per configuration) and optimizes the placement for the
+// cell's effective budget.
 func TranslateWorkload(w Workload, cfg Config, policy partition.Policy) (*Translation, error) {
 	capacity := cfg.MPBCapacity
 	if capacity <= 0 {
 		capacity = cfg.Machine().Config().MPBTotal()
 	}
 	scale := cfg.Scale
-	tr, err := cfg.Cache.translate(w, cfg.Threads, scale, policy, capacity)
+	var pl *profile.Placement
+	if policy == partition.PolicyProfiled {
+		var err error
+		pl, err = PlacementFor(w, cfg, capacity)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if policy == partition.PolicyOffChipOnly {
+		// Stage 4 ignores the capacity when everything goes off-chip;
+		// normalising the cache identity lets every budget share one
+		// pipeline run.
+		capacity = 0
+	}
+	tr, err := cfg.Cache.translate(w, cfg.Threads, scale, policy, capacity, pl)
 	if err != nil {
 		return nil, err
 	}
@@ -151,25 +237,25 @@ func TranslateWorkload(w Workload, cfg Config, policy partition.Policy) (*Transl
 	if err != nil {
 		return nil, fmt.Errorf("%s reparse translated source: %w\n---\n%s", w.Key, err, translated)
 	}
-	return &Translation{Source: translated, Program: pr, OnChipBytes: tr.onChipBytes}, nil
+	return &Translation{Source: translated, Program: pr, OnChipBytes: tr.onChipBytes, Placement: pl}, nil
 }
 
 // RunRCCEProgram executes a translated program with one process per UE.
 func RunRCCEProgram(w Workload, tr *Translation, cfg Config, policy partition.Policy) (*RunResult, error) {
 	mode := "rcce-offchip"
-	if policy != partition.PolicyOffChipOnly {
+	switch policy {
+	case partition.PolicyOffChipOnly:
+	case partition.PolicyProfiled:
+		mode = "rcce-profiled"
+	default:
 		mode = "rcce-onchip"
 	}
-	ropts := rcce.DefaultOptions(cfg.Threads)
-	if cfg.RCCE != nil {
-		ropts = cfg.RCCE(cfg.Threads)
-	}
-	ropts.Engine = cfg.Engine
+	ropts := cfg.rcceOptions()
 	res, err := rcce.Run(tr.Program, cfg.Machine(), ropts)
 	if err != nil {
 		return nil, fmt.Errorf("%s %s: %w", w.Key, mode, err)
 	}
-	return &RunResult{
+	r := &RunResult{
 		Workload:         w.Key,
 		Mode:             mode,
 		Threads:          cfg.Threads,
@@ -178,7 +264,11 @@ func RunRCCEProgram(w Workload, tr *Translation, cfg Config, policy partition.Po
 		Stats:            res.Stats,
 		TranslatedSource: tr.Source,
 		OnChipBytes:      tr.OnChipBytes,
-	}, nil
+	}
+	if tr.Placement != nil {
+		r.PlacementDigest = tr.Placement.Digest()
+	}
+	return r, nil
 }
 
 // RunRCCE translates the Pthread program through the five-stage pipeline

@@ -2,18 +2,25 @@ package bench
 
 // Compile-once batching. A compiled interp.Program is immutable, so one
 // compile can serve every matrix cell (and every concurrent worker) that
-// executes the same source. The Cache memoizes the two compile-side
-// stages of a harness run — the Pthread source compile and the
-// translate→emit→re-parse pipeline — so a grid sweep or a conformance
-// matrix compiles each workload exactly once per distinct source and
-// fans the cells out across host cores against the shared Program.
+// executes the same source. The Cache memoizes the compile-side stages
+// of a harness run — the Pthread source compile and the
+// translate→emit→re-parse pipeline — plus two run-level results that
+// are pure functions of their configuration: the single-core baseline
+// execution (identical across every policy and budget of a sweep) and
+// the access-profiling pass (identical across every budget). A grid
+// sweep or a conformance matrix therefore compiles each workload
+// exactly once per distinct source, runs its baseline once per
+// (workload, cores) and profiles it once per (workload, cores), fanning
+// the cells out across host cores against the shared results.
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hsmcc/internal/core"
 	"hsmcc/internal/interp"
 	"hsmcc/internal/partition"
+	"hsmcc/internal/profile"
 )
 
 // programKey identifies one compiled source image.
@@ -24,16 +31,21 @@ type programKey struct {
 
 // translationKey identifies one run of the five-stage translation
 // pipeline. Scale and threads pin the generated source; policy and the
-// effective MPB capacity pin the Stage 4 placement. The translated
-// source itself then feeds the program cache, so cells whose placements
-// emit identical C (e.g. budgets above the working-set size) share one
-// compile.
+// effective MPB capacity pin the Stage 4 placement; placement is the
+// profile-guided placement map digest ("" for the static policies), so
+// two profiled translations at the same (cores, policy-name, capacity)
+// tuple but with different measured placements — and a profiled cell
+// versus a static-policy cell — can never share a cache entry. The
+// translated source itself then feeds the program cache, so cells whose
+// placements emit identical C (e.g. budgets above the working-set size)
+// share one compile.
 type translationKey struct {
-	workload string
-	threads  int
-	scale    float64
-	policy   partition.Policy
-	capacity int
+	workload  string
+	threads   int
+	scale     float64
+	policy    partition.Policy
+	capacity  int
+	placement string
 }
 
 // translation is the cached output of the pipeline before any
@@ -42,17 +54,88 @@ type translationKey struct {
 type translation struct {
 	source      string
 	onChipBytes int
+	// offChipAllocs/onChipAllocs name the program's shared allocations
+	// in runtime call order per region (translate.Unit.Allocs): the
+	// labels a profiling run attaches to the RCCE allocator's ranges.
+	offChipAllocs, onChipAllocs []string
 }
 
-// Cache memoizes compile-side work across harness runs. Safe for
-// concurrent use; a nil *Cache disables caching (every call compiles).
+// baselineRunKey identifies one baseline execution. The baseline is a
+// pure function of the workload source (workload, threads, scale), the
+// engine and the run environment (machine configuration plus baseline
+// runtime options, folded into env) — every policy and budget variant
+// of a sweep reuses it, the ROADMAP's cross-cell memoization.
+type baselineRunKey struct {
+	workload string
+	threads  int
+	scale    float64
+	engine   interp.Engine
+	env      string
+}
+
+// profileKey identifies one access-profiling pass. The profile is
+// measured under the uniform off-chip reference placement, so it is
+// budget-independent: every MPB budget of a profiled sweep shares one
+// profiling run.
+type profileKey struct {
+	workload string
+	threads  int
+	scale    float64
+	engine   interp.Engine
+	env      string
+}
+
+// placementKey identifies one optimized placement: the profile it was
+// derived from plus the effective byte budget. Memoizing the optimizer
+// output (not just the profile) means a profiled cell's digest lookup
+// and its translation share one knapsack solve.
+type placementKey struct {
+	profileKey
+	budget int
+}
+
+// Cache memoizes compile-side work and configuration-pure run results
+// across harness runs. Safe for concurrent use; a nil *Cache disables
+// caching (every call recomputes).
 type Cache struct {
 	programs     onceCache[programKey, *interp.Program]
 	translations onceCache[translationKey, *translation]
+	baselines    onceCache[baselineRunKey, *RunResult]
+	profiles     onceCache[profileKey, *profile.Report]
+	placements   onceCache[placementKey, *profile.Placement]
+
+	// Compute counters (not cache lookups): how many times each stage
+	// actually ran. Tests pin the cross-cell sharing contract on these.
+	programCompiles int64
+	translateRuns   int64
+	baselineRuns    int64
+	profileRuns     int64
 }
 
 // NewCache returns an empty compile cache.
 func NewCache() *Cache { return &Cache{} }
+
+// CacheStats reports how many times each memoized stage was computed
+// (as opposed to served from the cache).
+type CacheStats struct {
+	ProgramCompiles int64
+	TranslateRuns   int64
+	BaselineRuns    int64
+	ProfileRuns     int64
+}
+
+// Stats returns the compute counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		ProgramCompiles: atomic.LoadInt64(&c.programCompiles),
+		TranslateRuns:   atomic.LoadInt64(&c.translateRuns),
+		BaselineRuns:    atomic.LoadInt64(&c.baselineRuns),
+		ProfileRuns:     atomic.LoadInt64(&c.profileRuns),
+	}
+}
 
 // program returns the compiled form of (name, src), compiling at most
 // once per distinct source even under concurrent lookups.
@@ -61,27 +144,95 @@ func (c *Cache) program(name, src string) (*interp.Program, error) {
 		return interp.Compile(name, src)
 	}
 	return c.programs.get(programKey{name, src}, func() (*interp.Program, error) {
+		atomic.AddInt64(&c.programCompiles, 1)
 		return interp.Compile(name, src)
 	})
 }
 
 // translate runs (or reuses) the translation pipeline for one cell.
-func (c *Cache) translate(w Workload, threads int, scale float64, policy partition.Policy, capacity int) (*translation, error) {
+// pl carries the profile-guided placement for PolicyProfiled cells (nil
+// for the static policies).
+func (c *Cache) translate(w Workload, threads int, scale float64, policy partition.Policy, capacity int, pl *profile.Placement) (*translation, error) {
 	run := func() (*translation, error) {
+		if c != nil {
+			atomic.AddInt64(&c.translateRuns, 1)
+		}
 		src := w.Source(threads, scale)
-		pipe, err := core.Run(w.Key+".c", src, core.Config{
+		cc := core.Config{
 			Cores:       threads,
 			Policy:      policy,
 			MPBCapacity: capacity,
-		})
+		}
+		if pl != nil {
+			cc.Placement = pl.OnChip()
+		}
+		pipe, err := core.Run(w.Key+".c", src, cc)
 		if err != nil {
 			return nil, fmt.Errorf("%s translate: %w", w.Key, err)
 		}
-		return &translation{source: pipe.Output, onChipBytes: pipe.Part.OnChipBytes}, nil
+		t := &translation{source: pipe.Output, onChipBytes: pipe.Part.OnChipBytes}
+		for _, a := range pipe.Unit.Allocs {
+			if a.OnChip {
+				t.onChipAllocs = append(t.onChipAllocs, a.Var)
+			} else {
+				t.offChipAllocs = append(t.offChipAllocs, a.Var)
+			}
+		}
+		return t, nil
 	}
 	if c == nil {
 		return run()
 	}
-	key := translationKey{w.Key, threads, scale, policy, capacity}
+	key := translationKey{w.Key, threads, scale, policy, capacity, ""}
+	if pl != nil {
+		key.placement = pl.Digest()
+	}
 	return c.translations.get(key, run)
+}
+
+// baselineRun runs (or reuses) the baseline execution for cfg.
+func (c *Cache) baselineRun(w Workload, cfg Config) (*RunResult, error) {
+	run := func() (*RunResult, error) {
+		if c != nil {
+			atomic.AddInt64(&c.baselineRuns, 1)
+		}
+		return runBaselineUncached(w, cfg)
+	}
+	if c == nil {
+		return run()
+	}
+	key := baselineRunKey{w.Key, cfg.Threads, cfg.Scale, cfg.Engine.Resolve(), cfg.baselineEnv()}
+	return c.baselines.get(key, run)
+}
+
+// profileReport runs (or reuses) the access-profiling pass for cfg.
+func (c *Cache) profileReport(w Workload, cfg Config) (*profile.Report, error) {
+	run := func() (*profile.Report, error) {
+		if c != nil {
+			atomic.AddInt64(&c.profileRuns, 1)
+		}
+		return profileUncached(w, cfg)
+	}
+	if c == nil {
+		return run()
+	}
+	key := profileKey{w.Key, cfg.Threads, cfg.Scale, cfg.Engine.Resolve(), cfg.rcceEnv()}
+	return c.profiles.get(key, run)
+}
+
+// placementFor runs (or reuses) the profile→optimize pair for cfg at
+// the given effective budget.
+func (c *Cache) placementFor(w Workload, cfg Config, budget int) (*profile.Placement, error) {
+	run := func() (*profile.Placement, error) {
+		rep, err := c.profileReport(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return profile.Optimize(rep, budget), nil
+	}
+	if c == nil {
+		return run()
+	}
+	pk := profileKey{w.Key, cfg.Threads, cfg.Scale, cfg.Engine.Resolve(), cfg.rcceEnv()}
+	return c.placements.get(placementKey{pk, budget}, run)
 }

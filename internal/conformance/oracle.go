@@ -26,15 +26,18 @@ type Matrix struct {
 	Oversub []int
 }
 
-// DefaultMatrix covers both launch shapes (2 and 4 UEs), all three
-// Stage 4 policies, an unconstrained and a pressure-inducing MPB
-// budget, and both the 1:1 and the §7.2 two-UEs-per-core mapping — the
-// smallest sweep that exercises every placement and scheduling decision
-// the paper's claim quantifies over.
+// DefaultMatrix covers both launch shapes (2 and 4 UEs), all four
+// Stage 4 policies — the three static heuristics plus the
+// profile-guided `profiled` placement, whose profiling pass and
+// optimizer thereby face every generated kernel shape — an
+// unconstrained and a pressure-inducing MPB budget, and both the 1:1
+// and the §7.2 two-UEs-per-core mapping: the smallest sweep that
+// exercises every placement and scheduling decision the paper's claim
+// quantifies over.
 func DefaultMatrix() Matrix {
 	return Matrix{
 		Cores:    []int{2, 4},
-		Policies: []string{"offchip", "size", "freq"},
+		Policies: []string{"offchip", "size", "freq", "profiled"},
 		Budgets:  []int{0, 512},
 		Oversub:  []int{1, 2},
 	}
@@ -172,6 +175,12 @@ type Engine struct {
 	// it is re-parsed and executed — the fault-injection seam used to
 	// prove the oracle catches translator bugs.
 	Mutate func(src string) string
+
+	// cfgOnce/baseCfg cache the harness config template with its
+	// machine fingerprint precomputed, so the thousands of cell configs
+	// a soak derives from it never build a machine just for cache keys.
+	cfgOnce sync.Once
+	baseCfg bench.Config
 }
 
 // NewEngine returns an engine over the default matrix and generator.
@@ -184,7 +193,8 @@ func NewEngine() *Engine {
 // kernel's compiled baseline Program and each distinct translated
 // source's compiled image (compile once, run the whole matrix).
 func (e *Engine) config(cores, budget int, cache *bench.Cache) bench.Config {
-	cfg := bench.DefaultConfig()
+	e.cfgOnce.Do(func() { e.baseCfg = bench.DefaultConfig().PrecomputeMachineEnv() })
+	cfg := e.baseCfg
 	cfg.Threads = cores
 	cfg.MPBCapacity = budget
 	cfg.Cache = cache

@@ -45,6 +45,10 @@ type Config struct {
 	// Policy selects the Stage 4 heuristic. The zero value is the
 	// paper's Algorithm 3 (size-ascending greedy).
 	Policy partition.Policy
+	// Placement is the explicit per-variable placement map (name ->
+	// on-chip) consumed when Policy is partition.PolicyProfiled — the
+	// output of the access-profiling optimizer (internal/profile).
+	Placement map[string]bool
 	// PropagatePossible extends Stage 3 to "possibly" relationships.
 	PropagatePossible bool
 }
@@ -121,7 +125,14 @@ func (p *Pipeline) Translate() error {
 	if p.Config.Policy == partition.PolicyOffChipOnly {
 		capacity = 0
 	}
-	p.Part = partition.Partition(p.Scope.SharedVars(), capacity, p.Config.Policy)
+	if p.Config.Policy == partition.PolicyProfiled {
+		if p.Config.Placement == nil {
+			return fmt.Errorf("core: the profiled policy needs an explicit placement map (run the profiler first)")
+		}
+		p.Part = partition.PartitionExplicit(p.Scope.SharedVars(), capacity, p.Config.Placement)
+	} else {
+		p.Part = partition.Partition(p.Scope.SharedVars(), capacity, p.Config.Policy)
+	}
 	unit, err := translate.Translate(p.File, p.Points, p.Part, translate.Options{Cores: p.Config.Cores})
 	if err != nil {
 		return fmt.Errorf("translate %s: %w", p.Name, err)

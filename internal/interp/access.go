@@ -40,37 +40,37 @@ func makeLoad(t *types.Type) typedLoad {
 		return func(p *Proc, addr uint32) (Value, error) {
 			buf := p.buf[:sz]
 			p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
-			return Value{T: t, I: int64(int8(buf[0]))}, p.noteMemOp(addr)
+			return Value{T: t, I: int64(int8(buf[0]))}, p.noteLoad(addr)
 		}
 	case types.Short:
 		return func(p *Proc, addr uint32) (Value, error) {
 			buf := p.buf[:sz]
 			p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
-			return Value{T: t, I: int64(int16(binary.LittleEndian.Uint16(buf)))}, p.noteMemOp(addr)
+			return Value{T: t, I: int64(int16(binary.LittleEndian.Uint16(buf)))}, p.noteLoad(addr)
 		}
 	case types.Int, types.Long:
 		return func(p *Proc, addr uint32) (Value, error) {
 			buf := p.buf[:sz]
 			p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
-			return Value{T: t, I: int64(int32(binary.LittleEndian.Uint32(buf)))}, p.noteMemOp(addr)
+			return Value{T: t, I: int64(int32(binary.LittleEndian.Uint32(buf)))}, p.noteLoad(addr)
 		}
 	case types.UInt, types.Pointer, types.Opaque:
 		return func(p *Proc, addr uint32) (Value, error) {
 			buf := p.buf[:sz]
 			p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
-			return Value{T: t, I: int64(binary.LittleEndian.Uint32(buf))}, p.noteMemOp(addr)
+			return Value{T: t, I: int64(binary.LittleEndian.Uint32(buf))}, p.noteLoad(addr)
 		}
 	case types.Float:
 		return func(p *Proc, addr uint32) (Value, error) {
 			buf := p.buf[:sz]
 			p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
-			return Value{T: t, F: float64(math.Float32frombits(binary.LittleEndian.Uint32(buf)))}, p.noteMemOp(addr)
+			return Value{T: t, F: float64(math.Float32frombits(binary.LittleEndian.Uint32(buf)))}, p.noteLoad(addr)
 		}
 	case types.Double:
 		return func(p *Proc, addr uint32) (Value, error) {
 			buf := p.buf[:sz]
 			p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
-			return Value{T: t, F: math.Float64frombits(binary.LittleEndian.Uint64(buf))}, p.noteMemOp(addr)
+			return Value{T: t, F: math.Float64frombits(binary.LittleEndian.Uint64(buf))}, p.noteLoad(addr)
 		}
 	}
 	return func(p *Proc, addr uint32) (Value, error) { return p.loadValue(addr, t) }
@@ -98,7 +98,7 @@ func makeStore(t *types.Type) typedStore {
 			buf := p.buf[:sz]
 			buf[0] = byte(cv.I)
 			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
-			return cv, p.noteMemOp(addr)
+			return cv, p.noteStore(addr)
 		}
 	case types.Short:
 		return func(p *Proc, addr uint32, v Value) (Value, error) {
@@ -106,7 +106,7 @@ func makeStore(t *types.Type) typedStore {
 			buf := p.buf[:sz]
 			binary.LittleEndian.PutUint16(buf, uint16(cv.I))
 			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
-			return cv, p.noteMemOp(addr)
+			return cv, p.noteStore(addr)
 		}
 	case types.Int, types.Long:
 		return func(p *Proc, addr uint32, v Value) (Value, error) {
@@ -114,7 +114,7 @@ func makeStore(t *types.Type) typedStore {
 			buf := p.buf[:sz]
 			binary.LittleEndian.PutUint32(buf, uint32(cv.I))
 			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
-			return cv, p.noteMemOp(addr)
+			return cv, p.noteStore(addr)
 		}
 	case types.UInt, types.Pointer, types.Opaque:
 		return func(p *Proc, addr uint32, v Value) (Value, error) {
@@ -122,7 +122,7 @@ func makeStore(t *types.Type) typedStore {
 			buf := p.buf[:sz]
 			binary.LittleEndian.PutUint32(buf, uint32(cv.I))
 			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
-			return cv, p.noteMemOp(addr)
+			return cv, p.noteStore(addr)
 		}
 	case types.Float:
 		return func(p *Proc, addr uint32, v Value) (Value, error) {
@@ -130,7 +130,7 @@ func makeStore(t *types.Type) typedStore {
 			buf := p.buf[:sz]
 			binary.LittleEndian.PutUint32(buf, math.Float32bits(float32(cv.F)))
 			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
-			return cv, p.noteMemOp(addr)
+			return cv, p.noteStore(addr)
 		}
 	case types.Double:
 		return func(p *Proc, addr uint32, v Value) (Value, error) {
@@ -138,7 +138,7 @@ func makeStore(t *types.Type) typedStore {
 			buf := p.buf[:sz]
 			binary.LittleEndian.PutUint64(buf, math.Float64bits(cv.F))
 			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
-			return cv, p.noteMemOp(addr)
+			return cv, p.noteStore(addr)
 		}
 	}
 	return generic

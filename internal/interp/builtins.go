@@ -216,6 +216,12 @@ func (p *Proc) commonBuiltinByID(id builtinID, args []Value) (Value, bool, error
 				buf[i] = val
 			}
 			p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
+			// One timed machine access, one profiler report (mirrors
+			// the Machine's own per-call accounting); the store has
+			// completed, so a yield below never re-issues it.
+			if p.prof != nil {
+				p.prof.NoteAccess(p.Core, addr, true)
+			}
 			if err := p.chargeCycles(n / 4); err != nil {
 				p.pushK(kframe{step: 1})
 				return Value{}, true, err
@@ -229,6 +235,10 @@ func (p *Proc) commonBuiltinByID(id builtinID, args []Value) (Value, bool, error
 			buf := make([]byte, n)
 			p.Clock += p.Sim.Machine.Load(p.Core, src, buf, p.Clock)
 			p.Clock += p.Sim.Machine.Store(p.Core, dst, buf, p.Clock)
+			if p.prof != nil {
+				p.prof.NoteAccess(p.Core, src, false)
+				p.prof.NoteAccess(p.Core, dst, true)
+			}
 			if err := p.chargeCycles(n / 4); err != nil {
 				p.pushK(kframe{step: 1})
 				return Value{}, true, err

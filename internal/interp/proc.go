@@ -74,6 +74,10 @@ type Proc struct {
 	// timer is the machine's cycle-to-time handle for this context's
 	// core (stable across DVFS changes).
 	timer *sccsim.CoreTimer
+	// prof is the session's access profiler (nil when disabled), copied
+	// from Sim.Prof at Spawn so the accessor hot path avoids the Sim
+	// indirection.
+	prof MemProfiler
 
 	// Stats.
 	Ops   uint64 // executed statements
@@ -112,6 +116,35 @@ func (p *Proc) chargeCycles(n int) error {
 	return nil
 }
 
+// MemProfiler observes the timed data-memory accesses a context
+// performs (the typed load/store accessors and the generic
+// loadValue/storeValue). Implementations must be cheap and need no
+// locking: the scheduler runs one context of a session at a time.
+// Each access is reported exactly once, before any cooperative yield
+// propagates (the coroutine leaf convention: the access has completed
+// and is never re-issued on resume), so counters are byte-identical
+// across the tree-walk and coroutine engines. A nil profiler — the
+// default — costs a single pointer check per access.
+type MemProfiler interface {
+	NoteAccess(core int, addr uint32, write bool)
+}
+
+// noteLoad reports a completed timed load to the profiler (if any) and
+// runs the memory-op yield cadence; noteStore is its store twin.
+func (p *Proc) noteLoad(addr uint32) error {
+	if p.prof != nil {
+		p.prof.NoteAccess(p.Core, addr, false)
+	}
+	return p.noteMemOp(addr)
+}
+
+func (p *Proc) noteStore(addr uint32) error {
+	if p.prof != nil {
+		p.prof.NoteAccess(p.Core, addr, true)
+	}
+	return p.noteMemOp(addr)
+}
+
 // noteMemOp implements the cooperative yield cadence. Accesses to shared
 // regions (shared DRAM, MPB) yield immediately: those are the points
 // where cross-core contention is modelled, and letting one context run a
@@ -145,7 +178,7 @@ func (p *Proc) loadValue(addr uint32, t *types.Type) (Value, error) {
 	}
 	buf := p.buf[:size]
 	p.Clock += p.Sim.Machine.Load(p.Core, addr, buf, p.Clock)
-	yerr := p.noteMemOp(addr)
+	yerr := p.noteLoad(addr)
 	v, err := decodeValue(t, buf)
 	if err != nil {
 		return Value{}, err
@@ -165,7 +198,7 @@ func (p *Proc) storeValue(addr uint32, t *types.Type, v Value) error {
 		return err
 	}
 	p.Clock += p.Sim.Machine.Store(p.Core, addr, buf, p.Clock)
-	return p.noteMemOp(addr)
+	return p.noteStore(addr)
 }
 
 // ---------------------------------------------------------------------------
@@ -466,6 +499,17 @@ func (p *Proc) StoreTyped(addr uint32, t *types.Type, v Value) error {
 // ChargeCycles adds compute cycles; for runtime packages. On a yield
 // the charge has completed.
 func (p *Proc) ChargeCycles(n int) error { return p.chargeCycles(n) }
+
+// ProfileAccess reports a timed access a runtime performed directly
+// against the Machine (bulk copy loops: RCCE put/get, send/recv
+// staging) to the session profiler. Call it once per Machine.Load or
+// Machine.Store, immediately after the access, before any yield can
+// propagate — mirroring the typed accessors' exactly-once convention.
+func (p *Proc) ProfileAccess(addr uint32, write bool) {
+	if p.prof != nil {
+		p.prof.NoteAccess(p.Core, addr, write)
+	}
+}
 
 // Printf appends to the session output.
 func (p *Proc) Printf(format string, args ...any) {

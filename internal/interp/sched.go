@@ -85,7 +85,11 @@ type Sim struct {
 	// Engine selects the execution engine (compiled by default; the
 	// tree-walk reference for golden comparisons). Set before Spawn.
 	Engine Engine
-	Out    bytes.Buffer
+	// Prof, when non-nil, observes every timed data-memory access of the
+	// session (see MemProfiler). Set before Spawn; profiling runs attach
+	// a profile.Collector here, everything else leaves it nil.
+	Prof MemProfiler
+	Out  bytes.Buffer
 
 	procs  []*Proc
 	nextID int
@@ -189,6 +193,7 @@ func (s *Sim) Spawn(core int, fn *ast.FuncDecl, args []Value, start sccsim.Time)
 		stackIdx: idx,
 		fn:       fn,
 		args:     args,
+		prof:     s.Prof,
 	}
 	p.stackTop = sccsim.PrivateLimit - uint32(idx*StackBytes)
 	p.stackPtr = p.stackTop

@@ -54,7 +54,27 @@ const (
 	// PolicyOffChipOnly forces everything off-chip (the Fig 6.1
 	// configuration, before MPB optimisation).
 	PolicyOffChipOnly
+	// PolicyProfiled places by an explicit per-variable map produced by
+	// the access-profiling subsystem (internal/profile): the placement
+	// is decided from measured counters, not static estimates, and is
+	// applied through PartitionExplicit.
+	PolicyProfiled
 )
+
+// String names the policy the way the CLI flags spell it.
+func (p Policy) String() string {
+	switch p {
+	case PolicySizeAscending:
+		return "size"
+	case PolicyFrequencyDensity:
+		return "freq"
+	case PolicyOffChipOnly:
+		return "offchip"
+	case PolicyProfiled:
+		return "profiled"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
 
 // Assignment is the placement decision for one shared variable.
 type Assignment struct {
@@ -146,6 +166,36 @@ func Partition(shared []*scope.VarInfo, capacity int, policy Policy) *Result {
 		} else {
 			place(v, OffChip)
 		}
+	}
+	return r
+}
+
+// PartitionExplicit applies an explicit placement map (variable name ->
+// on-chip) over the shared set — Stage 4 for the profile-guided
+// `profiled` policy. Variables are placed in declaration order; a
+// variable the map sends on-chip still falls back to off-chip if it no
+// longer fits the capacity (the optimizer never chooses such a set, but
+// a stale or hand-written map must degrade instead of overflowing the
+// MPB), and unmapped variables go off-chip.
+func PartitionExplicit(shared []*scope.VarInfo, capacity int, onchip map[string]bool) *Result {
+	r := &Result{Capacity: capacity, ByVar: make(map[*scope.VarInfo]*Assignment)}
+	remaining := capacity
+	for _, v := range shared {
+		p := OffChip
+		if onchip[v.Name] && v.MemSize <= remaining {
+			p = OnChip
+			remaining -= v.MemSize
+		}
+		a := Assignment{Var: v, Placement: p}
+		if p == OnChip {
+			a.Offset = r.OnChipBytes
+			r.OnChipBytes += v.MemSize
+		} else {
+			a.Offset = r.OffChipBytes
+			r.OffChipBytes += v.MemSize
+		}
+		r.Assignments = append(r.Assignments, a)
+		r.ByVar[v] = &r.Assignments[len(r.Assignments)-1]
 	}
 	return r
 }

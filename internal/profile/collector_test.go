@@ -1,0 +1,73 @@
+package profile
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCollectorCountsAndSharers(t *testing.T) {
+	c := NewCollector(Spec{OffChip: []string{"a", "b"}})
+	c.NoteAlloc(false, 0, 0x8000_0000, 64)
+	c.NoteAlloc(false, 1, 0x8000_0040, 32)
+
+	c.NoteAccess(0, 0x8000_0000, false) // a read by core 0
+	c.NoteAccess(0, 0x8000_0000, true)  // a write by core 0
+	c.NoteAccess(2, 0x8000_003f, false) // last byte of a, core 2
+	c.NoteAccess(1, 0x8000_0040, true)  // b write by core 1
+	c.NoteAccess(0, 0x7000_0000, false) // below every range: ignored
+	c.NoteAccess(0, 0x8000_0060, false) // past b: ignored
+
+	vars := c.Snapshot()
+	if len(vars) != 2 {
+		t.Fatalf("got %d vars, want 2", len(vars))
+	}
+	a, b := vars[0], vars[1]
+	if a.Name != "a" || b.Name != "b" {
+		t.Fatalf("order %q,%q, want a,b", a.Name, b.Name)
+	}
+	if a.Reads != 2 || a.Writes != 1 || a.Bytes != 64 {
+		t.Fatalf("a = %+v", a)
+	}
+	if !reflect.DeepEqual(a.Sharers, []int{0, 2}) {
+		t.Fatalf("a sharers %v", a.Sharers)
+	}
+	if b.Reads != 0 || b.Writes != 1 || !reflect.DeepEqual(b.Sharers, []int{1}) {
+		t.Fatalf("b = %+v", b)
+	}
+	if a.PerCore[0].Core != 0 || a.PerCore[0].Reads != 1 || a.PerCore[0].Writes != 1 {
+		t.Fatalf("a per-core = %+v", a.PerCore)
+	}
+}
+
+func TestCollectorUnlabelledAllocGetsPositionalName(t *testing.T) {
+	c := NewCollector(Spec{OnChip: []string{"x"}})
+	c.NoteAlloc(true, 0, 0xC000_0000, 32)
+	c.NoteAlloc(true, 1, 0xC000_0020, 32) // past the spec'd list
+	c.NoteAccess(3, 0xC000_0020, true)
+	vars := c.Snapshot()
+	if len(vars) != 2 || vars[0].Name != "mpb#1" || vars[1].Name != "x" {
+		t.Fatalf("vars = %+v", vars)
+	}
+	if vars[0].Writes != 1 {
+		t.Fatalf("positional var = %+v", vars[0])
+	}
+}
+
+func TestReportJSONDeterministic(t *testing.T) {
+	build := func() *Report {
+		c := NewCollector(Spec{OffChip: []string{"v", "u"}})
+		c.NoteAlloc(false, 0, 0x8000_0000, 16)
+		c.NoteAlloc(false, 1, 0x8000_0010, 16)
+		c.NoteAccess(1, 0x8000_0010, false)
+		c.NoteAccess(0, 0x8000_0004, true)
+		return &Report{Workload: "w", Cores: 2, Scale: 1, Vars: c.Snapshot()}
+	}
+	a, err := build().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := build().JSON()
+	if string(a) != string(b) {
+		t.Fatalf("JSON not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}

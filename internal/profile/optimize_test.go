@@ -1,0 +1,133 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomReport builds a deterministic pseudo-random profile.
+func randomReport(rng *rand.Rand, nVars int) *Report {
+	rep := &Report{Workload: "prop", Cores: 4, Scale: 1}
+	for i := 0; i < nVars; i++ {
+		rep.Vars = append(rep.Vars, VarStats{
+			Name:  string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			Bytes: 1 + rng.Intn(4096),
+			Count: Count{Reads: uint64(rng.Intn(10000)), Writes: uint64(rng.Intn(10000))},
+		})
+	}
+	return rep
+}
+
+func placedBytes(pl *Placement) int {
+	n := 0
+	for _, c := range pl.Choices {
+		if c.OnChip {
+			n += c.Bytes
+		}
+	}
+	return n
+}
+
+// TestOptimizeNeverExceedsBudget is the safety property: whatever the
+// profile looks like, the chosen on-chip set fits the budget.
+func TestOptimizeNeverExceedsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		rep := randomReport(rng, 1+rng.Intn(12))
+		budget := rng.Intn(16384)
+		pl := Optimize(rep, budget)
+		if got := placedBytes(pl); got > budget {
+			t.Fatalf("trial %d: placement uses %d bytes over budget %d\n%s", trial, got, budget, pl)
+		}
+		if pl.OnChipBytes != placedBytes(pl) {
+			t.Fatalf("trial %d: OnChipBytes %d disagrees with choices %d", trial, pl.OnChipBytes, placedBytes(pl))
+		}
+	}
+}
+
+// TestOptimizeBudgetZeroAllOffChip: no capacity degenerates to the
+// off-chip-only placement.
+func TestOptimizeBudgetZeroAllOffChip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		rep := randomReport(rng, 1+rng.Intn(12))
+		pl := Optimize(rep, 0)
+		for _, c := range pl.Choices {
+			if c.OnChip {
+				t.Fatalf("budget 0 placed %s on-chip", c.Name)
+			}
+		}
+		if pl.Method != "all-offchip" {
+			t.Fatalf("budget 0 method %q", pl.Method)
+		}
+	}
+}
+
+// TestOptimizeInfiniteBudgetMatchesGreedy: with room for everything the
+// result is all-on-chip, which equals the frequency-greedy order's
+// packing at the same budget.
+func TestOptimizeInfiniteBudgetMatchesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		rep := randomReport(rng, 1+rng.Intn(12))
+		budget := rep.TotalBytes() + 1 + rng.Intn(1000)
+		pl := Optimize(rep, budget)
+		for _, c := range pl.Choices {
+			if !c.OnChip {
+				t.Fatalf("infinite budget left %s off-chip", c.Name)
+			}
+		}
+		// The greedy packing at the same budget chooses the same set.
+		items := make([]item, 0, len(rep.Vars))
+		for i := range rep.Vars {
+			items = append(items, item{rep.Vars[i].Name, rep.Vars[i].Bytes, rep.Vars[i].Accesses()})
+		}
+		set, _ := greedyPack(items, budget)
+		for _, c := range pl.Choices {
+			if !set[c.Name] {
+				t.Fatalf("greedy at infinite budget disagrees on %s", c.Name)
+			}
+		}
+	}
+}
+
+// TestKnapsackAtLeastGreedy: the exact solver never covers fewer
+// accesses than the density greedy.
+func TestKnapsackAtLeastGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		rep := randomReport(rng, 2+rng.Intn(10))
+		budget := 1 + rng.Intn(8192)
+		items := make([]item, 0, len(rep.Vars))
+		for i := range rep.Vars {
+			items = append(items, item{rep.Vars[i].Name, rep.Vars[i].Bytes, rep.Vars[i].Accesses()})
+		}
+		_, gv := greedyPack(items, budget)
+		_, kv := knapsack(items, budget)
+		if kv < gv {
+			t.Fatalf("trial %d: knapsack value %d below greedy %d (budget %d)", trial, kv, gv, budget)
+		}
+		// And Optimize picks at least the better of the two.
+		pl := Optimize(rep, budget)
+		if rep.TotalBytes() > budget && pl.OnChipAccesses < kv {
+			t.Fatalf("trial %d: Optimize covers %d accesses, exact packing covers %d", trial, pl.OnChipAccesses, kv)
+		}
+	}
+}
+
+// TestOptimizeDeterministic: same report, same budget, same digest —
+// and the digest distinguishes different placements.
+func TestOptimizeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rep := randomReport(rng, 8)
+	a := Optimize(rep, 3000)
+	b := Optimize(rep, 3000)
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same inputs, different digests: %s vs %s", a.Digest(), b.Digest())
+	}
+	all := Optimize(rep, rep.TotalBytes())
+	none := Optimize(rep, 0)
+	if all.Digest() == none.Digest() {
+		t.Fatalf("all-on-chip and all-off-chip share digest %s", all.Digest())
+	}
+}

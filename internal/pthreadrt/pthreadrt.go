@@ -33,6 +33,10 @@ type Options struct {
 	// Engine overrides the execution engine for the session (the zero
 	// value defers to interp.DefaultEngine / HSMCC_ENGINE).
 	Engine interp.Engine
+	// Profiler, when non-nil, observes every timed data access of the
+	// run (interp.Sim.Prof) — profiling a baseline uses the program's
+	// static global addresses to label ranges.
+	Profiler interp.MemProfiler
 }
 
 // DefaultOptions returns the calibrated baseline used by the experiment
@@ -334,6 +338,7 @@ func Run(pr *interp.Program, m *sccsim.Machine, opts Options) (*Result, error) {
 	if opts.Engine != interp.EngineDefault {
 		sim.Engine = opts.Engine
 	}
+	sim.Prof = opts.Profiler
 	rt := New(sim, opts)
 	main := pr.Funcs["main"]
 	if main == nil {

@@ -47,6 +47,22 @@ type Options struct {
 	// Engine overrides the execution engine for the session (the zero
 	// value defers to interp.DefaultEngine / HSMCC_ENGINE).
 	Engine interp.Engine
+	// Profiler, when non-nil, is attached to the session as its memory
+	// profiler (interp.Sim.Prof): every timed data access is reported to
+	// it. Profiling runs of the `profiled` placement policy set this.
+	Profiler interp.MemProfiler
+	// AllocObserver, when non-nil, is told about each symmetric
+	// allocation the moment it is created (not on the replaying ranks),
+	// which lets a profiler label the allocator's address ranges with
+	// the shared variables they back.
+	AllocObserver AllocObserver
+}
+
+// AllocObserver observes symmetric allocations. seq is the allocation's
+// index within its region (off-chip shmalloc and on-chip mpbmalloc
+// count separately), matching the translator's emission order.
+type AllocObserver interface {
+	NoteAlloc(onChip bool, seq int, addr uint32, size int)
 }
 
 // DefaultOptions returns the runtime configuration used by the harness.
@@ -376,6 +392,9 @@ func (rt *Runtime) shmalloc(p *interp.Proc, size int) (uint32, error) {
 	}
 	rt.shared.cursor = addr + uint32(size)
 	rt.shared.allocs = append(rt.shared.allocs, allocation{addr, size})
+	if rt.opts.AllocObserver != nil {
+		rt.opts.AllocObserver.NoteAlloc(false, idx, addr, size)
+	}
 	return addr, nil
 }
 
@@ -399,6 +418,9 @@ func (rt *Runtime) mpbmalloc(p *interp.Proc, size int) (uint32, error) {
 	}
 	rt.mpb.cursor = addr + uint32(size)
 	rt.mpb.allocs = append(rt.mpb.allocs, allocation{addr, size})
+	if rt.opts.AllocObserver != nil {
+		rt.opts.AllocObserver.NoteAlloc(true, idx, addr, size)
+	}
 	if rt.opts.StripeMPB && len(rt.ues) > 1 {
 		chunk := (size + len(rt.ues) - 1) / len(rt.ues)
 		chunk = (chunk + 31) &^ 31
@@ -511,6 +533,8 @@ func (rt *Runtime) bulkCopy(p *interp.Proc, dst, src uint32, size int, step int)
 		}
 		p.Clock += m.Load(p.Core, src+uint32(off), buf[:n], p.Clock)
 		p.Clock += m.Store(p.Core, dst+uint32(off), buf[:n], p.Clock)
+		p.ProfileAccess(src+uint32(off), false)
+		p.ProfileAccess(dst+uint32(off), true)
 	}
 	if err := p.ChargeCycles(costPerCall + size/line); err != nil {
 		p.PushResume(1, nil)
@@ -551,6 +575,7 @@ func Run(pr *interp.Program, m *sccsim.Machine, opts Options) (*Result, error) {
 	if opts.Engine != interp.EngineDefault {
 		sim.Engine = opts.Engine
 	}
+	sim.Prof = opts.Profiler
 	rt, err := New(sim, opts)
 	if err != nil {
 		return nil, err

@@ -143,6 +143,7 @@ func (rt *Runtime) stageCopy(p *interp.Proc, src uint32, size int) {
 			n = size - off
 		}
 		p.Clock += m.Load(p.Core, src+uint32(off), buf[:n], p.Clock)
+		p.ProfileAccess(src+uint32(off), false)
 	}
 }
 
@@ -162,6 +163,7 @@ func (rt *Runtime) drainCopy(p *interp.Proc, senderCore int, src, dst uint32, si
 		}
 		m.ReadBytes(senderCore, src+uint32(off), buf[:n])
 		p.Clock += m.Store(p.Core, dst+uint32(off), buf[:n], p.Clock)
+		p.ProfileAccess(dst+uint32(off), true)
 	}
 }
 

@@ -390,6 +390,10 @@ func (sharedToExplicit) Name() string { return "SharedToExplicit" }
 // final pass prepends).
 func (sharedToExplicit) Run(u *Unit) error {
 	var allocs []ast.Stmt
+	emit := func(name string, fn string, elem *types.Type, count int) {
+		allocs = append(allocs, allocAssign(name, fn, elem, count))
+		u.Allocs = append(u.Allocs, AllocSite{Var: name, OnChip: fn == "RCCE_mpbmalloc"})
+	}
 	for _, v := range u.sharedGlobals() {
 		d, ok := v.Sym.Decl.(*ast.VarDecl)
 		if !ok {
@@ -421,11 +425,11 @@ func (sharedToExplicit) Run(u *Unit) error {
 			d.Init = nil
 			d.InitLst = nil
 			v.Sym.Type = d.Type
-			allocs = append(allocs, allocAssign(d.Name, allocFn, elem, count))
+			emit(d.Name, allocFn, elem, count)
 			u.logf("SharedToExplicit: array %s -> %s (%s)", d.Name, allocFn, placement)
 		case types.Pointer:
 			// Backing store for the pointee.
-			allocs = append(allocs, allocAssign(d.Name, allocFn, d.Type.Elem, 1))
+			emit(d.Name, allocFn, d.Type.Elem, 1)
 			u.logf("SharedToExplicit: pointer %s pointee backed by %s (%s)", d.Name, allocFn, placement)
 		default:
 			// Scalar promotion: T x -> T *x, uses become (*x).
@@ -434,7 +438,7 @@ func (sharedToExplicit) Run(u *Unit) error {
 			d.Type = types.PointerTo(elem)
 			d.Init = nil
 			v.Sym.Type = d.Type
-			allocs = append(allocs, allocAssign(d.Name, allocFn, elem, 1))
+			emit(d.Name, allocFn, elem, 1)
 			if init != nil {
 				allocs = append(allocs, assignStmt(
 					&ast.UnaryExpr{Op: token.Star, X: ident(d.Name)}, init))

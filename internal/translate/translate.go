@@ -63,9 +63,25 @@ type Unit struct {
 	Main *ast.FuncDecl
 	// Log records one line per pass describing what it did.
 	Log []string
+	// Allocs records the explicit shared allocations SharedToExplicit
+	// emitted, in emission order — which is exactly the runtime call
+	// order of RCCE_shmalloc/RCCE_mpbmalloc in the translated program
+	// (the allocations sit at the top of RCCE_APP and every region
+	// counts its own sequence). The access profiler uses this to label
+	// the allocator's address ranges with their source variables.
+	Allocs []AllocSite
 
 	// mutexIDs assigns lock register indices to mutex variables.
 	mutexIDs map[string]int
+}
+
+// AllocSite is one emitted shared allocation: the variable whose
+// backing store it creates and the region it targets. (Sizes are not
+// recorded here — the profiler labels ranges with the sizes the RCCE
+// allocator actually observes at runtime.)
+type AllocSite struct {
+	Var    string
+	OnChip bool
 }
 
 // Pass is one IR transformation.
