@@ -49,11 +49,14 @@ func main() {
 	jsonOut := flag.Bool("json", false, "grid mode: write BENCH_<grid>.json")
 	engine := flag.String("engine", "", "execution engine: compiled (coroutine core) or treewalk; empty = HSMCC_ENGINE/default")
 	outPath := flag.String("out", "", "grid mode: JSON output path override (- = stdout)")
+	doSynth := flag.Bool("synth", false, "grid mode: sweep the synthetic sharing x footprint plane instead of the corpus")
+	synthSharing := flag.String("synth-sharing", "", "-synth: comma-separated degrees of sharing (empty = 1,2,4,8)")
+	synthFootprint := flag.String("synth-footprint", "", "-synth: comma-separated shared addresses per group (empty = 64,256,1024)")
 	flag.Parse()
 
 	// Any explicitly set grid flag selects grid mode; combining one with
 	// a figure/table experiment is a conflict, not something to ignore.
-	gridFlagNames := []string{"grid", "workloads", "cores", "policies", "mpb", "parallel", "shard", "json", "out"}
+	gridFlagNames := []string{"grid", "workloads", "cores", "policies", "mpb", "parallel", "shard", "json", "out", "synth", "synth-sharing", "synth-footprint"}
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	gridFlags := false
@@ -67,7 +70,31 @@ func main() {
 		os.Exit(2)
 	}
 	if *exp == "grid" || gridFlags {
-		if err := runGrid(*gridName, *workloads, *coresList, *policies, *budgets, *scale, *parallel, *shard, *engine, *jsonOut, *outPath); err != nil {
+		if *doSynth {
+			// The synthetic plane has its own defaults: the win map wants
+			// every placement policy (profiled vs the statics), a budget
+			// that actually constrains the MPB, and a tractable core axis.
+			if !explicit["grid"] {
+				*gridName = "synth"
+			}
+			if !explicit["policies"] {
+				*policies = "offchip,size,freq,profiled"
+			}
+			if *coresList == "" {
+				// Up to 8 cores so the sharing=8 rows are distinct (the
+				// emitted group degree clamps to the UE count).
+				*coresList = "2,4,8"
+			}
+			if *budgets == "" {
+				*budgets = "0,512"
+			}
+		}
+		synthOpts, err := synthPlaneOptions(*doSynth, *synthSharing, *synthFootprint)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hsmbench grid: %v\n", err)
+			os.Exit(1)
+		}
+		if err := runGrid(*gridName, *workloads, *coresList, *policies, *budgets, *scale, *parallel, *shard, *engine, *jsonOut, *outPath, synthOpts); err != nil {
 			fmt.Fprintf(os.Stderr, "hsmbench grid: %v\n", err)
 			os.Exit(1)
 		}
@@ -138,11 +165,42 @@ func main() {
 	})
 }
 
+// synthPlaneOptions resolves the -synth-sharing/-synth-footprint axes,
+// returning nil when -synth is off.
+func synthPlaneOptions(on bool, sharing, footprint string) (*bench.SynthPlaneOptions, error) {
+	if !on {
+		return nil, nil
+	}
+	opt := bench.DefaultSynthPlane()
+	if sharing != "" {
+		var err error
+		if opt.Sharings, err = splitInts(sharing); err != nil {
+			return nil, fmt.Errorf("-synth-sharing: %w", err)
+		}
+	}
+	if footprint != "" {
+		var err error
+		if opt.Footprints, err = splitInts(footprint); err != nil {
+			return nil, fmt.Errorf("-synth-footprint: %w", err)
+		}
+	}
+	return &opt, nil
+}
+
 // runGrid executes the parallel experiment sweep and emits the report.
-func runGrid(name, workloads, cores, policies, budgets string, scale float64, parallel int, shard, engine string, jsonOut bool, outPath string) error {
+func runGrid(name, workloads, cores, policies, budgets string, scale float64, parallel int, shard, engine string, jsonOut bool, outPath string, synthOpts *bench.SynthPlaneOptions) error {
 	g := bench.DefaultGrid()
 	g.Name = name
 	g.Scale = scale
+	if synthOpts != nil {
+		g.Workloads = nil
+		for _, p := range bench.SynthPlane(*synthOpts) {
+			if err := p.Validate(); err != nil {
+				return fmt.Errorf("synth plane cell %s: %w", p.Key(), err)
+			}
+			g.Workloads = append(g.Workloads, p.Key())
+		}
+	}
 	if workloads != "" {
 		g.Workloads = splitCSV(workloads)
 	}
@@ -172,12 +230,19 @@ func runGrid(name, workloads, cores, policies, budgets string, scale float64, pa
 	if err != nil {
 		return err
 	}
+	if synthOpts != nil {
+		rep.SynthWins = bench.SynthWinMap(rep)
+	}
 	// With -out -, stdout must carry only the JSON document; the human
 	// table moves to stderr.
+	human := os.Stdout
 	if outPath == "-" {
-		fmt.Fprint(os.Stderr, bench.FormatReport(rep))
-	} else {
-		fmt.Print(bench.FormatReport(rep))
+		human = os.Stderr
+	}
+	fmt.Fprint(human, bench.FormatReport(rep))
+	if synthOpts != nil {
+		fmt.Fprintln(human)
+		fmt.Fprint(human, bench.FormatSynthWinMap(rep.SynthWins))
 	}
 	if jsonOut || outPath != "" {
 		buf, err := rep.JSON()

@@ -22,6 +22,16 @@
 // Inspect the kernel a seed generates:
 //
 //	hsmconf -seed 1337 -print -cores 4
+//
+// Synthetic mode (-synth) swaps the kernel grammar for internal/synth's
+// continuous parameter vectors: each seed derives a (mix, sharing,
+// footprint, rounds) vector, emits a race-free kernel, and is checked
+// across the same matrix. Failures shrink in parameter space and
+// persist alongside grammar failures:
+//
+//	hsmconf -synth -n 100
+//	hsmconf -synth -seed 42 -n 1 -cores 2 -policies size
+//	hsmconf -synth -seed 42 -print
 package main
 
 import (
@@ -34,6 +44,7 @@ import (
 	"time"
 
 	"hsmcc/internal/conformance"
+	"hsmcc/internal/synth"
 )
 
 func main() {
@@ -48,6 +59,7 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent kernel checks")
 		out      = flag.String("out", "testdata/conformance", "directory that receives minimized failing kernels")
 		doPrint  = flag.Bool("print", false, "print the kernel -seed generates (at the first -cores value) and exit")
+		doSynth  = flag.Bool("synth", false, "check synthetic parameter-vector kernels (internal/synth) instead of grammar kernels")
 	)
 	flag.Parse()
 
@@ -62,6 +74,12 @@ func main() {
 	eng.Matrix = matrix
 
 	if *doPrint {
+		if *doSynth {
+			p := synth.ParamsForSeed(*seed)
+			fmt.Printf("// %s\n", p.Key())
+			fmt.Print(p.Source(matrix.Cores[0]))
+			return
+		}
 		spec := conformance.SpecForSeed(*seed, eng.Gen)
 		fmt.Print(spec.Source(matrix.Cores[0]))
 		return
@@ -73,11 +91,22 @@ func main() {
 	start := time.Now()
 	base := *seed
 	totalKernels := 0
+	mode := "conformance"
+	if *doSynth {
+		mode = "synth conformance"
+	}
 	var failures []*conformance.Failure
+	var synthFailures []*conformance.SynthFailure
 	for batch := 0; ; batch++ {
-		rep := eng.Run(base, *n, *parallel, logf)
-		totalKernels += rep.Kernels
-		failures = append(failures, rep.Failures...)
+		if *doSynth {
+			rep := eng.RunSynth(base, *n, *parallel, logf)
+			totalKernels += rep.Kernels
+			synthFailures = append(synthFailures, rep.Failures...)
+		} else {
+			rep := eng.Run(base, *n, *parallel, logf)
+			totalKernels += rep.Kernels
+			failures = append(failures, rep.Failures...)
+		}
 		base += int64(*n)
 		if *soak <= 0 || time.Since(start) >= *soak {
 			break
@@ -86,15 +115,22 @@ func main() {
 			batch+1, totalKernels, time.Since(start).Round(time.Second))
 	}
 
-	fmt.Printf("conformance: %d kernels x %d RCCE cells each (seeds %d..%d, policies %s, budgets %s, oversub %s): %d failure(s)\n",
-		totalKernels, matrix.Cells(), *seed, base-1, *policies, *budgets, *oversub, len(failures))
-	if len(failures) == 0 {
+	nfail := len(failures) + len(synthFailures)
+	fmt.Printf("%s: %d kernels x %d RCCE cells each (seeds %d..%d, policies %s, budgets %s, oversub %s): %d failure(s)\n",
+		mode, totalKernels, matrix.Cells(), *seed, base-1, *policies, *budgets, *oversub, nfail)
+	if nfail == 0 {
 		return
 	}
 	if err := persistFailures(*out, failures); err != nil {
 		fatal(err)
 	}
+	if err := persistSynthFailures(*out, synthFailures); err != nil {
+		fatal(err)
+	}
 	for _, f := range failures {
+		fmt.Printf("FAIL %s\n", f.Div)
+	}
+	for _, f := range synthFailures {
 		fmt.Printf("FAIL %s\n", f.Div)
 	}
 	fmt.Printf("minimized reproducers written to %s\n", *out)
@@ -125,6 +161,46 @@ func persistFailures(dir string, failures []*conformance.Failure) error {
 				Policy: f.Div.Policy,
 				Budget: f.Div.Budget,
 				Note:   "minimized by hsmconf; .c is the minimized reproducer",
+			},
+			Failure: f,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(stem+".json", append(meta, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// persistSynthFailures writes synthetic failures in the same
+// SeedMeta-embedding shape (the .c holds the minimized kernel, so the
+// pair replays through the ordinary seed-corpus loader), plus the full
+// parameter vectors for parameter-space triage.
+func persistSynthFailures(dir string, failures []*conformance.SynthFailure) error {
+	if len(failures) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, f := range failures {
+		stem := filepath.Join(dir, fmt.Sprintf("synth_seed%d", f.Seed))
+		if err := os.WriteFile(stem+".c", []byte(f.MinSource), 0o644); err != nil {
+			return err
+		}
+		meta, err := json.MarshalIndent(struct {
+			conformance.SeedMeta
+			Failure *conformance.SynthFailure `json:"synth_failure"`
+		}{
+			SeedMeta: conformance.SeedMeta{
+				Seed:    f.Seed,
+				Cores:   f.Div.Cores,
+				Policy:  f.Div.Policy,
+				Budget:  f.Div.Budget,
+				Oversub: f.Div.Oversub,
+				Note:    fmt.Sprintf("synthetic vector %s minimized to %s by hsmconf -synth", f.Params.Key(), f.Minimized.Key()),
 			},
 			Failure: f,
 		}, "", "  ")

@@ -18,6 +18,12 @@
 // downstream tooling:
 //
 //	hsmprof -workloads pi -json -out PROF_pi.json
+//
+// Workload keys may also be synthetic parameter vectors in their
+// canonical `synth:` encoding (print one with `hsmconf -synth -print`),
+// so a grid cell's sharing behaviour is inspectable directly:
+//
+//	hsmprof -workloads 'synth:s1:o768:m0.75:l0.6:h0.6:d4:a256:p32:r2:ki' -cores 8
 package main
 
 import (

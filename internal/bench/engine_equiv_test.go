@@ -6,6 +6,7 @@ import (
 	"hsmcc/internal/interp"
 	"hsmcc/internal/partition"
 	"hsmcc/internal/rcce"
+	"hsmcc/internal/synth"
 )
 
 // The compiled engine's landing invariant: byte-identical program output
@@ -80,6 +81,54 @@ func TestEngineEquivalenceCorpus(t *testing.T) {
 					t.Fatalf("tree-walk rcce %v: %v", pol, err)
 				}
 				requireEqualRuns(t, "rcce/"+string(rune('0'+int(pol))), cRCCE, rRCCE)
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceSynth extends the engine-parity invariant from
+// the hand-written corpus to the synthetic plane: a seeded sample of
+// parameter vectors (plus mix extremes) must run byte-identical in
+// output and cycle statistics under both engines, on the baseline and
+// on the translated pipeline under both an off-chip and an on-chip
+// policy.
+func TestEngineEquivalenceSynth(t *testing.T) {
+	cfg := equivConfig()
+	cfg.Scale = 1.0 // synth vectors below are already test-sized
+	vectors := []synth.Params{
+		{Seed: 21, Ops: 48, MemFrac: 1, LoadFrac: 0.5, SharedFrac: 1, Sharing: 4, SharedAddrs: 16, PrivateAddrs: 1, Rounds: 2},
+		{Seed: 22, Ops: 36, MemFrac: 0, LoadFrac: 0, SharedFrac: 0, Sharing: 1, SharedAddrs: 1, PrivateAddrs: 1, Rounds: 1, Double: true},
+	}
+	for seed := int64(300); seed < 306; seed++ {
+		vectors = append(vectors, synth.ParamsForSeed(seed))
+	}
+	for _, p := range vectors {
+		p := p
+		t.Run(p.Key(), func(t *testing.T) {
+			w := SynthWorkload(p)
+			var cBase, rBase *RunResult
+			var err error
+			withEngine(t, interp.EngineCompiled, func() { cBase, err = RunBaseline(w, cfg) })
+			if err != nil {
+				t.Fatalf("compiled baseline: %v", err)
+			}
+			withEngine(t, interp.EngineTreeWalk, func() { rBase, err = RunBaseline(w, cfg) })
+			if err != nil {
+				t.Fatalf("tree-walk baseline: %v", err)
+			}
+			requireEqualRuns(t, "baseline", cBase, rBase)
+
+			for _, pol := range []partition.Policy{partition.PolicyOffChipOnly, partition.PolicySizeAscending} {
+				var cRCCE, rRCCE *RunResult
+				withEngine(t, interp.EngineCompiled, func() { cRCCE, err = RunRCCE(w, cfg, pol) })
+				if err != nil {
+					t.Fatalf("compiled rcce %v: %v", pol, err)
+				}
+				withEngine(t, interp.EngineTreeWalk, func() { rRCCE, err = RunRCCE(w, cfg, pol) })
+				if err != nil {
+					t.Fatalf("tree-walk rcce %v: %v", pol, err)
+				}
+				requireEqualRuns(t, "rcce", cRCCE, rRCCE)
 			}
 		})
 	}

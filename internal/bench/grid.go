@@ -192,6 +192,10 @@ type Report struct {
 	// Shard is "i/n" when the report covers one shard, "" otherwise.
 	Shard   string       `json:"shard,omitempty"`
 	Results []CellResult `json:"results"`
+	// SynthWins is the profiled-vs-static win map over the report's
+	// synthetic cells (hsmbench -synth fills it in via SynthWinMap;
+	// empty for corpus-only grids).
+	SynthWins []SynthWin `json:"synth_wins,omitempty"`
 }
 
 // JSON renders the report with a stable layout (indent + trailing

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"hsmcc/internal/synth"
+)
+
+func testSynthParams() synth.Params {
+	return synth.Params{
+		Seed:         7,
+		Ops:          48,
+		MemFrac:      0.8,
+		LoadFrac:     0.5,
+		SharedFrac:   0.6,
+		Sharing:      2,
+		SharedAddrs:  16,
+		PrivateAddrs: 8,
+		Rounds:       2,
+	}
+}
+
+// TestSynthWorkloadByKey pins the first-class-axis contract: a
+// canonical synth key resolves through ByKey to the exact workload, the
+// corpus is unaffected, malformed synth keys are rejected, and no
+// corpus key can collide with the synth namespace.
+func TestSynthWorkloadByKey(t *testing.T) {
+	p := testSynthParams()
+	w, ok := ByKey(p.Key())
+	if !ok {
+		t.Fatalf("ByKey(%q) did not resolve", p.Key())
+	}
+	if w.Key != p.Key() || w.Class != "synthetic" {
+		t.Fatalf("resolved workload %q class %q, want key %q class synthetic", w.Key, w.Class, p.Key())
+	}
+	if src := w.Source(4, 1.0); src != p.Source(4) {
+		t.Fatal("ByKey-resolved workload emits different source than the vector")
+	}
+	if _, ok := ByKey("synth:notakey"); ok {
+		t.Fatal("ByKey accepted a malformed synth key")
+	}
+	if _, ok := ByKey("dot"); !ok {
+		t.Fatal("corpus lookup broken")
+	}
+	for _, w := range All() {
+		if synth.IsKey(w.Key) {
+			t.Fatalf("corpus workload %q collides with the synth: namespace", w.Key)
+		}
+	}
+}
+
+// TestSynthCacheKeysDistinct is the cache-identity satellite: because
+// the workload key is the full parameter-vector digest, two vectors
+// differing in any single field must occupy distinct baseline and
+// translation cache entries (and identical vectors must share one).
+func TestSynthCacheKeysDistinct(t *testing.T) {
+	base := testSynthParams()
+	variants := []func(*synth.Params){
+		func(p *synth.Params) { p.Seed++ },
+		func(p *synth.Params) { p.Ops *= 2 },
+		func(p *synth.Params) { p.MemFrac = 0.4 },
+		func(p *synth.Params) { p.LoadFrac = 1 },
+		func(p *synth.Params) { p.SharedFrac = 0 },
+		func(p *synth.Params) { p.Sharing = 4 },
+		func(p *synth.Params) { p.SharedAddrs = 32 },
+		func(p *synth.Params) { p.PrivateAddrs = 16 },
+		func(p *synth.Params) { p.Rounds = 1 },
+		func(p *synth.Params) { p.Double = true },
+	}
+	seen := map[string]bool{base.Key(): true}
+	for i, mut := range variants {
+		q := base
+		mut(&q)
+		if seen[q.Key()] {
+			t.Fatalf("variant %d: key %q collides with another vector", i, q.Key())
+		}
+		seen[q.Key()] = true
+	}
+
+	cfg := DefaultConfig()
+	cfg.Threads = 2
+	cfg.Cache = NewCache()
+	other := base
+	other.SharedAddrs = 32
+	for _, p := range []synth.Params{base, other, base} { // third run must hit the cache
+		if _, err := RunBaseline(SynthWorkload(p), cfg); err != nil {
+			t.Fatalf("baseline %s: %v", p.Key(), err)
+		}
+	}
+	if got := cfg.Cache.Stats().BaselineRuns; got != 2 {
+		t.Fatalf("BaselineRuns = %d, want 2 (distinct vectors separate, identical vectors shared)", got)
+	}
+}
+
+// TestSynthGridSweep runs a small synthetic grid end-to-end: every cell
+// must execute, match the baseline, and the profiled-vs-static win map
+// must cover the swept plane point.
+func TestSynthGridSweep(t *testing.T) {
+	p := testSynthParams()
+	q := p
+	q.Sharing = 1
+	g := Grid{
+		Name:      "synthtest",
+		Workloads: []string{p.Key(), q.Key()},
+		Cores:     []int{2},
+		Policies:  []string{"offchip", "size", "profiled"},
+		MPBBudgets: []int{
+			0,
+		},
+		Scale: 1.0,
+	}
+	rep, err := RunGrid(g, RunOptions{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 6 {
+		t.Fatalf("got %d results, want 6", len(rep.Results))
+	}
+	for _, res := range rep.Results {
+		if res.Error != "" {
+			t.Fatalf("cell %v: %s", res.Cell, res.Error)
+		}
+		if !res.Match {
+			t.Fatalf("cell %v: translated output diverged from baseline", res.Cell)
+		}
+	}
+	wins := SynthWinMap(rep)
+	if len(wins) != 2 {
+		t.Fatalf("win map has %d points, want 2", len(wins))
+	}
+	for _, w := range wins {
+		if w.ProfiledPs == 0 || w.BestStaticPs == 0 || w.Delta <= 0 {
+			t.Fatalf("degenerate win point %+v", w)
+		}
+		if w.BestStatic == "profiled" {
+			t.Fatalf("best static policy is profiled: %+v", w)
+		}
+	}
+	if !strings.Contains(FormatSynthWinMap(wins), "delta") {
+		t.Fatal("FormatSynthWinMap lost its header")
+	}
+}
+
+// TestSynthProfiledPlacement pins internal/profile support: a sharing-
+// heavy synthetic kernel profiles cleanly, the optimizer yields a
+// deterministic placement digest, and the profile sees the kernel's
+// shared arrays.
+func TestSynthProfiledPlacement(t *testing.T) {
+	p := testSynthParams()
+	w := SynthWorkload(p)
+	cfg := DefaultConfig()
+	cfg.Threads = 4
+	cfg.Cache = NewCache()
+	rep, err := ProfileWorkload(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Vars) == 0 {
+		t.Fatal("profile saw no shared variables")
+	}
+	names := map[string]bool{}
+	for _, v := range rep.Vars {
+		names[v.Name] = true
+	}
+	for _, want := range []string{"sht", "swa", "swb", "prv", "out"} {
+		if !names[want] {
+			t.Errorf("profile is missing shared array %s (saw %v)", want, names)
+		}
+	}
+	pl1, err := PlacementFor(w, cfg, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2, err := PlacementFor(w, cfg, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl1.Digest() == "" || pl1.Digest() != pl2.Digest() {
+		t.Fatalf("placement digest unstable: %q vs %q", pl1.Digest(), pl2.Digest())
+	}
+}
+
+// TestSynthPlane pins the committed sweep plane: full cross product,
+// valid vectors, distinct keys.
+func TestSynthPlane(t *testing.T) {
+	opt := DefaultSynthPlane()
+	plane := SynthPlane(opt)
+	if want := len(opt.Sharings) * len(opt.Footprints); len(plane) != want {
+		t.Fatalf("plane has %d cells, want %d", len(plane), want)
+	}
+	seen := map[string]bool{}
+	for _, p := range plane {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("plane vector invalid: %v", err)
+		}
+		if seen[p.Key()] {
+			t.Fatalf("duplicate plane key %q", p.Key())
+		}
+		seen[p.Key()] = true
+	}
+}

@@ -16,6 +16,8 @@ package bench
 import (
 	"fmt"
 	"strings"
+
+	"hsmcc/internal/synth"
 )
 
 // Workload is one benchmark program generator.
@@ -45,8 +47,18 @@ func All() []Workload {
 	return append(Thesis(), Histogram(), KMeans(), MatMul(), ProdCons())
 }
 
-// ByKey finds a workload.
+// ByKey finds a workload. `synth:`-prefixed keys resolve to the
+// synthetic generator (synth.ParseKey decodes the full parameter
+// vector from the key), so synthetic cells are first-class anywhere a
+// workload key is accepted — grids, profiling, the CLIs.
 func ByKey(key string) (Workload, bool) {
+	if synth.IsKey(key) {
+		p, err := synth.ParseKey(key)
+		if err != nil {
+			return Workload{}, false
+		}
+		return SynthWorkload(p), true
+	}
 	for _, w := range All() {
 		if w.Key == key {
 			return w, true

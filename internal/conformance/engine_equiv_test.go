@@ -6,6 +6,7 @@ import (
 	"hsmcc/internal/bench"
 	"hsmcc/internal/interp"
 	"hsmcc/internal/partition"
+	"hsmcc/internal/synth"
 )
 
 // TestEngineEquivalenceKernels extends the compiled-engine golden
@@ -59,6 +60,60 @@ func TestEngineEquivalenceKernels(t *testing.T) {
 			if pair.c.Makespan != pair.r.Makespan || pair.c.Stats != pair.r.Stats {
 				t.Errorf("seed %d %s: cycle statistics diverged (makespan %d vs %d)",
 					seed, pair.what, pair.c.Makespan, pair.r.Makespan)
+			}
+		}
+	}
+}
+
+// TestEngineEquivalenceSynthKernels applies the same compiled-vs-
+// tree-walk golden invariant to seed-derived synthetic vectors, so the
+// coroutine lowering is pinned on the memory-behaviour plane (tunable
+// mix, sharing degree, footprint) and not only on the kernel grammar.
+func TestEngineEquivalenceSynthKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a sample of simulated synthetic kernels")
+	}
+	const kernels = 8
+	const cores = 4
+	runBoth := func(e interp.Engine, w bench.Workload, cfg bench.Config) (*bench.RunResult, *bench.RunResult, error) {
+		old := interp.DefaultEngine
+		interp.DefaultEngine = e
+		defer func() { interp.DefaultEngine = old }()
+		base, err := bench.RunBaseline(w, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		conv, err := bench.RunRCCE(w, cfg, partition.PolicySizeAscending)
+		if err != nil {
+			return nil, nil, err
+		}
+		return base, conv, nil
+	}
+	for seed := int64(6000); seed < 6000+kernels; seed++ {
+		p := synth.ParamsForSeed(seed)
+		w := bench.SynthWorkload(p)
+		cfg := bench.DefaultConfig()
+		cfg.Threads = cores
+		cfg.Scale = 1.0
+		cBase, cConv, err := runBoth(interp.EngineCompiled, w, cfg)
+		if err != nil {
+			t.Fatalf("%s compiled: %v", p.Key(), err)
+		}
+		rBase, rConv, err := runBoth(interp.EngineTreeWalk, w, cfg)
+		if err != nil {
+			t.Fatalf("%s tree-walk: %v", p.Key(), err)
+		}
+		for _, pair := range []struct {
+			what string
+			c, r *bench.RunResult
+		}{{"baseline", cBase, rBase}, {"rcce", cConv, rConv}} {
+			if pair.c.Output != pair.r.Output {
+				t.Errorf("%s %s: output diverged\n--- compiled\n%s\n--- tree-walk\n%s",
+					p.Key(), pair.what, pair.c.Output, pair.r.Output)
+			}
+			if pair.c.Makespan != pair.r.Makespan || pair.c.Stats != pair.r.Stats {
+				t.Errorf("%s %s: cycle statistics diverged (makespan %d vs %d)",
+					p.Key(), pair.what, pair.c.Makespan, pair.r.Makespan)
 			}
 		}
 	}

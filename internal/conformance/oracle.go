@@ -138,8 +138,14 @@ type Divergence struct {
 	Budget int    `json:"budget"`
 	// Oversub is the §7.2 many-to-one factor of the failing cell
 	// (0 or 1: one UE per core).
-	Oversub int    `json:"oversub,omitempty"`
-	BaseOut string `json:"base_out,omitempty"`
+	Oversub int `json:"oversub,omitempty"`
+	// Synth marks a synthetic-generator kernel (hsmconf -synth); Seed
+	// then reproduces via synth.ParamsForSeed and SynthKey carries the
+	// exact parameter vector (which for shrunken vectors is no longer
+	// seed-derived).
+	Synth    bool   `json:"synth,omitempty"`
+	SynthKey string `json:"synth_key,omitempty"`
+	BaseOut  string `json:"base_out,omitempty"`
 	RCCEOut string `json:"rcce_out,omitempty"`
 	// Err is set when a pipeline stage failed outright (parse, sema,
 	// translate, execution) rather than producing divergent output.
@@ -163,8 +169,12 @@ func (d *Divergence) String() string {
 	if f < 1 {
 		f = 1
 	}
-	return fmt.Sprintf("seed=%d cores=%d oversub=%d policy=%s budget=%d: %s (repro: hsmconf -seed %d -n 1 -cores %d -oversub %d -policies %s -budgets %d)",
-		d.Seed, d.Cores, f, d.Policy, d.Budget, what, d.Seed, d.Cores, f, d.Policy, d.Budget)
+	mode := ""
+	if d.Synth {
+		mode = "-synth "
+	}
+	return fmt.Sprintf("seed=%d cores=%d oversub=%d policy=%s budget=%d: %s (repro: hsmconf %s-seed %d -n 1 -cores %d -oversub %d -policies %s -budgets %d)",
+		d.Seed, d.Cores, f, d.Policy, d.Budget, what, mode, d.Seed, d.Cores, f, d.Policy, d.Budget)
 }
 
 // Engine runs kernels through both backends across a matrix.
@@ -285,26 +295,34 @@ func (e *Engine) CheckSource(seed int64, src string, cores int, policy string, b
 // baseline source and each distinct translated source compile exactly
 // once for the whole matrix instead of once per cell.
 func (e *Engine) Check(spec *Spec) *Divergence {
+	return e.checkMatrix(spec.Seed, spec.Source)
+}
+
+// checkMatrix is the matrix loop shared by the spec oracle (Check) and
+// the synthetic-vector oracle (CheckSynth): srcFor emits the kernel for
+// a UE count, and the sweep walks every (cores, oversub, policy,
+// budget) cell.
+func (e *Engine) checkMatrix(seed int64, srcFor func(ues int) string) *Divergence {
 	cache := bench.NewCache()
 	for _, cores := range e.Matrix.Cores {
 		for _, factor := range e.Matrix.factors() {
 			ues := cores * factor
-			src := spec.Source(ues)
-			w := kernelWorkload(spec.Seed, src)
+			src := srcFor(ues)
+			w := kernelWorkload(seed, src)
 			base, err := bench.RunBaseline(w, e.cellConfig(cores, 0, factor, cache))
 			if err != nil {
-				return &Divergence{Seed: spec.Seed, Cores: cores, Oversub: factor,
+				return &Divergence{Seed: seed, Cores: cores, Oversub: factor,
 					Policy: e.Matrix.Policies[0], Budget: e.Matrix.Budgets[0],
 					Source: src, Err: "baseline: " + err.Error()}
 			}
 			for _, policy := range e.Matrix.Policies {
 				pol, err := bench.ParsePolicy(policy)
 				if err != nil {
-					return &Divergence{Seed: spec.Seed, Cores: cores, Oversub: factor,
+					return &Divergence{Seed: seed, Cores: cores, Oversub: factor,
 						Policy: policy, Source: src, Err: err.Error()}
 				}
 				for _, budget := range e.Matrix.Budgets {
-					div := &Divergence{Seed: spec.Seed, Cores: cores, Oversub: factor,
+					div := &Divergence{Seed: seed, Cores: cores, Oversub: factor,
 						Policy: policy, Budget: budget, Source: src}
 					conv, err := bench.RunRCCE(w, e.cellConfig(cores, budget, factor, cache), pol)
 					if err != nil {

@@ -1,0 +1,467 @@
+package synth
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hsmcc/internal/cc/ast"
+	"hsmcc/internal/cc/printer"
+	"hsmcc/internal/cc/token"
+	"hsmcc/internal/cc/types"
+)
+
+// Array and function names of the emitted kernel shape.
+//
+//	sht — read-only shared table, one window of SharedAddrs per sharing
+//	      group, written once by each group's leader in the warm round
+//	swa/swb — parity-alternating shared write buffers: compute round r
+//	      stores into its own SharedAddrs-wide window of the r%2 buffer
+//	      and loads from its group's window of the other one, so no
+//	      round ever reads a buffer any thread is writing
+//	prv — per-thread private footprint of PrivateAddrs elements
+//	out — one accumulator result slot per thread, summed across rounds
+const (
+	tableName = "sht"
+	swapAName = "swa"
+	swapBName = "swb"
+	privName  = "prv"
+	outName   = "out"
+	warmName  = "warm"
+)
+
+func mixName(r int) string { return fmt.Sprintf("mix%d", r) }
+func swapName(parity int) string {
+	if parity == 0 {
+		return swapAName
+	}
+	return swapBName
+}
+
+// Source renders the kernel as Pthread C source for a thread count.
+// Emission is a pure function: the same (Params, threads) pair always
+// produces byte-identical source.
+func (p Params) Source(threads int) string {
+	return printer.Print(p.File(threads))
+}
+
+// layout is the thread-count-resolved geometry of one emission.
+type layout struct {
+	threads int
+	deg     int // effective sharing degree: min(Sharing, threads)
+	groups  int // ceil(threads/deg) sharing groups
+	sa, pa  int
+}
+
+func (p Params) layoutFor(threads int) layout {
+	if threads < 1 {
+		threads = 1
+	}
+	d := p.Sharing
+	if d > threads {
+		d = threads
+	}
+	if d < 1 {
+		d = 1
+	}
+	return layout{
+		threads: threads,
+		deg:     d,
+		groups:  (threads + d - 1) / d,
+		sa:      p.SharedAddrs,
+		pa:      p.PrivateAddrs,
+	}
+}
+
+// File builds the kernel's IR for a thread count, following the corpus
+// idiom the translator is specified over: global shared arrays, thread
+// functions taking their ID through the void* argument, canonical
+// launch/join loops in main, and per-array checksum prints.
+//
+// Value-boundedness invariant (what keeps arithmetic exact and
+// overflow-free at any Ops budget): int operations reduce mod a fixed
+// prime after every accumulate, so acc and every element stay in
+// [0, intModulus); double operations only ever scale by constants < 1
+// and add offsets ≤ 2.5, giving a fixpoint bound of 10 on acc and all
+// elements, far below any precision loss at %.6f.
+func (p Params) File(threads int) *ast.File {
+	s := p.plan()
+	u := s.usage()
+	lay := p.layoutFor(threads)
+	em := &synthEmitter{p: p, s: s, u: u, lay: lay}
+
+	f := &ast.File{Name: strings.NewReplacer(":", "_", ".", "_").Replace(p.Key()) + ".c"}
+	f.Decls = append(f.Decls,
+		&ast.Include{Text: "#include <stdio.h>"},
+		&ast.Include{Text: "#include <pthread.h>"},
+	)
+	for _, a := range em.arrays() {
+		f.Decls = append(f.Decls, &ast.VarDecl{Name: a.name, Type: types.ArrayOf(a.elem, a.size)})
+	}
+	if em.hasWarm() {
+		f.Decls = append(f.Decls, em.warmFunc())
+	}
+	for r := 0; r < p.Rounds; r++ {
+		f.Decls = append(f.Decls, em.mixFunc(r))
+	}
+	f.Decls = append(f.Decls, em.mainFunc())
+	return f
+}
+
+type synthEmitter struct {
+	p   Params
+	s   *schedule
+	u   usage
+	lay layout
+}
+
+func (em *synthEmitter) elem() *types.Type {
+	if em.p.Double {
+		return types.DoubleType
+	}
+	return types.IntType
+}
+
+type arrayDecl struct {
+	name string
+	elem *types.Type
+	size int
+}
+
+// arrays lists the declared data arrays in checksum order. Only arrays
+// the schedule touches exist — out always does.
+func (em *synthEmitter) arrays() []arrayDecl {
+	lay := em.lay
+	var out []arrayDecl
+	out = append(out, arrayDecl{outName, em.elem(), lay.threads})
+	if em.u.table {
+		out = append(out, arrayDecl{tableName, em.elem(), lay.groups * lay.sa})
+	}
+	if em.u.swap {
+		size := lay.groups * lay.deg * lay.sa
+		out = append(out, arrayDecl{swapAName, em.elem(), size})
+		out = append(out, arrayDecl{swapBName, em.elem(), size})
+	}
+	if em.u.priv {
+		out = append(out, arrayDecl{privName, em.elem(), lay.threads * lay.pa})
+	}
+	return out
+}
+
+func (em *synthEmitter) hasWarm() bool { return em.u.priv || em.u.table }
+
+// warmFunc emits the initialisation round: every thread fills its own
+// private slice, and each sharing group's leader (the unique thread
+// with me % deg == 0 in the group) fills the group's read-only table
+// window — one writer per element, race-free.
+func (em *synthEmitter) warmFunc() *ast.FuncDecl {
+	lay := em.lay
+	var body []ast.Stmt
+	body = append(body, sDecl("me", types.IntType,
+		&ast.CastExpr{To: types.IntType, X: sIdent("tid")}))
+	body = append(body, sDecl("j", types.IntType, nil))
+	fill := func(target ast.Expr) ast.Stmt {
+		// (me*7 + j*3) keeps windows distinguishable; the value form is
+		// bounded per the emitter invariant.
+		mixIdx := sBin(token.Plus,
+			sBin(token.Star, sIdent("me"), sInt(7)),
+			sBin(token.Star, sIdent("j"), sInt(3)))
+		var val ast.Expr
+		if em.p.Double {
+			val = sBin(token.Plus,
+				sBin(token.Star,
+					&ast.CastExpr{To: types.DoubleType, X: &ast.ParenExpr{X: sBin(token.Percent, &ast.ParenExpr{X: mixIdx}, sInt(8))}},
+					sFloat(0.25)),
+				sFloat(0.5))
+		} else {
+			val = &ast.ParenExpr{X: sBin(token.Percent,
+				&ast.ParenExpr{X: sBin(token.Plus, mixIdx, sInt(1))}, sInt(intModulus))}
+		}
+		return sExpr(sAssign(target, val))
+	}
+	forJ := func(bound int, st ast.Stmt) ast.Stmt {
+		return &ast.ForStmt{
+			Init: sExpr(sAssign(sIdent("j"), sInt(0))),
+			Cond: sBin(token.Lt, sIdent("j"), sInt(int64(bound))),
+			Post: &ast.PostfixExpr{Op: token.PlusPlus, X: sIdent("j")},
+			Body: st,
+		}
+	}
+	if em.u.priv {
+		target := &ast.IndexExpr{X: sIdent(privName),
+			Index: sBin(token.Plus, sMul(sIdent("me"), lay.pa), sIdent("j"))}
+		body = append(body, forJ(lay.pa, fill(target)))
+	}
+	if em.u.table {
+		target := &ast.IndexExpr{X: sIdent(tableName),
+			Index: sBin(token.Plus, sMul(em.groupOf("me"), lay.sa), sIdent("j"))}
+		loop := forJ(lay.sa, fill(target))
+		body = append(body, &ast.IfStmt{
+			Cond: sBin(token.EqEq,
+				&ast.ParenExpr{X: sBin(token.Percent, sIdent("me"), sInt(int64(lay.deg)))},
+				sInt(0)),
+			Then: &ast.BlockStmt{List: []ast.Stmt{loop}},
+		})
+	}
+	body = append(body, sCall("pthread_exit", sIdent("NULL")))
+	return threadFuncDecl(warmName, body)
+}
+
+// groupOf is the sharing-group id of a thread: me / deg (folded to me
+// when every thread is its own group).
+func (em *synthEmitter) groupOf(name string) ast.Expr {
+	if em.lay.deg == 1 {
+		return sIdent(name)
+	}
+	return &ast.ParenExpr{X: sBin(token.Slash, sIdent(name), sInt(int64(em.lay.deg)))}
+}
+
+// mixFunc emits compute round r: the accumulator loop iterating the
+// round's scheduled operation body, then the thread's result fold into
+// its own out slot.
+func (em *synthEmitter) mixFunc(r int) *ast.FuncDecl {
+	var body []ast.Stmt
+	body = append(body, sDecl("me", types.IntType,
+		&ast.CastExpr{To: types.IntType, X: sIdent("tid")}))
+	if em.p.Double {
+		body = append(body, sDecl("acc", types.DoubleType, sFloat(0.5)))
+	} else {
+		body = append(body, sDecl("acc", types.IntType, sInt(int64(1+r))))
+	}
+	body = append(body, sDecl("i", types.IntType, nil))
+	var inner []ast.Stmt
+	for _, o := range em.s.rounds[r] {
+		inner = append(inner, em.opStmt(o, r))
+	}
+	if len(inner) > 0 {
+		body = append(body, &ast.ForStmt{
+			Init: sExpr(sAssign(sIdent("i"), sInt(0))),
+			Cond: sBin(token.Lt, sIdent("i"), sInt(int64(em.s.iters))),
+			Post: &ast.PostfixExpr{Op: token.PlusPlus, X: sIdent("i")},
+			Body: sNested(inner),
+		})
+	}
+	slot := &ast.IndexExpr{X: sIdent(outName), Index: sIdent("me")}
+	body = append(body, sExpr(sAssign(slot,
+		sBin(token.Plus, &ast.IndexExpr{X: sIdent(outName), Index: sIdent("me")}, sIdent("acc")))))
+	body = append(body, sCall("pthread_exit", sIdent("NULL")))
+	return threadFuncDecl(mixName(r), body)
+}
+
+// wrapIdx is the bounded in-window offset (i*stride + off) % width.
+func wrapIdx(o op, width int) ast.Expr {
+	lin := sBin(token.Plus, sMul(sIdent("i"), o.stride), sInt(int64(o.off)))
+	return &ast.ParenExpr{X: sBin(token.Percent, &ast.ParenExpr{X: lin}, sInt(int64(width)))}
+}
+
+// opStmt lowers one scheduled operation of round r to a statement.
+// Stores target the thread's own window (me-based base), loads from
+// shared state only touch arrays stable in this round — the race-
+// freedom-by-construction discipline.
+func (em *synthEmitter) opStmt(o op, r int) ast.Stmt {
+	lay := em.lay
+	switch o.kind {
+	case opNonMem:
+		if em.p.Double {
+			// acc = acc * F1 + F2;
+			return sExpr(sAssign(sIdent("acc"), sBin(token.Plus,
+				sBin(token.Star, sIdent("acc"), sFloat(doubleScales[o.f1])),
+				sFloat(doubleOffsets[o.f2]))))
+		}
+		// acc = (acc * C1 + C2) % M;
+		return sExpr(sAssign(sIdent("acc"), sModM(sBin(token.Plus,
+			sBin(token.Star, sIdent("acc"), sInt(int64(o.c1))), sInt(int64(o.c2))))))
+	case opPrivLoad:
+		idx := sBin(token.Plus, sMul(sIdent("me"), lay.pa), wrapIdx(o, lay.pa))
+		return em.loadStmt(&ast.IndexExpr{X: sIdent(privName), Index: idx})
+	case opPrivStore:
+		idx := sBin(token.Plus, sMul(sIdent("me"), lay.pa), wrapIdx(o, lay.pa))
+		return em.storeStmt(&ast.IndexExpr{X: sIdent(privName), Index: idx}, o)
+	case opSharedLoad:
+		if o.fromSW {
+			width := lay.deg * lay.sa
+			idx := sBin(token.Plus, sMulE(em.groupOf("me"), width), wrapIdx(o, width))
+			return em.loadStmt(&ast.IndexExpr{X: sIdent(swapName(1 - r%2)), Index: idx})
+		}
+		idx := sBin(token.Plus, sMulE(em.groupOf("me"), lay.sa), wrapIdx(o, lay.sa))
+		return em.loadStmt(&ast.IndexExpr{X: sIdent(tableName), Index: idx})
+	case opSharedStore:
+		idx := sBin(token.Plus, sMul(sIdent("me"), lay.sa), wrapIdx(o, lay.sa))
+		return em.storeStmt(&ast.IndexExpr{X: sIdent(swapName(r % 2)), Index: idx}, o)
+	}
+	panic("synth: unknown op kind")
+}
+
+// loadStmt folds a memory read into the accumulator, keeping it bounded:
+// int `acc = (acc + X) % M;`, double `acc = acc * 0.5 + X * 0.5;`.
+func (em *synthEmitter) loadStmt(read ast.Expr) ast.Stmt {
+	if em.p.Double {
+		return sExpr(sAssign(sIdent("acc"), sBin(token.Plus,
+			sBin(token.Star, sIdent("acc"), sFloat(0.5)),
+			sBin(token.Star, read, sFloat(0.5)))))
+	}
+	return sExpr(sAssign(sIdent("acc"),
+		sModM(sBin(token.Plus, sIdent("acc"), read))))
+}
+
+// storeStmt writes a bounded function of the accumulator; the RHS reads
+// no array, so mix accounting classifies the statement as exactly one
+// store.
+func (em *synthEmitter) storeStmt(target ast.Expr, o op) ast.Stmt {
+	if em.p.Double {
+		return sExpr(sAssign(target, sBin(token.Plus,
+			sBin(token.Star, sIdent("acc"), sFloat(0.5)),
+			sFloat(doubleOffsets[o.f2]))))
+	}
+	return sExpr(sAssign(target,
+		sModM(sBin(token.Plus, sIdent("acc"), sInt(int64(o.c2))))))
+}
+
+// mainFunc emits launch/join rounds (warm first when present) and the
+// per-array checksum reduction.
+func (em *synthEmitter) mainFunc() *ast.FuncDecl {
+	lay := em.lay
+	var body []ast.Stmt
+	body = append(body,
+		&ast.DeclStmt{Decl: &ast.VarDecl{Name: "th",
+			Type: types.ArrayOf(types.OpaqueOf("pthread_t"), lay.threads)}},
+		sDecl("t", types.IntType, nil),
+	)
+	launch := func(fn string) []ast.Stmt {
+		return []ast.Stmt{
+			&ast.ForStmt{
+				Init: sExpr(sAssign(sIdent("t"), sInt(0))),
+				Cond: sBin(token.Lt, sIdent("t"), sInt(int64(lay.threads))),
+				Post: &ast.PostfixExpr{Op: token.PlusPlus, X: sIdent("t")},
+				Body: sCall("pthread_create",
+					&ast.UnaryExpr{Op: token.Amp, X: &ast.IndexExpr{X: sIdent("th"), Index: sIdent("t")}},
+					sIdent("NULL"), sIdent(fn),
+					&ast.CastExpr{To: types.PointerTo(types.VoidType), X: sIdent("t")}),
+			},
+			&ast.ForStmt{
+				Init: sExpr(sAssign(sIdent("t"), sInt(0))),
+				Cond: sBin(token.Lt, sIdent("t"), sInt(int64(lay.threads))),
+				Post: &ast.PostfixExpr{Op: token.PlusPlus, X: sIdent("t")},
+				Body: sCall("pthread_join",
+					&ast.IndexExpr{X: sIdent("th"), Index: sIdent("t")}, sIdent("NULL")),
+			},
+		}
+	}
+	if em.hasWarm() {
+		body = append(body, launch(warmName)...)
+	}
+	for r := 0; r < em.p.Rounds; r++ {
+		body = append(body, launch(mixName(r))...)
+	}
+	body = append(body, em.reduction()...)
+	body = append(body, &ast.ReturnStmt{Result: sInt(0)})
+	return &ast.FuncDecl{
+		Name:   "main",
+		Result: types.IntType,
+		Body:   &ast.BlockStmt{List: body},
+	}
+}
+
+// reduction sums every declared array into one checksum line each
+// (`c<idx> <sum>`), one accumulation loop per array since sizes differ.
+func (em *synthEmitter) reduction() []ast.Stmt {
+	var out []ast.Stmt
+	out = append(out, sDecl("k", types.IntType, nil))
+	arrays := em.arrays()
+	for i := range arrays {
+		name := fmt.Sprintf("c%d", i)
+		if em.p.Double {
+			out = append(out, sDecl(name, types.DoubleType, sFloat(0.0)))
+		} else {
+			out = append(out, sDecl(name, types.IntType, sInt(0)))
+		}
+	}
+	for i, a := range arrays {
+		name := fmt.Sprintf("c%d", i)
+		out = append(out, &ast.ForStmt{
+			Init: sExpr(sAssign(sIdent("k"), sInt(0))),
+			Cond: sBin(token.Lt, sIdent("k"), sInt(int64(a.size))),
+			Post: &ast.PostfixExpr{Op: token.PlusPlus, X: sIdent("k")},
+			Body: sExpr(sAssign(sIdent(name),
+				sBin(token.Plus, sIdent(name), &ast.IndexExpr{X: sIdent(a.name), Index: sIdent("k")}))),
+		})
+		verb := "%d"
+		if em.p.Double {
+			verb = "%.6f"
+		}
+		out = append(out, sCall("printf",
+			&ast.StringLit{Value: fmt.Sprintf("c%d %s\n", i, verb)}, sIdent(name)))
+	}
+	return out
+}
+
+func threadFuncDecl(name string, body []ast.Stmt) *ast.FuncDecl {
+	return &ast.FuncDecl{
+		Name:   name,
+		Result: types.PointerTo(types.VoidType),
+		Params: []*ast.Param{{Name: "tid", Type: types.PointerTo(types.VoidType)}},
+		Body:   &ast.BlockStmt{List: body},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Small AST builders (the conformance emitter's idiom, package-local)
+// ---------------------------------------------------------------------------
+
+func sIdent(name string) *ast.Ident { return &ast.Ident{Name: name} }
+
+func sInt(v int64) *ast.IntLit {
+	return &ast.IntLit{Value: v, Text: strconv.FormatInt(v, 10)}
+}
+
+func sFloat(v float64) *ast.FloatLit {
+	t := strconv.FormatFloat(v, 'g', -1, 64)
+	if !strings.ContainsAny(t, ".eE") {
+		t += ".0"
+	}
+	return &ast.FloatLit{Value: v, Text: t}
+}
+
+func sBin(op token.Kind, x, y ast.Expr) *ast.BinaryExpr {
+	return &ast.BinaryExpr{Op: op, X: x, Y: y}
+}
+
+func sAssign(lhs, rhs ast.Expr) *ast.AssignExpr {
+	return &ast.AssignExpr{Op: token.Assign, LHS: lhs, RHS: rhs}
+}
+
+func sExpr(e ast.Expr) ast.Stmt { return &ast.ExprStmt{X: e} }
+
+func sCall(name string, args ...ast.Expr) ast.Stmt {
+	return sExpr(&ast.CallExpr{Fun: sIdent(name), Args: args})
+}
+
+func sDecl(name string, t *types.Type, init ast.Expr) ast.Stmt {
+	return &ast.DeclStmt{Decl: &ast.VarDecl{Name: name, Type: t, Init: init}}
+}
+
+// sMul emits x*k with the ×1 case folded to x.
+func sMul(x ast.Expr, k int) ast.Expr {
+	if k == 1 {
+		return x
+	}
+	return sBin(token.Star, x, sInt(int64(k)))
+}
+
+// sMulE is sMul over a non-identifier base.
+func sMulE(x ast.Expr, k int) ast.Expr { return sMul(x, k) }
+
+// sModM reduces an int expression modulo the fixed prime:
+// `(<e>) % 9973`.
+func sModM(e ast.Expr) ast.Expr {
+	return &ast.ParenExpr{X: sBin(token.Percent, &ast.ParenExpr{X: e}, sInt(intModulus))}
+}
+
+// sNested wraps a loop body: one statement stays bare, several become a
+// block.
+func sNested(list []ast.Stmt) ast.Stmt {
+	if len(list) == 1 {
+		return list[0]
+	}
+	return &ast.BlockStmt{List: list}
+}
