@@ -1,0 +1,160 @@
+// Command hsmccd is the simulation-as-a-service daemon: a long-running
+// HTTP server that keeps one process-lifetime compile/translation/
+// baseline/profile cache warm across requests, so repeated and
+// concurrent experiments share work instead of redoing it per CLI
+// invocation.
+//
+// Serving mode:
+//
+//	hsmccd [-addr :8357] [-cache-bytes N] [-max-cores N] [-max-scale F]
+//	       [-default-deadline D] [-max-deadline D]
+//
+// Endpoints: POST /v1/compile, /v1/translate, /v1/simulate (one JSON
+// document each), POST /v1/grid and /v1/batch (NDJSON streams in
+// deterministic order), GET /metrics and /healthz. Request bodies
+// accept corpus workload keys and canonical synth: keys. See
+// docs/SERVING.md for the API reference and examples.
+//
+// Selftest mode:
+//
+//	hsmccd -selftest [-selftest-requests N] [-selftest-seed S]
+//	       [-selftest-concurrency N] [-selftest-full]
+//
+// runs the concurrent load-test harness (internal/serve/loadtest)
+// against an in-process instance: a seeded mixed scenario whose every
+// deterministic response is compared byte-for-byte against direct
+// bench runs, plus a cache-hot hit-rate check and (on multi-core
+// hosts) the GOMAXPROCS throughput-scaling study. Exit status 0 means
+// zero divergence, no goroutine leak, hit rate and scaling bounds met.
+// -selftest-full additionally writes the full JSON report to stdout
+// (the CI nightly artifact).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"hsmcc/internal/serve"
+	"hsmcc/internal/serve/loadtest"
+)
+
+func main() {
+	addr := flag.String("addr", ":8357", "listen address")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "cache budget in estimated resident bytes (<=0 = unbounded)")
+	maxCores := flag.Int("max-cores", 0, "per-request core-count limit (0 = default 48)")
+	maxScale := flag.Float64("max-scale", 0, "per-request problem-scale limit (0 = default 1.0)")
+	defaultDeadline := flag.Duration("default-deadline", 0, "deadline when a request names none (0 = default 30s)")
+	maxDeadline := flag.Duration("max-deadline", 0, "hard per-request deadline cap (0 = default 2m)")
+	selftest := flag.Bool("selftest", false, "run the concurrent load-test harness in-process and exit")
+	stRequests := flag.Int("selftest-requests", 1000, "selftest: request count of the mixed scenario")
+	stSeed := flag.Int64("selftest-seed", 1, "selftest: scenario seed")
+	stConcurrency := flag.Int("selftest-concurrency", 32, "selftest: concurrent clients")
+	stFull := flag.Bool("selftest-full", false, "selftest: write the full JSON report to stdout")
+	flag.Parse()
+
+	if *selftest {
+		os.Exit(runSelftest(*stSeed, *stRequests, *stConcurrency, *stFull))
+	}
+
+	srv := serve.New(serve.Options{
+		CacheBytes: *cacheBytes,
+		Limits: serve.Limits{
+			MaxCores:        *maxCores,
+			MaxScale:        *maxScale,
+			DefaultDeadline: *defaultDeadline,
+			MaxDeadline:     *maxDeadline,
+		},
+	})
+	lim := srv.Limits()
+	log.Printf("hsmccd: listening on %s (cache budget %d MB, max cores %d, max scale %g, deadline %s default / %s max)",
+		*addr, *cacheBytes>>20, lim.MaxCores, lim.MaxScale, lim.DefaultDeadline, lim.MaxDeadline)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(httpSrv.ListenAndServe())
+}
+
+// selftestReport is the -selftest-full JSON artifact.
+type selftestReport struct {
+	Mixed    *loadtest.Report        `json:"mixed"`
+	CacheHot *loadtest.Report        `json:"cache_hot"`
+	Scaling  []loadtest.ScalingPoint `json:"scaling,omitempty"`
+	Pass     bool                    `json:"pass"`
+	Failures []string                `json:"failures,omitempty"`
+}
+
+// runSelftest executes the three scenarios and prints one summary line
+// each; any violated bound is a failure.
+func runSelftest(seed int64, requests, concurrency int, full bool) int {
+	art := &selftestReport{}
+	fail := func(format string, args ...any) {
+		art.Failures = append(art.Failures, fmt.Sprintf(format, args...))
+	}
+
+	log.Printf("selftest: mixed scenario (seed %d, %d requests, %d clients)...", seed, requests, concurrency)
+	mixed, err := loadtest.Run(loadtest.Options{Seed: seed, Requests: requests, Concurrency: concurrency})
+	if err != nil {
+		fail("mixed scenario: %v", err)
+	} else {
+		art.Mixed = mixed
+		log.Printf("selftest: %s", mixed)
+		if err := mixed.Err(); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	log.Printf("selftest: cache-hot scenario...")
+	hot, err := loadtest.Run(loadtest.Options{Seed: seed + 1, Requests: requests / 4, Concurrency: concurrency, HotOnly: true})
+	if err != nil {
+		fail("cache-hot scenario: %v", err)
+	} else {
+		art.CacheHot = hot
+		log.Printf("selftest: %s", hot)
+		if err := hot.Err(); err != nil {
+			fail("%v", err)
+		}
+		if hot.CacheHitRate <= 0.5 {
+			fail("cache-hot hit rate %.2f, want > 0.5", hot.CacheHitRate)
+		}
+	}
+
+	if procs := loadtest.ScalingProcs(); len(procs) >= 2 {
+		log.Printf("selftest: scaling study at GOMAXPROCS %v...", procs)
+		points, err := loadtest.RunScaling(loadtest.Options{Seed: seed + 2, Requests: requests / 4, Concurrency: concurrency}, procs)
+		if err != nil {
+			fail("scaling study: %v", err)
+		} else {
+			art.Scaling = points
+			for _, p := range points {
+				log.Printf("selftest: GOMAXPROCS %d: %.1f req/s", p.Procs, p.Throughput)
+			}
+			if err := loadtest.CheckScaling(points); err != nil {
+				fail("%v", err)
+			}
+		}
+	} else {
+		log.Printf("selftest: single-CPU host, skipping the GOMAXPROCS scaling study")
+	}
+
+	art.Pass = len(art.Failures) == 0
+	if full {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(art)
+	}
+	if !art.Pass {
+		for _, f := range art.Failures {
+			log.Printf("selftest: FAIL: %s", f)
+		}
+		return 1
+	}
+	log.Printf("selftest: PASS")
+	return 0
+}

@@ -1,0 +1,226 @@
+package bench
+
+// Size-bounded memoization: the admission/eviction half of bench.Cache.
+//
+// A Cache built with NewCacheSized accounts every admitted entry's
+// estimated resident cost (bytes) against one shared budget spanning
+// all five memo maps (programs, translations, baselines, profiles,
+// placements), evicting in least-recently-used order when an admission
+// would exceed the bound. Three properties the daemon and its tests
+// rely on:
+//
+//   - The accounted cost never exceeds the budget: eviction happens
+//     inside the admission's critical section, and an entry whose cost
+//     alone exceeds the whole budget is computed and returned but never
+//     cached (admission control), so one pathological request cannot
+//     flush the working set.
+//   - Eviction never invalidates an in-flight result. Values are
+//     immutable (compiled Programs by design, results by convention)
+//     and garbage-collected: eviction only drops the map reference, so
+//     a Program handed out before eviction keeps running unaffected.
+//   - Errored computations are never cached. A canceled or failed run
+//     deletes its entry, so the next request for the same key retries
+//     instead of being served a stale context-deadline error.
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// costBudget is the LRU spine shared by a sized Cache's typed maps:
+// a recency list over admitted entries plus the running cost total.
+// Lock order: a typed map's mutex is always taken before the budget's.
+type costBudget struct {
+	mu        sync.Mutex
+	max       int64
+	cur       int64
+	ll        *list.List // of *budgetItem; front = most recently used
+	evictions int64
+}
+
+func newCostBudget(max int64) *costBudget {
+	return &costBudget{max: max, ll: list.New()}
+}
+
+// budgetItem is one admitted entry's handle on the LRU spine.
+type budgetItem struct {
+	cost    int64
+	elem    *list.Element
+	evicted bool
+	// remove drops the entry from its owning typed map. Called without
+	// any lock held (it takes the owner's).
+	remove func()
+}
+
+// admit charges item against the budget, evicting from the cold end
+// until the bound holds again, and returns the victims for the caller
+// to remove from their maps once no locks are held. item.cost must not
+// exceed b.max (admission control happens in the caller).
+func (b *costBudget) admit(item *budgetItem) (victims []*budgetItem) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	item.elem = b.ll.PushFront(item)
+	b.cur += item.cost
+	for b.cur > b.max {
+		back := b.ll.Back()
+		if back == nil {
+			break
+		}
+		v := back.Value.(*budgetItem)
+		if v == item {
+			break
+		}
+		b.ll.Remove(back)
+		v.evicted = true
+		b.cur -= v.cost
+		b.evictions++
+		victims = append(victims, v)
+	}
+	return victims
+}
+
+// touch marks item most-recently-used (no-op once evicted).
+func (b *costBudget) touch(item *budgetItem) {
+	b.mu.Lock()
+	if !item.evicted {
+		b.ll.MoveToFront(item.elem)
+	}
+	b.mu.Unlock()
+}
+
+func (b *costBudget) stats() (cur, max, evictions int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cur, b.max, b.evictions
+}
+
+// onceCache memoizes a computation per key, running it exactly once
+// even under concurrent lookups (per-key sync.Once under a map lock).
+// With a budget attached it becomes one shard of a size-bounded LRU:
+// successful computations are admitted at costOf(key, value) bytes,
+// hits refresh recency, and the spine evicts cold entries to keep the
+// shared bound. Errored computations are always dropped for retry.
+type onceCache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*onceEntry[V]
+	// budget and costOf enable eviction; both nil = unbounded (the
+	// grid/conformance sweep caches, whose lifetime is one sweep).
+	budget *costBudget
+	costOf func(K, V) int64
+	hits   int64
+	misses int64
+}
+
+type onceEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+	// Admission state, guarded by the owning cache's mu.
+	admitted bool
+	item     *budgetItem
+}
+
+func (c *onceCache[K, V]) get(k K, f func() (V, error)) (V, error) {
+	for {
+		v, err, ran := c.getOnce(k, f)
+		if err != nil && !ran && isCancelErr(err) {
+			// We coalesced onto another requester's in-flight computation
+			// and inherited ITS cancellation (the cancel hook is bound to
+			// the config that started the compute, not to every waiter).
+			// The errored entry has been dropped; retry with our own
+			// computation, whose own cancel hook governs.
+			continue
+		}
+		return v, err
+	}
+}
+
+// isCancelErr reports whether err is (or wraps) a context cancellation.
+func isCancelErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (c *onceCache[K, V]) getOnce(k K, f func() (V, error)) (V, error, bool) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*onceEntry[V])
+	}
+	e, ok := c.m[k]
+	if !ok {
+		e = &onceEntry[V]{}
+		c.m[k] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	ran := false
+	e.once.Do(func() { ran = true; e.val, e.err = f() })
+	c.settle(k, e)
+	return e.val, e.err, ran
+}
+
+// settle performs post-compute bookkeeping for an entry a get observed:
+// drop errored entries (retry semantics), admit a fresh success against
+// the budget, refresh recency on a hit.
+func (c *onceCache[K, V]) settle(k K, e *onceEntry[V]) {
+	var victims []*budgetItem
+	c.mu.Lock()
+	if e.err != nil {
+		if c.m[k] == e {
+			delete(c.m, k)
+		}
+	} else if c.budget == nil {
+		// Unbounded cache: nothing to account.
+	} else if !e.admitted {
+		e.admitted = true
+		cost := int64(1)
+		if c.costOf != nil {
+			cost = c.costOf(k, e.val)
+		}
+		if cost < 1 {
+			cost = 1
+		}
+		if cost > c.budget.max {
+			// Admission control: an entry costing more than the whole
+			// budget is served but never cached.
+			if c.m[k] == e {
+				delete(c.m, k)
+			}
+		} else {
+			e.item = &budgetItem{cost: cost, remove: func() { c.removeIf(k, e) }}
+			victims = c.budget.admit(e.item)
+		}
+	} else if e.item != nil {
+		c.budget.touch(e.item)
+	}
+	c.mu.Unlock()
+	for _, v := range victims {
+		v.remove()
+	}
+}
+
+// removeIf drops k only if it still maps to e: by the time an eviction
+// decision lands here, the key may have been recomputed under a new
+// entry, which must survive.
+func (c *onceCache[K, V]) removeIf(k K, e *onceEntry[V]) {
+	c.mu.Lock()
+	if c.m[k] == e {
+		delete(c.m, k)
+	}
+	c.mu.Unlock()
+}
+
+func (c *onceCache[K, V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+func (c *onceCache[K, V]) counters() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

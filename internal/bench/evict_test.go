@@ -1,0 +1,235 @@
+package bench
+
+// Property tests for the size-bounded LRU (evict.go): the accounted
+// cost never exceeds the budget, recently-used entries survive cold
+// ones, admission control keeps oversized entries out, eviction never
+// invalidates a Program already handed to a running simulation, and the
+// whole machinery holds under concurrent hammering (run with -race).
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// sizedStringCache builds a onceCache[string,string] on a fresh budget,
+// costing each entry at len(value) bytes.
+func sizedStringCache(maxBytes int64) (*onceCache[string, string], *costBudget) {
+	b := newCostBudget(maxBytes)
+	c := &onceCache[string, string]{
+		budget: b,
+		costOf: func(_ string, v string) int64 { return int64(len(v)) },
+	}
+	return c, b
+}
+
+func TestEvictBoundNeverExceeded(t *testing.T) {
+	const max = 1000
+	c, b := sizedStringCache(max)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k%d", rng.Intn(100))
+		size := 10 + rng.Intn(200)
+		if _, err := c.get(k, func() (string, error) {
+			return string(make([]byte, size)), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		cur, bmax, _ := b.stats()
+		if cur > bmax {
+			t.Fatalf("after %d ops: accounted cost %d exceeds budget %d", i+1, cur, bmax)
+		}
+	}
+	if _, _, ev := b.stats(); ev == 0 {
+		t.Fatal("the scenario caused no evictions — the bound was never stressed")
+	}
+}
+
+func TestEvictHottestSurvive(t *testing.T) {
+	// Budget fits ~4 entries of 100 bytes. One hot key is touched
+	// between every cold admission; the cold keys churn past the budget
+	// many times over, but the hot key must never be evicted.
+	c, _ := sizedStringCache(400)
+	computes := make(map[string]int)
+	getOnceCounted := func(k string, size int) {
+		t.Helper()
+		if _, err := c.get(k, func() (string, error) {
+			computes[k]++
+			return string(make([]byte, size)), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	getOnceCounted("hot", 100)
+	for i := 0; i < 50; i++ {
+		getOnceCounted(fmt.Sprintf("cold%d", i), 100)
+		getOnceCounted("hot", 100)
+	}
+	if computes["hot"] != 1 {
+		t.Fatalf("hot key computed %d times, want 1 — LRU evicted the most recently used entry", computes["hot"])
+	}
+	// And the cold tail did get evicted: re-requesting an early cold key
+	// recomputes.
+	getOnceCounted("cold0", 100)
+	if computes["cold0"] != 2 {
+		t.Fatalf("cold0 computed %d times, want 2 (admitted, evicted, recomputed)", computes["cold0"])
+	}
+}
+
+func TestEvictOversizedServedNotCached(t *testing.T) {
+	c, b := sizedStringCache(100)
+	for i := 0; i < 3; i++ {
+		v, err := c.get("huge", func() (string, error) {
+			return string(make([]byte, 500)), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v) != 500 {
+			t.Fatalf("oversized value served with %d bytes, want 500", len(v))
+		}
+	}
+	if n := c.len(); n != 0 {
+		t.Fatalf("oversized entry was cached (%d live entries), admission control failed", n)
+	}
+	if cur, _, _ := b.stats(); cur != 0 {
+		t.Fatalf("oversized entry charged %d bytes against the budget", cur)
+	}
+}
+
+func TestEvictErroredNeverCached(t *testing.T) {
+	c, _ := sizedStringCache(1000)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, err := c.get("k", func() (string, error) { calls++; return "", boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("got err %v, want boom", err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("errored computation ran %d times, want 3 (errors must not be cached)", calls)
+	}
+	if n := c.len(); n != 0 {
+		t.Fatalf("%d live entries after errored computations, want 0", n)
+	}
+}
+
+// TestEvictInFlightProgramSurvives pins the daemon-critical property:
+// evicting a compiled Program from the cache must not affect a
+// simulation already running it. Values are immutable and GC-managed —
+// eviction drops the map reference only.
+func TestEvictInFlightProgramSurvives(t *testing.T) {
+	// A budget that fits roughly one compiled program: admitting a
+	// second source evicts the first.
+	w := Pi()
+	cfg := DefaultConfig()
+	cfg.Threads = 2
+	cfg.Scale = 0.01
+	src := w.Source(cfg.Threads, cfg.Scale)
+	cfg.Cache = NewCacheSized(512 + 6*int64(len(src)) + 64)
+
+	pr, err := CompileBaseline(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run it once for the reference output.
+	ref, err := RunBaselineProgram(w, pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Evict pi's program by admitting a different source of similar
+	// size.
+	w2 := Sum35()
+	if _, err := CompileBaseline(w2, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Cache.Stats().Evictions == 0 {
+		t.Fatal("second compile did not evict — the budget is not tight enough for the property to be tested")
+	}
+
+	// The evicted Program must still run, bit-for-bit.
+	res, err := RunBaselineProgram(w, pr, cfg)
+	if err != nil {
+		t.Fatalf("evicted in-flight program failed to run: %v", err)
+	}
+	if res.Output != ref.Output || res.Makespan != ref.Makespan {
+		t.Fatalf("evicted program diverged: output %q makespan %d, want %q %d",
+			res.Output, res.Makespan, ref.Output, ref.Makespan)
+	}
+
+	// A fresh request for pi recompiles under a new entry.
+	before := cfg.Cache.Stats().ProgramCompiles
+	pr2, err := CompileBaseline(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := cfg.Cache.Stats().ProgramCompiles; after != before+1 {
+		t.Fatalf("recompile count went %d -> %d, want +1 after eviction", before, after)
+	}
+	if pr2 == pr {
+		t.Fatal("re-request returned the evicted pointer — eviction did not drop the entry")
+	}
+}
+
+// TestEvictConcurrentStress hammers one small-budget cache from many
+// goroutines (meaningful under -race): the bound holds at every
+// observation point, values are always correct for their key, and the
+// structure stays consistent.
+func TestEvictConcurrentStress(t *testing.T) {
+	const max = 2000
+	c, b := sizedStringCache(max)
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 300; i++ {
+				k := fmt.Sprintf("k%d", rng.Intn(40))
+				want := "v:" + k
+				v, err := c.get(k, func() (string, error) {
+					return want + string(make([]byte, 50+rng.Intn(150))), nil
+				})
+				if err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					return
+				}
+				if v[:len(want)] != want {
+					select {
+					case errc <- fmt.Errorf("key %s served value for %q", k, v[:len(want)]):
+					default:
+					}
+					return
+				}
+				if cur, bmax, _ := b.stats(); cur > bmax {
+					select {
+					case errc <- fmt.Errorf("cost %d exceeds budget %d", cur, bmax):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	cur, bmax, ev := b.stats()
+	if cur > bmax {
+		t.Fatalf("final cost %d exceeds budget %d", cur, bmax)
+	}
+	if ev == 0 {
+		t.Fatal("stress run caused no evictions — budget was never stressed")
+	}
+}

@@ -184,6 +184,21 @@ type RunOptions struct {
 	// Engine selects the execution engine for every cell ("",
 	// "compiled" or "treewalk"; empty defers to HSMCC_ENGINE).
 	Engine string
+	// Cache, when non-nil, replaces the per-sweep compile cache: the
+	// serving daemon passes its process-lifetime cache here so grid
+	// requests reuse (and warm) compiles, baselines and profiles across
+	// requests.
+	Cache *Cache
+	// Cancel, when non-nil, is polled before each cell starts and at
+	// every scheduling decision inside each simulation; once it returns
+	// non-nil, remaining cells are marked with that error instead of
+	// running.
+	Cancel func() error
+	// OnResult, when non-nil, receives every finished cell in
+	// deterministic index order (a reorder buffer sequences the
+	// concurrent workers), before RunGrid returns. Callbacks are
+	// serialized — the daemon streams NDJSON straight from here.
+	OnResult func(CellResult)
 }
 
 // Report is the JSON document hsmbench emits as BENCH_<grid>.json.
@@ -233,34 +248,6 @@ type cellKey struct {
 	budget    int
 	engine    interp.Engine
 	placement string
-}
-
-// onceCache memoizes a computation per key, running it exactly once
-// even under concurrent lookups (per-key sync.Once under a map lock).
-type onceCache[K comparable, V any] struct {
-	mu sync.Mutex
-	m  map[K]*onceEntry[V]
-}
-
-type onceEntry[V any] struct {
-	once sync.Once
-	val  V
-	err  error
-}
-
-func (c *onceCache[K, V]) get(k K, f func() (V, error)) (V, error) {
-	c.mu.Lock()
-	if c.m == nil {
-		c.m = make(map[K]*onceEntry[V])
-	}
-	e, ok := c.m[k]
-	if !ok {
-		e = &onceEntry[V]{}
-		c.m[k] = e
-	}
-	c.mu.Unlock()
-	e.once.Do(func() { e.val, e.err = f() })
-	return e.val, e.err
 }
 
 // semanticKey normalises a cell to its cache identity: budget 0 and an
@@ -329,8 +316,13 @@ func RunGrid(g Grid, opt RunOptions) (*Report, error) {
 	// One compile cache for the whole sweep: each workload's baseline
 	// source and each distinct translated source compile exactly once,
 	// and all matrix cells (across all workers) share the immutable
-	// compiled Programs.
-	r.cfg.Cache = NewCache()
+	// compiled Programs. A caller-provided cache (the daemon's
+	// process-lifetime one) extends the sharing across sweeps.
+	r.cfg.Cache = opt.Cache
+	if r.cfg.Cache == nil {
+		r.cfg.Cache = NewCache()
+	}
+	r.cfg.Cancel = opt.Cancel
 	eng, err := interp.ParseEngine(opt.Engine)
 	if err != nil {
 		return nil, err
@@ -357,6 +349,23 @@ func RunGrid(g Grid, opt RunOptions) (*Report, error) {
 	}
 
 	results := make([]CellResult, len(cells))
+	// The reorder buffer behind OnResult: workers finish cells in any
+	// order, the callback sees them in index order.
+	var emit func(i int)
+	if opt.OnResult != nil {
+		var emu sync.Mutex
+		ready := make([]bool, len(cells))
+		next := 0
+		emit = func(i int) {
+			emu.Lock()
+			defer emu.Unlock()
+			ready[i] = true
+			for next < len(cells) && ready[next] {
+				opt.OnResult(results[next])
+				next++
+			}
+		}
+	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -364,8 +373,21 @@ func RunGrid(g Grid, opt RunOptions) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if opt.Cancel != nil {
+					if err := opt.Cancel(); err != nil {
+						results[i] = CellResult{Cell: cells[i], Error: fmt.Sprintf("canceled: %v", err)}
+						results[i].Cached = dup[i]
+						if emit != nil {
+							emit(i)
+						}
+						continue
+					}
+				}
 				results[i] = r.runCell(cells[i])
 				results[i].Cached = dup[i]
+				if emit != nil {
+					emit(i)
+				}
 			}
 		}()
 	}

@@ -66,6 +66,13 @@ type Config struct {
 	// cell — and every concurrent worker — with the same source. The
 	// grid runner and the conformance oracle install one.
 	Cache *Cache
+	// Cancel, when non-nil, is polled at every scheduling decision of
+	// every simulation this config runs (baseline, RCCE, profiling): a
+	// non-nil return aborts the run promptly with that error. It is
+	// per-request state, never part of any cache identity — the serving
+	// layer wires a request context's Err here so deadlines and client
+	// disconnects stop simulations mid-flight.
+	Cancel func() error
 	// machineEnv, when non-empty, is a precomputed fingerprint of
 	// cfg.Machine().Config() — sweeps whose machine is fixed (the grid
 	// runner) set it once so cache-key construction does not build a
@@ -91,6 +98,7 @@ func (cfg Config) rcceOptions() rcce.Options {
 		ropts = cfg.RCCE(cfg.Threads)
 	}
 	ropts.Engine = cfg.Engine
+	ropts.Cancel = cfg.Cancel
 	return ropts
 }
 
@@ -100,7 +108,12 @@ func (cfg Config) rcceOptions() rcce.Options {
 // cross-cell memoization key — two cells may share a baseline result
 // only when every input of that run is identical.
 func (cfg Config) baselineEnv() string {
-	return fmt.Sprintf("%s|%+v", cfg.machineFingerprint(), cfg.Baseline)
+	opts := cfg.Baseline
+	// Per-run observers are not semantic identity, and a non-nil func
+	// would render as a pointer — nondeterministic across processes.
+	opts.Cancel = nil
+	opts.Profiler = nil
+	return fmt.Sprintf("%s|%+v", cfg.machineFingerprint(), opts)
 }
 
 // machineFingerprint renders the machine configuration for cache keys,
@@ -127,7 +140,13 @@ func (cfg Config) PrecomputeMachineEnv() Config {
 // configuration plus the effective RCCE options (which carry the
 // core mapping and oversubscription mode).
 func (cfg Config) rcceEnv() string {
-	return fmt.Sprintf("%s|%+v", cfg.machineFingerprint(), cfg.rcceOptions())
+	ropts := cfg.rcceOptions()
+	// Same exclusion as baselineEnv: per-run observers and the cancel
+	// hook are request state, not cache identity.
+	ropts.Cancel = nil
+	ropts.Profiler = nil
+	ropts.AllocObserver = nil
+	return fmt.Sprintf("%s|%+v", cfg.machineFingerprint(), ropts)
 }
 
 // CompileBaseline compiles (or fetches from the cache) the unconverted
@@ -147,6 +166,7 @@ func CompileBaseline(w Workload, cfg Config) (*interp.Program, error) {
 func RunBaselineProgram(w Workload, pr *interp.Program, cfg Config) (*RunResult, error) {
 	opts := cfg.Baseline
 	opts.Engine = cfg.Engine
+	opts.Cancel = cfg.Cancel
 	res, err := pthreadrt.Run(pr, cfg.Machine(), opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s baseline: %w", w.Key, err)

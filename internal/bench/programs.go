@@ -104,6 +104,12 @@ type Cache struct {
 	profiles     onceCache[profileKey, *profile.Report]
 	placements   onceCache[placementKey, *profile.Placement]
 
+	// budget, when non-nil, is the shared LRU spine bounding the total
+	// estimated resident cost of the five maps (see evict.go). Sweep
+	// caches are unbounded; the serving daemon's process-lifetime cache
+	// is sized.
+	budget *costBudget
+
 	// Compute counters (not cache lookups): how many times each stage
 	// actually ran. Tests pin the cross-cell sharing contract on these.
 	programCompiles int64
@@ -112,16 +118,86 @@ type Cache struct {
 	profileRuns     int64
 }
 
-// NewCache returns an empty compile cache.
+// NewCache returns an empty, unbounded compile cache — the right shape
+// for a sweep, whose cache dies with the run.
 func NewCache() *Cache { return &Cache{} }
 
+// NewCacheSized returns a compile cache whose total estimated resident
+// cost is bounded by maxCostBytes: admissions beyond the bound evict
+// least-recently-used entries (across all five memo maps), and a single
+// entry costing more than the whole budget is served but never cached.
+// Costs are estimates — the emitted/source text dominates programs and
+// translations, outputs dominate baseline runs — chosen so the bound
+// tracks real memory to well within an order of magnitude without
+// deep-walking every AST. maxCostBytes <= 0 means unbounded.
+func NewCacheSized(maxCostBytes int64) *Cache {
+	c := &Cache{}
+	if maxCostBytes <= 0 {
+		return c
+	}
+	b := newCostBudget(maxCostBytes)
+	c.budget = b
+	c.programs.budget = b
+	c.programs.costOf = func(k programKey, _ *interp.Program) int64 {
+		// Compiled closures, frame layouts and the AST together run a
+		// small multiple of the source text.
+		return 512 + 6*int64(len(k.src))
+	}
+	c.translations.budget = b
+	c.translations.costOf = func(_ translationKey, t *translation) int64 {
+		n := 256 + int64(len(t.source))
+		for _, s := range t.offChipAllocs {
+			n += int64(len(s)) + 16
+		}
+		for _, s := range t.onChipAllocs {
+			n += int64(len(s)) + 16
+		}
+		return n
+	}
+	c.baselines.budget = b
+	c.baselines.costOf = func(_ baselineRunKey, r *RunResult) int64 {
+		return 512 + int64(len(r.Output)) + int64(len(r.TranslatedSource))
+	}
+	c.profiles.budget = b
+	c.profiles.costOf = func(_ profileKey, r *profile.Report) int64 {
+		return 256 + 96*int64(len(r.Vars))
+	}
+	c.placements.budget = b
+	c.placements.costOf = func(_ placementKey, p *profile.Placement) int64 {
+		return 256 + 64*int64(len(p.Choices))
+	}
+	return c
+}
+
 // CacheStats reports how many times each memoized stage was computed
-// (as opposed to served from the cache).
+// (as opposed to served from the cache), plus the lookup and eviction
+// counters of the shared LRU budget (zero-valued for unbounded caches
+// except Hits/Misses/Entries, which are always tracked).
 type CacheStats struct {
 	ProgramCompiles int64
 	TranslateRuns   int64
 	BaselineRuns    int64
 	ProfileRuns     int64
+
+	// Hits/Misses count lookups across all five maps. A lookup that
+	// coalesces onto another request's in-flight computation counts as
+	// a hit (it shares the result without recomputing).
+	Hits   int64
+	Misses int64
+	// Entries is the live entry count across the maps.
+	Entries int
+	// Evictions, CostBytes and MaxCostBytes describe the LRU budget.
+	Evictions    int64
+	CostBytes    int64
+	MaxCostBytes int64
+}
+
+// HitRate is Hits / (Hits + Misses), 0 when no lookups happened.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
 // Stats returns the compute counters.
@@ -129,12 +205,26 @@ func (c *Cache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
-	return CacheStats{
+	s := CacheStats{
 		ProgramCompiles: atomic.LoadInt64(&c.programCompiles),
 		TranslateRuns:   atomic.LoadInt64(&c.translateRuns),
 		BaselineRuns:    atomic.LoadInt64(&c.baselineRuns),
 		ProfileRuns:     atomic.LoadInt64(&c.profileRuns),
 	}
+	for _, add := range []func() (int64, int64){
+		c.programs.counters, c.translations.counters,
+		c.baselines.counters, c.profiles.counters, c.placements.counters,
+	} {
+		h, m := add()
+		s.Hits += h
+		s.Misses += m
+	}
+	s.Entries = c.programs.len() + c.translations.len() +
+		c.baselines.len() + c.profiles.len() + c.placements.len()
+	if c.budget != nil {
+		s.CostBytes, s.MaxCostBytes, s.Evictions = c.budget.stats()
+	}
+	return s
 }
 
 // program returns the compiled form of (name, src), compiling at most

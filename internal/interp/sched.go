@@ -89,7 +89,14 @@ type Sim struct {
 	// session (see MemProfiler). Set before Spawn; profiling runs attach
 	// a profile.Collector here, everything else leaves it nil.
 	Prof MemProfiler
-	Out  bytes.Buffer
+	// Cancel, when non-nil, is polled at every scheduling decision (one
+	// call per context switch, both engines). A non-nil return aborts
+	// the session promptly with that error: in-flight contexts unwind,
+	// Run returns the error, and no further work is scheduled. The
+	// serving layer wires a request context's Err here so a wall-clock
+	// deadline or client disconnect stops a simulation mid-flight.
+	Cancel func() error
+	Out    bytes.Buffer
 
 	procs  []*Proc
 	nextID int
@@ -251,7 +258,18 @@ func (s *Sim) handoff(next *Proc) {
 }
 
 // pickNext compacts if due and asks the policy for the next context.
+// It is the single choke point every scheduling decision of both
+// engines passes through, so it also polls the session's Cancel hook:
+// on cancellation it records the error and elects nobody, which makes
+// the goroutine engine signal Run (stopAll then unwinds the parked
+// contexts) and the coroutine stepping loop fall out of its loop.
 func (s *Sim) pickNext() *Proc {
+	if s.Cancel != nil && s.err == nil {
+		if err := s.Cancel(); err != nil {
+			s.fail(fmt.Errorf("interp: session canceled: %w", err))
+			return nil
+		}
+	}
 	if s.done >= 64 && s.done*2 >= len(s.procs) {
 		s.compact()
 	}

@@ -37,6 +37,12 @@ type Options struct {
 	// run (interp.Sim.Prof) — profiling a baseline uses the program's
 	// static global addresses to label ranges.
 	Profiler interp.MemProfiler
+	// Cancel, when non-nil, is polled at every scheduling decision
+	// (interp.Sim.Cancel): a non-nil return aborts the run promptly
+	// with that error. Callers fingerprinting Options for cache keys
+	// must exclude this field (it is per-request, not part of the run's
+	// semantic identity).
+	Cancel func() error
 }
 
 // DefaultOptions returns the calibrated baseline used by the experiment
@@ -339,6 +345,7 @@ func Run(pr *interp.Program, m *sccsim.Machine, opts Options) (*Result, error) {
 		sim.Engine = opts.Engine
 	}
 	sim.Prof = opts.Profiler
+	sim.Cancel = opts.Cancel
 	rt := New(sim, opts)
 	main := pr.Funcs["main"]
 	if main == nil {

@@ -56,6 +56,12 @@ type Options struct {
 	// which lets a profiler label the allocator's address ranges with
 	// the shared variables they back.
 	AllocObserver AllocObserver
+	// Cancel, when non-nil, is polled at every scheduling decision
+	// (interp.Sim.Cancel): a non-nil return aborts the run promptly
+	// with that error. Callers fingerprinting Options for cache keys
+	// must exclude this field (it is per-request, not part of the run's
+	// semantic identity).
+	Cancel func() error
 }
 
 // AllocObserver observes symmetric allocations. seq is the allocation's
@@ -576,6 +582,7 @@ func Run(pr *interp.Program, m *sccsim.Machine, opts Options) (*Result, error) {
 		sim.Engine = opts.Engine
 	}
 	sim.Prof = opts.Profiler
+	sim.Cancel = opts.Cancel
 	rt, err := New(sim, opts)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,425 @@
+package serve
+
+// The endpoint handlers. Single-object endpoints (compile, translate,
+// simulate) write one deterministic JSON document on success and the
+// JSON error envelope otherwise — a response is only ever written after
+// the whole computation succeeded, so a deadline that fires
+// mid-simulation yields a clean 504 and never a partial result. The
+// streaming endpoints (grid, batch) emit NDJSON lines in deterministic
+// input/index order (a reorder buffer sequences the concurrent
+// workers), so repeated identical requests produce byte-identical
+// streams.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+
+	"hsmcc/internal/bench"
+	"hsmcc/internal/synth"
+)
+
+// CompileResponse answers /v1/compile.
+type CompileResponse struct {
+	Workload      string  `json:"workload"`
+	Cores         int     `json:"cores"`
+	Scale         float64 `json:"scale"`
+	Funcs         int     `json:"funcs"`
+	FullyCompiled bool    `json:"fully_compiled"`
+	SourceBytes   int     `json:"source_bytes"`
+}
+
+// TranslateResponse answers /v1/translate.
+type TranslateResponse struct {
+	Workload        string  `json:"workload"`
+	Cores           int     `json:"cores"`
+	Scale           float64 `json:"scale"`
+	Policy          string  `json:"policy"`
+	MPBBudget       int     `json:"mpb_budget"`
+	OnChipBytes     int     `json:"onchip_bytes"`
+	PlacementDigest string  `json:"placement_digest,omitempty"`
+	Source          string  `json:"source"`
+}
+
+// SimulateResponse answers /v1/simulate: the baseline and translated
+// runs of one cell plus the differential check, in exact simulated
+// picoseconds — deterministic, so repeats are byte-identical.
+type SimulateResponse struct {
+	Workload        string  `json:"workload"`
+	Cores           int     `json:"cores"`
+	Scale           float64 `json:"scale"`
+	Policy          string  `json:"policy"`
+	MPBBudget       int     `json:"mpb_budget"`
+	Engine          string  `json:"engine"`
+	BaselinePs      uint64  `json:"baseline_ps"`
+	RCCEPs          uint64  `json:"rcce_ps"`
+	Speedup         float64 `json:"speedup"`
+	Match           bool    `json:"match"`
+	OnChipBytes     int     `json:"onchip_bytes"`
+	PlacementDigest string  `json:"placement_digest,omitempty"`
+	MPBAccesses     uint64  `json:"mpb_accesses"`
+	SharedAccesses  uint64  `json:"shared_accesses"`
+}
+
+// GridRequest drives /v1/grid: a whole sweep through the shared cache,
+// streamed back as one NDJSON bench.CellResult per line in
+// deterministic cell-index order.
+type GridRequest struct {
+	Grid       bench.Grid `json:"grid"`
+	Parallel   int        `json:"parallel,omitempty"`
+	Engine     string     `json:"engine,omitempty"`
+	DeadlineMs int64      `json:"deadline_ms,omitempty"`
+}
+
+// BatchItem is one request of a /v1/batch mix.
+type BatchItem struct {
+	// Op selects the operation: compile, translate or simulate.
+	Op string `json:"op"`
+	SimRequest
+}
+
+// BatchRequest drives /v1/batch: heterogeneous items executed
+// concurrently, answered as one NDJSON BatchLine per item in input
+// order.
+type BatchRequest struct {
+	Items    []BatchItem `json:"items"`
+	Parallel int         `json:"parallel,omitempty"`
+	// DeadlineMs bounds the whole batch (every item shares it).
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+}
+
+// BatchLine is one /v1/batch result line. Exactly one of Error or the
+// op's response field is set.
+type BatchLine struct {
+	Index     int                `json:"index"`
+	Op        string             `json:"op"`
+	Error     string             `json:"error,omitempty"`
+	Status    int                `json:"status,omitempty"`
+	Compile   *CompileResponse   `json:"compile,omitempty"`
+	Translate *TranslateResponse `json:"translate,omitempty"`
+	Simulate  *SimulateResponse  `json:"simulate,omitempty"`
+}
+
+// decodeSim is the shared front half of the single-object endpoints.
+func (s *Server) decodeSim(w http.ResponseWriter, r *http.Request) (*simCall, bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return nil, false
+	}
+	var req SimRequest
+	if err := decodeJSON(r, &req); err != nil {
+		status, msg := statusOf(err)
+		writeError(w, status, msg)
+		return nil, false
+	}
+	call, err := s.resolve(&req)
+	if err != nil {
+		status, msg := statusOf(err)
+		writeError(w, status, msg)
+		return nil, false
+	}
+	return call, true
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	call, ok := s.decodeSim(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.withDeadline(r.Context(), call.req.DeadlineMs)
+	defer cancel()
+	resp, err := s.compile(ctx, call)
+	if err != nil {
+		status, msg := statusOf(err)
+		writeError(w, status, msg)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) compile(ctx context.Context, c *simCall) (*CompileResponse, error) {
+	cfg := s.config(ctx, c)
+	pr, err := bench.CompileBaseline(c.workload, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &CompileResponse{
+		Workload:      c.req.Workload,
+		Cores:         c.req.Cores,
+		Scale:         c.req.Scale,
+		Funcs:         len(pr.Funcs),
+		FullyCompiled: pr.FullyCompiled(),
+		SourceBytes:   len(c.workload.Source(c.req.Cores, c.req.Scale)),
+	}, nil
+}
+
+func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
+	call, ok := s.decodeSim(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.withDeadline(r.Context(), call.req.DeadlineMs)
+	defer cancel()
+	resp, err := s.translate(ctx, call)
+	if err != nil {
+		status, msg := statusOf(err)
+		writeError(w, status, msg)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) translate(ctx context.Context, c *simCall) (*TranslateResponse, error) {
+	cfg := s.config(ctx, c)
+	tr, err := bench.TranslateWorkload(c.workload, cfg, c.policy)
+	if err != nil {
+		return nil, err
+	}
+	resp := &TranslateResponse{
+		Workload:    c.req.Workload,
+		Cores:       c.req.Cores,
+		Scale:       c.req.Scale,
+		Policy:      c.req.Policy,
+		MPBBudget:   c.req.MPBBudget,
+		OnChipBytes: tr.OnChipBytes,
+		Source:      tr.Source,
+	}
+	if tr.Placement != nil {
+		resp.PlacementDigest = tr.Placement.Digest()
+	}
+	return resp, nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	call, ok := s.decodeSim(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.withDeadline(r.Context(), call.req.DeadlineMs)
+	defer cancel()
+	resp, err := s.simulate(ctx, call)
+	if err != nil {
+		status, msg := statusOf(err)
+		writeError(w, status, msg)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) simulate(ctx context.Context, c *simCall) (*SimulateResponse, error) {
+	cfg := s.config(ctx, c)
+	both, err := bench.RunBothBackends(c.workload, cfg, c.policy)
+	if err != nil {
+		return nil, err
+	}
+	return &SimulateResponse{
+		Workload:        c.req.Workload,
+		Cores:           c.req.Cores,
+		Scale:           c.req.Scale,
+		Policy:          c.req.Policy,
+		MPBBudget:       c.req.MPBBudget,
+		Engine:          c.engine.Resolve().String(),
+		BaselinePs:      uint64(both.Baseline.Makespan),
+		RCCEPs:          uint64(both.RCCE.Makespan),
+		Speedup:         bench.Speedup(both.Baseline, both.RCCE),
+		Match:           both.Match,
+		OnChipBytes:     both.RCCE.OnChipBytes,
+		PlacementDigest: both.RCCE.PlacementDigest,
+		MPBAccesses:     both.RCCE.Stats.MPBAccesses,
+		SharedAccesses:  both.RCCE.Stats.SharedAccesses,
+	}, nil
+}
+
+// validateGrid admits a grid spec under the server limits.
+func (s *Server) validateGrid(g bench.Grid) error {
+	if err := g.Validate(); err != nil {
+		return errBadRequest("%v", err)
+	}
+	cells := g.Cells()
+	if len(cells) > s.limits.MaxGridCells {
+		return errBadRequest("grid has %d cells, limit %d", len(cells), s.limits.MaxGridCells)
+	}
+	scale := g.Scale
+	if scale == 0 {
+		scale = 1.0
+	}
+	if scale < 0 || scale > s.limits.MaxScale {
+		return errBadRequest("scale %g out of range (0,%g]", scale, s.limits.MaxScale)
+	}
+	for _, n := range g.Cores {
+		if n < 1 || n > s.limits.MaxCores {
+			return errBadRequest("cores %d out of range [1,%d]", n, s.limits.MaxCores)
+		}
+	}
+	for _, wk := range g.Workloads {
+		if !synth.IsKey(wk) {
+			continue
+		}
+		p, err := synth.ParseKey(wk)
+		if err != nil {
+			return errBadRequest("bad synth key: %v", err)
+		}
+		if ops := p.Scaled(scale).Ops * p.Rounds; ops > s.limits.MaxSynthOps {
+			return errBadRequest("synth op budget %d exceeds limit %d", ops, s.limits.MaxSynthOps)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req GridRequest
+	if err := decodeJSON(r, &req); err != nil {
+		status, msg := statusOf(err)
+		writeError(w, status, msg)
+		return
+	}
+	if err := s.validateGrid(req.Grid); err != nil {
+		status, msg := statusOf(err)
+		writeError(w, status, msg)
+		return
+	}
+	ctx, cancel := s.withDeadline(r.Context(), req.DeadlineMs)
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	_, err := bench.RunGrid(req.Grid, bench.RunOptions{
+		Parallel: req.Parallel,
+		Engine:   req.Engine,
+		Cache:    s.cache,
+		Cancel:   ctx.Err,
+		OnResult: func(res bench.CellResult) {
+			// Callbacks arrive serialized in cell-index order; each line
+			// is one CellResult.
+			enc.Encode(res)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		},
+	})
+	if err != nil {
+		// Spec errors surface before any cell ran (Validate re-run), so
+		// the stream is still clean here in practice; report and stop.
+		status, msg := statusOf(err)
+		writeError(w, status, msg)
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req BatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		status, msg := statusOf(err)
+		writeError(w, status, msg)
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no items")
+		return
+	}
+	if len(req.Items) > s.limits.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch has %d items, limit %d", len(req.Items), s.limits.MaxBatch))
+		return
+	}
+	ctx, cancel := s.withDeadline(r.Context(), req.DeadlineMs)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emitter := newOrderedEmitter(len(req.Items), func(line any) {
+		enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+
+	workers := req.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(req.Items) {
+		workers = len(req.Items)
+	}
+	jobs := make(chan int)
+	done := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		go func() {
+			for idx := range jobs {
+				emitter.emit(idx, s.runBatchItem(ctx, idx, req.Items[idx]))
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := range req.Items {
+		jobs <- i
+	}
+	close(jobs)
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+}
+
+// runBatchItem executes one batch item, mapping failures to an
+// error-carrying line instead of failing the stream.
+func (s *Server) runBatchItem(ctx context.Context, idx int, item BatchItem) BatchLine {
+	line := BatchLine{Index: idx, Op: item.Op}
+	fail := func(err error) BatchLine {
+		line.Status, line.Error = statusOf(err)
+		return line
+	}
+	call, err := s.resolve(&item.SimRequest)
+	if err != nil {
+		return fail(err)
+	}
+	switch item.Op {
+	case "compile":
+		resp, err := s.compile(ctx, call)
+		if err != nil {
+			return fail(err)
+		}
+		line.Compile = resp
+	case "translate":
+		resp, err := s.translate(ctx, call)
+		if err != nil {
+			return fail(err)
+		}
+		line.Translate = resp
+	case "simulate":
+		resp, err := s.simulate(ctx, call)
+		if err != nil {
+			return fail(err)
+		}
+		line.Simulate = resp
+	default:
+		return fail(errBadRequest("unknown op %q (want compile, translate or simulate)", item.Op))
+	}
+	return line
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, s.metrics.Snapshot(s.cache.Stats()))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}

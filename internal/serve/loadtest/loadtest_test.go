@@ -1,0 +1,97 @@
+package loadtest
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestMixedLoadZeroDivergence is the core acceptance check in CI-sized
+// form: a seeded mixed scenario (hot simulates, fresh compiles, synth
+// sweeps, grids, batches, doomed and hostile requests) run concurrently
+// against a live daemon, every deterministic response compared
+// byte-for-byte with direct in-process bench runs.
+func TestMixedLoadZeroDivergence(t *testing.T) {
+	n := 160
+	if testing.Short() {
+		n = 60
+	}
+	rep, err := Run(Options{Seed: 1, Requests: n, Concurrency: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.String())
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.StatusCounts[200] == 0 {
+		t.Fatal("no request succeeded — the scenario is not exercising the daemon")
+	}
+}
+
+// TestCacheHotHitRate checks the acceptance bound: a cache-hot scenario
+// (a small pool of repeated requests) must see >50% cache hits.
+func TestCacheHotHitRate(t *testing.T) {
+	rep, err := Run(Options{Seed: 2, Requests: 80, Concurrency: 8, HotOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.String())
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheHitRate <= 0.5 {
+		t.Fatalf("cache-hot hit rate %.2f, want > 0.5 (stats: %+v)", rep.CacheHitRate, rep.Cache)
+	}
+}
+
+// TestGenerateDeterministic pins the scenario generator: same seed,
+// same plan, byte for byte — the property that makes load-test failures
+// reproducible from the seed alone.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Options{Seed: 7, Requests: 50})
+	b := Generate(Options{Seed: 7, Requests: 50})
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatalf("plan lengths differ: %d vs %d", len(a.Requests), len(b.Requests))
+	}
+	for i := range a.Requests {
+		ra, rb := a.Requests[i], b.Requests[i]
+		if ra.Kind != rb.Kind || ra.Path != rb.Path || string(ra.Body) != string(rb.Body) {
+			t.Fatalf("request %d differs:\n%s %s %s\n%s %s %s",
+				i, ra.Kind, ra.Path, ra.Body, rb.Kind, rb.Path, rb.Body)
+		}
+	}
+	c := Generate(Options{Seed: 8, Requests: 50})
+	same := true
+	for i := range a.Requests {
+		if string(a.Requests[i].Body) != string(c.Requests[i].Body) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 generated identical plans — the seed is not wired through")
+	}
+}
+
+// TestScalingThroughput is the GOMAXPROCS study: throughput at 4 procs
+// must beat 1 proc. Skipped in -short runs (it runs the scenario three
+// times).
+func TestScalingThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling study runs the scenario at three GOMAXPROCS settings")
+	}
+	procs := ScalingProcs()
+	if len(procs) < 2 {
+		t.Skipf("scaling needs >=2 CPUs, have %d — GOMAXPROCS beyond the core count adds no parallelism", runtime.NumCPU())
+	}
+	points, err := RunScaling(Options{Seed: 3, Requests: 120, Concurrency: 16}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		t.Logf("GOMAXPROCS %d: %.1f req/s (%d ms)", p.Procs, p.Throughput, p.DurationMs)
+	}
+	if err := CheckScaling(points); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+package loadtest
+
+// The concurrent driver: fire a resolved Plan at a live server from
+// Concurrency goroutines, compare every response against the oracle's
+// expected bytes, and audit the process afterwards (goroutines back to
+// baseline, heap bounded, cache stats sane).
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"time"
+
+	"hsmcc/internal/serve"
+)
+
+// Run generates a scenario from opts, resolves the in-process oracle,
+// serves an hsmccd instance over a loopback listener, drives the full
+// concurrent mix against it, and returns the report. The server is torn
+// down before the goroutine audit so lingering handlers count as leaks.
+func Run(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	plan := Generate(opts)
+	if err := plan.Resolve(); err != nil {
+		return nil, err
+	}
+	// Let the oracle's own allocations settle before taking the
+	// goroutine/heap baseline.
+	g0 := SettleGoroutines(runtime.NumGoroutine(), time.Second)
+
+	srv := serve.New(serve.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	rep, err := Execute(plan, ts.URL, ts.Client())
+	ts.Client().CloseIdleConnections()
+	ts.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	rep.Scenario = "mixed"
+	if opts.HotOnly {
+		rep.Scenario = "cache-hot"
+	}
+	rep.Cache = srv.Cache().Stats()
+	rep.CacheHitRate = rep.Cache.HitRate()
+	rep.GoroutinesStart = g0
+	rep.GoroutinesEnd = SettleGoroutines(g0, 5*time.Second)
+	rep.HeapAllocMB = memSnapshotMB()
+	return rep, nil
+}
+
+// Execute drives an already-resolved plan against a server at baseURL.
+// It does not audit goroutines or cache stats — Run wraps it with the
+// process-level checks; tests can call it directly against their own
+// server.
+func Execute(plan *Plan, baseURL string, client *http.Client) (*Report, error) {
+	opts := plan.Opts.withDefaults()
+	rep := &Report{
+		Seed:         opts.Seed,
+		Requests:     len(plan.Requests),
+		Concurrency:  opts.Concurrency,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		StatusCounts: make(map[int]int64),
+		KindCounts:   make(map[Kind]int64),
+	}
+	var mu sync.Mutex
+	record := func(r *Request, status int, div *Divergence) {
+		mu.Lock()
+		defer mu.Unlock()
+		rep.StatusCounts[status]++
+		rep.KindCounts[r.Kind]++
+		if div != nil {
+			rep.DivergenceCount++
+			if len(rep.Divergences) < maxDivergenceDetail {
+				rep.Divergences = append(rep.Divergences, *div)
+			}
+		}
+	}
+
+	jobs := make(chan *Request)
+	var wg sync.WaitGroup
+	errs := make(chan error, opts.Concurrency)
+	start := time.Now()
+	for i := 0; i < opts.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range jobs {
+				status, body, err := post(client, baseURL+r.Path, r.Body)
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("loadtest: %s: %w", r.Path, err):
+					default:
+					}
+					return
+				}
+				record(r, status, check(r, status, body))
+			}
+		}()
+	}
+	for i := range plan.Requests {
+		jobs <- &plan.Requests[i]
+	}
+	close(jobs)
+	wg.Wait()
+	rep.DurationMs = time.Since(start).Milliseconds()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	if sec := time.Since(start).Seconds(); sec > 0 {
+		rep.Throughput = float64(rep.Requests) / sec
+	}
+	return rep, nil
+}
+
+// post sends one request and reads the whole response.
+func post(client *http.Client, url string, body []byte) (int, []byte, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, b, nil
+}
+
+// check compares one response against the plan's expectation; nil means
+// the response matched.
+func check(r *Request, status int, body []byte) *Divergence {
+	if r.ExpectStatus == 0 {
+		// Deadline-doomed: the request must either finish (a warm cache
+		// can beat even a 1 ms budget) or time out cleanly — any other
+		// status is a bug. The body is unchecked: the oracle does not
+		// spend the simulation time these requests are designed to abort.
+		if status != http.StatusOK && status != http.StatusGatewayTimeout {
+			return &Divergence{Kind: r.Kind, Path: r.Path,
+				Detail: fmt.Sprintf("status %d, want 200 or 504: %s", status, truncate(string(body), 200))}
+		}
+		return nil
+	}
+	if status != r.ExpectStatus {
+		return &Divergence{Kind: r.Kind, Path: r.Path,
+			Detail: fmt.Sprintf("status %d, want %d: %s", status, r.ExpectStatus, truncate(string(body), 200))}
+	}
+	if r.ExpectBody != nil && !bytes.Equal(body, r.ExpectBody) {
+		return &Divergence{Kind: r.Kind, Path: r.Path,
+			Detail: fmt.Sprintf("body diverges from direct run:\n got: %s\nwant: %s",
+				truncate(string(body), 400), truncate(string(r.ExpectBody), 400))}
+	}
+	return nil
+}
+
+// Err distils a report into pass/fail: divergences or a goroutine leak
+// fail the scenario.
+func (r *Report) Err() error {
+	if r.DivergenceCount > 0 {
+		detail := ""
+		if len(r.Divergences) > 0 {
+			detail = ": " + r.Divergences[0].Detail
+		}
+		return fmt.Errorf("loadtest: %d of %d responses diverged from direct in-process runs%s",
+			r.DivergenceCount, r.Requests, detail)
+	}
+	// Allow a tiny slack over the pre-serve baseline: runtime helper
+	// goroutines (GC workers, timer scavenger) come and go.
+	if r.GoroutinesEnd > r.GoroutinesStart+3 {
+		return fmt.Errorf("loadtest: goroutine leak: %d before serving, %d after drain",
+			r.GoroutinesStart, r.GoroutinesEnd)
+	}
+	return nil
+}
+
+// String renders the one-line summary the selftest prints per scenario.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s: %d reqs x%d conc (GOMAXPROCS %d) in %dms = %.1f req/s; status%s; hit rate %.0f%%; divergences %d; goroutines %d->%d; heap %.1f MB",
+		r.Scenario, r.Requests, r.Concurrency, r.GOMAXPROCS, r.DurationMs, r.Throughput,
+		sortedStatuses(r.StatusCounts), 100*r.CacheHitRate, r.DivergenceCount,
+		r.GoroutinesStart, r.GoroutinesEnd, r.HeapAllocMB)
+}
+
+// ScalingPoint is one GOMAXPROCS measurement of the scaling study.
+type ScalingPoint struct {
+	Procs      int     `json:"procs"`
+	Throughput float64 `json:"throughput_rps"`
+	DurationMs int64   `json:"duration_ms"`
+}
+
+// RunScaling measures throughput of the same scenario at each
+// GOMAXPROCS setting (fresh server and cold cache per point, no doomed
+// requests — pure throughput). GOMAXPROCS is restored on return.
+func RunScaling(opts Options, procs []int) ([]ScalingPoint, error) {
+	opts = opts.withDefaults()
+	opts.NoDoomed = true
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	points := make([]ScalingPoint, 0, len(procs))
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		rep, err := Run(opts)
+		if err != nil {
+			return points, err
+		}
+		if err := rep.Err(); err != nil {
+			return points, fmt.Errorf("at GOMAXPROCS %d: %w", p, err)
+		}
+		points = append(points, ScalingPoint{Procs: p, Throughput: rep.Throughput, DurationMs: rep.DurationMs})
+	}
+	return points, nil
+}
+
+// ScalingProcs returns the GOMAXPROCS ladder the host can genuinely
+// test: {1, 2, 4} truncated to the CPU count (running more procs than
+// cores adds scheduler churn, not parallelism). On a single-CPU host
+// the ladder has one rung and the study is vacuous — callers skip.
+func ScalingProcs() []int {
+	procs := []int{1}
+	for _, p := range []int{2, 4} {
+		if runtime.NumCPU() >= p {
+			procs = append(procs, p)
+		}
+	}
+	return procs
+}
+
+// CheckScaling asserts the acceptance property: throughput at the
+// highest core count beats the single-core point (the daemon actually
+// uses added parallelism). Intermediate points may jitter; the
+// endpoints must not.
+func CheckScaling(points []ScalingPoint) error {
+	if len(points) < 2 {
+		return fmt.Errorf("loadtest: scaling study needs at least 2 points, got %d", len(points))
+	}
+	first, last := points[0], points[len(points)-1]
+	if last.Throughput <= first.Throughput {
+		return fmt.Errorf("loadtest: throughput did not scale: %.1f req/s at GOMAXPROCS %d vs %.1f req/s at %d",
+			first.Throughput, first.Procs, last.Throughput, last.Procs)
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+// Package serve is the simulation-as-a-service layer: a long-running
+// HTTP daemon (cmd/hsmccd) that keeps one process-lifetime bench.Cache
+// warm across requests, so compiles, translations, baseline runs and
+// access profiles are shared between every client instead of being
+// redone per one-shot CLI invocation.
+//
+// Endpoints (see docs/SERVING.md for the full API reference):
+//
+//	POST /v1/compile    compile a workload's Pthread source (cache-warm)
+//	POST /v1/translate  run the five-stage translation pipeline
+//	POST /v1/simulate   baseline + translated run, differential check
+//	POST /v1/grid       a full sweep, streamed as NDJSON cell results
+//	POST /v1/batch      heterogeneous requests, streamed NDJSON, in order
+//	GET  /metrics       request/latency/cache/in-flight counters (JSON)
+//	GET  /healthz       liveness probe
+//
+// Every simulation-bearing request runs under a wall-clock deadline
+// (request-supplied, capped by the server limit): the deadline cancels
+// the simulation mid-flight through interp.Sim.Cancel, the client gets
+// 504, and the cache stays consistent — canceled computations are
+// dropped for retry, never cached.
+//
+// Responses are deterministic: a simulate response is byte-identical
+// across repeats of the same request, warm or cold cache, which is the
+// property the load-test harness (serve/loadtest) checks at scale
+// against direct in-process bench runs.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"hsmcc/internal/bench"
+)
+
+// Limits bounds what one request may ask for. The zero value of any
+// field means "use the default" (DefaultLimits).
+type Limits struct {
+	// MaxCores caps the thread/UE count of a request (the machine has
+	// 48 cores; oversubscription is not served).
+	MaxCores int `json:"max_cores"`
+	// MaxScale caps the problem-size multiplier.
+	MaxScale float64 `json:"max_scale"`
+	// MaxSynthOps caps a synthetic workload's total scheduled operation
+	// budget (scaled per-round ops x rounds), keeping hostile synth:
+	// keys from buying unbounded simulation time.
+	MaxSynthOps int `json:"max_synth_ops"`
+	// MaxGridCells caps the cell count of one /v1/grid request.
+	MaxGridCells int `json:"max_grid_cells"`
+	// MaxBatch caps the item count of one /v1/batch request.
+	MaxBatch int `json:"max_batch"`
+	// MaxDeadline caps the per-request wall-clock deadline; requests
+	// asking for more are clamped.
+	MaxDeadline time.Duration `json:"max_deadline_ns"`
+	// DefaultDeadline applies when a request names no deadline.
+	DefaultDeadline time.Duration `json:"default_deadline_ns"`
+}
+
+// DefaultLimits is the daemon's stock admission policy.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxCores:        48,
+		MaxScale:        1.0,
+		MaxSynthOps:     1 << 16,
+		MaxGridCells:    4096,
+		MaxBatch:        256,
+		MaxDeadline:     2 * time.Minute,
+		DefaultDeadline: 30 * time.Second,
+	}
+}
+
+// withDefaults fills zero fields from DefaultLimits.
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxCores <= 0 {
+		l.MaxCores = d.MaxCores
+	}
+	if l.MaxScale <= 0 {
+		l.MaxScale = d.MaxScale
+	}
+	if l.MaxSynthOps <= 0 {
+		l.MaxSynthOps = d.MaxSynthOps
+	}
+	if l.MaxGridCells <= 0 {
+		l.MaxGridCells = d.MaxGridCells
+	}
+	if l.MaxBatch <= 0 {
+		l.MaxBatch = d.MaxBatch
+	}
+	if l.MaxDeadline <= 0 {
+		l.MaxDeadline = d.MaxDeadline
+	}
+	if l.DefaultDeadline <= 0 {
+		l.DefaultDeadline = d.DefaultDeadline
+	}
+	if l.DefaultDeadline > l.MaxDeadline {
+		l.DefaultDeadline = l.MaxDeadline
+	}
+	return l
+}
+
+// Options configures a Server.
+type Options struct {
+	// CacheBytes bounds the process-lifetime cache's estimated resident
+	// cost (size-bounded LRU, bench.NewCacheSized); <= 0 = unbounded.
+	CacheBytes int64
+	// Limits is the admission policy (zero fields take defaults).
+	Limits Limits
+}
+
+// Server is the simulation service: one shared cache, one limit set,
+// one metrics registry. Handlers are safe for arbitrary concurrency —
+// all simulation state is per-request, and the cache is lock-protected
+// with immutable values.
+type Server struct {
+	cache   *bench.Cache
+	limits  Limits
+	metrics *Metrics
+	mux     *http.ServeMux
+	// baseCfg is the template every request's bench.Config derives
+	// from: the paper's machine, with the machine-config fingerprint
+	// precomputed once so per-request cache keys never build a
+	// throwaway machine.
+	baseCfg bench.Config
+}
+
+// New builds a Server.
+func New(opts Options) *Server {
+	s := &Server{
+		cache:   bench.NewCacheSized(opts.CacheBytes),
+		limits:  opts.Limits.withDefaults(),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.baseCfg = bench.DefaultConfig().PrecomputeMachineEnv()
+	s.baseCfg.Cache = s.cache
+	s.mux.HandleFunc("/v1/compile", s.instrument("compile", s.handleCompile))
+	s.mux.HandleFunc("/v1/translate", s.instrument("translate", s.handleTranslate))
+	s.mux.HandleFunc("/v1/simulate", s.instrument("simulate", s.handleSimulate))
+	s.mux.HandleFunc("/v1/grid", s.instrument("grid", s.handleGrid))
+	s.mux.HandleFunc("/v1/batch", s.instrument("batch", s.handleBatch))
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the process-lifetime cache (stats, tests).
+func (s *Server) Cache() *bench.Cache { return s.cache }
+
+// Metrics exposes the metrics registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Limits reports the effective admission policy.
+func (s *Server) Limits() Limits { return s.limits }
+
+// httpError is a handler failure with its HTTP status.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errBadRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// writeError emits the JSON error envelope (unless the stream already
+// started, in which case the transport has to carry the bad news).
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b, _ := json.Marshal(errorBody{Error: msg, Status: status})
+	w.Write(append(b, '\n'))
+}
+
+// writeJSON emits one deterministic JSON document: marshaled with
+// encoding/json's stable field order, one trailing newline.
+func writeJSON(w http.ResponseWriter, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
+	return nil
+}
+
+// instrument wraps a handler with the metrics bookkeeping: request
+// count, in-flight gauge, latency histogram, status counts.
+func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.requestStarted(name)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.requestFinished(name, sw.status, time.Since(start))
+	}
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// Flush forwards to the underlying writer so NDJSON streams flush
+// through the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

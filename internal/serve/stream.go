@@ -1,0 +1,32 @@
+package serve
+
+// orderedEmitter sequences concurrent workers' results into input
+// order: emit(i, v) may arrive in any order, the sink sees 0,1,2,...
+// with callbacks serialized — the same reorder-buffer discipline as
+// bench.RunGrid's OnResult, here for the batch endpoint's mixed lines.
+
+import "sync"
+
+type orderedEmitter struct {
+	mu    sync.Mutex
+	sink  func(any)
+	lines []any
+	ready []bool
+	next  int
+}
+
+func newOrderedEmitter(n int, sink func(any)) *orderedEmitter {
+	return &orderedEmitter{sink: sink, lines: make([]any, n), ready: make([]bool, n)}
+}
+
+func (e *orderedEmitter) emit(i int, v any) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.lines[i] = v
+	e.ready[i] = true
+	for e.next < len(e.lines) && e.ready[e.next] {
+		e.sink(e.lines[e.next])
+		e.lines[e.next] = nil
+		e.next++
+	}
+}
