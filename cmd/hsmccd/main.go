@@ -8,17 +8,27 @@
 //
 //	hsmccd [-addr :8357] [-cache-bytes N] [-max-cores N] [-max-scale F]
 //	       [-default-deadline D] [-max-deadline D]
+//	       [-max-inflight N] [-max-queue N]
+//	       [-drain-grace D] [-drain-timeout D]
 //
 // Endpoints: POST /v1/compile, /v1/translate, /v1/simulate (one JSON
 // document each), POST /v1/grid and /v1/batch (NDJSON streams in
 // deterministic order), GET /metrics and /healthz. Request bodies
 // accept corpus workload keys and canonical synth: keys. See
-// docs/SERVING.md for the API reference and examples.
+// docs/SERVING.md for the API reference and the Operations section
+// (overload control, drain semantics, Retry-After contract).
+//
+// On SIGTERM/SIGINT the daemon drains: /healthz flips to 503
+// "draining" and new /v1/* work is refused (the -drain-grace window
+// gives load balancers time to deregister), then the listener stops
+// and in-flight requests run until -drain-timeout, at which point
+// their simulations are canceled through the deadline path and the
+// process exits cleanly.
 //
 // Selftest mode:
 //
 //	hsmccd -selftest [-selftest-requests N] [-selftest-seed S]
-//	       [-selftest-concurrency N] [-selftest-full]
+//	       [-selftest-concurrency N] [-selftest-full] [-chaos]
 //
 // runs the concurrent load-test harness (internal/serve/loadtest)
 // against an in-process instance: a seeded mixed scenario whose every
@@ -26,20 +36,32 @@
 // bench runs, plus a cache-hot hit-rate check and (on multi-core
 // hosts) the GOMAXPROCS throughput-scaling study. Exit status 0 means
 // zero divergence, no goroutine leak, hit rate and scaling bounds met.
-// -selftest-full additionally writes the full JSON report to stdout
-// (the CI nightly artifact).
+// With -chaos the harness instead runs the seeded fault-injection
+// scenario: compute panics, delays and spurious cancellations injected
+// at the compile/translate/simulate seams, a retrying client honoring
+// Retry-After, and the structural gates — successful responses still
+// byte-identical to the oracle, in-flight weight never above the slot
+// bound, no goroutine leaks, drain completes. -selftest-full
+// additionally writes the full JSON report to stdout (the CI nightly
+// artifact).
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"hsmcc/internal/serve"
+	"hsmcc/internal/serve/chaos"
 	"hsmcc/internal/serve/loadtest"
 )
 
@@ -50,15 +72,20 @@ func main() {
 	maxScale := flag.Float64("max-scale", 0, "per-request problem-scale limit (0 = default 1.0)")
 	defaultDeadline := flag.Duration("default-deadline", 0, "deadline when a request names none (0 = default 30s)")
 	maxDeadline := flag.Duration("max-deadline", 0, "hard per-request deadline cap (0 = default 2m)")
+	maxInflight := flag.Int("max-inflight", 0, "weighted in-flight work bound (0 = default 64)")
+	maxQueue := flag.Int("max-queue", 0, "admission wait-queue depth (0 = default 256, negative = no queue)")
+	drainGrace := flag.Duration("drain-grace", time.Second, "on SIGTERM, keep answering (503) this long before closing the listener")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM, let in-flight requests run this long before canceling them")
 	selftest := flag.Bool("selftest", false, "run the concurrent load-test harness in-process and exit")
 	stRequests := flag.Int("selftest-requests", 1000, "selftest: request count of the mixed scenario")
 	stSeed := flag.Int64("selftest-seed", 1, "selftest: scenario seed")
 	stConcurrency := flag.Int("selftest-concurrency", 32, "selftest: concurrent clients")
 	stFull := flag.Bool("selftest-full", false, "selftest: write the full JSON report to stdout")
+	stChaos := flag.Bool("chaos", false, "selftest: run the seeded fault-injection scenario instead of the standard suite")
 	flag.Parse()
 
 	if *selftest {
-		os.Exit(runSelftest(*stSeed, *stRequests, *stConcurrency, *stFull))
+		os.Exit(runSelftest(*stSeed, *stRequests, *stConcurrency, *stFull, *stChaos))
 	}
 
 	srv := serve.New(serve.Options{
@@ -68,36 +95,112 @@ func main() {
 			MaxScale:        *maxScale,
 			DefaultDeadline: *defaultDeadline,
 			MaxDeadline:     *maxDeadline,
+			MaxInFlight:     *maxInflight,
+			MaxQueue:        *maxQueue,
 		},
 	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("hsmccd: %v", err)
+	}
 	lim := srv.Limits()
-	log.Printf("hsmccd: listening on %s (cache budget %d MB, max cores %d, max scale %g, deadline %s default / %s max)",
-		*addr, *cacheBytes>>20, lim.MaxCores, lim.MaxScale, lim.DefaultDeadline, lim.MaxDeadline)
+	log.Printf("hsmccd: listening on %s (cache budget %d MB, max cores %d, max scale %g, deadline %s default / %s max, in-flight %d, queue %d)",
+		ln.Addr(), *cacheBytes>>20, lim.MaxCores, lim.MaxScale, lim.DefaultDeadline, lim.MaxDeadline, lim.MaxInFlight, lim.MaxQueue)
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
-	log.Fatal(httpSrv.ListenAndServe())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		// Serve only returns on listener failure here (Shutdown has not
+		// been called); ErrServerClosed would still be a clean exit.
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("hsmccd: %v", err)
+		}
+	case sig := <-sigCh:
+		log.Printf("hsmccd: %v received, draining (grace %s, deadline %s)", sig, *drainGrace, *drainTimeout)
+		shutdown(srv, httpSrv, *drainGrace, *drainTimeout)
+		log.Printf("hsmccd: drained, exiting")
+	}
+}
+
+// shutdown runs the drain sequence: flip /healthz to draining and
+// refuse new /v1/* work while the listener stays up (so load balancers
+// see the 503s and deregister), then stop the listener and let
+// in-flight requests run out the drain deadline, canceling their
+// simulations if they outlive it.
+func shutdown(srv *serve.Server, httpSrv *http.Server, grace, deadline time.Duration) {
+	srv.StartDrain()
+	time.Sleep(grace)
+
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	// At the drain deadline, cut in-flight simulations through the
+	// cancel path so their handlers answer 504 and Shutdown can finish.
+	defer context.AfterFunc(ctx, srv.CancelInFlight)()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		// Deadline hit with requests still in flight: they have just
+		// been canceled; give the handlers a short beat to flush, then
+		// close whatever is left.
+		srv.CancelInFlight()
+		gctx, gcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer gcancel()
+		if err := httpSrv.Shutdown(gctx); err != nil {
+			httpSrv.Close()
+		}
+	}
 }
 
 // selftestReport is the -selftest-full JSON artifact.
 type selftestReport struct {
-	Mixed    *loadtest.Report        `json:"mixed"`
-	CacheHot *loadtest.Report        `json:"cache_hot"`
+	Mixed    *loadtest.Report        `json:"mixed,omitempty"`
+	CacheHot *loadtest.Report        `json:"cache_hot,omitempty"`
 	Scaling  []loadtest.ScalingPoint `json:"scaling,omitempty"`
+	Chaos    *loadtest.Report        `json:"chaos,omitempty"`
 	Pass     bool                    `json:"pass"`
 	Failures []string                `json:"failures,omitempty"`
 }
 
-// runSelftest executes the three scenarios and prints one summary line
-// each; any violated bound is a failure.
-func runSelftest(seed int64, requests, concurrency int, full bool) int {
+// runSelftest executes the scenarios and prints one summary line each;
+// any violated bound is a failure. With chaosMode it runs the
+// fault-injection scenario alone (CI runs the standard suite and the
+// chaos suite as separate jobs).
+func runSelftest(seed int64, requests, concurrency int, full, chaosMode bool) int {
 	art := &selftestReport{}
 	fail := func(format string, args ...any) {
 		art.Failures = append(art.Failures, fmt.Sprintf(format, args...))
 	}
 
+	if chaosMode {
+		runChaosSelftest(art, fail, seed, requests, concurrency)
+	} else {
+		runStandardSelftest(art, fail, seed, requests, concurrency)
+	}
+
+	art.Pass = len(art.Failures) == 0
+	if full {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(art)
+	}
+	if !art.Pass {
+		for _, f := range art.Failures {
+			log.Printf("selftest: FAIL: %s", f)
+		}
+		return 1
+	}
+	log.Printf("selftest: PASS")
+	return 0
+}
+
+func runStandardSelftest(art *selftestReport, fail func(string, ...any), seed int64, requests, concurrency int) {
 	log.Printf("selftest: mixed scenario (seed %d, %d requests, %d clients)...", seed, requests, concurrency)
 	mixed, err := loadtest.Run(loadtest.Options{Seed: seed, Requests: requests, Concurrency: concurrency})
 	if err != nil {
@@ -142,19 +245,40 @@ func runSelftest(seed int64, requests, concurrency int, full bool) int {
 	} else {
 		log.Printf("selftest: single-CPU host, skipping the GOMAXPROCS scaling study")
 	}
+}
 
-	art.Pass = len(art.Failures) == 0
-	if full {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		enc.Encode(art)
+// runChaosSelftest is the fault-injection gate: a seeded mixed scenario
+// against a server with an active injector and a small slot bound. The
+// pass criteria are structural — every successful response still
+// byte-identical to the direct-bench oracle, enough faults actually
+// injected to mean something, in-flight weight never above the slot
+// bound, no goroutine leaks, and the drain sequence completes.
+func runChaosSelftest(art *selftestReport, fail func(string, ...any), seed int64, requests, concurrency int) {
+	plan := chaos.DefaultPlan(seed)
+	log.Printf("selftest: chaos scenario (seed %d, %d requests, %d clients; rates panic %.2f delay %.2f cancel %.2f)...",
+		seed, requests, concurrency, plan.PanicRate, plan.DelayRate, plan.CancelRate)
+	rep, err := loadtest.Run(loadtest.Options{Seed: seed, Requests: requests, Concurrency: concurrency, Chaos: &plan})
+	if err != nil {
+		fail("chaos scenario: %v", err)
+		return
 	}
-	if !art.Pass {
-		for _, f := range art.Failures {
-			log.Printf("selftest: FAIL: %s", f)
-		}
-		return 1
+	art.Chaos = rep
+	log.Printf("selftest: %s", rep)
+	if err := rep.Err(); err != nil {
+		fail("%v", err)
 	}
-	log.Printf("selftest: PASS")
-	return 0
+	if rep.StatusCounts[200] == 0 {
+		fail("chaos: no request succeeded")
+	}
+	if rep.Chaos == nil {
+		fail("chaos: no chaos report produced")
+		return
+	}
+	// The gate is only meaningful if faults actually flowed: require at
+	// least one injected fault per 20 requests (the seeded default plan
+	// lands well above this).
+	if min := int64(requests / 20); rep.Chaos.Faults.Injected() < min {
+		fail("chaos: only %d faults injected, want >= %d — the plan is not exercising the seams",
+			rep.Chaos.Faults.Injected(), min)
+	}
 }

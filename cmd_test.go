@@ -4,12 +4,20 @@ package hsmcc
 // and run it against the repository's test data.
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // buildCmd compiles one of the cmd/ binaries into a temp dir.
@@ -111,6 +119,144 @@ func TestCmdHsmconf(t *testing.T) {
 	if err := exec.Command(bin, "-cores", "0").Run(); err == nil {
 		t.Error("cores=0 accepted")
 	}
+}
+
+// TestCmdHsmccdDrain covers the daemon's SIGTERM lifecycle end to end:
+// while a long simulation is in flight, the signal must flip /healthz
+// to 503 draining, refuse new /v1/* work, cancel the in-flight
+// simulation at the drain deadline (a clean 504, not a dropped
+// connection), and exit 0 with the drain log lines.
+func TestCmdHsmccdDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs a multi-second drain sequence")
+	}
+	bin := buildCmd(t, "hsmccd")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-drain-grace", "1s", "-drain-timeout", "2s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon logs its real listener address (the test binds :0), so
+	// parse the first log line for the port; keep draining stderr into a
+	// buffer for the final assertions.
+	var logs bytes.Buffer
+	sc := bufio.NewScanner(io.TeeReader(stderr, &logs))
+	var base string
+	listenRe := regexp.MustCompile(`listening on (127\.0\.0\.1:\d+)`)
+	for sc.Scan() {
+		if m := listenRe.FindStringSubmatch(sc.Text()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon never logged its listener address:\n%s", logs.String())
+	}
+	done := make(chan struct{})
+	go func() { // the tee already captured scanned bytes; drain the rest
+		io.Copy(&logs, stderr)
+		close(done)
+	}()
+
+	if status, body := get(t, base+"/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz before drain: %d %q", status, body)
+	}
+
+	// Park a simulation that takes far longer (~15s) than the 2s drain
+	// deadline, so the only way the process can exit on time is by
+	// canceling it.
+	slowCh := make(chan *http.Response, 1)
+	slowErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/simulate", "application/json",
+			strings.NewReader(`{"workload":"lu","cores":8,"scale":1.0,"deadline_ms":60000}`))
+		if err != nil {
+			slowErr <- err
+			return
+		}
+		slowCh <- resp
+	}()
+	time.Sleep(300 * time.Millisecond) // let the request reach the handler
+
+	start := time.Now()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// During the grace window the listener still answers: /healthz must
+	// report draining and new work must be refused.
+	var sawDraining bool
+	for deadline := time.Now().Add(800 * time.Millisecond); time.Now().Before(deadline); {
+		status, body := get(t, base+"/healthz")
+		if status == http.StatusServiceUnavailable && strings.Contains(body, "draining") {
+			sawDraining = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !sawDraining {
+		t.Error("healthz never reported 503 draining during the grace window")
+	}
+	resp, err := http.Post(base+"/v1/compile", "application/json",
+		strings.NewReader(`{"workload":"pi"}`))
+	if err != nil {
+		t.Fatalf("compile during drain: %v", err)
+	}
+	refuseBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("compile during drain: status %d %s, want 503", resp.StatusCode, refuseBody)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("drain refusal carries no Retry-After header")
+	}
+
+	// The parked simulation must come back as a clean 504 once the drain
+	// deadline cancels it.
+	select {
+	case resp := <-slowCh:
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Errorf("in-flight simulate under drain: status %d %s, want 504", resp.StatusCode, body)
+		}
+	case err := <-slowErr:
+		t.Errorf("in-flight simulate dropped instead of answered: %v", err)
+	case <-time.After(15 * time.Second):
+		t.Error("in-flight simulate never completed — drain cancel did not reach it")
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Errorf("daemon exit after SIGTERM: %v (want clean exit 0)", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("drain took %s, want grace+deadline+slack (< 10s)", elapsed)
+	}
+	<-done
+	for _, want := range []string{"draining (grace", "drained, exiting"} {
+		if !strings.Contains(logs.String(), want) {
+			t.Errorf("daemon log missing %q:\n%s", want, logs.String())
+		}
+	}
+}
+
+// get issues a GET and returns (status, body), failing the test on
+// transport errors only if the caller treats them as fatal — during
+// drain the listener may already be gone, so errors map to status 0.
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, fmt.Sprint(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
 }
 
 func TestCmdHsmbench(t *testing.T) {

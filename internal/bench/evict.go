@@ -21,6 +21,10 @@ package bench
 //   - Errored computations are never cached. A canceled or failed run
 //     deletes its entry, so the next request for the same key retries
 //     instead of being served a stale context-deadline error.
+//   - Panicked computations are captured, not fatal: the compute
+//     wrapper converts a panic into a *PanicError, the entry is dropped
+//     like any errored compute, and coalesced waiters retry with their
+//     own computation rather than inheriting the poison.
 
 import (
 	"container/list"
@@ -125,12 +129,13 @@ type onceEntry[V any] struct {
 func (c *onceCache[K, V]) get(k K, f func() (V, error)) (V, error) {
 	for {
 		v, err, ran := c.getOnce(k, f)
-		if err != nil && !ran && isCancelErr(err) {
+		if err != nil && !ran && (isCancelErr(err) || IsPanic(err)) {
 			// We coalesced onto another requester's in-flight computation
-			// and inherited ITS cancellation (the cancel hook is bound to
-			// the config that started the compute, not to every waiter).
-			// The errored entry has been dropped; retry with our own
-			// computation, whose own cancel hook governs.
+			// and inherited ITS failure: a cancellation bound to the
+			// config that started the compute (the cancel hook is not
+			// ours), or a panic injected into that requester's run. The
+			// errored entry has been dropped; retry with our own
+			// computation, whose own hooks govern.
 			continue
 		}
 		return v, err
@@ -157,7 +162,15 @@ func (c *onceCache[K, V]) getOnce(k K, f func() (V, error)) (V, error, bool) {
 	}
 	c.mu.Unlock()
 	ran := false
-	e.once.Do(func() { ran = true; e.val, e.err = f() })
+	e.once.Do(func() {
+		ran = true
+		// A panic inside the compute must not poison the entry: without
+		// recovery sync.Once would mark it done with a zero value and a
+		// nil error, serving garbage to every later lookup. Capture it
+		// as the entry's error so settle drops it for retry.
+		defer capturePanic(&e.err)
+		e.val, e.err = f()
+	})
 	c.settle(k, e)
 	return e.val, e.err, ran
 }

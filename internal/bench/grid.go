@@ -194,6 +194,11 @@ type RunOptions struct {
 	// non-nil, remaining cells are marked with that error instead of
 	// running.
 	Cancel func() error
+	// Fault, when non-nil, is the chaos-injection seam threaded into
+	// every cell's Config (see Config.Fault): it fires at the named
+	// compute stages inside the memoized closures, so injected panics
+	// and cancellations exercise the cache's drop-on-error discipline.
+	Fault func(stage string) error
 	// OnResult, when non-nil, receives every finished cell in
 	// deterministic index order (a reorder buffer sequences the
 	// concurrent workers), before RunGrid returns. Callbacks are
@@ -323,6 +328,7 @@ func RunGrid(g Grid, opt RunOptions) (*Report, error) {
 		r.cfg.Cache = NewCache()
 	}
 	r.cfg.Cancel = opt.Cancel
+	r.cfg.Fault = opt.Fault
 	eng, err := interp.ParseEngine(opt.Engine)
 	if err != nil {
 		return nil, err
@@ -383,7 +389,7 @@ func RunGrid(g Grid, opt RunOptions) (*Report, error) {
 						continue
 					}
 				}
-				results[i] = r.runCell(cells[i])
+				results[i] = r.safeRunCell(cells[i])
 				results[i].Cached = dup[i]
 				if emit != nil {
 					emit(i)
@@ -399,6 +405,21 @@ func RunGrid(g Grid, opt RunOptions) (*Report, error) {
 
 	rep.Results = results
 	return rep, nil
+}
+
+// safeRunCell is runCell behind a panic boundary: a panicking cell
+// (injected or genuine) costs exactly that cell — it is recorded as a
+// cell error in the report and the worker goroutine survives to drain
+// the rest of the sweep. Panics inside memoized computes are already
+// captured by the cache layer (evict.go); this catches the rest of the
+// per-cell path.
+func (r *gridRunner) safeRunCell(cell Cell) (res CellResult) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = CellResult{Cell: cell, Error: fmt.Sprintf("panic: %v", v)}
+		}
+	}()
+	return r.runCell(cell)
 }
 
 // runCell executes one grid cell (baseline + translated run), pulling

@@ -73,6 +73,17 @@ type Config struct {
 	// layer wires a request context's Err here so deadlines and client
 	// disconnects stop simulations mid-flight.
 	Cancel func() error
+	// Fault, when non-nil, is invoked at the entry of every compute
+	// stage this config runs — "compile", "translate", "baseline",
+	// "simulate", "profile" — before the stage does any work. It is the
+	// chaos-injection seam (internal/serve/chaos): the hook may sleep
+	// (injected delay), panic (injected crash, recovered into a
+	// *PanicError at the nearest isolation boundary) or return an error
+	// (spurious cancellation). It fires inside memoized computations, so
+	// the cache's drop-on-error discipline is what a fault exercises.
+	// Like Cancel it is per-request state, never part of any cache
+	// identity.
+	Fault func(stage string) error
 	// machineEnv, when non-empty, is a precomputed fingerprint of
 	// cfg.Machine().Config() — sweeps whose machine is fixed (the grid
 	// runner) set it once so cache-key construction does not build a
@@ -89,6 +100,14 @@ func DefaultConfig() Config {
 		Baseline: pthreadrt.DefaultOptions(),
 		Machine:  func() *sccsim.Machine { return sccsim.MustNew(sccsim.DefaultConfig()) },
 	}
+}
+
+// fault fires cfg's fault-injection hook for one compute stage.
+func (cfg Config) fault(stage string) error {
+	if cfg.Fault == nil {
+		return nil
+	}
+	return cfg.Fault(stage)
 }
 
 // rcceOptions resolves the effective RCCE runtime options for cfg.
@@ -154,7 +173,7 @@ func (cfg Config) rcceEnv() string {
 // is immutable — one compile serves any number of concurrent runs.
 func CompileBaseline(w Workload, cfg Config) (*interp.Program, error) {
 	src := w.Source(cfg.Threads, cfg.Scale)
-	pr, err := cfg.Cache.program(w.Key+".c", src)
+	pr, err := cfg.Cache.program(w.Key+".c", src, cfg.Fault)
 	if err != nil {
 		return nil, fmt.Errorf("%s baseline: %w", w.Key, err)
 	}
@@ -164,6 +183,9 @@ func CompileBaseline(w Workload, cfg Config) (*interp.Program, error) {
 // RunBaselineProgram executes an already-compiled baseline program: all
 // threads time-share one SCC core (thesis Chapter 6's baseline).
 func RunBaselineProgram(w Workload, pr *interp.Program, cfg Config) (*RunResult, error) {
+	if err := cfg.fault("baseline"); err != nil {
+		return nil, fmt.Errorf("%s baseline: %w", w.Key, err)
+	}
 	opts := cfg.Baseline
 	opts.Engine = cfg.Engine
 	opts.Cancel = cfg.Cancel
@@ -242,7 +264,7 @@ func TranslateWorkload(w Workload, cfg Config, policy partition.Policy) (*Transl
 		// pipeline run.
 		capacity = 0
 	}
-	tr, err := cfg.Cache.translate(w, cfg.Threads, scale, policy, capacity, pl)
+	tr, err := cfg.Cache.translate(w, cfg.Threads, scale, policy, capacity, pl, cfg.Fault)
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +275,7 @@ func TranslateWorkload(w Workload, cfg Config, policy partition.Policy) (*Transl
 			return nil, fmt.Errorf("%s transform translated source: %w", w.Key, err)
 		}
 	}
-	pr, err := cfg.Cache.program(w.Key+"_rcce.c", translated)
+	pr, err := cfg.Cache.program(w.Key+"_rcce.c", translated, cfg.Fault)
 	if err != nil {
 		return nil, fmt.Errorf("%s reparse translated source: %w\n---\n%s", w.Key, err, translated)
 	}
@@ -262,6 +284,9 @@ func TranslateWorkload(w Workload, cfg Config, policy partition.Policy) (*Transl
 
 // RunRCCEProgram executes a translated program with one process per UE.
 func RunRCCEProgram(w Workload, tr *Translation, cfg Config, policy partition.Policy) (*RunResult, error) {
+	if err := cfg.fault("simulate"); err != nil {
+		return nil, fmt.Errorf("%s simulate: %w", w.Key, err)
+	}
 	mode := "rcce-offchip"
 	switch policy {
 	case partition.PolicyOffChipOnly:

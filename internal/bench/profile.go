@@ -38,11 +38,14 @@ func ProfileWorkload(w Workload, cfg Config) (*profile.Report, error) {
 
 // profileUncached is the compute half of ProfileWorkload.
 func profileUncached(w Workload, cfg Config) (*profile.Report, error) {
-	tr, err := cfg.Cache.translate(w, cfg.Threads, cfg.Scale, partition.PolicyOffChipOnly, 0, nil)
+	if err := cfg.fault("profile"); err != nil {
+		return nil, fmt.Errorf("%s profile: %w", w.Key, err)
+	}
+	tr, err := cfg.Cache.translate(w, cfg.Threads, cfg.Scale, partition.PolicyOffChipOnly, 0, nil, cfg.Fault)
 	if err != nil {
 		return nil, fmt.Errorf("%s profile translate: %w", w.Key, err)
 	}
-	pr, err := cfg.Cache.program(w.Key+"_rcce.c", tr.source)
+	pr, err := cfg.Cache.program(w.Key+"_rcce.c", tr.source, cfg.Fault)
 	if err != nil {
 		return nil, fmt.Errorf("%s profile reparse: %w", w.Key, err)
 	}

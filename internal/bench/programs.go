@@ -228,24 +228,40 @@ func (c *Cache) Stats() CacheStats {
 }
 
 // program returns the compiled form of (name, src), compiling at most
-// once per distinct source even under concurrent lookups.
-func (c *Cache) program(name, src string) (*interp.Program, error) {
-	if c == nil {
+// once per distinct source even under concurrent lookups. fault, when
+// non-nil, fires inside the compute closure (Config.Fault's "compile"
+// seam) so an injected panic or cancellation exercises the cache's
+// drop-on-error discipline rather than bypassing it.
+func (c *Cache) program(name, src string, fault func(string) error) (*interp.Program, error) {
+	compile := func() (*interp.Program, error) {
+		if fault != nil {
+			if err := fault("compile"); err != nil {
+				return nil, fmt.Errorf("%s compile: %w", name, err)
+			}
+		}
 		return interp.Compile(name, src)
+	}
+	if c == nil {
+		return compile()
 	}
 	return c.programs.get(programKey{name, src}, func() (*interp.Program, error) {
 		atomic.AddInt64(&c.programCompiles, 1)
-		return interp.Compile(name, src)
+		return compile()
 	})
 }
 
 // translate runs (or reuses) the translation pipeline for one cell.
 // pl carries the profile-guided placement for PolicyProfiled cells (nil
 // for the static policies).
-func (c *Cache) translate(w Workload, threads int, scale float64, policy partition.Policy, capacity int, pl *profile.Placement) (*translation, error) {
+func (c *Cache) translate(w Workload, threads int, scale float64, policy partition.Policy, capacity int, pl *profile.Placement, fault func(string) error) (*translation, error) {
 	run := func() (*translation, error) {
 		if c != nil {
 			atomic.AddInt64(&c.translateRuns, 1)
+		}
+		if fault != nil {
+			if err := fault("translate"); err != nil {
+				return nil, fmt.Errorf("%s translate: %w", w.Key, err)
+			}
 		}
 		src := w.Source(threads, scale)
 		cc := core.Config{

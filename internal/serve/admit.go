@@ -1,0 +1,170 @@
+package serve
+
+// Overload control: the weighted in-flight admission gate. The daemon's
+// shared compute capacity is a budgeted resource exactly like the
+// paper's MPB — it only stays useful under an explicit budget and a
+// shedding policy. The gate bounds the total weighted simulation work
+// in flight (a 4096-cell grid costs more slots than one compile),
+// parks a bounded FIFO of waiters when the gate is full, and sheds —
+// 503 + Retry-After — when a request cannot get slots before its
+// deadline or the queue is already full. Degradation is therefore
+// load-shaped and explicit, never a collapse: in-flight weight can
+// never exceed the configured bound (the chaos selftest asserts the
+// peak), and every shed is counted in /metrics.
+
+import (
+	"container/list"
+	"context"
+	"net/http"
+	"sync"
+)
+
+// errOverloaded and errShedDeadline are the two shed outcomes; both
+// answer 503 (with Retry-After attached by Server.admit).
+var (
+	errOverloaded = &httpError{
+		status: http.StatusServiceUnavailable,
+		msg:    "overloaded: at capacity and the wait queue is full",
+	}
+	errShedDeadline = &httpError{
+		status: http.StatusServiceUnavailable,
+		msg:    "overloaded: no capacity before the request deadline",
+	}
+)
+
+// gate is the weighted slot pool. Grants are strict FIFO: a heavy
+// waiter at the front is never overtaken by a light one behind it, so
+// grids cannot be starved by a stream of compiles.
+type gate struct {
+	mu       sync.Mutex
+	capacity int64
+	maxQueue int
+	inUse    int64
+	peak     int64
+	waiters  *list.List // of *waiter; front = oldest
+	shed     int64
+}
+
+// waiter is one parked acquire; ready is closed under gate.mu when the
+// waiter's weight has been charged to the gate.
+type waiter struct {
+	weight int64
+	ready  chan struct{}
+}
+
+func newGate(capacity int64, maxQueue int) *gate {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &gate{capacity: capacity, maxQueue: maxQueue, waiters: list.New()}
+}
+
+// acquire charges weight slots against the gate, parking in the FIFO
+// queue if the gate is full. It returns the matching release, or an
+// *httpError(503) when the queue is full or ctx ends first. A weight
+// larger than the whole gate is clamped to the capacity: the request
+// still runs, alone.
+func (g *gate) acquire(ctx context.Context, weight int64) (release func(), err error) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > g.capacity {
+		weight = g.capacity
+	}
+	g.mu.Lock()
+	if g.waiters.Len() == 0 && g.inUse+weight <= g.capacity {
+		g.grantLocked(weight)
+		g.mu.Unlock()
+		return func() { g.release(weight) }, nil
+	}
+	if g.waiters.Len() >= g.maxQueue {
+		g.shed++
+		g.mu.Unlock()
+		return nil, errOverloaded
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{})}
+	elem := g.waiters.PushBack(w)
+	g.mu.Unlock()
+	select {
+	case <-w.ready:
+		return func() { g.release(weight) }, nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		granted := false
+		select {
+		case <-w.ready:
+			// A release granted us concurrently with the deadline; the
+			// charge is ours to refund.
+			granted = true
+		default:
+			g.waiters.Remove(elem)
+		}
+		g.shed++
+		g.mu.Unlock()
+		if granted {
+			g.release(weight)
+		}
+		return nil, errShedDeadline
+	}
+}
+
+// grantLocked charges weight and tracks the high-water mark (the chaos
+// selftest's "in-flight never exceeds the bound" witness).
+func (g *gate) grantLocked(weight int64) {
+	g.inUse += weight
+	if g.inUse > g.peak {
+		g.peak = g.inUse
+	}
+}
+
+// release refunds weight and wakes queued waiters front-first while
+// they fit.
+func (g *gate) release(weight int64) {
+	g.mu.Lock()
+	g.inUse -= weight
+	for g.waiters.Len() > 0 {
+		front := g.waiters.Front()
+		w := front.Value.(*waiter)
+		if g.inUse+w.weight > g.capacity {
+			break
+		}
+		g.waiters.Remove(front)
+		g.grantLocked(w.weight)
+		close(w.ready)
+	}
+	g.mu.Unlock()
+}
+
+// OverloadSnapshot is the gate's /metrics view.
+type OverloadSnapshot struct {
+	// SlotCapacity is the configured weighted in-flight bound
+	// (Limits.MaxInFlight).
+	SlotCapacity int64 `json:"slot_capacity"`
+	// SlotsInUse is the weighted work currently holding slots.
+	SlotsInUse int64 `json:"slots_in_use"`
+	// PeakInUse is the high-water mark of SlotsInUse; by construction it
+	// never exceeds SlotCapacity.
+	PeakInUse int64 `json:"peak_in_use"`
+	// QueueDepth / MaxQueue describe the admission wait queue.
+	QueueDepth int `json:"queue_depth"`
+	MaxQueue   int `json:"max_queue"`
+	// Shed counts requests answered 503: queue overflow plus deadline
+	// expiries while queued.
+	Shed int64 `json:"shed"`
+}
+
+func (g *gate) stats() OverloadSnapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return OverloadSnapshot{
+		SlotCapacity: g.capacity,
+		SlotsInUse:   g.inUse,
+		PeakInUse:    g.peak,
+		QueueDepth:   g.waiters.Len(),
+		MaxQueue:     g.maxQueue,
+		Shed:         g.shed,
+	}
+}

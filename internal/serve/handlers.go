@@ -102,6 +102,29 @@ type BatchLine struct {
 	Simulate  *SimulateResponse  `json:"simulate,omitempty"`
 }
 
+// Admission weights: how many gate slots one unit of work charges. A
+// simulate runs two simulations (baseline + translated), a grid one
+// slot per cell, a batch the sum of its items.
+const (
+	weightCompile  = 1
+	weightSimulate = 2
+)
+
+// admit charges weight slots against the in-flight gate, blocking (in
+// the bounded FIFO queue) until slots free or ctx ends. On a shed it
+// answers 503 + Retry-After itself and returns ok=false; otherwise the
+// caller must defer the returned release.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, weight int) (func(), bool) {
+	release, err := s.gate.acquire(ctx, int64(weight))
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		status, msg := s.statusOf(err)
+		writeError(w, status, msg)
+		return nil, false
+	}
+	return release, true
+}
+
 // decodeSim is the shared front half of the single-object endpoints.
 func (s *Server) decodeSim(w http.ResponseWriter, r *http.Request) (*simCall, bool) {
 	if r.Method != http.MethodPost {
@@ -110,13 +133,13 @@ func (s *Server) decodeSim(w http.ResponseWriter, r *http.Request) (*simCall, bo
 	}
 	var req SimRequest
 	if err := decodeJSON(r, &req); err != nil {
-		status, msg := statusOf(err)
+		status, msg := s.statusOf(err)
 		writeError(w, status, msg)
 		return nil, false
 	}
 	call, err := s.resolve(&req)
 	if err != nil {
-		status, msg := statusOf(err)
+		status, msg := s.statusOf(err)
 		writeError(w, status, msg)
 		return nil, false
 	}
@@ -130,9 +153,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.withDeadline(r.Context(), call.req.DeadlineMs)
 	defer cancel()
+	release, ok := s.admit(ctx, w, weightCompile)
+	if !ok {
+		return
+	}
+	defer release()
 	resp, err := s.compile(ctx, call)
 	if err != nil {
-		status, msg := statusOf(err)
+		status, msg := s.statusOf(err)
 		writeError(w, status, msg)
 		return
 	}
@@ -162,9 +190,14 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.withDeadline(r.Context(), call.req.DeadlineMs)
 	defer cancel()
+	release, ok := s.admit(ctx, w, weightCompile)
+	if !ok {
+		return
+	}
+	defer release()
 	resp, err := s.translate(ctx, call)
 	if err != nil {
-		status, msg := statusOf(err)
+		status, msg := s.statusOf(err)
 		writeError(w, status, msg)
 		return
 	}
@@ -199,9 +232,14 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.withDeadline(r.Context(), call.req.DeadlineMs)
 	defer cancel()
+	release, ok := s.admit(ctx, w, weightSimulate)
+	if !ok {
+		return
+	}
+	defer release()
 	resp, err := s.simulate(ctx, call)
 	if err != nil {
-		status, msg := statusOf(err)
+		status, msg := s.statusOf(err)
 		writeError(w, status, msg)
 		return
 	}
@@ -275,28 +313,41 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	}
 	var req GridRequest
 	if err := decodeJSON(r, &req); err != nil {
-		status, msg := statusOf(err)
+		status, msg := s.statusOf(err)
 		writeError(w, status, msg)
 		return
 	}
 	if err := s.validateGrid(req.Grid); err != nil {
-		status, msg := statusOf(err)
+		status, msg := s.statusOf(err)
 		writeError(w, status, msg)
 		return
 	}
 	ctx, cancel := s.withDeadline(r.Context(), req.DeadlineMs)
 	defer cancel()
+	release, ok := s.admit(ctx, w, len(req.Grid.Cells()))
+	if !ok {
+		return
+	}
+	defer release()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	started := false
 	_, err := bench.RunGrid(req.Grid, bench.RunOptions{
 		Parallel: req.Parallel,
 		Engine:   req.Engine,
 		Cache:    s.cache,
 		Cancel:   ctx.Err,
+		Fault:    s.fault,
 		OnResult: func(res bench.CellResult) {
 			// Callbacks arrive serialized in cell-index order; each line
-			// is one CellResult.
+			// is one CellResult. Once the request context has ended,
+			// remaining cells are all canceled noise — suppress them and
+			// let the terminal stream record below tell the story.
+			if ctx.Err() != nil {
+				return
+			}
+			started = true
 			enc.Encode(res)
 			if flusher != nil {
 				flusher.Flush()
@@ -306,8 +357,25 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Spec errors surface before any cell ran (Validate re-run), so
 		// the stream is still clean here in practice; report and stop.
-		status, msg := statusOf(err)
-		writeError(w, status, msg)
+		status, msg := s.statusOf(err)
+		if started {
+			writeStreamError(w, status, msg)
+		} else {
+			writeError(w, status, msg)
+		}
+		return
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		// The deadline (or a drain cancel) cut the run short. If lines
+		// already went out, close the stream with the terminal error
+		// record so the client can tell truncation from completion;
+		// otherwise the plain error envelope still fits.
+		status, msg := s.statusOf(cerr)
+		if started {
+			writeStreamError(w, status, msg)
+		} else {
+			writeError(w, status, msg)
+		}
 	}
 }
 
@@ -318,7 +386,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var req BatchRequest
 	if err := decodeJSON(r, &req); err != nil {
-		status, msg := statusOf(err)
+		status, msg := s.statusOf(err)
 		writeError(w, status, msg)
 		return
 	}
@@ -333,6 +401,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.withDeadline(r.Context(), req.DeadlineMs)
 	defer cancel()
+	weight := 0
+	for _, item := range req.Items {
+		if item.Op == "simulate" {
+			weight += weightSimulate
+		} else {
+			weight += weightCompile
+		}
+	}
+	release, ok := s.admit(ctx, w, weight)
+	if !ok {
+		return
+	}
+	defer release()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
@@ -356,7 +437,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i := 0; i < workers; i++ {
 		go func() {
 			for idx := range jobs {
-				emitter.emit(idx, s.runBatchItem(ctx, idx, req.Items[idx]))
+				emitter.emit(idx, s.runBatchItemSafe(ctx, idx, req.Items[idx]))
 			}
 			done <- struct{}{}
 		}()
@@ -370,12 +451,31 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// runBatchItemSafe is runBatchItem behind a panic boundary: batch items
+// run on worker goroutines where the instrument-level recover cannot
+// reach, so an unrecovered panic there would kill the process. Instead
+// it costs exactly its item — a 500-status error line in the stream.
+func (s *Server) runBatchItemSafe(ctx context.Context, idx int, item BatchItem) (line BatchLine) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.metrics.panicked()
+			line = BatchLine{
+				Index:  idx,
+				Op:     item.Op,
+				Status: http.StatusInternalServerError,
+				Error:  fmt.Sprintf("panic: %v", v),
+			}
+		}
+	}()
+	return s.runBatchItem(ctx, idx, item)
+}
+
 // runBatchItem executes one batch item, mapping failures to an
 // error-carrying line instead of failing the stream.
 func (s *Server) runBatchItem(ctx context.Context, idx int, item BatchItem) BatchLine {
 	line := BatchLine{Index: idx, Op: item.Op}
 	fail := func(err error) BatchLine {
-		line.Status, line.Error = statusOf(err)
+		line.Status, line.Error = s.statusOf(err)
 		return line
 	}
 	call, err := s.resolve(&item.SimRequest)
@@ -412,7 +512,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	writeJSON(w, s.metrics.Snapshot(s.cache.Stats()))
+	writeJSON(w, s.metrics.Snapshot(s.cache.Stats(), s.gate.stats(), s.draining.Load()))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -421,5 +521,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		// Draining: tell the load balancer to take us out of rotation
+		// while in-flight work finishes.
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+		return
+	}
 	w.Write([]byte("ok\n"))
 }

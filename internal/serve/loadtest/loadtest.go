@@ -25,6 +25,7 @@ import (
 
 	"hsmcc/internal/bench"
 	"hsmcc/internal/serve"
+	"hsmcc/internal/serve/chaos"
 	"hsmcc/internal/synth"
 )
 
@@ -60,6 +61,17 @@ type Options struct {
 	// NoDoomed removes deadline-doomed requests from the mix (the
 	// scaling study wants pure throughput).
 	NoDoomed bool
+	// Chaos, when non-nil, turns the scenario into a chaos run: the
+	// server is built with a seeded fault injector, the driver retries
+	// chaos-failed and shed responses with jittered exponential backoff
+	// (honoring Retry-After), and the report gains the ChaosReport
+	// audit (fault counts, slot-bound witness, drain check).
+	Chaos *chaos.Plan
+	// SlotBound overrides the server's MaxInFlight for chaos runs
+	// (default 16 — small enough that the mix genuinely contends).
+	SlotBound int
+	// QueueBound overrides the server's MaxQueue for chaos runs.
+	QueueBound int
 }
 
 func (o Options) withDefaults() Options {
@@ -71,6 +83,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Scale <= 0 {
 		o.Scale = 0.05
+	}
+	if o.SlotBound <= 0 {
+		o.SlotBound = 16
+	}
+	if o.QueueBound == 0 {
+		o.QueueBound = 256
 	}
 	return o
 }
@@ -119,6 +137,36 @@ type Report struct {
 	GoroutinesStart int              `json:"goroutines_start"`
 	GoroutinesEnd   int              `json:"goroutines_end"`
 	HeapAllocMB     float64          `json:"heap_alloc_mb"`
+	// Chaos is the fault-injection audit (chaos runs only).
+	Chaos *ChaosReport `json:"chaos,omitempty"`
+}
+
+// ChaosReport audits one chaos run: what the injector did, how the
+// client coped, and the two structural witnesses — the slot-bound
+// high-water mark and the drain check.
+type ChaosReport struct {
+	Seed    int64       `json:"seed"`
+	Faults  chaos.Stats `json:"faults"`
+	Retries int64       `json:"retries"`
+	// GaveUp counts requests that still held a chaos-marked (or shed)
+	// failure after the retry budget; they are not divergences — the
+	// correctness gate covers successful responses.
+	GaveUp int64 `json:"gave_up"`
+	// PeakInFlight is the gate's high-water mark; it must never exceed
+	// SlotBound.
+	PeakInFlight int64 `json:"peak_in_flight"`
+	SlotBound    int64 `json:"slot_bound"`
+	// Shed counts 503-shed admissions.
+	Shed int64 `json:"shed"`
+	// Panics is the server's recovered-panic counter.
+	Panics int64 `json:"panics"`
+	// DrainOK reports that the post-traffic drain check passed:
+	// /healthz flipped to draining, new work was refused, and the
+	// in-flight request was cut off by CancelInFlight within the drain
+	// deadline.
+	DrainOK bool `json:"drain_ok"`
+	// DrainMs is how long the drain check took end to end.
+	DrainMs int64 `json:"drain_ms"`
 }
 
 // maxDivergenceDetail caps the per-report divergence detail (the count
@@ -151,7 +199,9 @@ func synthPool(seed int64, n int) []string {
 // Generate builds the deterministic request plan for opts. Oracle
 // expectations are NOT resolved here — Resolve computes them (it costs
 // real simulation time and callers may want to time only the traffic).
-func Generate(opts Options) *Plan {
+// A generator bug (unmarshalable body) fails the scenario with an
+// error like the rest of the driver; it never kills the harness.
+func Generate(opts Options) (*Plan, error) {
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	hot := hotPool(opts.Scale)
@@ -160,10 +210,14 @@ func Generate(opts Options) *Plan {
 	freshIdx := 0
 
 	plan := &Plan{Opts: opts}
+	var genErr error
 	add := func(k Kind, path string, body any, status int) {
 		b, err := json.Marshal(body)
 		if err != nil {
-			panic(fmt.Sprintf("loadtest: marshal %T: %v", body, err))
+			if genErr == nil {
+				genErr = fmt.Errorf("loadtest: marshal %T: %w", body, err)
+			}
+			return
 		}
 		plan.Requests = append(plan.Requests, Request{Kind: k, Path: path, Body: b, ExpectStatus: status})
 	}
@@ -231,7 +285,10 @@ func Generate(opts Options) *Plan {
 			add(KindBad, "/v1/simulate", bad, 400)
 		}
 	}
-	return plan
+	if genErr != nil {
+		return nil, genErr
+	}
+	return plan, nil
 }
 
 // Resolve computes the oracle expectation for every deterministic

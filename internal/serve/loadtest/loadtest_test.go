@@ -3,7 +3,39 @@ package loadtest
 import (
 	"runtime"
 	"testing"
+
+	"hsmcc/internal/serve/chaos"
 )
+
+// TestChaosRun is the fault-injection harness in CI-sized form: a
+// seeded mixed scenario against a server with an active injector and a
+// small slot bound. The gates are the tentpole's: zero divergences
+// among successful responses, in-flight never above the slot bound, no
+// goroutine leak, and the drain check completes.
+func TestChaosRun(t *testing.T) {
+	n := 120
+	if testing.Short() {
+		n = 50
+	}
+	plan := chaos.DefaultPlan(11)
+	rep, err := Run(Options{Seed: 11, Requests: n, Concurrency: 16, Chaos: &plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.String())
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chaos == nil {
+		t.Fatal("chaos run produced no chaos report")
+	}
+	if rep.Chaos.Faults.Injected() == 0 {
+		t.Fatal("injector fired no faults — the chaos plan is not wired through")
+	}
+	if rep.StatusCounts[200] == 0 {
+		t.Fatal("no request succeeded under chaos")
+	}
+}
 
 // TestMixedLoadZeroDivergence is the core acceptance check in CI-sized
 // form: a seeded mixed scenario (hot simulates, fresh compiles, synth
@@ -48,8 +80,14 @@ func TestCacheHotHitRate(t *testing.T) {
 // same plan, byte for byte — the property that makes load-test failures
 // reproducible from the seed alone.
 func TestGenerateDeterministic(t *testing.T) {
-	a := Generate(Options{Seed: 7, Requests: 50})
-	b := Generate(Options{Seed: 7, Requests: 50})
+	a, err := Generate(Options{Seed: 7, Requests: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Options{Seed: 7, Requests: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(a.Requests) != len(b.Requests) {
 		t.Fatalf("plan lengths differ: %d vs %d", len(a.Requests), len(b.Requests))
 	}
@@ -60,7 +98,10 @@ func TestGenerateDeterministic(t *testing.T) {
 				i, ra.Kind, ra.Path, ra.Body, rb.Kind, rb.Path, rb.Body)
 		}
 	}
-	c := Generate(Options{Seed: 8, Requests: 50})
+	c, err := Generate(Options{Seed: 8, Requests: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
 	same := true
 	for i := range a.Requests {
 		if string(a.Requests[i].Body) != string(c.Requests[i].Body) {

@@ -9,22 +9,34 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hsmcc/internal/serve"
+	"hsmcc/internal/serve/chaos"
 )
 
 // Run generates a scenario from opts, resolves the in-process oracle,
 // serves an hsmccd instance over a loopback listener, drives the full
 // concurrent mix against it, and returns the report. The server is torn
 // down before the goroutine audit so lingering handlers count as leaks.
+//
+// With opts.Chaos set, the server runs with the seeded fault injector
+// and a deliberately small slot bound, the driver retries injected
+// failures and sheds, and the report gains the ChaosReport audit —
+// including the post-traffic drain check.
 func Run(opts Options) (*Report, error) {
 	opts = opts.withDefaults()
-	plan := Generate(opts)
+	plan, err := Generate(opts)
+	if err != nil {
+		return nil, err
+	}
 	if err := plan.Resolve(); err != nil {
 		return nil, err
 	}
@@ -32,9 +44,22 @@ func Run(opts Options) (*Report, error) {
 	// goroutine/heap baseline.
 	g0 := SettleGoroutines(runtime.NumGoroutine(), time.Second)
 
-	srv := serve.New(serve.Options{})
+	srvOpts := serve.Options{}
+	var injector *chaos.Injector
+	if opts.Chaos != nil {
+		injector = chaos.New(*opts.Chaos)
+		srvOpts.Fault = injector.Fault
+		srvOpts.Limits = serve.Limits{
+			MaxInFlight: opts.SlotBound,
+			MaxQueue:    opts.QueueBound,
+		}
+	}
+	srv := serve.New(srvOpts)
 	ts := httptest.NewServer(srv.Handler())
 	rep, err := Execute(plan, ts.URL, ts.Client())
+	if err == nil && opts.Chaos != nil {
+		auditChaos(rep.Chaos, srv, ts, injector, opts)
+	}
 	ts.Client().CloseIdleConnections()
 	ts.Close()
 	if err != nil {
@@ -45,12 +70,91 @@ func Run(opts Options) (*Report, error) {
 	if opts.HotOnly {
 		rep.Scenario = "cache-hot"
 	}
+	if opts.Chaos != nil {
+		rep.Scenario = "chaos"
+	}
 	rep.Cache = srv.Cache().Stats()
 	rep.CacheHitRate = rep.Cache.HitRate()
 	rep.GoroutinesStart = g0
 	rep.GoroutinesEnd = SettleGoroutines(g0, 5*time.Second)
 	rep.HeapAllocMB = memSnapshotMB()
 	return rep, nil
+}
+
+// auditChaos fills the chaos report after the traffic phase: injector
+// and gate counters, then the drain check — park one slow request on
+// the server, StartDrain, verify /healthz reports draining and new
+// work is refused, CancelInFlight, and confirm the parked request is
+// cut off promptly. cr already carries Execute's client-side counters
+// (retries, gave-ups).
+func auditChaos(cr *ChaosReport, srv *serve.Server, ts *httptest.Server, injector *chaos.Injector, opts Options) {
+	cr.Seed = opts.Chaos.Seed
+	cr.Faults = injector.Stats()
+	cr.SlotBound = int64(srv.Limits().MaxInFlight)
+	cr.Panics = srv.Metrics().Panics()
+
+	start := time.Now()
+	cr.DrainOK = checkDrain(srv, ts)
+	cr.DrainMs = time.Since(start).Milliseconds()
+
+	// Snapshot the gate after the drain check so its slow request is
+	// included in the high-water mark audit.
+	ov := srv.Overload()
+	cr.PeakInFlight = ov.PeakInUse
+	cr.Shed = ov.Shed
+}
+
+// checkDrain exercises the drain lifecycle against a live server.
+func checkDrain(srv *serve.Server, ts *httptest.Server) bool {
+	// Park a slow request (long deadline, heavy work) so the drain has
+	// something in flight to cut off.
+	slow := []byte(`{"workload":"lu","cores":8,"scale":0.5,"deadline_ms":30000}`)
+	done := make(chan int, 1)
+	go func() {
+		status, _, err := post(ts.Client(), ts.URL+"/v1/simulate", slow)
+		if err != nil {
+			status = -1
+		}
+		done <- status
+	}()
+	// Give the request a beat to reach the simulation.
+	time.Sleep(50 * time.Millisecond)
+
+	srv.StartDrain()
+	status, body, err := get(ts.Client(), ts.URL+"/healthz")
+	if err != nil || status != http.StatusServiceUnavailable || !bytes.Contains(body, []byte("draining")) {
+		return false
+	}
+	status, _, err = post(ts.Client(), ts.URL+"/v1/compile", []byte(`{"workload":"pi"}`))
+	if err != nil || status != http.StatusServiceUnavailable {
+		return false
+	}
+
+	// Drain deadline "expires": cut the in-flight request off. It must
+	// come back promptly (canceled through interp.Sim.Cancel — usually
+	// 504, or whatever an injected fault already answered if chaos got
+	// there first); a request that never returns is a failed drain.
+	srv.CancelInFlight()
+	select {
+	case status := <-done:
+		return status >= 200
+	case <-time.After(10 * time.Second):
+		return false
+	}
+}
+
+// get fetches one URL and reads the whole response.
+func get(client *http.Client, url string) (int, []byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, b, nil
 }
 
 // Execute drives an already-resolved plan against a server at baseURL.
@@ -81,16 +185,21 @@ func Execute(plan *Plan, baseURL string, client *http.Client) (*Report, error) {
 		}
 	}
 
+	chaosMode := opts.Chaos != nil
+	var retries, gaveUp int64
 	jobs := make(chan *Request)
 	var wg sync.WaitGroup
 	errs := make(chan error, opts.Concurrency)
 	start := time.Now()
 	for i := 0; i < opts.Concurrency; i++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			// Per-worker jitter source: retry backoff needs no global
+			// determinism, only independence between workers.
+			rng := rand.New(rand.NewSource(opts.Seed ^ int64(worker)<<32))
 			for r := range jobs {
-				status, body, err := post(client, baseURL+r.Path, r.Body)
+				status, body, err := postRetry(client, baseURL+r.Path, r.Body, chaosMode, rng, &retries)
 				if err != nil {
 					select {
 					case errs <- fmt.Errorf("loadtest: %s: %w", r.Path, err):
@@ -98,9 +207,16 @@ func Execute(plan *Plan, baseURL string, client *http.Client) (*Report, error) {
 					}
 					return
 				}
-				record(r, status, check(r, status, body))
+				div := check(r, status, body, chaosMode)
+				if div == nil && chaosMode && r.ExpectStatus == 200 && status != http.StatusOK {
+					// A chaos-marked failure survived the retry budget:
+					// allowed (the correctness gate covers successes), but
+					// audited.
+					atomic.AddInt64(&gaveUp, 1)
+				}
+				record(r, status, div)
 			}
-		}()
+		}(i)
 	}
 	for i := range plan.Requests {
 		jobs <- &plan.Requests[i]
@@ -116,7 +232,64 @@ func Execute(plan *Plan, baseURL string, client *http.Client) (*Report, error) {
 	if sec := time.Since(start).Seconds(); sec > 0 {
 		rep.Throughput = float64(rep.Requests) / sec
 	}
+	if chaosMode {
+		rep.Chaos = &ChaosReport{Retries: retries, GaveUp: gaveUp}
+	}
 	return rep, nil
+}
+
+// maxRetries bounds the retrying client's attempts per request.
+const maxRetries = 8
+
+// postRetry is the jittered-exponential-backoff retrying client. Shed
+// responses (503) are always retried honoring Retry-After; in chaos
+// mode, 500/504 responses carrying the "chaos:" injection marker are
+// retried too (an injected fault is transient by construction — the
+// poisoned cache entry was dropped, so a retry recomputes). Genuine
+// failures (unmarked 500s, deterministic 504s, 400s) return
+// immediately.
+func postRetry(client *http.Client, url string, body []byte, chaosMode bool, rng *rand.Rand, retriesTotal *int64) (int, []byte, error) {
+	backoff := 5 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		status, b, hdr, err := postHdr(client, url, body)
+		if err != nil {
+			return 0, nil, err
+		}
+		retryable := status == http.StatusServiceUnavailable ||
+			(chaosMode &&
+				(status == http.StatusInternalServerError || status == http.StatusGatewayTimeout) &&
+				bytes.Contains(b, []byte("chaos:")))
+		if !retryable || attempt >= maxRetries {
+			return status, b, nil
+		}
+		atomic.AddInt64(retriesTotal, 1)
+		wait := backoff + time.Duration(rng.Int63n(int64(backoff)))
+		if ra := hdr.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				if raWait := time.Duration(secs) * time.Second; raWait > wait {
+					wait = raWait
+				}
+			}
+		}
+		time.Sleep(wait)
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// postHdr sends one request and reads the whole response plus headers.
+func postHdr(client *http.Client, url string, body []byte) (int, []byte, http.Header, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, b, resp.Header, nil
 }
 
 // post sends one request and reads the whole response.
@@ -134,24 +307,42 @@ func post(client *http.Client, url string, body []byte) (int, []byte, error) {
 }
 
 // check compares one response against the plan's expectation; nil means
-// the response matched.
-func check(r *Request, status int, body []byte) *Divergence {
+// the response matched (or, in chaos mode, failed in an explicitly
+// injected way). The invariant under chaos is one-sided: a fault may
+// turn a success into a marked failure, but every response that IS a
+// success must still be byte-faithful to the direct-run oracle.
+func check(r *Request, status int, body []byte, chaosMode bool) *Divergence {
 	if r.ExpectStatus == 0 {
 		// Deadline-doomed: the request must either finish (a warm cache
-		// can beat even a 1 ms budget) or time out cleanly — any other
-		// status is a bug. The body is unchecked: the oracle does not
-		// spend the simulation time these requests are designed to abort.
-		if status != http.StatusOK && status != http.StatusGatewayTimeout {
-			return &Divergence{Kind: r.Kind, Path: r.Path,
-				Detail: fmt.Sprintf("status %d, want 200 or 504: %s", status, truncate(string(body), 200))}
+		// can beat even a 1 ms budget), time out cleanly, or be shed by
+		// the admission gate before its deadline — any other status is a
+		// bug. The body is unchecked: the oracle does not spend the
+		// simulation time these requests are designed to abort.
+		switch status {
+		case http.StatusOK, http.StatusGatewayTimeout, http.StatusServiceUnavailable:
+			return nil
 		}
-		return nil
+		return &Divergence{Kind: r.Kind, Path: r.Path,
+			Detail: fmt.Sprintf("status %d, want 200, 503 or 504: %s", status, truncate(string(body), 200))}
 	}
 	if status != r.ExpectStatus {
+		if chaosMode && chaosFinal(status, body) {
+			// The retry budget ran out on an injected fault (or a shed
+			// that never cleared): not a correctness divergence.
+			return nil
+		}
 		return &Divergence{Kind: r.Kind, Path: r.Path,
 			Detail: fmt.Sprintf("status %d, want %d: %s", status, r.ExpectStatus, truncate(string(body), 200))}
 	}
 	if r.ExpectBody != nil && !bytes.Equal(body, r.ExpectBody) {
+		if chaosMode && r.ExpectBody[0] == '{' && bytes.Contains(r.ExpectBody, []byte("\n{")) {
+			// Multi-line NDJSON stream: chaos faults legitimately turn
+			// individual lines into error-marked variants.
+			return checkChaosStream(r, body)
+		}
+		if chaosMode && bytes.Contains(body, []byte(`"stream_error"`)) {
+			return checkChaosStream(r, body)
+		}
 		return &Divergence{Kind: r.Kind, Path: r.Path,
 			Detail: fmt.Sprintf("body diverges from direct run:\n got: %s\nwant: %s",
 				truncate(string(body), 400), truncate(string(r.ExpectBody), 400))}
@@ -159,8 +350,66 @@ func check(r *Request, status int, body []byte) *Divergence {
 	return nil
 }
 
-// Err distils a report into pass/fail: divergences or a goroutine leak
-// fail the scenario.
+// chaosFinal reports whether a final (post-retry) failure status is an
+// allowed chaos outcome: a shed, or a 500/504 carrying the injection
+// marker.
+func chaosFinal(status int, body []byte) bool {
+	if status == http.StatusServiceUnavailable {
+		return true
+	}
+	return (status == http.StatusInternalServerError || status == http.StatusGatewayTimeout) &&
+		bytes.Contains(body, []byte("chaos:"))
+}
+
+// checkChaosStream compares an NDJSON stream line-wise against the
+// oracle under chaos rules: every line must either byte-match the
+// oracle's line at the same index or be an error-marked variant caused
+// by an injected fault; the stream may end early only with a terminal
+// stream_error record. Anything else — silent truncation, an unmarked
+// differing line — is a divergence.
+func checkChaosStream(r *Request, body []byte) *Divergence {
+	div := func(format string, args ...any) *Divergence {
+		return &Divergence{Kind: r.Kind, Path: r.Path, Detail: fmt.Sprintf(format, args...)}
+	}
+	got := splitLines(body)
+	want := splitLines(r.ExpectBody)
+	terminal := false
+	if n := len(got); n > 0 && bytes.Contains(got[n-1], []byte(`"stream_error"`)) {
+		terminal = true
+		got = got[:n-1]
+	}
+	if len(got) > len(want) {
+		return div("stream has %d lines, oracle %d", len(got), len(want))
+	}
+	if len(got) < len(want) && !terminal {
+		return div("stream truncated at line %d of %d without a terminal stream_error record", len(got), len(want))
+	}
+	for i := range got {
+		if bytes.Equal(got[i], want[i]) {
+			continue
+		}
+		if bytes.Contains(got[i], []byte("chaos:")) {
+			continue
+		}
+		return div("line %d diverges without a chaos marker:\n got: %s\nwant: %s",
+			i, truncate(string(got[i]), 300), truncate(string(want[i]), 300))
+	}
+	return nil
+}
+
+// splitLines splits an NDJSON body into its non-empty lines.
+func splitLines(b []byte) [][]byte {
+	var lines [][]byte
+	for _, l := range bytes.Split(b, []byte("\n")) {
+		if len(l) > 0 {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+// Err distils a report into pass/fail: divergences, a goroutine leak,
+// a slot-bound violation or a failed drain check fail the scenario.
 func (r *Report) Err() error {
 	if r.DivergenceCount > 0 {
 		detail := ""
@@ -176,15 +425,31 @@ func (r *Report) Err() error {
 		return fmt.Errorf("loadtest: goroutine leak: %d before serving, %d after drain",
 			r.GoroutinesStart, r.GoroutinesEnd)
 	}
+	if c := r.Chaos; c != nil {
+		if c.PeakInFlight > c.SlotBound {
+			return fmt.Errorf("loadtest: in-flight weight peaked at %d, above the slot bound %d",
+				c.PeakInFlight, c.SlotBound)
+		}
+		if !c.DrainOK {
+			return fmt.Errorf("loadtest: drain check failed (healthz/refusal/cancel sequence)")
+		}
+	}
 	return nil
 }
 
 // String renders the one-line summary the selftest prints per scenario.
 func (r *Report) String() string {
-	return fmt.Sprintf("%s: %d reqs x%d conc (GOMAXPROCS %d) in %dms = %.1f req/s; status%s; hit rate %.0f%%; divergences %d; goroutines %d->%d; heap %.1f MB",
+	s := fmt.Sprintf("%s: %d reqs x%d conc (GOMAXPROCS %d) in %dms = %.1f req/s; status%s; hit rate %.0f%%; divergences %d; goroutines %d->%d; heap %.1f MB",
 		r.Scenario, r.Requests, r.Concurrency, r.GOMAXPROCS, r.DurationMs, r.Throughput,
 		sortedStatuses(r.StatusCounts), 100*r.CacheHitRate, r.DivergenceCount,
 		r.GoroutinesStart, r.GoroutinesEnd, r.HeapAllocMB)
+	if c := r.Chaos; c != nil {
+		s += fmt.Sprintf("; chaos seed %d: %d injected (%d panics, %d delays, %d cancels) over %d visits, %d retries, %d gave up, peak in-flight %d/%d, shed %d, server panics %d, drain ok=%v in %dms",
+			c.Seed, c.Faults.Injected(), c.Faults.Panics, c.Faults.Delays, c.Faults.Cancels,
+			c.Faults.Visits, c.Retries, c.GaveUp, c.PeakInFlight, c.SlotBound, c.Shed,
+			c.Panics, c.DrainOK, c.DrainMs)
+	}
+	return s
 }
 
 // ScalingPoint is one GOMAXPROCS measurement of the scaling study.

@@ -25,6 +25,7 @@ type Metrics struct {
 	mu        sync.Mutex
 	start     time.Time
 	inFlight  int
+	panics    int64
 	endpoints map[string]*endpointCounters
 }
 
@@ -83,6 +84,20 @@ func (m *Metrics) InFlight() int {
 	return m.inFlight
 }
 
+// panicked counts one recovered panic (handler or compute).
+func (m *Metrics) panicked() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+// Panics reports the recovered-panic count.
+func (m *Metrics) Panics() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.panics
+}
+
 // EndpointSnapshot is one endpoint's counters at snapshot time.
 type EndpointSnapshot struct {
 	Requests int64 `json:"requests"`
@@ -100,21 +115,33 @@ type MetricsSnapshot struct {
 	UptimeMs   int64                       `json:"uptime_ms"`
 	InFlight   int                         `json:"in_flight"`
 	Goroutines int                         `json:"goroutines"`
-	Endpoints  map[string]EndpointSnapshot `json:"endpoints"`
+	// Panics counts recovered panics (handler and compute); each cost
+	// exactly one request, never the process.
+	Panics int64 `json:"panics"`
+	// Draining reports whether the server has begun shutting down.
+	Draining bool `json:"draining"`
+	// Overload is the admission gate: slot occupancy, queue depth, shed
+	// count.
+	Overload  OverloadSnapshot            `json:"overload"`
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 	// EndpointNames is sorted, for stable iteration by text consumers.
 	EndpointNames []string         `json:"endpoint_names"`
 	Cache         bench.CacheStats `json:"cache"`
 	CacheHitRate  float64          `json:"cache_hit_rate"`
 }
 
-// Snapshot captures the registry plus the given cache stats.
-func (m *Metrics) Snapshot(cache bench.CacheStats) MetricsSnapshot {
+// Snapshot captures the registry plus the given cache stats and
+// control-plane state.
+func (m *Metrics) Snapshot(cache bench.CacheStats, overload OverloadSnapshot, draining bool) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	snap := MetricsSnapshot{
 		UptimeMs:     time.Since(m.start).Milliseconds(),
 		InFlight:     m.inFlight,
 		Goroutines:   runtime.NumGoroutine(),
+		Panics:       m.panics,
+		Draining:     draining,
+		Overload:     overload,
 		Endpoints:    make(map[string]EndpointSnapshot, len(m.endpoints)),
 		Cache:        cache,
 		CacheHitRate: cache.HitRate(),

@@ -127,6 +127,7 @@ func (s *Server) config(ctx context.Context, c *simCall) bench.Config {
 	cfg.MPBCapacity = c.req.MPBBudget
 	cfg.Engine = c.engine
 	cfg.Cancel = ctx.Err
+	cfg.Fault = s.fault
 	return cfg
 }
 
@@ -142,18 +143,32 @@ func (s *Server) deadline(ms int64) time.Duration {
 	return d
 }
 
-// withDeadline attaches the effective deadline to the request context.
+// withDeadline attaches the effective deadline to the request context
+// and merges in the server's stop context: when CancelInFlight fires
+// at the drain deadline, every derived request context cancels, which
+// the simulations observe through interp.Sim.Cancel.
 func (s *Server) withDeadline(ctx context.Context, ms int64) (context.Context, context.CancelFunc) {
-	return context.WithTimeout(ctx, s.deadline(ms))
+	ctx, cancel := context.WithTimeout(ctx, s.deadline(ms))
+	stop := context.AfterFunc(s.stopCtx, cancel)
+	return ctx, func() {
+		stop()
+		cancel()
+	}
 }
 
 // statusOf maps a handler error to its HTTP status: explicit
-// httpErrors keep theirs, cancellations are 504 (the request's
-// wall-clock budget ran out mid-simulation), everything else is a 500.
-func statusOf(err error) (int, string) {
+// httpErrors keep theirs, recovered compute panics are 500 (and
+// counted — the cache has already dropped the poisoned entry),
+// cancellations are 504 (the request's wall-clock budget ran out
+// mid-simulation), everything else is a 500.
+func (s *Server) statusOf(err error) (int, string) {
 	var he *httpError
 	if errors.As(err, &he) {
 		return he.status, he.msg
+	}
+	if bench.IsPanic(err) {
+		s.metrics.panicked()
+		return http.StatusInternalServerError, err.Error()
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusGatewayTimeout, fmt.Sprintf("deadline exceeded: %v", err)

@@ -1,0 +1,311 @@
+package serve
+
+// The robustness suite: overload shedding, drain semantics, panic
+// isolation and mid-stream failure signaling exercised over real HTTP.
+// Each test builds its own server so gate capacities, fault hooks and
+// drain state never leak between cases. The fault hooks play the role
+// the chaos injector plays at volume — here they are deterministic
+// single-shot faults so each failure mode can be asserted exactly.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// checkGolden compares got against testdata/golden/<name>.golden,
+// rewriting the file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("response diverged from golden %s:\n got: %s\nwant: %s", path, got, want)
+	}
+}
+
+// doResp is do with access to the response headers.
+func doResp(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestShedWhenSaturated pins the overload contract: with one slot and
+// no wait queue, a second request must be shed with 503 + Retry-After
+// while the first holds the slot, and the gate counters must record
+// both the peak occupancy and the shed.
+func TestShedWhenSaturated(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once atomic.Bool
+	s, ts := newTestServer(t, Options{
+		Limits: Limits{MaxInFlight: 1, MaxQueue: -1},
+		Fault: func(stage string) error {
+			if stage == "compile" && once.CompareAndSwap(false, true) {
+				close(entered)
+				<-release
+			}
+			return nil
+		},
+	})
+
+	firstDone := make(chan struct {
+		status int
+		body   string
+	}, 1)
+	go func() {
+		status, body := do(t, ts, "POST", "/v1/compile", `{"workload":"pi","cores":2,"scale":0.01}`)
+		firstDone <- struct {
+			status int
+			body   string
+		}{status, body}
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first request never reached the compile stage")
+	}
+
+	// The slot is held; the next request must be shed, not queued.
+	resp := doResp(t, ts.URL+"/v1/compile", `{"workload":"dot","cores":2,"scale":0.01}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("saturated request: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("shed response carries no Retry-After header")
+	}
+
+	close(release)
+	first := <-firstDone
+	if first.status != http.StatusOK {
+		t.Errorf("slot-holding request: status %d %s, want 200", first.status, first.body)
+	}
+
+	ov := s.Overload()
+	if ov.Shed < 1 {
+		t.Errorf("gate recorded %d sheds, want >= 1", ov.Shed)
+	}
+	if ov.PeakInUse != 1 || ov.SlotCapacity != 1 {
+		t.Errorf("gate peak %d / capacity %d, want 1/1", ov.PeakInUse, ov.SlotCapacity)
+	}
+	if ov.SlotsInUse != 0 {
+		t.Errorf("gate still holds %d slots after all requests finished", ov.SlotsInUse)
+	}
+}
+
+// TestDrainingRefusal pins the drain contract: once StartDrain fires,
+// /healthz answers 503 draining (the load-balancer signal), /v1/* work
+// is refused with Retry-After, and /metrics keeps serving with the
+// draining flag set.
+func TestDrainingRefusal(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	if status, body := do(t, ts, "GET", "/healthz", ""); status != http.StatusOK {
+		t.Fatalf("healthz before drain: %d %q", status, body)
+	}
+
+	s.StartDrain()
+	if !s.Draining() {
+		t.Fatal("Draining() false after StartDrain")
+	}
+	status, body := do(t, ts, "GET", "/healthz", "")
+	if status != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Errorf("healthz during drain: %d %q, want 503 draining", status, body)
+	}
+	resp := doResp(t, ts.URL+"/v1/compile", `{"workload":"pi","cores":2,"scale":0.01}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("v1 during drain: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("drain refusal carries no Retry-After header")
+	}
+	status, body = do(t, ts, "GET", "/metrics", "")
+	if status != http.StatusOK {
+		t.Errorf("metrics during drain: %d, want 200", status)
+	}
+	if !strings.Contains(body, `"draining":true`) {
+		t.Errorf("metrics during drain missing draining flag:\n%s", body)
+	}
+}
+
+// TestPanicIsolation pins panic hygiene end to end: a compute panic
+// answers a clean 500 envelope without killing the server, the metrics
+// panic counter moves, and — because panicked computations are dropped
+// from the cache, never memoized — the identical retry succeeds.
+func TestPanicIsolation(t *testing.T) {
+	var fired atomic.Bool
+	_, ts := newTestServer(t, Options{
+		Fault: func(stage string) error {
+			if stage == "simulate" && fired.CompareAndSwap(false, true) {
+				panic("test: injected simulate panic")
+			}
+			return nil
+		},
+	})
+
+	body := `{"workload":"pi","cores":2,"scale":0.01,"policy":"size"}`
+	status, respBody := do(t, ts, "POST", "/v1/simulate", body)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("panicked simulate: status %d %s, want 500", status, respBody)
+	}
+	if !strings.Contains(respBody, "injected simulate panic") {
+		t.Errorf("panic envelope does not name the panic: %s", respBody)
+	}
+
+	// The panicked computation must not have been cached: the same
+	// request (fault now spent) recomputes and succeeds.
+	status, respBody = do(t, ts, "POST", "/v1/simulate", body)
+	if status != http.StatusOK {
+		t.Fatalf("retry after panic: status %d %s, want 200 — panicked computation was cached", status, respBody)
+	}
+
+	_, metrics := do(t, ts, "GET", "/metrics", "")
+	var snap struct {
+		Panics int64 `json:"panics"`
+	}
+	if err := json.Unmarshal([]byte(metrics), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, metrics)
+	}
+	if snap.Panics < 1 {
+		t.Errorf("metrics panics = %d, want >= 1", snap.Panics)
+	}
+}
+
+// TestBatchItemPanic pins the worker-pool panic boundary: a panic while
+// computing one batch item costs exactly that item — a 500-status error
+// line in its slot — and the other items still answer normally.
+func TestBatchItemPanic(t *testing.T) {
+	var fired atomic.Bool
+	_, ts := newTestServer(t, Options{
+		Fault: func(stage string) error {
+			if stage == "simulate" && fired.CompareAndSwap(false, true) {
+				panic("test: batch item panic")
+			}
+			return nil
+		},
+	})
+	status, body := do(t, ts, "POST", "/v1/batch",
+		`{"items":[{"op":"compile","workload":"pi","cores":2,"scale":0.01},{"op":"simulate","workload":"pi","cores":2,"scale":0.01}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("batch: status %d %s", status, body)
+	}
+	lines := strings.Split(strings.TrimRight(body, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("batch answered %d lines, want 2:\n%s", len(lines), body)
+	}
+	var l0, l1 BatchLine
+	if err := json.Unmarshal([]byte(lines[0]), &l0); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &l1); err != nil {
+		t.Fatal(err)
+	}
+	if l0.Error != "" || l0.Compile == nil {
+		t.Errorf("compile item should be untouched: %s", lines[0])
+	}
+	if l1.Status != http.StatusInternalServerError || !strings.Contains(l1.Error, "batch item panic") {
+		t.Errorf("panicked item: status %d error %q, want 500 naming the panic", l1.Status, l1.Error)
+	}
+}
+
+// TestGridTerminalRecord pins mid-stream failure signaling against a
+// golden stream: a grid whose second cell is cut by the request
+// deadline must answer the first cell's line followed by the terminal
+// stream_error record — never silent truncation. The fault hook runs
+// the grid at parallel=1 and parks the second cell's simulate stage
+// until well past the deadline, making the stream deterministic enough
+// to golden. (The drain-cancel flavor of the same cut is covered end to
+// end by TestCmdHsmccdDrain; it shares this code path through
+// withDeadline.)
+func TestGridTerminalRecord(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var visits atomic.Int64
+	_, ts := newTestServer(t, Options{
+		Fault: func(stage string) error {
+			if stage == "simulate" && visits.Add(1) == 2 {
+				close(entered)
+				<-release
+			}
+			return nil
+		},
+	})
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/grid", strings.NewReader(
+		`{"grid":{"name":"t","workloads":["pi"],"cores":[1,2],"policies":["size"],"scale":0.01},"parallel":1,"deadline_ms":300}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grid: status %d", resp.StatusCode)
+	}
+
+	r := bufio.NewReader(resp.Body)
+	line1, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("first cell line: %v", err)
+	}
+
+	// The second cell is parked at its simulate stage; hold it until
+	// the 300ms request deadline has long expired, then let it resume
+	// into the dead context.
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second cell never reached the simulate stage")
+	}
+	time.Sleep(700 * time.Millisecond)
+	close(release)
+
+	var rest strings.Builder
+	for {
+		line, err := r.ReadString('\n')
+		rest.WriteString(line)
+		if err != nil {
+			break
+		}
+	}
+	got := line1 + rest.String()
+	checkGolden(t, "grid_terminal_record", fmt.Sprintf("STREAM 200\n%s", got))
+
+	// Structural assertions on top of the golden bytes: the last line
+	// must be the terminal record, not a cell result.
+	var term StreamError
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &term); err != nil {
+		t.Fatalf("terminal line not a stream_error record: %v\n%s", err, got)
+	}
+	if term.Status != http.StatusGatewayTimeout || term.StreamError == "" {
+		t.Errorf("terminal record = %+v, want status 504 with a message", term)
+	}
+}

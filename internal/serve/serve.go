@@ -27,9 +27,12 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"hsmcc/internal/bench"
@@ -56,6 +59,15 @@ type Limits struct {
 	MaxDeadline time.Duration `json:"max_deadline_ns"`
 	// DefaultDeadline applies when a request names no deadline.
 	DefaultDeadline time.Duration `json:"default_deadline_ns"`
+	// MaxInFlight bounds the total weighted simulation work in flight
+	// (compile/translate weigh 1, simulate 2, a grid its cell count, a
+	// batch the sum of its items); requests beyond it queue or shed.
+	MaxInFlight int `json:"max_in_flight"`
+	// MaxQueue bounds the admission wait queue: requests that find the
+	// gate full park here (FIFO) until slots free or their deadline
+	// fires; past this depth they shed immediately with 503. Negative
+	// disables queueing (full gate = immediate shed).
+	MaxQueue int `json:"max_queue"`
 }
 
 // DefaultLimits is the daemon's stock admission policy.
@@ -68,6 +80,8 @@ func DefaultLimits() Limits {
 		MaxBatch:        256,
 		MaxDeadline:     2 * time.Minute,
 		DefaultDeadline: 30 * time.Second,
+		MaxInFlight:     64,
+		MaxQueue:        256,
 	}
 }
 
@@ -98,6 +112,15 @@ func (l Limits) withDefaults() Limits {
 	if l.DefaultDeadline > l.MaxDeadline {
 		l.DefaultDeadline = l.MaxDeadline
 	}
+	if l.MaxInFlight <= 0 {
+		l.MaxInFlight = d.MaxInFlight
+	}
+	if l.MaxQueue == 0 {
+		l.MaxQueue = d.MaxQueue
+	}
+	if l.MaxQueue < 0 {
+		l.MaxQueue = 0
+	}
 	return l
 }
 
@@ -108,6 +131,12 @@ type Options struct {
 	CacheBytes int64
 	// Limits is the admission policy (zero fields take defaults).
 	Limits Limits
+	// Fault, when non-nil, is the chaos-injection seam threaded into
+	// every request's bench.Config (see bench.Config.Fault): it fires
+	// at the named compute stages so injected panics, delays and
+	// cancellations exercise the real serving path. Production servers
+	// leave it nil; the chaos selftest and tests install an injector.
+	Fault func(stage string) error
 }
 
 // Server is the simulation service: one shared cache, one limit set,
@@ -119,6 +148,18 @@ type Server struct {
 	limits  Limits
 	metrics *Metrics
 	mux     *http.ServeMux
+	// gate is the weighted in-flight admission gate (admit.go).
+	gate *gate
+	// fault is Options.Fault (nil in production).
+	fault func(stage string) error
+	// draining flips once StartDrain is called: /healthz answers 503
+	// for load balancers and new /v1/* work is refused.
+	draining atomic.Bool
+	// stopCtx ends when CancelInFlight is called at the drain deadline;
+	// every request context is derived to cancel with it, which reaches
+	// the simulations through interp.Sim.Cancel.
+	stopCtx    context.Context
+	stopCancel context.CancelFunc
 	// baseCfg is the template every request's bench.Config derives
 	// from: the paper's machine, with the machine-config fingerprint
 	// precomputed once so per-request cache keys never build a
@@ -133,7 +174,10 @@ func New(opts Options) *Server {
 		limits:  opts.Limits.withDefaults(),
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
+		fault:   opts.Fault,
 	}
+	s.gate = newGate(int64(s.limits.MaxInFlight), s.limits.MaxQueue)
+	s.stopCtx, s.stopCancel = context.WithCancel(context.Background())
 	s.baseCfg = bench.DefaultConfig().PrecomputeMachineEnv()
 	s.baseCfg.Cache = s.cache
 	s.mux.HandleFunc("/v1/compile", s.instrument("compile", s.handleCompile))
@@ -157,6 +201,23 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Limits reports the effective admission policy.
 func (s *Server) Limits() Limits { return s.limits }
+
+// Overload reports the admission gate's current state.
+func (s *Server) Overload() OverloadSnapshot { return s.gate.stats() }
+
+// StartDrain flips the server into draining: /healthz answers 503 so
+// load balancers stop routing here, and new /v1/* requests are refused
+// with 503 + Retry-After. In-flight requests keep running — call
+// CancelInFlight when the drain deadline expires to cut them off.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// CancelInFlight cancels every in-flight request context (and through
+// it, every running simulation via interp.Sim.Cancel). The cache stays
+// consistent: canceled computations are dropped, never cached.
+func (s *Server) CancelInFlight() { s.stopCancel() }
 
 // httpError is a handler failure with its HTTP status.
 type httpError struct {
@@ -197,27 +258,82 @@ func writeJSON(w http.ResponseWriter, v any) error {
 	return nil
 }
 
-// instrument wraps a handler with the metrics bookkeeping: request
-// count, in-flight gauge, latency histogram, status counts.
+// StreamError is the terminal NDJSON record a streaming endpoint emits
+// when a failure cuts the stream short after lines have already been
+// written (the status line is long gone, so the error has to travel in
+// band). Clients distinguish truncation from completion by its
+// presence: a stream that ends without one completed normally, a
+// stream that ends with one was aborted at that point.
+type StreamError struct {
+	StreamError string `json:"stream_error"`
+	Status      int    `json:"status"`
+}
+
+// writeStreamError appends the terminal error record to an NDJSON
+// stream already in progress.
+func writeStreamError(w http.ResponseWriter, status int, msg string) {
+	b, _ := json.Marshal(StreamError{StreamError: msg, Status: status})
+	w.Write(append(b, '\n'))
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with the request-scope control plane:
+// metrics bookkeeping (request count, in-flight gauge, latency
+// histogram, status counts), the draining refusal for /v1/* work, and
+// the panic boundary — a panicking handler answers 500 with the error
+// envelope (or the terminal stream record, if the NDJSON stream had
+// started) instead of killing the daemon.
 func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.metrics.requestStarted(name)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if v := recover(); v != nil {
+				s.metrics.panicked()
+				msg := fmt.Sprintf("panic: %v", v)
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, msg)
+				} else if sw.streaming() {
+					writeStreamError(sw, http.StatusInternalServerError, msg)
+				}
+			}
+			s.metrics.requestFinished(name, sw.status, time.Since(start))
+		}()
+		if s.draining.Load() && strings.HasPrefix(r.URL.Path, "/v1/") {
+			sw.Header().Set("Retry-After", "1")
+			writeError(sw, http.StatusServiceUnavailable, "draining: server is shutting down")
+			return
+		}
 		h(sw, r)
-		s.metrics.requestFinished(name, sw.status, time.Since(start))
 	}
 }
 
-// statusWriter captures the response status for metrics.
+// statusWriter captures the response status for metrics and whether
+// anything was written (the panic boundary must not WriteHeader twice).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// streaming reports whether the response is an NDJSON stream (where a
+// late failure must travel as a terminal record, not a status).
+func (w *statusWriter) streaming() bool {
+	return strings.HasPrefix(w.Header().Get("Content-Type"), "application/x-ndjson")
 }
 
 // Flush forwards to the underlying writer so NDJSON streams flush
