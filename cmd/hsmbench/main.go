@@ -52,11 +52,12 @@ func main() {
 	doSynth := flag.Bool("synth", false, "grid mode: sweep the synthetic sharing x footprint plane instead of the corpus")
 	synthSharing := flag.String("synth-sharing", "", "-synth: comma-separated degrees of sharing (empty = 1,2,4,8)")
 	synthFootprint := flag.String("synth-footprint", "", "-synth: comma-separated shared addresses per group (empty = 64,256,1024)")
+	machine := flag.String("machine", "", "machine preset: scc48, mesh256 or mesh1024 (empty = scc48)")
 	flag.Parse()
 
 	// Any explicitly set grid flag selects grid mode; combining one with
 	// a figure/table experiment is a conflict, not something to ignore.
-	gridFlagNames := []string{"grid", "workloads", "cores", "policies", "mpb", "parallel", "shard", "json", "out", "synth", "synth-sharing", "synth-footprint"}
+	gridFlagNames := []string{"grid", "workloads", "cores", "policies", "mpb", "parallel", "shard", "json", "out", "synth", "synth-sharing", "synth-footprint", "machine"}
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	gridFlags := false
@@ -94,7 +95,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hsmbench grid: %v\n", err)
 			os.Exit(1)
 		}
-		if err := runGrid(*gridName, *workloads, *coresList, *policies, *budgets, *scale, *parallel, *shard, *engine, *jsonOut, *outPath, synthOpts); err != nil {
+		if err := runGrid(*gridName, *workloads, *coresList, *policies, *budgets, *scale, *parallel, *shard, *engine, *machine, *jsonOut, *outPath, synthOpts); err != nil {
 			fmt.Fprintf(os.Stderr, "hsmbench grid: %v\n", err)
 			os.Exit(1)
 		}
@@ -188,10 +189,11 @@ func synthPlaneOptions(on bool, sharing, footprint string) (*bench.SynthPlaneOpt
 }
 
 // runGrid executes the parallel experiment sweep and emits the report.
-func runGrid(name, workloads, cores, policies, budgets string, scale float64, parallel int, shard, engine string, jsonOut bool, outPath string, synthOpts *bench.SynthPlaneOptions) error {
+func runGrid(name, workloads, cores, policies, budgets string, scale float64, parallel int, shard, engine, machine string, jsonOut bool, outPath string, synthOpts *bench.SynthPlaneOptions) error {
 	g := bench.DefaultGrid()
 	g.Name = name
 	g.Scale = scale
+	g.Machine = machine
 	if synthOpts != nil {
 		g.Workloads = nil
 		for _, p := range bench.SynthPlane(*synthOpts) {

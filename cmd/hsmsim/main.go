@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	hsmsim [-mode pthread|rcce] [-cores N] [-stats] program.c
+//	hsmsim [-mode pthread|rcce] [-cores N] [-machine scc48|mesh256|mesh1024] [-stats] program.c
 //
 // pthread mode executes main with every created thread time-sharing core
 // 0 (the paper's baseline). rcce mode runs RCCE_APP (or main) on N cores,
@@ -25,6 +25,7 @@ func main() {
 	mode := flag.String("mode", "pthread", "execution mode: pthread (1-core baseline) or rcce")
 	cores := flag.Int("cores", 32, "number of UEs in rcce mode")
 	stats := flag.Bool("stats", false, "print machine statistics to stderr")
+	machinePreset := flag.String("machine", "", "machine preset: scc48, mesh256 or mesh1024 (empty = scc48)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -40,7 +41,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	machine, err := sccsim.New(sccsim.DefaultConfig())
+	mcfg, err := sccsim.PresetConfig(*machinePreset)
+	if err != nil {
+		fatal(err)
+	}
+	machine, err := sccsim.New(mcfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -37,6 +37,10 @@ type Grid struct {
 	MPBBudgets []int `json:"mpb_budgets"`
 	// Scale is the problem-size multiplier (0 = 1.0).
 	Scale float64 `json:"scale"`
+	// Machine names the simulated machine preset for every cell
+	// (sccsim.PresetNames; "" = the SCC default, scc48). Core counts in
+	// Cores must fit the preset's core count.
+	Machine string `json:"machine,omitempty"`
 }
 
 // DefaultGrid is the full paper sweep: every workload, the Fig 6.3 core
@@ -138,7 +142,25 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("grid %q: negative MPB budget %d (use 0 for the full MPB)", g.Name, b)
 		}
 	}
+	mcfg, err := sccsim.PresetConfig(g.Machine)
+	if err != nil {
+		return fmt.Errorf("grid %q: %w", g.Name, err)
+	}
+	for _, n := range g.Cores {
+		if n > mcfg.Cores {
+			return fmt.Errorf("grid %q: %d cores exceed machine %q (%d cores)",
+				g.Name, n, g.MachineName(), mcfg.Cores)
+		}
+	}
 	return nil
+}
+
+// MachineName resolves the grid's machine preset name ("" = scc48).
+func (g Grid) MachineName() string {
+	if g.Machine == "" {
+		return "scc48"
+	}
+	return g.Machine
 }
 
 // CellResult is the machine-readable outcome of one cell: the baseline
@@ -246,6 +268,10 @@ func (r *Report) Filename() string {
 // (Baseline runs have no per-grid cache anymore: RunBaseline memoizes
 // through the sweep's shared bench.Cache, so every policy and budget
 // cell at one (workload, cores) point shares a single run.)
+// machine is the machine-config digest: sweeps over different presets
+// (the scaling study) share one daemon-lifetime cache, and a cell run
+// on a 48-core mesh must never serve the same (workload, cores, policy,
+// budget) point simulated on a 1024-core one.
 type cellKey struct {
 	workload  string
 	cores     int
@@ -253,6 +279,7 @@ type cellKey struct {
 	budget    int
 	engine    interp.Engine
 	placement string
+	machine   string
 }
 
 // semanticKey normalises a cell to its cache identity: budget 0 and an
@@ -261,12 +288,13 @@ type cellKey struct {
 // it; for duplicate-marking before execution the empty digest is
 // enough, because the digest is itself a deterministic function of the
 // other key fields.
-func semanticKey(c Cell, fullMPB int, engine interp.Engine) cellKey {
+func semanticKey(c Cell, fullMPB int, engine interp.Engine, machine string) cellKey {
 	b := c.MPBBudget
 	if b <= 0 {
 		b = fullMPB
 	}
-	return cellKey{workload: c.Workload, cores: c.Cores, policy: c.Policy, budget: b, engine: engine}
+	return cellKey{workload: c.Workload, cores: c.Cores, policy: c.Policy, budget: b,
+		engine: engine, machine: machine}
 }
 
 // gridRunner carries the per-run caches.
@@ -318,6 +346,10 @@ func RunGrid(g Grid, opt RunOptions) (*Report, error) {
 	if r.cfg.Scale == 0 {
 		r.cfg.Scale = 1.0
 	}
+	// Validate resolved the preset already; a fresh machine per run keeps
+	// timing state (controller queues) from leaking between cells.
+	mcfg := sccsim.MustPreset(g.Machine)
+	r.cfg.Machine = func() *sccsim.Machine { return sccsim.MustNew(mcfg) }
 	// One compile cache for the whole sweep: each workload's baseline
 	// source and each distinct translated source compile exactly once,
 	// and all matrix cells (across all workers) share the immutable
@@ -346,7 +378,7 @@ func RunGrid(g Grid, opt RunOptions) (*Report, error) {
 	firstByKey := make(map[cellKey]int)
 	dup := make([]bool, len(cells))
 	for i, c := range cells {
-		k := semanticKey(c, r.fullMPB, r.engine)
+		k := semanticKey(c, r.fullMPB, r.engine, r.cfg.machineEnv)
 		if _, ok := firstByKey[k]; ok {
 			dup[i] = true
 		} else {
@@ -448,7 +480,7 @@ func (r *gridRunner) runCell(cell Cell) CellResult {
 		res.Error = err.Error()
 		return res
 	}
-	key := semanticKey(cell, r.fullMPB, r.engine)
+	key := semanticKey(cell, r.fullMPB, r.engine, r.cfg.machineEnv)
 	if policy == partition.PolicyProfiled {
 		// Resolve the measured placement (profile pass memoized in the
 		// shared Cache) so its digest becomes part of the cell's cache

@@ -264,7 +264,7 @@ func TranslateWorkload(w Workload, cfg Config, policy partition.Policy) (*Transl
 		// pipeline run.
 		capacity = 0
 	}
-	tr, err := cfg.Cache.translate(w, cfg.Threads, scale, policy, capacity, pl, cfg.Fault)
+	tr, err := cfg.Cache.translate(w, cfg.Threads, scale, policy, capacity, pl, cfg.machineFingerprint(), cfg.Fault)
 	if err != nil {
 		return nil, err
 	}

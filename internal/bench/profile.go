@@ -15,7 +15,6 @@ import (
 	"hsmcc/internal/partition"
 	"hsmcc/internal/profile"
 	"hsmcc/internal/rcce"
-	"hsmcc/internal/sccsim"
 )
 
 // ProfileWorkload runs the access-profiling pass for w at cfg's thread
@@ -41,7 +40,7 @@ func profileUncached(w Workload, cfg Config) (*profile.Report, error) {
 	if err := cfg.fault("profile"); err != nil {
 		return nil, fmt.Errorf("%s profile: %w", w.Key, err)
 	}
-	tr, err := cfg.Cache.translate(w, cfg.Threads, cfg.Scale, partition.PolicyOffChipOnly, 0, nil, cfg.Fault)
+	tr, err := cfg.Cache.translate(w, cfg.Threads, cfg.Scale, partition.PolicyOffChipOnly, 0, nil, cfg.machineFingerprint(), cfg.Fault)
 	if err != nil {
 		return nil, fmt.Errorf("%s profile translate: %w", w.Key, err)
 	}
@@ -67,7 +66,7 @@ func profileUncached(w Workload, cfg Config) (*profile.Report, error) {
 		Vars:     col.Snapshot(),
 		MPB: profile.MPBStats{
 			CapacityBytes:  mcfg.MPBTotal(),
-			PerCoreBytes:   sccsim.MPBPerCore,
+			PerCoreBytes:   mcfg.MPBStride(),
 			UsedBytes:      res.OnChipBytes,
 			Accesses:       res.Stats.MPBAccesses,
 			Remote:         res.Stats.MPBRemote,

@@ -35,10 +35,13 @@ type programKey struct {
 // profile-guided placement map digest ("" for the static policies), so
 // two profiled translations at the same (cores, policy-name, capacity)
 // tuple but with different measured placements — and a profiled cell
-// versus a static-policy cell — can never share a cache entry. The
-// translated source itself then feeds the program cache, so cells whose
-// placements emit identical C (e.g. budgets above the working-set size)
-// share one compile.
+// versus a static-policy cell — can never share a cache entry. machine
+// is the machine-config digest: now that sweeps span machine presets, a
+// translation placed for one machine's MPB geometry must never serve a
+// cell on another, even when the effective byte capacities coincide.
+// The translated source itself then feeds the program cache, so cells
+// whose placements emit identical C (e.g. budgets above the working-set
+// size) share one compile.
 type translationKey struct {
 	workload  string
 	threads   int
@@ -46,6 +49,7 @@ type translationKey struct {
 	policy    partition.Policy
 	capacity  int
 	placement string
+	machine   string
 }
 
 // translation is the cached output of the pipeline before any
@@ -253,7 +257,7 @@ func (c *Cache) program(name, src string, fault func(string) error) (*interp.Pro
 // translate runs (or reuses) the translation pipeline for one cell.
 // pl carries the profile-guided placement for PolicyProfiled cells (nil
 // for the static policies).
-func (c *Cache) translate(w Workload, threads int, scale float64, policy partition.Policy, capacity int, pl *profile.Placement, fault func(string) error) (*translation, error) {
+func (c *Cache) translate(w Workload, threads int, scale float64, policy partition.Policy, capacity int, pl *profile.Placement, machineEnv string, fault func(string) error) (*translation, error) {
 	run := func() (*translation, error) {
 		if c != nil {
 			atomic.AddInt64(&c.translateRuns, 1)
@@ -289,7 +293,7 @@ func (c *Cache) translate(w Workload, threads int, scale float64, policy partiti
 	if c == nil {
 		return run()
 	}
-	key := translationKey{w.Key, threads, scale, policy, capacity, ""}
+	key := translationKey{w.Key, threads, scale, policy, capacity, "", machineEnv}
 	if pl != nil {
 		key.placement = pl.Digest()
 	}

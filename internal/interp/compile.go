@@ -163,12 +163,34 @@ func (c *compiler) compileBlock(b *ast.BlockStmt) execFn {
 	return func(p *Proc, ret *Value) (ctrl, error) {
 		start := 0
 		if p.coResuming {
-			start = p.popKRef().step
+			// A fused resume index rides the top frame (always this
+			// block's own record: outer frames are already popped, and
+			// the descendant frame it fused onto is popped only after
+			// this block re-enters it). Clearing the piggy bits here —
+			// before the carrier's owner ever pops — is what keeps the
+			// general pop free of piggy decoding.
+			if n := len(p.kstack) - 1; n >= 0 && p.kstack[n].step&kPiggy != 0 {
+				start = int(p.kstack[n].step>>kPiggyShift) & kPiggyMax
+				p.kstack[n].step &^= kPiggyBits
+			} else {
+				start = p.popKRef().step
+			}
 		}
 		for i := start; i < len(list); i++ {
 			if ct, err := list[i](p, ret); err != nil || ct != ctrlNone {
 				if err == errYield {
-					p.pushK(kframe{step: i})
+					// Fuse the resume index into the frame the yielding
+					// child just pushed instead of pushing one of our
+					// own, when that frame has room (no piggy yet, own
+					// step within 13 bits). One 8191-way statement list
+					// or an already-claimed carrier falls back to a
+					// plain frame.
+					if n := len(p.kstack) - 1; n >= 0 && i <= kPiggyMax &&
+						p.kstack[n].step&kPiggyBits == 0 {
+						p.kstack[n].step |= kPiggy | int32(i)<<kPiggyShift
+					} else {
+						p.pushK(kframe{step: i})
+					}
 				}
 				return ct, err
 			}

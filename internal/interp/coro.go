@@ -3,6 +3,10 @@ package interp
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sync"
+
+	"hsmcc/internal/cc/types"
 )
 
 // The coroutine execution core. Under the compiled engine, execution
@@ -74,10 +78,37 @@ type kmeta struct {
 	n    int64
 }
 
+// The step word's upper bits multiplex four orthogonal encodings over
+// one 16-byte kmeta:
+//
+//   - kHasV/kHasX flag a Value or interface payload on the side stacks.
+//   - kInline* replace kHasV for the dominant scalar payloads: an
+//     int-family or double Value whose second machine word is zero rides
+//     directly in the meta's n field (which such frames never use), so
+//     the kvals spill — a 24-byte copy each way — is skipped entirely.
+//   - kPiggy fuses a multi-statement block's resume index into the frame
+//     below it (bits 13..25) instead of pushing a frame of the block's
+//     own. Straight-line statement lists are the most common combinator
+//     on every unwind path, so this removes one push+pop per block level
+//     per context switch. The fusing block always peeks and clears the
+//     piggy bits before the carrier frame's owner pops it (resume order
+//     is outermost-first and the owner is always deeper), so popKRef
+//     never decodes a step with piggy bits still set.
+//
+// Own steps are bounded by the largest block statement index, so the
+// mask keeps 26 bits even though fused carriers must fit theirs in 13.
 const (
-	kHasV     = 1 << 30
-	kHasX     = 1 << 29
-	kStepMask = kHasX - 1
+	kHasV       = 1 << 30
+	kHasX       = 1 << 29
+	kPiggy      = 1 << 28
+	kInlineInt  = 1 << 26
+	kInlineUInt = 2 << 26
+	kInlineDbl  = 3 << 26
+	kInlineMask = 3 << 26
+	kPiggyShift = 13
+	kPiggyMax   = 1<<kPiggyShift - 1
+	kPiggyBits  = kPiggy | kPiggyMax<<kPiggyShift
+	kStepMask   = 1<<26 - 1
 )
 
 // pushK saves one resumption frame. A saved Value always carries its
@@ -85,15 +116,28 @@ const (
 // payload flags reconstruct the frame exactly.
 func (p *Proc) pushK(fr kframe) {
 	st := int32(fr.step)
+	n := fr.n
 	if fr.v.T != nil {
-		st |= kHasV
-		p.kvals = append(p.kvals, fr.v)
+		switch {
+		case n == 0 && fr.v.F == 0 && fr.v.T == types.IntType:
+			st |= kInlineInt
+			n = fr.v.I
+		case n == 0 && fr.v.F == 0 && fr.v.T == types.UIntType:
+			st |= kInlineUInt
+			n = fr.v.I
+		case n == 0 && fr.v.I == 0 && fr.v.T == types.DoubleType:
+			st |= kInlineDbl
+			n = int64(math.Float64bits(fr.v.F))
+		default:
+			st |= kHasV
+			p.kvals = append(p.kvals, fr.v)
+		}
 	}
 	if fr.x != nil {
 		st |= kHasX
 		p.kxs = append(p.kxs, fr.x)
 	}
-	p.kstack = append(p.kstack, kmeta{step: st, a: fr.a, n: fr.n})
+	p.kstack = append(p.kstack, kmeta{step: st, a: fr.a, n: n})
 }
 
 func (p *Proc) popK() kframe {
@@ -113,13 +157,23 @@ func (p *Proc) popKRef() *kframe {
 	fr.step = int(m.step & kStepMask)
 	fr.a = m.a
 	fr.n = m.n
-	if m.step&kHasV != 0 {
+	switch m.step & (kHasV | kInlineMask) {
+	case 0:
+		fr.v = Value{}
+	case kInlineInt:
+		fr.v = Value{T: types.IntType, I: m.n}
+		fr.n = 0
+	case kInlineUInt:
+		fr.v = Value{T: types.UIntType, I: m.n}
+		fr.n = 0
+	case kInlineDbl:
+		fr.v = Value{T: types.DoubleType, F: math.Float64frombits(uint64(m.n))}
+		fr.n = 0
+	default:
 		vi := len(p.kvals) - 1
 		fr.v = p.kvals[vi]
 		p.kvals[vi] = Value{}
 		p.kvals = p.kvals[:vi]
-	} else {
-		fr.v = Value{}
 	}
 	if m.step&kHasX != 0 {
 		xi := len(p.kxs) - 1
@@ -239,6 +293,80 @@ func (p *Proc) stepCoro() bool {
 	return true
 }
 
+// procScratch bundles every growable per-context buffer of the compiled
+// engine so one pool hit at spawn replaces seven warm-up allocations
+// (the resumption stacks, the activation arenas and the 6 KB per-depth
+// return arena). Contexts churn — a matrix cell spawns and finishes
+// hundreds — while the buffers' high-water marks are workload constants,
+// so recycling makes a whole sweep allocate O(live contexts) once
+// instead of O(spawns). The pool is package-level on purpose: parallel
+// grid workers and repeated cells all feed the same free list
+// (sync.Pool is concurrency-safe and GC-bounded).
+type procScratch struct {
+	kstack   []kmeta
+	kvals    []Value
+	kxs      []any
+	cframes  []cframe
+	slotMem  []uint32
+	argArena []Value
+	retSlots []Value
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &procScratch{
+		kstack:   make([]kmeta, 0, 64),
+		retSlots: make([]Value, maxCallDepth+1),
+	}
+}}
+
+// adoptScratch attaches pooled buffers to a fresh context.
+func (p *Proc) adoptScratch() {
+	sc := scratchPool.Get().(*procScratch)
+	p.scratch = sc
+	p.kstack = sc.kstack
+	p.kvals = sc.kvals
+	p.kxs = sc.kxs
+	p.cframes = sc.cframes
+	p.slotMem = sc.slotMem
+	p.argArena = sc.argArena
+	p.retSlots = sc.retSlots
+}
+
+// releaseScratch returns the buffers (with their grown capacities) to
+// the pool. All stacks are empty at a clean finish; retSlots keeps its
+// stale cells because runCompiledBodyAt zeroes a cell on every fresh
+// entry, and Values hold no heap pointers beyond the immortal type
+// singletons.
+func (p *Proc) releaseScratch() {
+	sc := p.scratch
+	if sc == nil {
+		return
+	}
+	p.scratch = nil
+	// The side stacks and argument arena are empty after a clean finish,
+	// but a context killed by a runtime error can leave occupied cells;
+	// clear them so the pool never pins runtime objects.
+	for i := range p.kvals {
+		p.kvals[i] = Value{}
+	}
+	for i := range p.kxs {
+		p.kxs[i] = nil
+	}
+	for i := range p.argArena {
+		p.argArena[i] = Value{}
+	}
+	sc.kstack = p.kstack[:0]
+	sc.kvals = p.kvals[:0]
+	sc.kxs = p.kxs[:0]
+	sc.cframes = p.cframes[:0]
+	sc.slotMem = p.slotMem[:0]
+	sc.argArena = p.argArena[:0]
+	sc.retSlots = p.retSlots
+	p.kstack, p.kvals, p.kxs = nil, nil, nil
+	p.cframes, p.slotMem, p.argArena, p.retSlots = nil, nil, nil, nil
+	scratchPool.Put(sc)
+}
+
 // finish is the context completion path shared by both engines: record
 // the result, recycle the stack slot, wake joiners.
 func (p *Proc) finish(v Value, err error) {
@@ -252,6 +380,7 @@ func (p *Proc) finish(v Value, err error) {
 	s := p.Sim
 	s.done++
 	s.freeStacks[p.Core] = append(s.freeStacks[p.Core], p.stackIdx)
+	p.releaseScratch()
 	if s.Runtime != nil {
 		s.Runtime.OnExit(p)
 	}

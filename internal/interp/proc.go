@@ -71,6 +71,9 @@ type Proc struct {
 	kxs        []any
 	kscratch   kframe
 	coResuming bool
+	// scratch is the pooled bundle the buffers above came from (nil in
+	// goroutine mode); finish returns it for the next spawn.
+	scratch *procScratch
 	// timer is the machine's cycle-to-time handle for this context's
 	// core (stable across DVFS changes).
 	timer *sccsim.CoreTimer
@@ -341,6 +344,20 @@ func (p *Proc) callCompiled(cf *compiledFunc, args []Value) (Value, error) {
 		return Value{}, fmt.Errorf("call of undefined function %s", cf.name)
 	}
 	if p.coResuming {
+		// Nearly every resume re-enters a suspended body (step 3, no
+		// payload flags, and never a piggyback carrier — the enclosing
+		// call combinator's frame sits above it on every unwind, so
+		// blocks fuse onto that instead). Decode it by hand and skip the
+		// scratch-slot round trip of the general pop.
+		n := len(p.kstack) - 1
+		if m := &p.kstack[n]; m.step == 3 {
+			depth := int(m.n)
+			p.kstack = p.kstack[:n]
+			if n == 0 {
+				p.coResuming = false
+			}
+			return p.runCompiledBodyAt(cf, depth)
+		}
 		fr := p.popKRef()
 		switch fr.step {
 		case 1: // call charge complete, frame not yet pushed

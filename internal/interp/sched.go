@@ -209,10 +209,12 @@ func (s *Sim) Spawn(core int, fn *ast.FuncDecl, args []Value, start sccsim.Time)
 	s.procs = append(s.procs, p)
 	s.noteRunnable(p)
 	if s.coro {
-		// Reserve the resumption stack up front: a suspension pushes one
-		// frame per active closure, and growth inside an unwind would
-		// add allocation noise to the hot switch path.
-		p.kstack = make([]kmeta, 0, 64)
+		// Adopt pooled buffers: the resumption stack comes pre-reserved
+		// (growth inside an unwind would add allocation noise to the hot
+		// switch path) and a recycled bundle carries every arena at its
+		// previous high-water capacity, so steady-state spawns allocate
+		// nothing.
+		p.adoptScratch()
 		if cf := s.Program.compiled[fn]; cf != nil && !cf.fallback {
 			p.rootCF = cf
 		}

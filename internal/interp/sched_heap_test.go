@@ -97,6 +97,64 @@ func TestMinClockHeapMatchesLinear(t *testing.T) {
 	}
 }
 
+// TestMinClockHeapMatchesLinearWide re-runs the parity drive at the
+// mesh1024 population: 1024 live contexts, so sift paths several levels
+// deep and large stale-entry populations are actually exercised.
+func TestMinClockHeapMatchesLinearWide(t *testing.T) {
+	for seed := int64(100); seed < 103; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		heap := NewMinClockHeap()
+		oracle := MinClock{}
+		procs := make([]*Proc, 0, 1024)
+		for i := 0; i < 1024; i++ {
+			p := &Proc{ID: i, Clock: sccsim.Time(rng.Intn(10_000)), State: Runnable}
+			procs = append(procs, p)
+			heap.NoteRunnable(p)
+		}
+		var blocked []*Proc
+		for step := 0; step < 5000; step++ {
+			want := oracle.Next(procs)
+			got := heap.Next(procs)
+			if want != got {
+				t.Fatalf("seed %d step %d: heap elected %v, oracle %v", seed, step, got, want)
+			}
+			if want == nil {
+				if len(blocked) == 0 {
+					break
+				}
+				p := blocked[rng.Intn(len(blocked))]
+				p.State = Runnable
+				p.Clock += sccsim.Time(rng.Intn(50))
+				heap.NoteRunnable(p)
+				continue
+			}
+			p := want
+			p.State = Running
+			p.Clock += sccsim.Time(1 + rng.Intn(500))
+			switch r := rng.Intn(10); {
+			case r < 7:
+				p.State = Runnable
+				heap.NoteRunnable(p)
+			case r < 9:
+				p.State = Blocked
+				blocked = append(blocked, p)
+				if len(blocked) > 1 && rng.Intn(2) == 0 {
+					w := blocked[rng.Intn(len(blocked))]
+					if w != p {
+						if p.Clock > w.Clock {
+							w.Clock = p.Clock
+						}
+						w.State = Runnable
+						heap.NoteRunnable(w)
+					}
+				}
+			default:
+				p.State = Done
+			}
+		}
+	}
+}
+
 // TestMinClockHeapDuplicateNotes: redundant notifications (unblocking an
 // already-runnable context, double notes at the same clock) must not
 // change elections.

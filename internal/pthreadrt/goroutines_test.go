@@ -1,6 +1,7 @@
 package pthreadrt
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -41,8 +42,23 @@ func (c *countingRuntime) OnExit(p *interp.Proc) { c.inner.OnExit(p) }
 // blocked on joins and mutexes, and exited mid-run — never creates a
 // goroutine or varies the host goroutine count.
 func TestCoroutineZeroGoroutines(t *testing.T) {
-	src := `
-int done[8];
+	checkZeroGoroutines(t, sccsim.DefaultConfig(), 8)
+}
+
+// TestCoroutineZeroGoroutinesMesh1024 re-pins the invariant at scale:
+// 1024 contexts on the mesh1024 preset, where per-context allocations or
+// a stray goroutine per switch would be 128x louder than on the SCC.
+func TestCoroutineZeroGoroutinesMesh1024(t *testing.T) {
+	checkZeroGoroutines(t, sccsim.MustPreset("mesh1024"), 1024)
+}
+
+// checkZeroGoroutines runs an nthreads-way create/lock/join program on a
+// machine built from mcfg and asserts the host goroutine count never
+// moves, sampled at every statement boundary.
+func checkZeroGoroutines(t *testing.T, mcfg sccsim.Config, nthreads int) {
+	t.Helper()
+	src := fmt.Sprintf(`
+int done[%d];
 int gsum;
 pthread_mutex_t mu;
 void *tf(void *arg) {
@@ -55,14 +71,14 @@ void *tf(void *arg) {
   pthread_exit(NULL);
 }
 int main() {
-  pthread_t th[8];
+  pthread_t th[%d];
   int t;
   pthread_mutex_init(&mu, NULL);
-  for (t = 0; t < 8; t++) pthread_create(&th[t], NULL, tf, (void *)t);
-  for (t = 0; t < 8; t++) pthread_join(th[t], NULL);
-  printf("g %d\n", gsum);
+  for (t = 0; t < %d; t++) pthread_create(&th[t], NULL, tf, (void *)t);
+  for (t = 0; t < %d; t++) pthread_join(th[t], NULL);
+  printf("g %%d\n", gsum);
   return 0;
-}`
+}`, nthreads, nthreads, nthreads, nthreads)
 	pr, err := interp.Compile("t.c", src)
 	if err != nil {
 		t.Fatal(err)
@@ -70,7 +86,7 @@ int main() {
 	if !pr.FullyCompiled() {
 		t.Fatal("program should compile fully")
 	}
-	sim := interp.NewSim(sccsim.MustNew(sccsim.DefaultConfig()), pr)
+	sim := interp.NewSim(sccsim.MustNew(mcfg), pr)
 	sim.Engine = interp.EngineCompiled
 	rt := New(sim, DefaultOptions())
 	counter := &countingRuntime{inner: rt}
@@ -102,7 +118,7 @@ int main() {
 	if after != before {
 		t.Errorf("goroutine count changed across the run: %d -> %d", before, after)
 	}
-	if got, want := sim.Output(), "g 159200\n"; got != want {
+	if got, want := sim.Output(), fmt.Sprintf("g %d\n", nthreads*19900); got != want {
 		t.Errorf("output = %q, want %q", got, want)
 	}
 }

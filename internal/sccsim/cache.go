@@ -40,6 +40,12 @@ const (
 	lineDirty = 1 << 1
 )
 
+// invalidTag marks an empty way. Real line addresses are addr>>lineBits
+// with lineBits >= 1 (Config.Validate requires a line size of at least
+// two bytes), so the all-ones tag can never match an access — which
+// lets the hit scan test the tag alone, with no validity load.
+const invalidTag = ^uint32(0)
+
 // NewCache builds a cache of the given geometry. size and lineBytes must
 // be powers-of-two multiples.
 func NewCache(size, ways, lineBytes int) *Cache {
@@ -66,24 +72,26 @@ func log2(v int) uint {
 
 // Access looks up the line containing addr, allocating it on a miss.
 // It returns whether the access hit and whether the allocation evicted a
-// dirty line (which costs a write-back). One pass finds both the hit and
-// the replacement victim: invalid ways carry used==0 while valid ways
-// carry used>=1, so the minimum-used way is exactly the first invalid
-// way when one exists and the LRU way otherwise — the same choice the
-// original two-pass scan made.
+// dirty line (which costs a write-back).
+//
+// Hits dominate every workload this model serves (the corpus runs >90%
+// L1 hit rates), so the hit scan is a pure tag compare — empty ways hold
+// invalidTag, which no real line address can equal, and the flags byte is
+// never loaded. Only a miss pays the second scan for the LRU victim;
+// invalid ways carry used==0 while valid ways carry used>=1, so the
+// minimum-used way is exactly the first invalid way when one exists and
+// the LRU way otherwise — the same choice the original scan made.
 func (c *Cache) Access(addr uint32, write bool) (hit, dirtyEvict bool) {
 	c.tick++
 	if c.lines == nil {
-		c.lines = make([]cacheLine, c.nlines)
+		c.materialize()
 	}
 	lineAddr := addr >> c.lineBits
 	base := int(lineAddr&c.setMask) * c.ways
 	set := c.lines[base : base+c.ways]
-	victim := 0
-	minUsed := ^uint64(0)
 	for i := range set {
-		ln := &set[i]
-		if ln.flags&lineValid != 0 && ln.tag == lineAddr {
+		if set[i].tag == lineAddr {
+			ln := &set[i]
 			ln.used = c.tick
 			if write {
 				ln.flags |= lineDirty
@@ -91,14 +99,18 @@ func (c *Cache) Access(addr uint32, write bool) (hit, dirtyEvict bool) {
 			c.Hits++
 			return true, false
 		}
-		if ln.used < minUsed {
-			minUsed = ln.used
+	}
+	c.Misses++
+	victim := 0
+	minUsed := ^uint64(0)
+	for i := range set {
+		if set[i].used < minUsed {
+			minUsed = set[i].used
 			victim = i
 		}
 	}
-	c.Misses++
 	v := &set[victim]
-	if v.flags&lineValid != 0 {
+	if v.tag != invalidTag {
 		c.Evictions++
 		if v.flags&lineDirty != 0 {
 			c.DirtyEv++
@@ -113,6 +125,14 @@ func (c *Cache) Access(addr uint32, write bool) (hit, dirtyEvict bool) {
 	return false, dirtyEvict
 }
 
+// materialize allocates the line array with every way marked empty.
+func (c *Cache) materialize() {
+	c.lines = make([]cacheLine, c.nlines)
+	for i := range c.lines {
+		c.lines[i].tag = invalidTag
+	}
+}
+
 // Contains reports whether addr's line is resident (no state change).
 func (c *Cache) Contains(addr uint32) bool {
 	if c.lines == nil {
@@ -122,7 +142,7 @@ func (c *Cache) Contains(addr uint32) bool {
 	base := int(lineAddr&c.setMask) * c.ways
 	set := c.lines[base : base+c.ways]
 	for i := range set {
-		if set[i].flags&lineValid != 0 && set[i].tag == lineAddr {
+		if set[i].tag == lineAddr {
 			return true
 		}
 	}
@@ -137,7 +157,7 @@ func (c *Cache) Flush() (dirty int) {
 		if c.lines[i].flags&(lineValid|lineDirty) == lineValid|lineDirty {
 			dirty++
 		}
-		c.lines[i] = cacheLine{}
+		c.lines[i] = cacheLine{tag: invalidTag}
 	}
 	return dirty
 }

@@ -48,8 +48,21 @@ const (
 	MPBBase uint32 = 0xC000_0000
 )
 
-// MPBPerCore is each core's slice of the on-chip SRAM (8 KB, thesis §5.1).
+// MPBPerCore is each core's slice of the on-chip SRAM on the real SCC
+// (8 KB, thesis §5.1). It is the default for Config.MPBPerCoreBytes.
 const MPBPerCore = 8 * 1024
+
+// Tier is a contiguous run of cores clocked at its own base frequency.
+// Tiers cover the core index space in order: the first tier holds cores
+// [0, Cores), the second the next run, and so on. They model asymmetric
+// machines (a few fast cores in front of a wide slow mesh) without
+// touching the DVFS machinery — tier clocks set each core's initial
+// period exactly as SetDomainMHz would, and uncore latencies stay on the
+// config's base CoreMHz clock.
+type Tier struct {
+	Cores   int
+	CoreMHz int
+}
 
 // Config holds every architectural and timing parameter of the model.
 // DefaultConfig returns the paper's experimental platform (Table 6.1).
@@ -58,6 +71,17 @@ type Config struct {
 	Cores  int // total cores (48 on the SCC)
 	TilesX int // mesh columns (6)
 	TilesY int // mesh rows (4)
+	// CoresPerTile is the number of cores sharing a tile (and therefore a
+	// mesh router). Zero means the SCC's dual-core tiles.
+	CoresPerTile int
+	// MPBPerCoreBytes is each core's slice of the on-chip SRAM. Zero
+	// means the SCC's 8 KB (MPBPerCore); scaled meshes shrink it so the
+	// total MPB stays within on-chip reason at 256-1024 cores.
+	MPBPerCoreBytes int
+	// Tiers optionally splits the cores into frequency tiers (asymmetric
+	// machines). Empty means every core runs at CoreMHz. When present,
+	// tier core counts must sum to Cores.
+	Tiers []Tier
 
 	// Clocks, in MHz (Table 6.1: 800/1600/1066).
 	CoreMHz int
@@ -127,14 +151,24 @@ func DefaultConfig() Config {
 
 // Validate reports configuration inconsistencies.
 func (c Config) Validate() error {
-	if c.Cores <= 0 || c.Cores > c.TilesX*c.TilesY*2 {
-		return fmt.Errorf("sccsim: %d cores do not fit on a %dx%d mesh of dual-core tiles",
-			c.Cores, c.TilesX, c.TilesY)
+	cpt := c.TileCores()
+	if c.CoresPerTile < 0 {
+		return fmt.Errorf("sccsim: negative cores per tile")
+	}
+	if c.TilesX <= 0 || c.TilesY <= 0 {
+		return fmt.Errorf("sccsim: mesh dimensions must be positive")
+	}
+	if c.Cores <= 0 || c.Cores > c.TilesX*c.TilesY*cpt {
+		return fmt.Errorf("sccsim: %d cores do not fit on a %dx%d mesh of %d-core tiles",
+			c.Cores, c.TilesX, c.TilesY, cpt)
 	}
 	if c.CoreMHz <= 0 || c.MeshMHz <= 0 || c.DDRMHz <= 0 {
 		return fmt.Errorf("sccsim: clocks must be positive")
 	}
-	if c.LineBytes <= 0 || c.L1Bytes%c.LineBytes != 0 || c.L2Bytes%c.LineBytes != 0 {
+	if c.LineBytes < 2 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("sccsim: line size must be a power of two >= 2")
+	}
+	if c.L1Bytes%c.LineBytes != 0 || c.L2Bytes%c.LineBytes != 0 {
 		return fmt.Errorf("sccsim: cache sizes must be multiples of the line size")
 	}
 	if c.L1Ways <= 0 || c.L2Ways <= 0 {
@@ -143,14 +177,105 @@ func (c Config) Validate() error {
 	if c.MemControllers <= 0 {
 		return fmt.Errorf("sccsim: need at least one memory controller")
 	}
+	if c.MPBPerCoreBytes < 0 {
+		return fmt.Errorf("sccsim: negative per-core MPB size")
+	}
+	if len(c.Tiers) > 0 {
+		total := 0
+		for i, t := range c.Tiers {
+			if t.Cores <= 0 {
+				return fmt.Errorf("sccsim: tier %d has %d cores", i, t.Cores)
+			}
+			if t.CoreMHz <= 0 {
+				return fmt.Errorf("sccsim: tier %d clock must be positive", i)
+			}
+			total += t.Cores
+		}
+		if total != c.Cores {
+			return fmt.Errorf("sccsim: tiers cover %d cores, machine has %d", total, c.Cores)
+		}
+	}
 	return nil
 }
 
 // CorePeriod returns the duration of one core cycle at the base frequency.
 func (c Config) CorePeriod() Time { return Time(1e6 / uint64(c.CoreMHz)) }
 
+// TileCores returns the effective cores-per-tile count (default 2, the
+// SCC's dual-core tiles).
+func (c Config) TileCores() int {
+	if c.CoresPerTile <= 0 {
+		return 2
+	}
+	return c.CoresPerTile
+}
+
+// MPBStride returns the effective per-core MPB slice (default 8 KB).
+func (c Config) MPBStride() int {
+	if c.MPBPerCoreBytes <= 0 {
+		return MPBPerCore
+	}
+	return c.MPBPerCoreBytes
+}
+
+// TierMHz returns the base frequency of a core under the tier layout
+// (CoreMHz when no tiers are configured).
+func (c Config) TierMHz(core int) int {
+	for _, t := range c.Tiers {
+		if core < t.Cores {
+			return t.CoreMHz
+		}
+		core -= t.Cores
+	}
+	return c.CoreMHz
+}
+
 // MPBTotal returns the size of the whole Message Passing Buffer.
-func (c Config) MPBTotal() int { return c.Cores * MPBPerCore }
+func (c Config) MPBTotal() int { return c.Cores * c.MPBStride() }
+
+// PresetNames lists the named machine configurations, smallest first.
+func PresetNames() []string { return []string{"scc48", "mesh256", "mesh1024"} }
+
+// PresetConfig resolves a named machine configuration. "scc48" is the
+// paper's 48-core SCC (DefaultConfig); "mesh256" and "mesh1024" scale
+// the same core, cache and latency parameters onto larger square meshes
+// with quad-core tiles, more perimeter memory controllers, and per-core
+// MPB slices shrunk so the total on-chip SRAM grows sublinearly (the
+// MemPool/TeraPool regime of 256-1024 cores sharing a mesh). The empty
+// name resolves to scc48 so call sites can treat "no machine named" as
+// the default platform.
+func PresetConfig(name string) (Config, error) {
+	switch name {
+	case "", "scc48":
+		return DefaultConfig(), nil
+	case "mesh256":
+		cfg := DefaultConfig()
+		cfg.Cores = 256
+		cfg.TilesX, cfg.TilesY = 8, 8
+		cfg.CoresPerTile = 4
+		cfg.MemControllers = 8
+		cfg.MPBPerCoreBytes = 4 * 1024
+		return cfg, nil
+	case "mesh1024":
+		cfg := DefaultConfig()
+		cfg.Cores = 1024
+		cfg.TilesX, cfg.TilesY = 16, 16
+		cfg.CoresPerTile = 4
+		cfg.MemControllers = 16
+		cfg.MPBPerCoreBytes = 2 * 1024
+		return cfg, nil
+	}
+	return Config{}, fmt.Errorf("sccsim: unknown machine preset %q (have %v)", name, PresetNames())
+}
+
+// MustPreset resolves a preset or panics; for tests and examples.
+func MustPreset(name string) Config {
+	cfg, err := PresetConfig(name)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
 
 // Table61 renders the SCC configuration table (thesis Table 6.1).
 func (c Config) Table61(units int) string {

@@ -24,13 +24,21 @@ type Machine struct {
 	mcOccupy   Time
 	dirtyEvict Time
 
+	// Derived geometry, resolved once from the config so the access hot
+	// path never re-derives tile or controller mapping.
+	coresPerTile int
+	mpbStride    int
+	mcPos        []meshPos
+	coreMC       []int32
+	coreMCHops   []int32
+
 	cores  []*coreState
 	mcs    []*memController
 	shared *PageMem
 	mpb    []byte
 	// mpbRanges records striped allocations so remote-vs-local MPB
 	// latency reflects data placement; addresses outside any range
-	// default to the section owner (addr / MPBPerCore).
+	// default to the section owner (addr / MPBStride).
 	mpbRanges []mpbRange
 	tas       []bool
 }
@@ -100,33 +108,45 @@ type mpbRange struct {
 	chunk      uint32
 }
 
-// New builds a machine from cfg.
+// New builds a machine from cfg. Uncore latencies (mesh hops, MPB SRAM,
+// memory controllers) are derived from the base CoreMHz clock once, here;
+// frequency tiers (and later DVFS changes) scale only the core-domain
+// latencies, exactly as SetDomainMHz does.
 func New(cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	period := cfg.CorePeriod()
 	m := &Machine{
-		cfg:        cfg,
-		basePeriod: period,
-		hopTime:    Time(cfg.HopCycles) * period,
-		l1Hit:      Time(cfg.L1HitCycles) * period,
-		l2Hit:      Time(cfg.L2HitCycles) * period,
-		mpbAccess:  Time(cfg.MPBAccessCycles) * period,
-		mcLatency:  Time(cfg.MCLatencyCycles) * period,
-		mcOccupy:   Time(cfg.MCOccupancyCycles) * period,
-		dirtyEvict: Time(cfg.DirtyEvictCycles) * period,
-		shared:     NewPageMem(),
-		mpb:        make([]byte, cfg.MPBTotal()),
-		tas:        make([]bool, cfg.Cores),
+		cfg:          cfg,
+		basePeriod:   period,
+		hopTime:      Time(cfg.HopCycles) * period,
+		l1Hit:        Time(cfg.L1HitCycles) * period,
+		l2Hit:        Time(cfg.L2HitCycles) * period,
+		mpbAccess:    Time(cfg.MPBAccessCycles) * period,
+		mcLatency:    Time(cfg.MCLatencyCycles) * period,
+		mcOccupy:     Time(cfg.MCOccupancyCycles) * period,
+		dirtyEvict:   Time(cfg.DirtyEvictCycles) * period,
+		coresPerTile: cfg.TileCores(),
+		mpbStride:    cfg.MPBStride(),
+		mcPos:        computeMCPositions(&cfg),
+		shared:       NewPageMem(),
+		mpb:          make([]byte, cfg.MPBTotal()),
+		tas:          make([]bool, cfg.Cores),
 	}
+	m.computeMeshMap()
+	m.cores = make([]*coreState, 0, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
 		cs := &coreState{
 			l1:   NewCache(cfg.L1Bytes, cfg.L1Ways, cfg.LineBytes),
 			l2:   NewCache(cfg.L2Bytes, cfg.L2Ways, cfg.LineBytes),
 			priv: NewPageMem(),
 		}
-		cs.setPeriod(&m.cfg, period)
+		corePeriod := period
+		if len(cfg.Tiers) > 0 {
+			corePeriod = Time(1e6 / uint64(cfg.TierMHz(i)))
+		}
+		cs.setPeriod(&m.cfg, corePeriod)
 		m.cores = append(m.cores, cs)
 	}
 	for i := 0; i < cfg.MemControllers; i++ {
@@ -370,7 +390,7 @@ func (m *Machine) MPBOwner(addr uint32) int {
 		}
 	}
 	off := int(addr - MPBBase)
-	owner := off / MPBPerCore
+	owner := off / m.mpbStride
 	if owner >= len(m.cores) {
 		owner = len(m.cores) - 1
 	}

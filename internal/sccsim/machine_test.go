@@ -15,6 +15,72 @@ func testMachine(t *testing.T) *Machine {
 	return m
 }
 
+// forEachPreset runs a subtest per named machine preset, so geometry
+// invariants are pinned on the scaled meshes, not just the SCC.
+func forEachPreset(t *testing.T, f func(t *testing.T, m *Machine)) {
+	t.Helper()
+	for _, name := range PresetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, err := New(MustPreset(name))
+			if err != nil {
+				t.Fatalf("New(%s): %v", name, err)
+			}
+			f(t, m)
+		})
+	}
+}
+
+// TestPresetConfigsValid: every named preset validates and carries the
+// advertised geometry.
+func TestPresetConfigsValid(t *testing.T) {
+	for _, name := range PresetNames() {
+		cfg := MustPreset(name)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if cfg.Cores > cfg.TilesX*cfg.TilesY*cfg.TileCores() {
+			t.Errorf("%s: %d cores overflow the mesh", name, cfg.Cores)
+		}
+	}
+	if cfg := MustPreset("mesh1024"); cfg.Cores != 1024 || cfg.MemControllers != 16 {
+		t.Errorf("mesh1024 = %d cores / %d MCs, want 1024/16", cfg.Cores, cfg.MemControllers)
+	}
+	if _, err := PresetConfig("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	// The empty name is the SCC default, so "no machine named" call
+	// sites resolve to the paper's platform.
+	if cfg := MustPreset(""); cfg.Cores != 48 {
+		t.Errorf("default preset = %d cores, want 48", cfg.Cores)
+	}
+}
+
+// TestTierClocks: an asymmetric tier layout sets per-core base periods
+// like SetDomainMHz would, without touching uncore latencies.
+func TestTierClocks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tiers = []Tier{{Cores: 8, CoreMHz: 800}, {Cores: 40, CoreMHz: 400}}
+	m := MustNew(cfg)
+	fast := m.ComputeTime(0, 100)
+	slow := m.ComputeTime(8, 100)
+	if slow != 2*fast {
+		t.Errorf("tier-1 compute = %d ps, want 2x tier-0 %d ps", slow, fast)
+	}
+	// Uncore latency (uncached shared DRAM) stays on the base clock:
+	// identical from a fast-tier and a symmetric machine's core 0.
+	buf := make([]byte, 4)
+	sym := testMachine(t)
+	if a, b := m.Load(0, SharedBase, buf, 0), sym.Load(0, SharedBase, buf, 0); a != b {
+		t.Errorf("tiered shared access = %d ps, symmetric = %d ps; uncore must not retier", a, b)
+	}
+	bad := DefaultConfig()
+	bad.Tiers = []Tier{{Cores: 10, CoreMHz: 800}}
+	if err := bad.Validate(); err == nil {
+		t.Error("tiers covering 10 of 48 cores validated")
+	}
+}
+
 func TestConfigValidate(t *testing.T) {
 	good := DefaultConfig()
 	if err := good.Validate(); err != nil {
@@ -81,28 +147,31 @@ func TestPrivateIsolation(t *testing.T) {
 // TestSharedVisibility: shared DRAM writes from one core are visible to
 // every other core — the property the translated programs rely on.
 func TestSharedVisibility(t *testing.T) {
-	m := testMachine(t)
-	addr := SharedBase + 4096
-	var word [4]byte
-	binary.LittleEndian.PutUint32(word[:], 0xDEADBEEF)
-	m.Store(7, addr, word[:], 0)
-	var got [4]byte
-	m.Load(23, addr, got[:], 0)
-	if binary.LittleEndian.Uint32(got[:]) != 0xDEADBEEF {
-		t.Errorf("shared read = %x, want deadbeef", got)
-	}
+	forEachPreset(t, func(t *testing.T, m *Machine) {
+		addr := SharedBase + 4096
+		var word [4]byte
+		binary.LittleEndian.PutUint32(word[:], 0xDEADBEEF)
+		m.Store(7, addr, word[:], 0)
+		var got [4]byte
+		m.Load(m.cfg.Cores/2, addr, got[:], 0)
+		if binary.LittleEndian.Uint32(got[:]) != 0xDEADBEEF {
+			t.Errorf("shared read = %x, want deadbeef", got)
+		}
+	})
 }
 
-// TestMPBVisibility: the MPB is globally visible on-chip SRAM.
+// TestMPBVisibility: the MPB is globally visible on-chip SRAM, whatever
+// the per-core stride.
 func TestMPBVisibility(t *testing.T) {
-	m := testMachine(t)
-	addr := MPBBase + 3*MPBPerCore + 16
-	m.Store(0, addr, []byte{42}, 0)
-	var b [1]byte
-	m.Load(47, addr, b[:], 0)
-	if b[0] != 42 {
-		t.Errorf("MPB read = %d, want 42", b[0])
-	}
+	forEachPreset(t, func(t *testing.T, m *Machine) {
+		addr := MPBBase + uint32(3*m.mpbStride) + 16
+		m.Store(0, addr, []byte{42}, 0)
+		var b [1]byte
+		m.Load(m.cfg.Cores-1, addr, b[:], 0)
+		if b[0] != 42 {
+			t.Errorf("MPB read = %d, want 42", b[0])
+		}
+	})
 }
 
 // TestCachedFasterThanUncached: repeated private accesses (L1-hot) must
@@ -136,21 +205,26 @@ func TestMPBFasterThanSharedDRAM(t *testing.T) {
 	}
 }
 
-// TestRemoteMPBSlower: distance matters on the mesh.
+// TestRemoteMPBSlower: distance matters on the mesh, at every scale.
 func TestRemoteMPBSlower(t *testing.T) {
-	cfg := DefaultConfig()
-	cfg.MPBCacheable = false // isolate the wire latency from caching
-	m := MustNew(cfg)
-	buf := make([]byte, 4)
-	local := m.Load(0, MPBBase, buf, 0) // owner = core 0
-	far := MPBBase + uint32(47*MPBPerCore)
-	remote := m.Load(0, far, buf, 0) // owner = core 47, opposite corner
-	if remote <= local {
-		t.Errorf("remote MPB %d ps !> local %d ps", remote, local)
-	}
-	wantGap := m.meshRoundTrip(m.Hops(0, 47))
-	if remote-local != wantGap {
-		t.Errorf("remote-local gap = %d ps, want mesh round trip %d ps", remote-local, wantGap)
+	for _, name := range PresetNames() {
+		t.Run(name, func(t *testing.T) {
+			cfg := MustPreset(name)
+			cfg.MPBCacheable = false // isolate the wire latency from caching
+			m := MustNew(cfg)
+			buf := make([]byte, 4)
+			last := cfg.Cores - 1
+			local := m.Load(0, MPBBase, buf, 0) // owner = core 0
+			far := MPBBase + uint32(last*m.mpbStride)
+			remote := m.Load(0, far, buf, 0) // owner = last core, opposite corner
+			if remote <= local {
+				t.Errorf("remote MPB %d ps !> local %d ps", remote, local)
+			}
+			wantGap := m.meshRoundTrip(m.Hops(0, last))
+			if remote-local != wantGap {
+				t.Errorf("remote-local gap = %d ps, want mesh round trip %d ps", remote-local, wantGap)
+			}
+		})
 	}
 }
 
@@ -198,36 +272,74 @@ func TestQuadrantControllers(t *testing.T) {
 	}
 }
 
-// TestHopsSymmetricAndTriangle: property-check the mesh metric.
-func TestHopsSymmetricAndTriangle(t *testing.T) {
-	m := testMachine(t)
-	f := func(a, b, c uint8) bool {
-		x, y, z := int(a)%48, int(b)%48, int(c)%48
-		if m.Hops(x, y) != m.Hops(y, x) {
-			return false
+// TestControllerAssignmentNearest: on every preset, each core reaches
+// DRAM through a genuinely nearest controller, and no controller is
+// stranded unused — the property the corner rule generalized to.
+func TestControllerAssignmentNearest(t *testing.T) {
+	forEachPreset(t, func(t *testing.T, m *Machine) {
+		served := make(map[int]int)
+		for c := 0; c < m.cfg.Cores; c++ {
+			mc := m.ControllerOf(c)
+			if mc < 0 || mc >= m.cfg.MemControllers {
+				t.Fatalf("core %d assigned controller %d of %d", c, mc, m.cfg.MemControllers)
+			}
+			served[mc]++
+			cx, cy := m.CoreXY(c)
+			best := 1 << 30
+			for i := range m.mcPos {
+				if d := abs(cx-m.mcPos[i].x) + abs(cy-m.mcPos[i].y); d < best {
+					best = d
+				}
+			}
+			if got := m.HopsToController(c); got != best {
+				t.Errorf("core %d: %d hops to its controller, nearest is %d", c, got, best)
+			}
 		}
-		if m.Hops(x, x) != 0 {
-			return false
+		if len(served) != m.cfg.MemControllers {
+			t.Errorf("%d of %d controllers serve cores", len(served), m.cfg.MemControllers)
 		}
-		return m.Hops(x, z) <= m.Hops(x, y)+m.Hops(y, z)
-	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Error(err)
-	}
+	})
 }
 
-// TestTileLayout: two cores per tile, coordinates within the mesh.
-func TestTileLayout(t *testing.T) {
-	m := testMachine(t)
-	if m.TileOf(0) != m.TileOf(1) || m.TileOf(1) == m.TileOf(2) {
-		t.Error("cores 0,1 must share a tile; core 2 must not")
-	}
-	for c := 0; c < 48; c++ {
-		x, y := m.CoreXY(c)
-		if x < 0 || x >= 6 || y < 0 || y >= 4 {
-			t.Errorf("core %d at (%d,%d) outside 6x4 mesh", c, x, y)
+// TestHopsSymmetricAndTriangle: property-check the mesh metric on every
+// preset geometry.
+func TestHopsSymmetricAndTriangle(t *testing.T) {
+	forEachPreset(t, func(t *testing.T, m *Machine) {
+		n := m.cfg.Cores
+		f := func(a, b, c uint16) bool {
+			x, y, z := int(a)%n, int(b)%n, int(c)%n
+			if m.Hops(x, y) != m.Hops(y, x) {
+				return false
+			}
+			if m.Hops(x, x) != 0 {
+				return false
+			}
+			return m.Hops(x, z) <= m.Hops(x, y)+m.Hops(y, z)
 		}
-	}
+		if err := quick.Check(f, nil); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestTileLayout: TileCores cores per tile, coordinates within the mesh.
+func TestTileLayout(t *testing.T) {
+	forEachPreset(t, func(t *testing.T, m *Machine) {
+		per := m.cfg.TileCores()
+		if m.TileOf(0) != m.TileOf(per-1) {
+			t.Errorf("cores 0 and %d must share a tile", per-1)
+		}
+		if m.TileOf(per-1) == m.TileOf(per) {
+			t.Errorf("cores %d and %d must not share a tile", per-1, per)
+		}
+		for c := 0; c < m.cfg.Cores; c++ {
+			x, y := m.CoreXY(c)
+			if x < 0 || x >= m.cfg.TilesX || y < 0 || y >= m.cfg.TilesY {
+				t.Errorf("core %d at (%d,%d) outside %dx%d mesh",
+					c, x, y, m.cfg.TilesX, m.cfg.TilesY)
+			}
+		}
+	})
 }
 
 // TestTAS: the per-core test-and-set registers implement try-lock.
@@ -254,12 +366,13 @@ func TestTAS(t *testing.T) {
 // TestTASLatencyDistance: locking a far register costs more than a near
 // one.
 func TestTASLatencyDistance(t *testing.T) {
-	m := testMachine(t)
-	_, near := m.TestAndSet(0, 0, 0)
-	_, far := m.TestAndSet(0, 47, 0)
-	if far <= near {
-		t.Errorf("far TAS %d ps !> near %d ps", far, near)
-	}
+	forEachPreset(t, func(t *testing.T, m *Machine) {
+		_, near := m.TestAndSet(0, 0, 0)
+		_, far := m.TestAndSet(0, m.cfg.Cores-1, 0)
+		if far <= near {
+			t.Errorf("far TAS %d ps !> near %d ps", far, near)
+		}
+	})
 }
 
 // TestMPBStripedOwnership: MapMPB distributes chunk ownership round-robin.
@@ -273,8 +386,8 @@ func TestMPBStripedOwnership(t *testing.T) {
 			t.Errorf("chunk %d owner = %d, want %d", i, got, want)
 		}
 	}
-	// Outside the range: section-default ownership.
-	if got := m.MPBOwner(MPBBase + uint32(10*MPBPerCore) + 4*64 + 1); got != 10 {
+	// Outside the range: section-default ownership (per-core stride).
+	if got := m.MPBOwner(MPBBase + uint32(10*m.mpbStride) + 4*64 + 1); got != 10 {
 		t.Errorf("default owner = %d, want 10", got)
 	}
 }

@@ -1,14 +1,21 @@
 package sccsim
 
-// The SCC places two cores per tile on a 6x4 mesh (thesis Figure 5.1).
-// Routing is dimension-ordered (X then Y), so the distance between two
-// tiles is the Manhattan distance. The four memory controllers sit on the
-// mesh corners; each core reaches DRAM through the controller of its
-// quadrant, which is what puts "at least 8 cores in contention per memory
-// controller" in the paper's 32-core runs.
+// The SCC places two cores per tile on a 6x4 mesh (thesis Figure 5.1);
+// scaled configurations widen the tiles (Config.CoresPerTile) and the
+// mesh. Routing is dimension-ordered (X then Y), so the distance between
+// two tiles is the Manhattan distance. Up to four memory controllers sit
+// on the mesh corners exactly as on the SCC; larger controller counts
+// are spread evenly along the mesh perimeter. Each core reaches DRAM
+// through its nearest controller, which is what puts "at least 8 cores
+// in contention per memory controller" in the paper's 32-core runs.
+//
+// Controller assignment and hop counts depend only on the configuration,
+// so they are resolved once at machine construction (computeMeshMap);
+// dramTime — the per-access hot path — reads two array entries instead
+// of re-running a nearest-controller search per DRAM request.
 
-// TileOf returns the tile index of a core (two cores per tile).
-func (m *Machine) TileOf(core int) int { return core / 2 }
+// TileOf returns the tile index of a core.
+func (m *Machine) TileOf(core int) int { return core / m.coresPerTile }
 
 // TileXY returns a tile's mesh coordinates.
 func (m *Machine) TileXY(tile int) (x, y int) {
@@ -25,46 +32,100 @@ func (m *Machine) Hops(coreA, coreB int) int {
 	return abs(ax-bx) + abs(ay-by)
 }
 
-// mcPosition returns the mesh coordinates of memory controller i. The
-// controllers sit on the corners (for the default four); additional
-// controllers wrap along the left/right edges.
+// mcPosition returns the mesh coordinates of memory controller i.
 func (m *Machine) mcPosition(i int) (x, y int) {
-	maxX, maxY := m.cfg.TilesX-1, m.cfg.TilesY-1
-	switch i % 4 {
-	case 0:
-		return 0, 0
-	case 1:
-		return maxX, 0
-	case 2:
-		return 0, maxY
-	default:
-		return maxX, maxY
+	p := m.mcPos[i]
+	return p.x, p.y
+}
+
+// computeMCPositions places the memory controllers on the mesh. The
+// first four take the corners in the SCC's order (preserving the
+// original quadrant partition bit-for-bit on legacy configs); beyond
+// four, controllers are spread evenly along the mesh perimeter —
+// derived from the mesh geometry rather than the SCC's corner constant,
+// so a 16x16 mesh with 16 controllers gets an edge distribution instead
+// of 13 controllers piled onto 4 corner positions.
+func computeMCPositions(cfg *Config) []meshPos {
+	maxX, maxY := cfg.TilesX-1, cfg.TilesY-1
+	n := cfg.MemControllers
+	pos := make([]meshPos, n)
+	if n <= 4 {
+		corners := [4]meshPos{{0, 0}, {maxX, 0}, {0, maxY}, {maxX, maxY}}
+		for i := range pos {
+			pos[i] = corners[i%4]
+		}
+		return pos
+	}
+	perim := perimeterWalk(cfg.TilesX, cfg.TilesY)
+	for i := range pos {
+		pos[i] = perim[i*len(perim)/n]
+	}
+	return pos
+}
+
+type meshPos struct{ x, y int }
+
+// perimeterWalk enumerates the border tiles clockwise from (0,0):
+// along the top row, down the right column, back along the bottom row,
+// and up the left column. Degenerate meshes (one row or column) reduce
+// to a single pass.
+func perimeterWalk(w, h int) []meshPos {
+	if w == 1 {
+		out := make([]meshPos, h)
+		for y := 0; y < h; y++ {
+			out[y] = meshPos{0, y}
+		}
+		return out
+	}
+	if h == 1 {
+		out := make([]meshPos, w)
+		for x := 0; x < w; x++ {
+			out[x] = meshPos{x, 0}
+		}
+		return out
+	}
+	out := make([]meshPos, 0, 2*(w+h)-4)
+	for x := 0; x < w; x++ {
+		out = append(out, meshPos{x, 0})
+	}
+	for y := 1; y < h; y++ {
+		out = append(out, meshPos{w - 1, y})
+	}
+	for x := w - 2; x >= 0; x-- {
+		out = append(out, meshPos{x, h - 1})
+	}
+	for y := h - 2; y >= 1; y-- {
+		out = append(out, meshPos{0, y})
+	}
+	return out
+}
+
+// computeMeshMap resolves every core's memory controller and hop count
+// (nearest controller by Manhattan distance, ties toward the lower
+// index — the SCC quadrant rule, now derived from geometry).
+func (m *Machine) computeMeshMap() {
+	m.coreMC = make([]int32, m.cfg.Cores)
+	m.coreMCHops = make([]int32, m.cfg.Cores)
+	for core := 0; core < m.cfg.Cores; core++ {
+		cx, cy := m.CoreXY(core)
+		best, bestDist := 0, 1<<30
+		for i := range m.mcPos {
+			d := abs(cx-m.mcPos[i].x) + abs(cy-m.mcPos[i].y)
+			if d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		m.coreMC[core] = int32(best)
+		m.coreMCHops[core] = int32(bestDist)
 	}
 }
 
-// ControllerOf returns the memory controller serving a core: the one at
-// the nearest corner (ties broken toward the lower index), which
-// partitions the chip into quadrants.
-func (m *Machine) ControllerOf(core int) int {
-	cx, cy := m.CoreXY(core)
-	best, bestDist := 0, 1<<30
-	for i := range m.mcs {
-		x, y := m.mcPosition(i)
-		d := abs(cx-x) + abs(cy-y)
-		if d < bestDist {
-			best, bestDist = i, d
-		}
-	}
-	return best
-}
+// ControllerOf returns the memory controller serving a core.
+func (m *Machine) ControllerOf(core int) int { return int(m.coreMC[core]) }
 
 // HopsToController returns the hop count from a core's tile to its
 // memory controller.
-func (m *Machine) HopsToController(core int) int {
-	cx, cy := m.CoreXY(core)
-	x, y := m.mcPosition(m.ControllerOf(core))
-	return abs(cx-x) + abs(cy-y)
-}
+func (m *Machine) HopsToController(core int) int { return int(m.coreMCHops[core]) }
 
 // meshRoundTrip is the wire latency of a request/response pair across
 // the given hop count.
