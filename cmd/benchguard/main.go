@@ -10,6 +10,14 @@
 // Usage:
 //
 //	benchguard -old treewalk.txt -new coroutine.txt -min-speedup 1.15 -out delta.txt
+//
+// With -max-overhead the gate inverts into an overhead budget: instead
+// of requiring new to beat old, it requires new to cost at most
+// (1 + overhead) of old by geomean. That is the tracing gate — the
+// same benchmarks with the trace hooks compiled in but disabled must
+// stay within e.g. 2% (-max-overhead 0.02) of the pre-change baseline.
+//
+//	benchguard -old base.txt -new traced-off.txt -max-overhead 0.02
 package main
 
 import (
@@ -61,6 +69,9 @@ func run() error {
 	oldPath := flag.String("old", "", "benchmark output of the reference (tree-walk) engine")
 	newPath := flag.String("new", "", "benchmark output of the coroutine (compiled) engine")
 	minSpeedup := flag.Float64("min-speedup", 1.5, "minimum geomean old/new ratio to pass")
+	maxOverhead := flag.Float64("max-overhead", 0, "overhead-budget mode: pass while geomean new/old <= 1+this (overrides -min-speedup)")
+	oldLabel := flag.String("old-label", "tree-walk", "report column label for -old")
+	newLabel := flag.String("new-label", "coroutine", "report column label for -new")
 	outPath := flag.String("out", "", "optional delta report file")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -85,7 +96,7 @@ func run() error {
 	}
 	sort.Strings(names)
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-34s %14s %14s %9s\n", "benchmark", "tree-walk", "coroutine", "speedup")
+	fmt.Fprintf(&sb, "%-34s %14s %14s %9s\n", "benchmark", *oldLabel, *newLabel, "speedup")
 	logSum := 0.0
 	for _, name := range names {
 		o, n := median(oldRes[name]), median(newRes[name])
@@ -100,6 +111,18 @@ func run() error {
 		if err := os.WriteFile(*outPath, []byte(sb.String()), 0o644); err != nil {
 			return err
 		}
+	}
+	if *maxOverhead > 0 {
+		// Overhead budget: the geomean is old/new, so new within
+		// (1+overhead)×old means geomean >= 1/(1+overhead).
+		overhead := 1/geomean - 1
+		if floor := 1 / (1 + *maxOverhead); geomean < floor {
+			return fmt.Errorf("benchguard: geomean overhead %.1f%% above the %.1f%% budget — %s regressed against %s",
+				100*overhead, 100**maxOverhead, *newLabel, *oldLabel)
+		}
+		fmt.Printf("benchguard: ok (geomean overhead %.1f%% within the %.1f%% budget)\n",
+			100*overhead, 100**maxOverhead)
+		return nil
 	}
 	if geomean < *minSpeedup {
 		return fmt.Errorf("benchguard: geomean speedup %.2fx below the %.2fx floor — the coroutine engine regressed",

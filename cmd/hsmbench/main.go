@@ -14,7 +14,7 @@
 //
 //	hsmbench -workloads pi,stream -cores 4,16 -policies offchip,size
 //	         [-mpb 0,24576] [-scale F] [-parallel N] [-shard i/n]
-//	         [-json] [-out PATH] [-grid NAME]
+//	         [-json] [-out PATH] [-grid NAME] [-trace-dir DIR]
 //
 // -scale shrinks problem sizes for quick runs (1.0 reproduces the full
 // experiment; 0.1 finishes in seconds). -parallel runs grid cells
@@ -53,11 +53,12 @@ func main() {
 	synthSharing := flag.String("synth-sharing", "", "-synth: comma-separated degrees of sharing (empty = 1,2,4,8)")
 	synthFootprint := flag.String("synth-footprint", "", "-synth: comma-separated shared addresses per group (empty = 64,256,1024)")
 	machine := flag.String("machine", "", "machine preset: scc48, mesh256 or mesh1024 (empty = scc48)")
+	traceDir := flag.String("trace-dir", "", "grid mode: write one Chrome trace_event JSON file per executed RCCE simulation into this directory")
 	flag.Parse()
 
 	// Any explicitly set grid flag selects grid mode; combining one with
 	// a figure/table experiment is a conflict, not something to ignore.
-	gridFlagNames := []string{"grid", "workloads", "cores", "policies", "mpb", "parallel", "shard", "json", "out", "synth", "synth-sharing", "synth-footprint", "machine"}
+	gridFlagNames := []string{"grid", "workloads", "cores", "policies", "mpb", "parallel", "shard", "json", "out", "synth", "synth-sharing", "synth-footprint", "machine", "trace-dir"}
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	gridFlags := false
@@ -95,7 +96,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hsmbench grid: %v\n", err)
 			os.Exit(1)
 		}
-		if err := runGrid(*gridName, *workloads, *coresList, *policies, *budgets, *scale, *parallel, *shard, *engine, *machine, *jsonOut, *outPath, synthOpts); err != nil {
+		if err := runGrid(*gridName, *workloads, *coresList, *policies, *budgets, *scale, *parallel, *shard, *engine, *machine, *traceDir, *jsonOut, *outPath, synthOpts); err != nil {
 			fmt.Fprintf(os.Stderr, "hsmbench grid: %v\n", err)
 			os.Exit(1)
 		}
@@ -189,7 +190,7 @@ func synthPlaneOptions(on bool, sharing, footprint string) (*bench.SynthPlaneOpt
 }
 
 // runGrid executes the parallel experiment sweep and emits the report.
-func runGrid(name, workloads, cores, policies, budgets string, scale float64, parallel int, shard, engine, machine string, jsonOut bool, outPath string, synthOpts *bench.SynthPlaneOptions) error {
+func runGrid(name, workloads, cores, policies, budgets string, scale float64, parallel int, shard, engine, machine, traceDir string, jsonOut bool, outPath string, synthOpts *bench.SynthPlaneOptions) error {
 	g := bench.DefaultGrid()
 	g.Name = name
 	g.Scale = scale
@@ -221,7 +222,12 @@ func runGrid(name, workloads, cores, policies, budgets string, scale float64, pa
 			return fmt.Errorf("-mpb: %w", err)
 		}
 	}
-	opt := bench.RunOptions{Parallel: parallel, Engine: engine}
+	opt := bench.RunOptions{Parallel: parallel, Engine: engine, TraceDir: traceDir}
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			return fmt.Errorf("-trace-dir: %w", err)
+		}
+	}
 	if shard != "" {
 		var err error
 		if opt.ShardIndex, opt.ShardCount, err = parseShard(shard); err != nil {

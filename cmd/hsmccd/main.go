@@ -10,6 +10,12 @@
 //	       [-default-deadline D] [-max-deadline D]
 //	       [-max-inflight N] [-max-queue N]
 //	       [-drain-grace D] [-drain-timeout D]
+//	       [-debug-addr addr] [-slow-ms N] [-log-json]
+//
+// Every request is logged through log/slog with its X-Request-Id;
+// requests slower than -slow-ms are logged at WARN with their span
+// tree. -debug-addr serves net/http/pprof on a separate listener
+// (keep it on localhost). See docs/OBSERVABILITY.md.
 //
 // Endpoints: POST /v1/compile, /v1/translate, /v1/simulate (one JSON
 // document each), POST /v1/grid and /v1/batch (NDJSON streams in
@@ -53,8 +59,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -76,6 +84,9 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "admission wait-queue depth (0 = default 256, negative = no queue)")
 	drainGrace := flag.Duration("drain-grace", time.Second, "on SIGTERM, keep answering (503) this long before closing the listener")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM, let in-flight requests run this long before canceling them")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled; keep it off the public interface)")
+	slowMs := flag.Int64("slow-ms", 1000, "log requests slower than this (with their span tree) at WARN; <=0 disables the slow path")
+	logJSON := flag.Bool("log-json", false, "emit request logs as JSON (default logfmt-style text)")
 	selftest := flag.Bool("selftest", false, "run the concurrent load-test harness in-process and exit")
 	stRequests := flag.Int("selftest-requests", 1000, "selftest: request count of the mixed scenario")
 	stSeed := flag.Int64("selftest-seed", 1, "selftest: scenario seed")
@@ -88,6 +99,16 @@ func main() {
 		os.Exit(runSelftest(*stSeed, *stRequests, *stConcurrency, *stFull, *stChaos))
 	}
 
+	var slowThreshold time.Duration
+	if *slowMs > 0 {
+		slowThreshold = time.Duration(*slowMs) * time.Millisecond
+	}
+	var logHandler slog.Handler
+	if *logJSON {
+		logHandler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		logHandler = slog.NewTextHandler(os.Stderr, nil)
+	}
 	srv := serve.New(serve.Options{
 		CacheBytes: *cacheBytes,
 		Limits: serve.Limits{
@@ -98,7 +119,12 @@ func main() {
 			MaxInFlight:     *maxInflight,
 			MaxQueue:        *maxQueue,
 		},
+		Logger:        slog.New(logHandler),
+		SlowThreshold: slowThreshold,
 	})
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("hsmccd: %v", err)
@@ -128,6 +154,24 @@ func main() {
 		log.Printf("hsmccd: %v received, draining (grace %s, deadline %s)", sig, *drainGrace, *drainTimeout)
 		shutdown(srv, httpSrv, *drainGrace, *drainTimeout)
 		log.Printf("hsmccd: drained, exiting")
+	}
+}
+
+// serveDebug runs the pprof endpoints on their own listener. The
+// handlers are registered on a private mux (never the serving mux), so
+// profiling stays reachable only via -debug-addr — typically a
+// localhost port — and a drain of the public listener does not take
+// the profiler down with it.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("hsmccd: pprof debug server on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("hsmccd: debug server: %v", err)
 	}
 }
 

@@ -3,11 +3,17 @@
 //
 // Usage:
 //
-//	hsmsim [-mode pthread|rcce] [-cores N] [-machine scc48|mesh256|mesh1024] [-stats] program.c
+//	hsmsim [-mode pthread|rcce] [-cores N] [-machine scc48|mesh256|mesh1024]
+//	       [-stats] [-trace out.json] program.c
 //
 // pthread mode executes main with every created thread time-sharing core
 // 0 (the paper's baseline). rcce mode runs RCCE_APP (or main) on N cores,
 // one process each.
+//
+// -trace writes the run's scheduling and memory-system timeline as a
+// Chrome trace_event JSON file — open it in ui.perfetto.dev or
+// chrome://tracing. Tracing does not change simulation results (the
+// recorder only observes; see docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"hsmcc/internal/pthreadrt"
 	"hsmcc/internal/rcce"
 	"hsmcc/internal/sccsim"
+	"hsmcc/internal/trace"
 )
 
 func main() {
@@ -26,6 +33,7 @@ func main() {
 	cores := flag.Int("cores", 32, "number of UEs in rcce mode")
 	stats := flag.Bool("stats", false, "print machine statistics to stderr")
 	machinePreset := flag.String("machine", "", "machine preset: scc48, mesh256 or mesh1024 (empty = scc48)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this file")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -50,11 +58,20 @@ func main() {
 		fatal(err)
 	}
 
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder(machine, 0)
+	}
+
 	var output string
 	var seconds float64
 	switch *mode {
 	case "pthread":
-		res, err := pthreadrt.Run(pr, machine, pthreadrt.DefaultOptions())
+		opts := pthreadrt.DefaultOptions()
+		if rec != nil {
+			opts.Trace = rec
+		}
+		res, err := pthreadrt.Run(pr, machine, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -63,7 +80,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "context switches: %d\n", res.Switches)
 		}
 	case "rcce":
-		res, err := rcce.Run(pr, machine, rcce.DefaultOptions(*cores))
+		opts := rcce.DefaultOptions(*cores)
+		if rec != nil {
+			opts.Trace = rec
+		}
+		res, err := rcce.Run(pr, machine, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -74,6 +95,15 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "hsmsim: unknown mode %q\n", *mode)
 		os.Exit(2)
+	}
+
+	if rec != nil {
+		if err := rec.WriteFile(*traceOut); err != nil {
+			fatal(err)
+		}
+		s := rec.Summarize()
+		fmt.Fprintf(os.Stderr, "trace: %s (%d events, %d contexts, %d dropped)\n",
+			*traceOut, s.Events, s.Contexts, s.Dropped)
 	}
 
 	fmt.Print(output)

@@ -10,6 +10,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -18,6 +19,7 @@ import (
 	"hsmcc/internal/interp"
 	"hsmcc/internal/partition"
 	"hsmcc/internal/sccsim"
+	"hsmcc/internal/trace"
 )
 
 // Grid is the declarative spec of one experiment sweep.
@@ -226,6 +228,13 @@ type RunOptions struct {
 	// concurrent workers), before RunGrid returns. Callbacks are
 	// serialized — the daemon streams NDJSON straight from here.
 	OnResult func(CellResult)
+	// TraceDir, when non-empty, attaches a trace.Recorder to every
+	// RCCE simulation the sweep actually executes and writes one Chrome
+	// trace_event file per distinct run into the directory, named after
+	// the cell's semantic key. Cells served from the cell cache (dups,
+	// warm daemon caches) write nothing — only real simulations have a
+	// timeline.
+	TraceDir string
 }
 
 // Report is the JSON document hsmbench emits as BENCH_<grid>.json.
@@ -305,6 +314,9 @@ type gridRunner struct {
 	// engine is the resolved execution engine, part of every cache key.
 	engine interp.Engine
 	cells  onceCache[cellKey, *RunResult]
+	// traceDir, when non-empty, receives one Chrome trace file per
+	// distinct RCCE simulation (RunOptions.TraceDir).
+	traceDir string
 }
 
 // RunGrid executes the grid's cells across a worker pool and returns
@@ -361,6 +373,7 @@ func RunGrid(g Grid, opt RunOptions) (*Report, error) {
 	}
 	r.cfg.Cancel = opt.Cancel
 	r.cfg.Fault = opt.Fault
+	r.traceDir = opt.TraceDir
 	eng, err := interp.ParseEngine(opt.Engine)
 	if err != nil {
 		return nil, err
@@ -492,12 +505,27 @@ func (r *gridRunner) runCell(cell Cell) CellResult {
 		}
 		key.placement = pl.Digest()
 	}
+	// With a trace directory, the cell that actually simulates (the
+	// winner of the onceCache race) records its run and writes the
+	// Chrome trace named by the semantic key; cache hits write nothing.
+	var rec *trace.Recorder
 	conv, err := r.cells.get(key, func() (*RunResult, error) {
+		if r.traceDir != "" {
+			rec = trace.NewRecorder(nil, 0)
+			cfg.TraceRCCE = rec
+		}
 		return RunRCCE(w, cfg, policy)
 	})
 	if err != nil {
 		res.Error = err.Error()
 		return res
+	}
+	if rec != nil {
+		name := fmt.Sprintf("%s_%dc_%s_%d.trace.json", key.workload, key.cores, key.policy, key.budget)
+		if werr := rec.WriteFile(filepath.Join(r.traceDir, name)); werr != nil {
+			res.Error = fmt.Sprintf("write trace: %v", werr)
+			return res
+		}
 	}
 	res.BaselinePs = base.Makespan
 	res.RCCEPs = conv.Makespan

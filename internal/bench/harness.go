@@ -84,6 +84,20 @@ type Config struct {
 	// Like Cancel it is per-request state, never part of any cache
 	// identity.
 	Fault func(stage string) error
+	// Span, when non-nil, is invoked at the entry of every compute stage
+	// this config actually executes — same stage names as Fault — and the
+	// returned func at its exit. It is the request-tracing seam
+	// (internal/serve spans): because it fires inside the memoized
+	// computations, a cache hit produces no compute span, which is
+	// exactly what a request timeline should show. Like Cancel and Fault
+	// it is per-request state, never part of any cache identity.
+	Span func(stage string) func()
+	// TraceRCCE, when non-nil, receives the scheduling/memory event
+	// stream of the RCCE simulation (the un-memoized half of a run; see
+	// internal/trace.Recorder). Observation only: simulation output and
+	// cycle stats are identical with or without it, so like the other
+	// per-run observers it is excluded from every cache identity.
+	TraceRCCE interp.TraceSink
 	// machineEnv, when non-empty, is a precomputed fingerprint of
 	// cfg.Machine().Config() — sweeps whose machine is fixed (the grid
 	// runner) set it once so cache-key construction does not build a
@@ -110,6 +124,15 @@ func (cfg Config) fault(stage string) error {
 	return cfg.Fault(stage)
 }
 
+// span opens a stage span when cfg carries the tracing seam; the
+// returned func closes it and is never nil.
+func (cfg Config) span(stage string) func() {
+	if cfg.Span == nil {
+		return func() {}
+	}
+	return cfg.Span(stage)
+}
+
 // rcceOptions resolves the effective RCCE runtime options for cfg.
 func (cfg Config) rcceOptions() rcce.Options {
 	ropts := rcce.DefaultOptions(cfg.Threads)
@@ -118,6 +141,7 @@ func (cfg Config) rcceOptions() rcce.Options {
 	}
 	ropts.Engine = cfg.Engine
 	ropts.Cancel = cfg.Cancel
+	ropts.Trace = cfg.TraceRCCE
 	return ropts
 }
 
@@ -132,6 +156,7 @@ func (cfg Config) baselineEnv() string {
 	// would render as a pointer — nondeterministic across processes.
 	opts.Cancel = nil
 	opts.Profiler = nil
+	opts.Trace = nil
 	return fmt.Sprintf("%s|%+v", cfg.machineFingerprint(), opts)
 }
 
@@ -165,6 +190,7 @@ func (cfg Config) rcceEnv() string {
 	ropts.Cancel = nil
 	ropts.Profiler = nil
 	ropts.AllocObserver = nil
+	ropts.Trace = nil
 	return fmt.Sprintf("%s|%+v", cfg.machineFingerprint(), ropts)
 }
 
@@ -173,7 +199,7 @@ func (cfg Config) rcceEnv() string {
 // is immutable — one compile serves any number of concurrent runs.
 func CompileBaseline(w Workload, cfg Config) (*interp.Program, error) {
 	src := w.Source(cfg.Threads, cfg.Scale)
-	pr, err := cfg.Cache.program(w.Key+".c", src, cfg.Fault)
+	pr, err := cfg.Cache.program(w.Key+".c", src, cfg.Fault, cfg.Span)
 	if err != nil {
 		return nil, fmt.Errorf("%s baseline: %w", w.Key, err)
 	}
@@ -186,6 +212,7 @@ func RunBaselineProgram(w Workload, pr *interp.Program, cfg Config) (*RunResult,
 	if err := cfg.fault("baseline"); err != nil {
 		return nil, fmt.Errorf("%s baseline: %w", w.Key, err)
 	}
+	defer cfg.span("baseline")()
 	opts := cfg.Baseline
 	opts.Engine = cfg.Engine
 	opts.Cancel = cfg.Cancel
@@ -264,7 +291,7 @@ func TranslateWorkload(w Workload, cfg Config, policy partition.Policy) (*Transl
 		// pipeline run.
 		capacity = 0
 	}
-	tr, err := cfg.Cache.translate(w, cfg.Threads, scale, policy, capacity, pl, cfg.machineFingerprint(), cfg.Fault)
+	tr, err := cfg.Cache.translate(w, cfg.Threads, scale, policy, capacity, pl, cfg.machineFingerprint(), cfg.Fault, cfg.Span)
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +302,7 @@ func TranslateWorkload(w Workload, cfg Config, policy partition.Policy) (*Transl
 			return nil, fmt.Errorf("%s transform translated source: %w", w.Key, err)
 		}
 	}
-	pr, err := cfg.Cache.program(w.Key+"_rcce.c", translated, cfg.Fault)
+	pr, err := cfg.Cache.program(w.Key+"_rcce.c", translated, cfg.Fault, cfg.Span)
 	if err != nil {
 		return nil, fmt.Errorf("%s reparse translated source: %w\n---\n%s", w.Key, err, translated)
 	}
@@ -287,6 +314,7 @@ func RunRCCEProgram(w Workload, tr *Translation, cfg Config, policy partition.Po
 	if err := cfg.fault("simulate"); err != nil {
 		return nil, fmt.Errorf("%s simulate: %w", w.Key, err)
 	}
+	defer cfg.span("simulate")()
 	mode := "rcce-offchip"
 	switch policy {
 	case partition.PolicyOffChipOnly:

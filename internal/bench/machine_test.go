@@ -65,10 +65,10 @@ func TestMachineCacheKeysDistinct(t *testing.T) {
 	if !ok {
 		t.Fatal("histogram workload missing")
 	}
-	if _, err := cache.translate(w, 4, 0.05, partition.PolicySizeAscending, 1<<14, nil, ta.machineEnv, nil); err != nil {
+	if _, err := cache.translate(w, 4, 0.05, partition.PolicySizeAscending, 1<<14, nil, ta.machineEnv, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cache.translate(w, 4, 0.05, partition.PolicySizeAscending, 1<<14, nil, tb.machineEnv, nil); err != nil {
+	if _, err := cache.translate(w, 4, 0.05, partition.PolicySizeAscending, 1<<14, nil, tb.machineEnv, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := cache.Stats().TranslateRuns; got != 2 {

@@ -40,11 +40,12 @@ func profileUncached(w Workload, cfg Config) (*profile.Report, error) {
 	if err := cfg.fault("profile"); err != nil {
 		return nil, fmt.Errorf("%s profile: %w", w.Key, err)
 	}
-	tr, err := cfg.Cache.translate(w, cfg.Threads, cfg.Scale, partition.PolicyOffChipOnly, 0, nil, cfg.machineFingerprint(), cfg.Fault)
+	defer cfg.span("profile")()
+	tr, err := cfg.Cache.translate(w, cfg.Threads, cfg.Scale, partition.PolicyOffChipOnly, 0, nil, cfg.machineFingerprint(), cfg.Fault, cfg.Span)
 	if err != nil {
 		return nil, fmt.Errorf("%s profile translate: %w", w.Key, err)
 	}
-	pr, err := cfg.Cache.program(w.Key+"_rcce.c", tr.source, cfg.Fault)
+	pr, err := cfg.Cache.program(w.Key+"_rcce.c", tr.source, cfg.Fault, cfg.Span)
 	if err != nil {
 		return nil, fmt.Errorf("%s profile reparse: %w", w.Key, err)
 	}
@@ -53,6 +54,10 @@ func profileUncached(w Workload, cfg Config) (*profile.Report, error) {
 	ropts := cfg.rcceOptions()
 	ropts.Profiler = col
 	ropts.AllocObserver = col
+	// The profiling pass is memoized: its simulation must not leak
+	// events into a per-request trace recorder, or warm and cold runs
+	// would trace differently.
+	ropts.Trace = nil
 	res, err := rcce.Run(pr, m, ropts)
 	if err != nil {
 		return nil, fmt.Errorf("%s profile run: %w", w.Key, err)

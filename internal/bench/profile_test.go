@@ -208,18 +208,18 @@ func TestTranslationCacheDistinguishesPlacements(t *testing.T) {
 	}
 	plA := mk(map[string]bool{"psum": true})
 	plB := mk(map[string]bool{"a": true})
-	trA, err := cache.translate(w, 4, 0.05, partition.PolicyProfiled, 16384, plA, "", nil)
+	trA, err := cache.translate(w, 4, 0.05, partition.PolicyProfiled, 16384, plA, "", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	trB, err := cache.translate(w, 4, 0.05, partition.PolicyProfiled, 16384, plB, "", nil)
+	trB, err := cache.translate(w, 4, 0.05, partition.PolicyProfiled, 16384, plB, "", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if trA == trB || trA.source == trB.source {
 		t.Fatalf("different placements shared one translation")
 	}
-	trStatic, err := cache.translate(w, 4, 0.05, partition.PolicySizeAscending, 16384, nil, "", nil)
+	trStatic, err := cache.translate(w, 4, 0.05, partition.PolicySizeAscending, 16384, nil, "", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

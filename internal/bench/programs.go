@@ -232,16 +232,20 @@ func (c *Cache) Stats() CacheStats {
 }
 
 // program returns the compiled form of (name, src), compiling at most
-// once per distinct source even under concurrent lookups. fault, when
-// non-nil, fires inside the compute closure (Config.Fault's "compile"
-// seam) so an injected panic or cancellation exercises the cache's
-// drop-on-error discipline rather than bypassing it.
-func (c *Cache) program(name, src string, fault func(string) error) (*interp.Program, error) {
+// once per distinct source even under concurrent lookups. fault and
+// span, when non-nil, fire inside the compute closure (Config.Fault's
+// and Config.Span's "compile" seam) so an injected panic or
+// cancellation exercises the cache's drop-on-error discipline rather
+// than bypassing it — and so a cache hit produces no compile span.
+func (c *Cache) program(name, src string, fault func(string) error, span func(string) func()) (*interp.Program, error) {
 	compile := func() (*interp.Program, error) {
 		if fault != nil {
 			if err := fault("compile"); err != nil {
 				return nil, fmt.Errorf("%s compile: %w", name, err)
 			}
+		}
+		if span != nil {
+			defer span("compile")()
 		}
 		return interp.Compile(name, src)
 	}
@@ -257,7 +261,7 @@ func (c *Cache) program(name, src string, fault func(string) error) (*interp.Pro
 // translate runs (or reuses) the translation pipeline for one cell.
 // pl carries the profile-guided placement for PolicyProfiled cells (nil
 // for the static policies).
-func (c *Cache) translate(w Workload, threads int, scale float64, policy partition.Policy, capacity int, pl *profile.Placement, machineEnv string, fault func(string) error) (*translation, error) {
+func (c *Cache) translate(w Workload, threads int, scale float64, policy partition.Policy, capacity int, pl *profile.Placement, machineEnv string, fault func(string) error, span func(string) func()) (*translation, error) {
 	run := func() (*translation, error) {
 		if c != nil {
 			atomic.AddInt64(&c.translateRuns, 1)
@@ -266,6 +270,9 @@ func (c *Cache) translate(w Workload, threads int, scale float64, policy partiti
 			if err := fault("translate"); err != nil {
 				return nil, fmt.Errorf("%s translate: %w", w.Key, err)
 			}
+		}
+		if span != nil {
+			defer span("translate")()
 		}
 		src := w.Source(threads, scale)
 		cc := core.Config{

@@ -220,6 +220,9 @@ func (p *Proc) yieldCoro() error {
 		p.State = Running
 		return nil
 	}
+	if p.trace != nil {
+		p.trace.TraceSuspend(p.ID, p.Core, p.Clock, SuspendYield, ReasonNone)
+	}
 	s.elected, s.electedValid = next, true
 	return errYield
 }
@@ -229,6 +232,9 @@ func (p *Proc) yieldCoro() error {
 func (p *Proc) blockCoro() error {
 	p.State = Blocked
 	p.lastYield = p.Clock
+	if p.trace != nil {
+		p.trace.TraceSuspend(p.ID, p.Core, p.Clock, SuspendBlock, p.takeBlockReason())
+	}
 	s := p.Sim
 	s.elected, s.electedValid = s.pickNext(), true
 	return errYield
@@ -244,6 +250,11 @@ func (s *Sim) runCoro() error {
 	next := s.pickNext()
 	for next != nil {
 		next.State = Running
+		if next.trace != nil {
+			// The goroutine engine fires the same hook in handoff, the
+			// same Runnable→Running edge with the same clock.
+			next.trace.TraceResume(next.ID, next.Core, next.Clock)
+		}
 		s.elected, s.electedValid = nil, false
 		finished := next.stepCoro()
 		if s.err != nil {
@@ -375,6 +386,9 @@ func (p *Proc) finish(v Value, err error) {
 		p.Ret = v
 	default:
 		p.Sim.fail(fmt.Errorf("proc %d (core %d): %w", p.ID, p.Core, err))
+	}
+	if p.trace != nil {
+		p.trace.TraceSuspend(p.ID, p.Core, p.Clock, SuspendFinish, ReasonNone)
 	}
 	p.State = Done
 	s := p.Sim

@@ -81,6 +81,11 @@ type Proc struct {
 	// from Sim.Prof at Spawn so the accessor hot path avoids the Sim
 	// indirection.
 	prof MemProfiler
+	// trace is the session's scheduling-event sink (nil when disabled),
+	// copied from Sim.Trace at Spawn; blockReason carries a BlockFor tag
+	// to the one suspension it precedes.
+	trace       TraceSink
+	blockReason BlockReason
 
 	// Stats.
 	Ops   uint64 // executed statements

@@ -96,7 +96,11 @@ type Sim struct {
 	// serving layer wires a request context's Err here so a wall-clock
 	// deadline or client disconnect stops a simulation mid-flight.
 	Cancel func() error
-	Out    bytes.Buffer
+	// Trace, when non-nil, observes every scheduling event of the
+	// session (see TraceSink). Set before Spawn; like Prof it is
+	// observation-only and excluded from cache fingerprints.
+	Trace TraceSink
+	Out   bytes.Buffer
 
 	procs  []*Proc
 	nextID int
@@ -201,6 +205,7 @@ func (s *Sim) Spawn(core int, fn *ast.FuncDecl, args []Value, start sccsim.Time)
 		fn:       fn,
 		args:     args,
 		prof:     s.Prof,
+		trace:    s.Trace,
 	}
 	p.stackTop = sccsim.PrivateLimit - uint32(idx*StackBytes)
 	p.stackPtr = p.stackTop
@@ -208,6 +213,9 @@ func (s *Sim) Spawn(core int, fn *ast.FuncDecl, args []Value, start sccsim.Time)
 	s.nextID++
 	s.procs = append(s.procs, p)
 	s.noteRunnable(p)
+	if p.trace != nil {
+		p.trace.TraceSpawn(p.ID, p.Core, start)
+	}
 	if s.coro {
 		// Adopt pooled buffers: the resumption stack comes pre-reserved
 		// (growth inside an unwind would add allocation noise to the hot
@@ -256,6 +264,11 @@ func (s *Sim) handoff(next *Proc) {
 		return
 	}
 	next.State = Running
+	if next.trace != nil {
+		// The coroutine stepping loop fires the same hook at the same
+		// Runnable→Running edge, after the policy's clock adjustments.
+		next.trace.TraceResume(next.ID, next.Core, next.Clock)
+	}
 	next.resume <- struct{}{}
 }
 
@@ -408,6 +421,9 @@ func (p *Proc) Yield() error {
 		p.State = Running
 		return nil
 	}
+	if p.trace != nil {
+		p.trace.TraceSuspend(p.ID, p.Core, p.Clock, SuspendYield, ReasonNone)
+	}
 	s.handoff(next)
 	p.acquire()
 	return nil
@@ -422,6 +438,9 @@ func (p *Proc) Block() error {
 	}
 	p.State = Blocked
 	p.lastYield = p.Clock
+	if p.trace != nil {
+		p.trace.TraceSuspend(p.ID, p.Core, p.Clock, SuspendBlock, p.takeBlockReason())
+	}
 	s := p.Sim
 	s.handoff(s.pickNext())
 	p.acquire()
@@ -436,8 +455,19 @@ func (p *Proc) Unblock(at sccsim.Time) {
 	}
 	if p.State == Blocked {
 		p.State = Runnable
+		if p.trace != nil {
+			p.trace.TraceUnblock(p.ID, p.Core, p.Clock)
+		}
 	}
 	if p.State == Runnable {
 		p.Sim.noteRunnable(p)
 	}
+}
+
+// takeBlockReason consumes the tag a BlockFor caller left for the one
+// suspension it precedes.
+func (p *Proc) takeBlockReason() BlockReason {
+	r := p.blockReason
+	p.blockReason = ReasonNone
+	return r
 }

@@ -43,6 +43,12 @@ type Options struct {
 	// must exclude this field (it is per-request, not part of the run's
 	// semantic identity).
 	Cancel func() error
+	// Trace, when non-nil, observes every scheduling event of the run
+	// (interp.Sim.Trace): context spawns, run slices, blocks with
+	// reasons, unblocks. Observation-only — results are identical with
+	// or without it — and, like Cancel, excluded from cache
+	// fingerprints.
+	Trace interp.TraceSink
 }
 
 // DefaultOptions returns the calibrated baseline used by the experiment
@@ -244,7 +250,7 @@ func (rt *Runtime) CallBuiltin(p *interp.Proc, name string, args []interp.Value)
 			child := rt.byTID[tid]
 			if child.State != interp.Done {
 				rt.joiners[tid] = append(rt.joiners[tid], p)
-				if err := p.Block(); err != nil {
+				if err := p.BlockFor(interp.ReasonJoin); err != nil {
 					p.PushResume(2, nil)
 					return zero, true, err
 				}
@@ -287,7 +293,7 @@ func (rt *Runtime) CallBuiltin(p *interp.Proc, name string, args []interp.Value)
 		}
 		for mu.owner != nil && mu.owner != p {
 			mu.waiters = append(mu.waiters, p)
-			if err := p.Block(); err != nil {
+			if err := p.BlockFor(interp.ReasonMutex); err != nil {
 				p.PushResume(1, nil)
 				return zero, true, err
 			}
@@ -346,6 +352,8 @@ func Run(pr *interp.Program, m *sccsim.Machine, opts Options) (*Result, error) {
 	}
 	sim.Prof = opts.Profiler
 	sim.Cancel = opts.Cancel
+	sim.Trace = opts.Trace
+	interp.BindTrace(opts.Trace, m)
 	rt := New(sim, opts)
 	main := pr.Funcs["main"]
 	if main == nil {

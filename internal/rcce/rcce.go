@@ -62,6 +62,12 @@ type Options struct {
 	// must exclude this field (it is per-request, not part of the run's
 	// semantic identity).
 	Cancel func() error
+	// Trace, when non-nil, observes every scheduling event of the run
+	// (interp.Sim.Trace): spawns, run slices, barrier/rendezvous blocks
+	// with reasons, test-and-set spin rounds. Observation-only —
+	// results are identical with or without it — and, like Cancel,
+	// excluded from cache fingerprints.
+	Trace interp.TraceSink
 }
 
 // AllocObserver observes symmetric allocations. seq is the allocation's
@@ -469,7 +475,7 @@ func (rt *Runtime) doBarrier(p *interp.Proc, step int) error {
 			return nil
 		}
 		b.waiting = append(b.waiting, p)
-		if err := p.Block(); err != nil {
+		if err := p.BlockFor(interp.ReasonBarrier); err != nil {
 			p.PushResume(2, nil)
 			return err
 		}
@@ -504,6 +510,9 @@ func (rt *Runtime) acquireLock(p *interp.Proc, ue int, step int, sx any) error {
 			if ok {
 				return nil
 			}
+			// One failed round, reported before the backoff charge can
+			// suspend (the step guard keeps it exactly-once per round).
+			p.NoteSpin(backoff)
 			if err := p.ChargeCycles(backoff); err != nil {
 				p.PushResume(1, backoff)
 				return err
@@ -583,6 +592,8 @@ func Run(pr *interp.Program, m *sccsim.Machine, opts Options) (*Result, error) {
 	}
 	sim.Prof = opts.Profiler
 	sim.Cancel = opts.Cancel
+	sim.Trace = opts.Trace
+	interp.BindTrace(opts.Trace, m)
 	rt, err := New(sim, opts)
 	if err != nil {
 		return nil, err

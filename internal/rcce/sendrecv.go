@@ -86,7 +86,7 @@ func (rt *Runtime) send(p *interp.Proc, buf uint32, size, dst int, step int) err
 		r.Unblock(msg.ready)
 	}
 	// Rendezvous: the sender blocks until the receiver drains.
-	if err := p.Block(); err != nil {
+	if err := p.BlockFor(interp.ReasonSend); err != nil {
 		p.PushResume(1, nil)
 		return err
 	}
@@ -109,7 +109,7 @@ func (rt *Runtime) recv(p *interp.Proc, buf uint32, size, src int, step int) err
 			return fmt.Errorf("RCCE_recv: two receivers for the same channel %d->%d", src, me)
 		}
 		st.recvWaiting[key] = p
-		if err := p.Block(); err != nil {
+		if err := p.BlockFor(interp.ReasonRecv); err != nil {
 			p.PushResume(1, nil)
 			return err
 		}

@@ -96,6 +96,26 @@ type CoreStats struct {
 	MemTime, CompTime Time
 }
 
+// Delta returns the counter increments since prev (a snapshot of the
+// same core taken earlier). Counters only grow, so the result is the
+// traffic of the interval; trace recorders sample it per run slice.
+func (s CoreStats) Delta(prev CoreStats) CoreStats {
+	return CoreStats{
+		Loads:           s.Loads - prev.Loads,
+		Stores:          s.Stores - prev.Stores,
+		PrivateAccesses: s.PrivateAccesses - prev.PrivateAccesses,
+		SharedAccesses:  s.SharedAccesses - prev.SharedAccesses,
+		MPBAccesses:     s.MPBAccesses - prev.MPBAccesses,
+		MPBRemote:       s.MPBRemote - prev.MPBRemote,
+		L1Hits:          s.L1Hits - prev.L1Hits,
+		L1Misses:        s.L1Misses - prev.L1Misses,
+		L2Hits:          s.L2Hits - prev.L2Hits,
+		L2Misses:        s.L2Misses - prev.L2Misses,
+		MemTime:         s.MemTime - prev.MemTime,
+		CompTime:        s.CompTime - prev.CompTime,
+	}
+}
+
 type memController struct {
 	freeAt   Time
 	busy     Time

@@ -19,6 +19,7 @@ import (
 
 	"hsmcc/internal/bench"
 	"hsmcc/internal/synth"
+	"hsmcc/internal/trace"
 )
 
 // CompileResponse answers /v1/compile.
@@ -29,6 +30,9 @@ type CompileResponse struct {
 	Funcs         int     `json:"funcs"`
 	FullyCompiled bool    `json:"fully_compiled"`
 	SourceBytes   int     `json:"source_bytes"`
+	// Spans is the request's span tree, present only with ?spans=1
+	// (wall-clock timings are not deterministic).
+	Spans *Span `json:"spans,omitempty"`
 }
 
 // TranslateResponse answers /v1/translate.
@@ -41,6 +45,8 @@ type TranslateResponse struct {
 	OnChipBytes     int     `json:"onchip_bytes"`
 	PlacementDigest string  `json:"placement_digest,omitempty"`
 	Source          string  `json:"source"`
+	// Spans is the request's span tree, present only with ?spans=1.
+	Spans *Span `json:"spans,omitempty"`
 }
 
 // SimulateResponse answers /v1/simulate: the baseline and translated
@@ -61,6 +67,12 @@ type SimulateResponse struct {
 	PlacementDigest string  `json:"placement_digest,omitempty"`
 	MPBAccesses     uint64  `json:"mpb_accesses"`
 	SharedAccesses  uint64  `json:"shared_accesses"`
+	// Trace is the Chrome trace_event document of the translated
+	// (RCCE) simulation, present only with ?trace=1 — bulky, and only
+	// recorded when this request actually ran the simulation.
+	Trace *trace.Export `json:"trace,omitempty"`
+	// Spans is the request's span tree, present only with ?spans=1.
+	Spans *Span `json:"spans,omitempty"`
 }
 
 // GridRequest drives /v1/grid: a whole sweep through the shared cache,
@@ -115,7 +127,9 @@ const (
 // answers 503 + Retry-After itself and returns ok=false; otherwise the
 // caller must defer the returned release.
 func (s *Server) admit(ctx context.Context, w http.ResponseWriter, weight int) (func(), bool) {
+	done := spansFrom(ctx).start("admission")
 	release, err := s.gate.acquire(ctx, int64(weight))
+	done()
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
 		status, msg := s.statusOf(err)
@@ -131,18 +145,24 @@ func (s *Server) decodeSim(w http.ResponseWriter, r *http.Request) (*simCall, bo
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return nil, false
 	}
+	done := spansFrom(r.Context()).start("decode")
 	var req SimRequest
 	if err := decodeJSON(r, &req); err != nil {
+		done()
 		status, msg := s.statusOf(err)
 		writeError(w, status, msg)
 		return nil, false
 	}
 	call, err := s.resolve(&req)
+	done()
 	if err != nil {
 		status, msg := s.statusOf(err)
 		writeError(w, status, msg)
 		return nil, false
 	}
+	q := r.URL.Query()
+	call.spans = q.Get("spans") == "1"
+	call.trace = q.Get("trace") == "1"
 	return call, true
 }
 
@@ -173,14 +193,18 @@ func (s *Server) compile(ctx context.Context, c *simCall) (*CompileResponse, err
 	if err != nil {
 		return nil, err
 	}
-	return &CompileResponse{
+	resp := &CompileResponse{
 		Workload:      c.req.Workload,
 		Cores:         c.req.Cores,
 		Scale:         c.req.Scale,
 		Funcs:         len(pr.Funcs),
 		FullyCompiled: pr.FullyCompiled(),
 		SourceBytes:   len(c.workload.Source(c.req.Cores, c.req.Scale)),
-	}, nil
+	}
+	if c.spans {
+		resp.Spans = spansFrom(ctx).tree()
+	}
+	return resp, nil
 }
 
 func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
@@ -222,6 +246,9 @@ func (s *Server) translate(ctx context.Context, c *simCall) (*TranslateResponse,
 	if tr.Placement != nil {
 		resp.PlacementDigest = tr.Placement.Digest()
 	}
+	if c.spans {
+		resp.Spans = spansFrom(ctx).tree()
+	}
 	return resp, nil
 }
 
@@ -248,11 +275,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) simulate(ctx context.Context, c *simCall) (*SimulateResponse, error) {
 	cfg := s.config(ctx, c)
+	var rec *trace.Recorder
+	if c.trace {
+		// The translated (RCCE) run is never memoized, so the recorder
+		// always observes this request's own simulation; the baseline
+		// run may be a cache hit and is deliberately untraced.
+		rec = trace.NewRecorder(nil, 0)
+		cfg.TraceRCCE = rec
+	}
 	both, err := bench.RunBothBackends(c.workload, cfg, c.policy)
 	if err != nil {
 		return nil, err
 	}
-	return &SimulateResponse{
+	resp := &SimulateResponse{
 		Workload:        c.req.Workload,
 		Cores:           c.req.Cores,
 		Scale:           c.req.Scale,
@@ -267,7 +302,14 @@ func (s *Server) simulate(ctx context.Context, c *simCall) (*SimulateResponse, e
 		PlacementDigest: both.RCCE.PlacementDigest,
 		MPBAccesses:     both.RCCE.Stats.MPBAccesses,
 		SharedAccesses:  both.RCCE.Stats.SharedAccesses,
-	}, nil
+	}
+	if rec != nil {
+		resp.Trace = rec.Export()
+	}
+	if c.spans {
+		resp.Spans = spansFrom(ctx).tree()
+	}
+	return resp, nil
 }
 
 // validateGrid admits a grid spec under the server limits.
@@ -512,7 +554,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	writeJSON(w, s.metrics.Snapshot(s.cache.Stats(), s.gate.stats(), s.draining.Load()))
+	snap := s.metrics.Snapshot(s.cache.Stats(), s.gate.stats(), s.draining.Load())
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, snap)
+	case "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		renderPrometheus(w, snap)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown metrics format %q (want json or prometheus)", format))
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -128,7 +128,16 @@ type Report struct {
 	GOMAXPROCS      int              `json:"gomaxprocs"`
 	DurationMs      int64            `json:"duration_ms"`
 	Throughput      float64          `json:"throughput_rps"`
-	StatusCounts    map[int]int64    `json:"status_counts"`
+	// Client-observed end-to-end latency percentiles (including retry
+	// backoff), in milliseconds.
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+	// BadRequestIDs counts responses whose X-Request-Id header was
+	// missing or malformed — every response, success or error, must
+	// carry one (see RequestIDPattern).
+	BadRequestIDs int64         `json:"bad_request_ids"`
+	StatusCounts  map[int]int64 `json:"status_counts"`
 	KindCounts      map[Kind]int64   `json:"kind_counts"`
 	DivergenceCount int              `json:"divergence_count"`
 	Divergences     []Divergence     `json:"divergences,omitempty"`

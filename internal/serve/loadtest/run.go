@@ -12,7 +12,9 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -21,6 +23,10 @@ import (
 	"hsmcc/internal/serve"
 	"hsmcc/internal/serve/chaos"
 )
+
+// RequestIDPattern is the shape every X-Request-Id header must match:
+// an 8-hex-digit process prefix, a dash, a decimal sequence number.
+var RequestIDPattern = regexp.MustCompile(`^[0-9a-f]{8}-[0-9]+$`)
 
 // Run generates a scenario from opts, resolves the in-process oracle,
 // serves an hsmccd instance over a loopback listener, drives the full
@@ -172,11 +178,13 @@ func Execute(plan *Plan, baseURL string, client *http.Client) (*Report, error) {
 		KindCounts:   make(map[Kind]int64),
 	}
 	var mu sync.Mutex
-	record := func(r *Request, status int, div *Divergence) {
+	latencies := make([]time.Duration, 0, len(plan.Requests))
+	record := func(r *Request, status int, div *Divergence, lat time.Duration) {
 		mu.Lock()
 		defer mu.Unlock()
 		rep.StatusCounts[status]++
 		rep.KindCounts[r.Kind]++
+		latencies = append(latencies, lat)
 		if div != nil {
 			rep.DivergenceCount++
 			if len(rep.Divergences) < maxDivergenceDetail {
@@ -199,13 +207,18 @@ func Execute(plan *Plan, baseURL string, client *http.Client) (*Report, error) {
 			// determinism, only independence between workers.
 			rng := rand.New(rand.NewSource(opts.Seed ^ int64(worker)<<32))
 			for r := range jobs {
-				status, body, err := postRetry(client, baseURL+r.Path, r.Body, chaosMode, rng, &retries)
+				t0 := time.Now()
+				status, body, hdr, err := postRetry(client, baseURL+r.Path, r.Body, chaosMode, rng, &retries)
+				lat := time.Since(t0)
 				if err != nil {
 					select {
 					case errs <- fmt.Errorf("loadtest: %s: %w", r.Path, err):
 					default:
 					}
 					return
+				}
+				if !RequestIDPattern.MatchString(hdr.Get("X-Request-Id")) {
+					atomic.AddInt64(&rep.BadRequestIDs, 1)
 				}
 				div := check(r, status, body, chaosMode)
 				if div == nil && chaosMode && r.ExpectStatus == 200 && status != http.StatusOK {
@@ -214,7 +227,7 @@ func Execute(plan *Plan, baseURL string, client *http.Client) (*Report, error) {
 					// audited.
 					atomic.AddInt64(&gaveUp, 1)
 				}
-				record(r, status, div)
+				record(r, status, div, lat)
 			}
 		}(i)
 	}
@@ -232,10 +245,31 @@ func Execute(plan *Plan, baseURL string, client *http.Client) (*Report, error) {
 	if sec := time.Since(start).Seconds(); sec > 0 {
 		rep.Throughput = float64(rep.Requests) / sec
 	}
+	rep.LatencyP50Ms = percentileMs(latencies, 50)
+	rep.LatencyP95Ms = percentileMs(latencies, 95)
+	rep.LatencyP99Ms = percentileMs(latencies, 99)
 	if chaosMode {
 		rep.Chaos = &ChaosReport{Retries: retries, GaveUp: gaveUp}
 	}
 	return rep, nil
+}
+
+// percentileMs is the nearest-rank p-th percentile of ds, in
+// milliseconds. Sorts a copy; 0 when ds is empty.
+func percentileMs(ds []time.Duration, p int) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := (len(sorted)*p + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return float64(sorted[rank-1].Microseconds()) / 1000
 }
 
 // maxRetries bounds the retrying client's attempts per request.
@@ -248,19 +282,19 @@ const maxRetries = 8
 // poisoned cache entry was dropped, so a retry recomputes). Genuine
 // failures (unmarked 500s, deterministic 504s, 400s) return
 // immediately.
-func postRetry(client *http.Client, url string, body []byte, chaosMode bool, rng *rand.Rand, retriesTotal *int64) (int, []byte, error) {
+func postRetry(client *http.Client, url string, body []byte, chaosMode bool, rng *rand.Rand, retriesTotal *int64) (int, []byte, http.Header, error) {
 	backoff := 5 * time.Millisecond
 	for attempt := 0; ; attempt++ {
 		status, b, hdr, err := postHdr(client, url, body)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
 		retryable := status == http.StatusServiceUnavailable ||
 			(chaosMode &&
 				(status == http.StatusInternalServerError || status == http.StatusGatewayTimeout) &&
 				bytes.Contains(b, []byte("chaos:")))
 		if !retryable || attempt >= maxRetries {
-			return status, b, nil
+			return status, b, hdr, nil
 		}
 		atomic.AddInt64(retriesTotal, 1)
 		wait := backoff + time.Duration(rng.Int63n(int64(backoff)))
@@ -419,6 +453,10 @@ func (r *Report) Err() error {
 		return fmt.Errorf("loadtest: %d of %d responses diverged from direct in-process runs%s",
 			r.DivergenceCount, r.Requests, detail)
 	}
+	if r.BadRequestIDs > 0 {
+		return fmt.Errorf("loadtest: %d responses had a missing or malformed X-Request-Id (want %s)",
+			r.BadRequestIDs, RequestIDPattern)
+	}
 	// Allow a tiny slack over the pre-serve baseline: runtime helper
 	// goroutines (GC workers, timer scavenger) come and go.
 	if r.GoroutinesEnd > r.GoroutinesStart+3 {
@@ -439,10 +477,11 @@ func (r *Report) Err() error {
 
 // String renders the one-line summary the selftest prints per scenario.
 func (r *Report) String() string {
-	s := fmt.Sprintf("%s: %d reqs x%d conc (GOMAXPROCS %d) in %dms = %.1f req/s; status%s; hit rate %.0f%%; divergences %d; goroutines %d->%d; heap %.1f MB",
+	s := fmt.Sprintf("%s: %d reqs x%d conc (GOMAXPROCS %d) in %dms = %.1f req/s; p50/p95/p99 %.1f/%.1f/%.1f ms; status%s; hit rate %.0f%%; divergences %d; bad request IDs %d; goroutines %d->%d; heap %.1f MB",
 		r.Scenario, r.Requests, r.Concurrency, r.GOMAXPROCS, r.DurationMs, r.Throughput,
+		r.LatencyP50Ms, r.LatencyP95Ms, r.LatencyP99Ms,
 		sortedStatuses(r.StatusCounts), 100*r.CacheHitRate, r.DivergenceCount,
-		r.GoroutinesStart, r.GoroutinesEnd, r.HeapAllocMB)
+		r.BadRequestIDs, r.GoroutinesStart, r.GoroutinesEnd, r.HeapAllocMB)
 	if c := r.Chaos; c != nil {
 		s += fmt.Sprintf("; chaos seed %d: %d injected (%d panics, %d delays, %d cancels) over %d visits, %d retries, %d gave up, peak in-flight %d/%d, shed %d, server panics %d, drain ok=%v in %dms",
 			c.Seed, c.Faults.Injected(), c.Faults.Panics, c.Faults.Delays, c.Faults.Cancels,

@@ -33,7 +33,11 @@ type endpointCounters struct {
 	requests int64
 	byStatus map[int]int64
 	buckets  []int64 // len(latencyBucketBoundsMs)+1, last = +Inf
-	totalMs  int64
+	// totalUs accumulates latency in microseconds: most requests on a
+	// warm cache finish well under a millisecond, so a millisecond
+	// accumulator would truncate nearly all of them to zero and report
+	// an average of 0ms under exactly the load the cache is for.
+	totalUs int64
 }
 
 func newMetrics() *Metrics {
@@ -60,10 +64,13 @@ func (m *Metrics) requestStarted(name string) {
 }
 
 func (m *Metrics) requestFinished(name string, status int, d time.Duration) {
-	ms := d.Milliseconds()
+	us := d.Microseconds()
 	bucket := len(latencyBucketBoundsMs)
 	for i, bound := range latencyBucketBoundsMs {
-		if ms <= bound {
+		// Bucket bounds stay in milliseconds (the published histogram
+		// shape); comparing in microseconds keeps sub-ms requests from
+		// all rounding into the first bucket's floor.
+		if us <= bound*1000 {
 			bucket = i
 			break
 		}
@@ -73,7 +80,7 @@ func (m *Metrics) requestFinished(name string, status int, d time.Duration) {
 	e := m.endpoint(name)
 	e.byStatus[status]++
 	e.buckets[bucket]++
-	e.totalMs += ms
+	e.totalUs += us
 	m.mu.Unlock()
 }
 
@@ -161,7 +168,7 @@ func (m *Metrics) Snapshot(cache bench.CacheStats, overload OverloadSnapshot, dr
 			finished += c
 		}
 		if finished > 0 {
-			es.AvgLatencyMs = float64(e.totalMs) / float64(finished)
+			es.AvgLatencyMs = float64(e.totalUs) / 1000 / float64(finished)
 		}
 		snap.Endpoints[name] = es
 		snap.EndpointNames = append(snap.EndpointNames, name)

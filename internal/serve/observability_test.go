@@ -1,0 +1,200 @@
+package serve
+
+// The request-observability suite: X-Request-Id on every response
+// (success, error, stream), the ?spans=1 span tree (decode/admission
+// always; compute spans only when the stage actually ran, so a warm
+// cache shows the lookup as their absence), and the ?trace=1 embedded
+// Chrome trace document — all opt-in, so the default envelopes the
+// golden suite pins stay byte-identical.
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"hsmcc/internal/trace"
+)
+
+var requestIDRe = regexp.MustCompile(`^[0-9a-f]{8}-[0-9]+$`)
+
+// TestRequestIDOnEveryResponse checks that each response — success,
+// validation error, method rejection, metrics — carries a well-formed,
+// per-request-unique X-Request-Id header.
+func TestRequestIDOnEveryResponse(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	cases := []struct {
+		method, path, body string
+	}{
+		{"POST", "/v1/simulate", `{"workload":"pi","cores":2,"scale":0.01}`},
+		{"POST", "/v1/simulate", `{"workload":"nope"}`},
+		{"GET", "/v1/simulate", ""},
+		{"GET", "/metrics", ""},
+		{"GET", "/healthz", ""},
+		{"POST", "/v1/batch", `{"items":[{"op":"compile","workload":"pi","cores":2,"scale":0.01}]}`},
+	}
+	seen := make(map[string]bool)
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		rid := resp.Header.Get("X-Request-Id")
+		if !requestIDRe.MatchString(rid) {
+			t.Fatalf("%s %s: X-Request-Id %q does not match %s", tc.method, tc.path, rid, requestIDRe)
+		}
+		if seen[rid] {
+			t.Fatalf("%s %s: request ID %q repeated", tc.method, tc.path, rid)
+		}
+		seen[rid] = true
+	}
+}
+
+// spanNames flattens a span tree into its set of names.
+func spanNames(sp *Span, into map[string]bool) {
+	if sp == nil {
+		return
+	}
+	into[sp.Name] = true
+	for _, c := range sp.Children {
+		spanNames(c, into)
+	}
+}
+
+func postSimulate(t *testing.T, ts *httptest.Server, query string) (SimulateResponse, string) {
+	t.Helper()
+	status, body := do(t, ts, "POST", "/v1/simulate"+query, `{"workload":"pi","cores":2,"scale":0.01}`)
+	if status != 200 {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp SimulateResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("bad response body: %v", err)
+	}
+	return resp, body
+}
+
+// TestSpansOptIn checks the span tree: absent by default, and when
+// requested the cold run shows the compute stages while the warm run
+// shows only decode/admission/simulate — the cache hit is visible as
+// the missing compile/translate spans.
+func TestSpansOptIn(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	// Order matters: the cold request must be the server's first, or
+	// its compute stages would already be cached.
+	cold, _ := postSimulate(t, ts, "?spans=1")
+	if cold.Spans == nil {
+		t.Fatal("no span tree with ?spans=1")
+	}
+	names := make(map[string]bool)
+	spanNames(cold.Spans, names)
+	for _, want := range []string{"request", "decode", "admission", "compile", "translate", "baseline", "simulate"} {
+		if !names[want] {
+			t.Fatalf("cold span tree missing %q; have %v", want, names)
+		}
+	}
+
+	warm, _ := postSimulate(t, ts, "?spans=1")
+	names = make(map[string]bool)
+	spanNames(warm.Spans, names)
+	for _, want := range []string{"request", "decode", "admission", "simulate"} {
+		if !names[want] {
+			t.Fatalf("warm span tree missing %q; have %v", want, names)
+		}
+	}
+	for _, hit := range []string{"compile", "translate", "baseline"} {
+		if names[hit] {
+			t.Fatalf("warm span tree shows %q — the cache hit should have skipped that stage", hit)
+		}
+	}
+	if warm.Spans.DurUs <= 0 {
+		t.Fatalf("root span duration %dµs, want > 0", warm.Spans.DurUs)
+	}
+
+	plain, _ := postSimulate(t, ts, "")
+	if plain.Spans != nil {
+		t.Fatal("spans present without ?spans=1")
+	}
+}
+
+// TestTraceOptIn checks the embedded Chrome trace: absent by default,
+// present and populated with ?trace=1, and orthogonal to the
+// simulation results (same cycle counts either way).
+func TestTraceOptIn(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	plain, plainBody := postSimulate(t, ts, "")
+	if plain.Trace != nil {
+		t.Fatal("trace present without ?trace=1")
+	}
+
+	traced, _ := postSimulate(t, ts, "?trace=1")
+	if traced.Trace == nil {
+		t.Fatal("no trace with ?trace=1")
+	}
+	if len(traced.Trace.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	if traced.Trace.Summary == nil || traced.Trace.Summary.Contexts == 0 {
+		t.Fatalf("trace summary missing or empty: %+v", traced.Trace.Summary)
+	}
+	if traced.Trace.Summary.Finished != traced.Trace.Summary.Contexts {
+		t.Fatalf("summary reports %d/%d contexts finished",
+			traced.Trace.Summary.Finished, traced.Trace.Summary.Contexts)
+	}
+	if traced.BaselinePs != plain.BaselinePs || traced.RCCEPs != plain.RCCEPs {
+		t.Fatalf("tracing changed the simulation: %d/%d ps vs %d/%d ps",
+			traced.BaselinePs, traced.RCCEPs, plain.BaselinePs, plain.RCCEPs)
+	}
+
+	// The traced response minus its opt-in field is the plain response:
+	// repeat the plain request and confirm byte identity (the envelope
+	// carries no request-scoped noise).
+	_, again := postSimulate(t, ts, "")
+	if again != plainBody {
+		t.Fatal("default simulate responses are not byte-identical across repeats")
+	}
+
+	// The embedded document is the trace-file shape: round-trip it
+	// through the exporter's own types.
+	raw, err := json.Marshal(traced.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back trace.Export
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("embedded trace does not round-trip: %v", err)
+	}
+}
+
+// TestSlowRequestLogging checks the slog path: with a zero threshold
+// every request is "slow", so the log line must carry the span tree
+// and the request's ID at WARN.
+func TestSlowRequestLogging(t *testing.T) {
+	var buf strings.Builder
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	_, ts := newTestServer(t, Options{Logger: logger, SlowThreshold: time.Nanosecond})
+	status, body := do(t, ts, "POST", "/v1/compile", `{"workload":"pi","cores":2,"scale":0.01}`)
+	if status != 200 {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "level=WARN") {
+		t.Fatalf("slow request not logged at WARN:\n%s", out)
+	}
+	for _, want := range []string{"request_id=", "endpoint=compile", "status=200", "duration_us=", "slow=true", "spans="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log line missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -53,6 +53,12 @@ type simCall struct {
 	workload bench.Workload
 	policy   partition.Policy
 	engine   interp.Engine
+	// spans/trace are the ?spans=1 / ?trace=1 opt-ins: both add
+	// non-deterministic (spans) or bulky (trace) material to the
+	// response envelope, so the default — byte-identical responses —
+	// requires asking.
+	spans bool
+	trace bool
 }
 
 // decodeJSON reads one JSON document into v, rejecting trailing data.
@@ -128,6 +134,11 @@ func (s *Server) config(ctx context.Context, c *simCall) bench.Config {
 	cfg.Engine = c.engine
 	cfg.Cancel = ctx.Err
 	cfg.Fault = s.fault
+	// The compute-stage span seam: fires only when a stage actually
+	// runs, so cache hits leave no compute span in the request tree.
+	// Like Cancel and Fault it is per-request state, never cache
+	// identity.
+	cfg.Span = spansFrom(ctx).start
 	return cfg
 }
 

@@ -30,6 +30,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync/atomic"
@@ -137,6 +138,14 @@ type Options struct {
 	// cancellations exercise the real serving path. Production servers
 	// leave it nil; the chaos selftest and tests install an injector.
 	Fault func(stage string) error
+	// Logger, when non-nil, receives one structured line per finished
+	// request (request id, endpoint, status, duration). Requests slower
+	// than SlowThreshold log at Warn with their span tree attached;
+	// 5xx responses log at Error.
+	Logger *slog.Logger
+	// SlowThreshold is the duration beyond which a request counts as
+	// slow (0 disables slow-request escalation).
+	SlowThreshold time.Duration
 }
 
 // Server is the simulation service: one shared cache, one limit set,
@@ -152,6 +161,9 @@ type Server struct {
 	gate *gate
 	// fault is Options.Fault (nil in production).
 	fault func(stage string) error
+	// logger/slowThreshold drive the per-request slog line (Options).
+	logger        *slog.Logger
+	slowThreshold time.Duration
 	// draining flips once StartDrain is called: /healthz answers 503
 	// for load balancers and new /v1/* work is refused.
 	draining atomic.Bool
@@ -170,11 +182,13 @@ type Server struct {
 // New builds a Server.
 func New(opts Options) *Server {
 	s := &Server{
-		cache:   bench.NewCacheSized(opts.CacheBytes),
-		limits:  opts.Limits.withDefaults(),
-		metrics: newMetrics(),
-		mux:     http.NewServeMux(),
-		fault:   opts.Fault,
+		cache:         bench.NewCacheSized(opts.CacheBytes),
+		limits:        opts.Limits.withDefaults(),
+		metrics:       newMetrics(),
+		mux:           http.NewServeMux(),
+		fault:         opts.Fault,
+		logger:        opts.Logger,
+		slowThreshold: opts.SlowThreshold,
 	}
 	s.gate = newGate(int64(s.limits.MaxInFlight), s.limits.MaxQueue)
 	s.stopCtx, s.stopCancel = context.WithCancel(context.Background())
@@ -280,16 +294,22 @@ func writeStreamError(w http.ResponseWriter, status int, msg string) {
 }
 
 // instrument wraps a handler with the request-scope control plane:
-// metrics bookkeeping (request count, in-flight gauge, latency
-// histogram, status counts), the draining refusal for /v1/* work, and
-// the panic boundary — a panicking handler answers 500 with the error
-// envelope (or the terminal stream record, if the NDJSON stream had
-// started) instead of killing the daemon.
+// the request id (X-Request-Id, set before any body bytes so every
+// response carries it), the span recorder, metrics bookkeeping
+// (request count, in-flight gauge, latency histogram, status counts),
+// the structured request log line, the draining refusal for /v1/*
+// work, and the panic boundary — a panicking handler answers 500 with
+// the error envelope (or the terminal stream record, if the NDJSON
+// stream had started) instead of killing the daemon.
 func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		rid := nextRequestID()
+		sr := newSpanRecorder(start)
+		r = r.WithContext(withSpans(r.Context(), sr))
 		s.metrics.requestStarted(name)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw.Header().Set("X-Request-Id", rid)
 		defer func() {
 			if v := recover(); v != nil {
 				s.metrics.panicked()
@@ -300,7 +320,9 @@ func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Reque
 					writeStreamError(sw, http.StatusInternalServerError, msg)
 				}
 			}
-			s.metrics.requestFinished(name, sw.status, time.Since(start))
+			d := time.Since(start)
+			s.metrics.requestFinished(name, sw.status, d)
+			s.logRequest(r, name, rid, sw.status, d, sr)
 		}()
 		if s.draining.Load() && strings.HasPrefix(r.URL.Path, "/v1/") {
 			sw.Header().Set("Retry-After", "1")
@@ -309,6 +331,38 @@ func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Reque
 		}
 		h(sw, r)
 	}
+}
+
+// logRequest emits the per-request slog line: Info normally, Warn with
+// the span tree when the request crossed the slow threshold, Error on
+// 5xx.
+func (s *Server) logRequest(r *http.Request, name, rid string, status int, d time.Duration, sr *spanRecorder) {
+	if s.logger == nil {
+		return
+	}
+	slow := s.slowThreshold > 0 && d >= s.slowThreshold
+	level := slog.LevelInfo
+	switch {
+	case status >= http.StatusInternalServerError:
+		level = slog.LevelError
+	case slow:
+		level = slog.LevelWarn
+	}
+	if !s.logger.Enabled(r.Context(), level) {
+		return
+	}
+	args := []any{
+		slog.String("request_id", rid),
+		slog.String("endpoint", name),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Int64("duration_us", d.Microseconds()),
+	}
+	if slow {
+		args = append(args, slog.Bool("slow", true), slog.Any("spans", sr.tree()))
+	}
+	s.logger.Log(r.Context(), level, "request", args...)
 }
 
 // statusWriter captures the response status for metrics and whether

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"hsmcc/internal/interp"
+)
+
+// Summary is the compact deterministic digest of a recorded run: where
+// the time went per core, why contexts stalled, and when the on-chip
+// (MPB) and off-chip (shared DRAM) traffic happened. It is computed
+// from online accumulators, so it stays exact even when the event ring
+// wrapped and dropped old events.
+type Summary struct {
+	MakespanPs int64  `json:"makespan_ps"`
+	Contexts   uint64 `json:"contexts"`
+	Finished   uint64 `json:"finished"`
+	// Events is how many events the run generated; Dropped of those
+	// were overwritten in the ring and are missing from the export.
+	Events  uint64 `json:"events"`
+	Dropped uint64 `json:"dropped_events,omitempty"`
+
+	SpinRounds uint64 `json:"spin_rounds,omitempty"`
+
+	// Cores lists every core that ran at least one slice.
+	Cores []CoreSummary `json:"cores"`
+
+	// Stalls breaks blocked time down by cause, in enum order, omitting
+	// causes that never occurred.
+	Stalls []StallSummary `json:"stalls,omitempty"`
+
+	// The access timelines count MPB and shared-DRAM accesses per
+	// fixed-width time bucket (width in ps; trailing empty buckets are
+	// trimmed). Accesses are binned at the end of the run slice that
+	// performed them.
+	TimelineBucketPs int64    `json:"timeline_bucket_ps"`
+	MPBTimeline      []uint64 `json:"mpb_timeline"`
+	DRAMTimeline     []uint64 `json:"dram_timeline"`
+}
+
+// CoreSummary is one core's occupancy and memory-system totals.
+type CoreSummary struct {
+	Core   int   `json:"core"`
+	BusyPs int64 `json:"busy_ps"`
+	// Utilization is busy time over the run makespan.
+	Utilization float64 `json:"utilization"`
+	Slices      uint64  `json:"slices"`
+
+	Loads           uint64 `json:"loads"`
+	Stores          uint64 `json:"stores"`
+	PrivateAccesses uint64 `json:"private_accesses"`
+	SharedAccesses  uint64 `json:"shared_accesses"`
+	MPBAccesses     uint64 `json:"mpb_accesses"`
+	MPBRemote       uint64 `json:"mpb_remote"`
+	L1Hits          uint64 `json:"l1_hits"`
+	L1Misses        uint64 `json:"l1_misses"`
+	L2Hits          uint64 `json:"l2_hits"`
+	L2Misses        uint64 `json:"l2_misses"`
+}
+
+// StallSummary is the blocked-time total for one cause.
+type StallSummary struct {
+	Reason  string `json:"reason"`
+	Count   uint64 `json:"count"`
+	TotalPs int64  `json:"total_ps"`
+}
+
+// Summarize computes the digest of everything recorded so far.
+func (r *Recorder) Summarize() *Summary {
+	s := &Summary{
+		MakespanPs: int64(r.maxTime),
+		Contexts:   r.spawns,
+		Finished:   r.finishes,
+		Events:     r.count,
+		SpinRounds: r.spins,
+	}
+	if n := uint64(len(r.ring)); r.count > n {
+		s.Dropped = r.count - n
+	}
+	for core := range r.cores {
+		co := &r.cores[core]
+		if co.slices == 0 {
+			continue
+		}
+		cs := CoreSummary{
+			Core:            core,
+			BusyPs:          int64(co.busy),
+			Slices:          co.slices,
+			Loads:           co.total.Loads,
+			Stores:          co.total.Stores,
+			PrivateAccesses: co.total.PrivateAccesses,
+			SharedAccesses:  co.total.SharedAccesses,
+			MPBAccesses:     co.total.MPBAccesses,
+			MPBRemote:       co.total.MPBRemote,
+			L1Hits:          co.total.L1Hits,
+			L1Misses:        co.total.L1Misses,
+			L2Hits:          co.total.L2Hits,
+			L2Misses:        co.total.L2Misses,
+		}
+		if r.maxTime > 0 {
+			cs.Utilization = float64(co.busy) / float64(r.maxTime)
+		}
+		s.Cores = append(s.Cores, cs)
+	}
+	for reason := 0; reason < interp.NumBlockReasons; reason++ {
+		if r.stallCount[reason] == 0 {
+			continue
+		}
+		s.Stalls = append(s.Stalls, StallSummary{
+			Reason:  interp.BlockReason(reason).String(),
+			Count:   r.stallCount[reason],
+			TotalPs: int64(r.stallTime[reason]),
+		})
+	}
+	// The two timelines fold independently; renormalise to the coarser
+	// width so the exported buckets line up.
+	mpb, dram := r.mpbTimeline, r.dramTimeline
+	for mpb.width < dram.width {
+		mpb.fold()
+	}
+	for dram.width < mpb.width {
+		dram.fold()
+	}
+	s.TimelineBucketPs = int64(mpb.width)
+	used := 0
+	for i := 0; i < timelineBuckets; i++ {
+		if mpb.buckets[i] != 0 || dram.buckets[i] != 0 {
+			used = i + 1
+		}
+	}
+	s.MPBTimeline = append([]uint64{}, mpb.buckets[:used]...)
+	s.DRAMTimeline = append([]uint64{}, dram.buckets[:used]...)
+	return s
+}
+
+// reasonName maps a stored reason byte to its stable export name.
+func reasonName(reason uint8) string { return interp.BlockReason(reason).String() }
+
+// suspendName maps a slice-ending event kind to its stable export name.
+func suspendName(kind, reason uint8) string {
+	switch kind {
+	case evSliceBlock:
+		return "block:" + reasonName(reason)
+	case evSliceFinish:
+		return "finish"
+	default:
+		return "yield"
+	}
+}
